@@ -1,0 +1,130 @@
+//===- bench_compile.cpp - §4.1 ablation: staging pipeline costs ----------===//
+//
+// Measures the engineering claims of §4.1/§5: eager specialization is cheap
+// (it happens at definition time), typechecking+linking are lazy (deferred
+// to first call), and JIT compilation cost is dominated by the backend C
+// compiler (the LLVM substitute, see DESIGN.md §4). Families of generated
+// functions are pushed through each phase separately:
+//
+//   ParseAndSpecialize — host evaluation of a chunk of terra definitions
+//                        (includes eager specialization, no typechecking);
+//   TypecheckOnly      — typechecking the whole family;
+//   FullCompile        — specialization + typecheck + native codegen + load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "core/TerraType.h"
+#include "support/Timer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace terracpp;
+
+namespace {
+
+/// A chunk defining N distinct terra functions of nontrivial size.
+std::string functionFamily(int N) {
+  std::ostringstream OS;
+  for (int I = 0; I != N; ++I) {
+    OS << "terra fam" << I << "(a: int, b: double): double\n"
+       << "  var acc = b\n"
+       << "  for k = 0, a do\n"
+       << "    if k % 2 == 0 then acc = acc + " << I << " * 1.5\n"
+       << "    else acc = acc - k end\n"
+       << "  end\n"
+       << "  return acc\n"
+       << "end\n";
+  }
+  return OS.str();
+}
+
+void BM_ParseAndSpecialize(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  std::string Src = functionFamily(N);
+  for (auto _ : State) {
+    Engine E;
+    bool OK = E.run(Src);
+    if (!OK)
+      State.SkipWithError("run failed");
+    benchmark::DoNotOptimize(OK);
+  }
+  State.counters["fns/s"] =
+      benchmark::Counter(static_cast<double>(N) * State.iterations(),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParseAndSpecialize)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TypecheckOnly(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  std::string Src = functionFamily(N);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Engine E;
+    if (!E.run(Src)) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    std::vector<TerraFunction *> Fns;
+    for (int I = 0; I != N; ++I)
+      Fns.push_back(E.terraFunction("fam" + std::to_string(I)));
+    State.ResumeTiming();
+    for (TerraFunction *F : Fns)
+      if (!E.compiler().typechecker().check(F))
+        State.SkipWithError("typecheck failed");
+  }
+  State.counters["fns/s"] =
+      benchmark::Counter(static_cast<double>(N) * State.iterations(),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TypecheckOnly)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_FullCompile(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  std::string Src = functionFamily(N);
+  for (auto _ : State) {
+    Engine E;
+    if (!E.run(Src)) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    for (int I = 0; I != N; ++I) {
+      TerraFunction *F = E.terraFunction("fam" + std::to_string(I));
+      if (!E.compiler().ensureCompiled(F)) {
+        State.SkipWithError("compile failed");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(E.compiler().stats().FunctionsCompiled);
+  }
+  State.counters["fns/s"] =
+      benchmark::Counter(static_cast<double>(N) * State.iterations(),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullCompile)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// Lazy typechecking: defining many functions but calling one should not
+/// pay for the rest (paper: typechecking runs "only when a function is
+/// called").
+void BM_LazyFirstCall(benchmark::State &State) {
+  int N = 64;
+  std::string Src = functionFamily(N);
+  for (auto _ : State) {
+    Engine E;
+    if (!E.run(Src)) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    TerraFunction *F = E.terraFunction("fam0");
+    if (!E.compiler().ensureCompiled(F))
+      State.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(F->RawPtr);
+  }
+}
+BENCHMARK(BM_LazyFirstCall)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

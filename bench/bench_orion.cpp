@@ -1,0 +1,347 @@
+//===- bench_orion.cpp - Figure 8: Orion schedule speedups ----------------===//
+//
+// Regenerates paper Figure 8: the speedup from choosing different Orion
+// schedules, on 1024x1024 floating-point images, for
+//
+//   Separated area filter: reference C, matching Orion schedule,
+//   + vectorization, + line buffering (paper: 1x / 1.1x / 2.8x / 3.4x);
+//
+//   Fluid-solver diffuse chain (paper Fig. 7's kernel, Gauss-Jacobi,
+//   20 iterations): same four variants (paper: 1x / 1x / 1.9x / 2.3x);
+//
+// plus the point-wise 4-kernel pipeline where inlining removed 4x of the
+// memory traffic (paper: 3.8x from inlining).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "orion/Orion.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+using namespace terracpp;
+using namespace terracpp::orion;
+
+namespace {
+
+constexpr int64_t W = 1024, H = 1024;
+constexpr int DiffuseIters = 20;
+constexpr float DiffA = 0.25f;
+
+std::vector<float> &inputImage() {
+  static std::vector<float> Img = [] {
+    std::vector<float> I(W * H);
+    for (int64_t K = 0; K != W * H; ++K)
+      I[K] = static_cast<float>((K * 2654435761u % 1000) / 1000.0);
+    return I;
+  }();
+  return Img;
+}
+
+void setPixelRate(benchmark::State &State) {
+  State.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(W * H) * State.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference C implementations (the paper's hand-written comparators)
+//===----------------------------------------------------------------------===//
+
+inline float at(const float *I, int64_t X, int64_t Y) {
+  if (X < 0 || X >= W || Y < 0 || Y >= H)
+    return 0.0f;
+  return I[Y * W + X];
+}
+
+void BM_AreaRefC(benchmark::State &State) {
+  // Interior-only loops without bounds checks, as in the paper's
+  // hand-written comparators (Fig. 7 uses an unchecked IX macro).
+  const std::vector<float> &In = inputImage();
+  std::vector<float> Tmp(W * H, 0.0f), Out(W * H, 0.0f);
+  for (auto _ : State) {
+    const float *I = In.data();
+    float *T = Tmp.data();
+    for (int64_t Y = 2; Y < H - 2; ++Y)
+      for (int64_t X = 0; X < W; ++X)
+        T[Y * W + X] = (I[(Y - 2) * W + X] + I[(Y - 1) * W + X] +
+                        I[Y * W + X] + I[(Y + 1) * W + X] +
+                        I[(Y + 2) * W + X]) /
+                       5.0f;
+    float *O = Out.data();
+    for (int64_t Y = 0; Y < H; ++Y)
+      for (int64_t X = 2; X < W - 2; ++X)
+        O[Y * W + X] = (T[Y * W + X - 2] + T[Y * W + X - 1] + T[Y * W + X] +
+                        T[Y * W + X + 1] + T[Y * W + X + 2]) /
+                       5.0f;
+    benchmark::DoNotOptimize(Out.data());
+  }
+  setPixelRate(State);
+}
+BENCHMARK(BM_AreaRefC)->Unit(benchmark::kMillisecond);
+
+void BM_DiffuseRefC(benchmark::State &State) {
+  // Paper Fig. 7's diffuse loop: unchecked interior sweep per iteration.
+  const std::vector<float> &X0 = inputImage();
+  std::vector<float> Cur(W * H), Next(W * H, 0.0f);
+  for (auto _ : State) {
+    Cur = X0;
+    const float *B = X0.data();
+    for (int K = 0; K != DiffuseIters; ++K) {
+      const float *C = Cur.data();
+      float *N = Next.data();
+      for (int64_t Y = 1; Y < H - 1; ++Y)
+        for (int64_t X = 1; X < W - 1; ++X)
+          N[Y * W + X] = (B[Y * W + X] +
+                          DiffA * (C[Y * W + X - 1] + C[Y * W + X + 1] +
+                                   C[(Y - 1) * W + X] + C[(Y + 1) * W + X])) /
+                         (1 + 4 * DiffA);
+      std::swap(Cur, Next);
+    }
+    benchmark::DoNotOptimize(Cur.data());
+  }
+  setPixelRate(State);
+}
+BENCHMARK(BM_DiffuseRefC)->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Orion schedules
+//===----------------------------------------------------------------------===//
+
+struct OrionVariant {
+  Engine E;
+  CompiledPipeline CP;
+};
+
+std::unique_ptr<OrionVariant> makeArea(Schedule S, int Vec) {
+  auto V = std::make_unique<OrionVariant>();
+  Pipeline P;
+  Func In = P.input("img");
+  Func BlurY = P.define(
+      "blury",
+      (In(0, -2) + In(0, -1) + In(0, 0) + In(0, 1) + In(0, 2)) / 5.0f);
+  BlurY.setSchedule(S);
+  Func BlurX = P.define("blurx",
+                        (BlurY(-2, 0) + BlurY(-1, 0) + BlurY(0, 0) +
+                         BlurY(1, 0) + BlurY(2, 0)) /
+                            5.0f);
+  P.setOutput(BlurX);
+  V->CP = P.compile(V->E, {Vec});
+  return V;
+}
+
+std::unique_ptr<OrionVariant> makeDiffuse(Schedule S, int Vec) {
+  auto V = std::make_unique<OrionVariant>();
+  Pipeline P;
+  Func X0 = P.input("x0");
+  Func Cur = X0;
+  for (int K = 0; K != DiffuseIters; ++K) {
+    Expr Next = (X0(0, 0) + Expr(DiffA) * (Cur(-1, 0) + Cur(1, 0) +
+                                           Cur(0, -1) + Cur(0, 1))) /
+                (1 + 4 * DiffA);
+    Func Step = P.define("d" + std::to_string(K), Next);
+    if (K + 1 != DiffuseIters)
+      Step.setSchedule(S);
+    Cur = Step;
+  }
+  P.setOutput(Cur);
+  V->CP = P.compile(V->E, {Vec});
+  return V;
+}
+
+void runOrion(benchmark::State &State, OrionVariant &V) {
+  if (!V.CP.valid()) {
+    State.SkipWithError("pipeline failed to compile");
+    return;
+  }
+  // Buffers are prepared once; the timed loop runs only the kernel (the
+  // reference C loops likewise exclude allocation).
+  if (!V.CP.prepare({inputImage().data()}, W, H)) {
+    State.SkipWithError("prepare failed");
+    return;
+  }
+  for (auto _ : State) {
+    V.CP.runPrepared();
+    benchmark::ClobberMemory();
+  }
+  setPixelRate(State);
+}
+
+void BM_AreaOrionMatch(benchmark::State &State) {
+  static auto V = makeArea(Schedule::Materialize, 1);
+  runOrion(State, *V);
+}
+void BM_AreaOrionVectorized(benchmark::State &State) {
+  static auto V = makeArea(Schedule::Materialize, 8);
+  runOrion(State, *V);
+}
+void BM_AreaOrionLineBuffered(benchmark::State &State) {
+  static auto V = makeArea(Schedule::LineBuffer, 8);
+  runOrion(State, *V);
+}
+BENCHMARK(BM_AreaOrionMatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AreaOrionVectorized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AreaOrionLineBuffered)->Unit(benchmark::kMillisecond);
+
+void BM_DiffuseOrionMatch(benchmark::State &State) {
+  static auto V = makeDiffuse(Schedule::Materialize, 1);
+  runOrion(State, *V);
+}
+void BM_DiffuseOrionVectorized(benchmark::State &State) {
+  static auto V = makeDiffuse(Schedule::Materialize, 8);
+  runOrion(State, *V);
+}
+void BM_DiffuseOrionLineBuffered(benchmark::State &State) {
+  static auto V = makeDiffuse(Schedule::LineBuffer, 8);
+  runOrion(State, *V);
+}
+BENCHMARK(BM_DiffuseOrionMatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DiffuseOrionVectorized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DiffuseOrionLineBuffered)->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Fluid projection (the paper's project kernel: divergence, Jacobi
+// pressure solve, gradient subtraction)
+//===----------------------------------------------------------------------===//
+
+constexpr int PressureIters = 10;
+
+void BM_ProjectRefC(benchmark::State &State) {
+  const std::vector<float> &U = inputImage();
+  std::vector<float> V(W * H);
+  for (int64_t K = 0; K != W * H; ++K)
+    V[K] = 1.0f - inputImage()[K];
+  std::vector<float> Div(W * H, 0.0f), P(W * H, 0.0f), Pn(W * H, 0.0f),
+      UOut(W * H, 0.0f);
+  for (auto _ : State) {
+    const float *Up = U.data(), *Vp = V.data();
+    for (int64_t Y = 1; Y < H - 1; ++Y)
+      for (int64_t X = 1; X < W - 1; ++X)
+        Div[Y * W + X] = -0.5f * (Up[Y * W + X + 1] - Up[Y * W + X - 1] +
+                                  Vp[(Y + 1) * W + X] - Vp[(Y - 1) * W + X]);
+    std::fill(P.begin(), P.end(), 0.0f);
+    for (int K = 0; K != PressureIters; ++K) {
+      for (int64_t Y = 1; Y < H - 1; ++Y)
+        for (int64_t X = 1; X < W - 1; ++X)
+          Pn[Y * W + X] = (Div[Y * W + X] + P[Y * W + X - 1] +
+                           P[Y * W + X + 1] + P[(Y - 1) * W + X] +
+                           P[(Y + 1) * W + X]) /
+                          4.0f;
+      std::swap(P, Pn);
+    }
+    for (int64_t Y = 1; Y < H - 1; ++Y)
+      for (int64_t X = 1; X < W - 1; ++X)
+        UOut[Y * W + X] =
+            Up[Y * W + X] - 0.5f * (P[Y * W + X + 1] - P[Y * W + X - 1]);
+    benchmark::DoNotOptimize(UOut.data());
+  }
+  setPixelRate(State);
+}
+BENCHMARK(BM_ProjectRefC)->Unit(benchmark::kMillisecond);
+
+std::unique_ptr<OrionVariant> makeProject(Schedule S, int Vec) {
+  auto V = std::make_unique<OrionVariant>();
+  Pipeline P;
+  Func U = P.input("u");
+  Func Vv = P.input("v");
+  Func Div = P.define(
+      "div", Expr(-0.5f) * (U(1, 0) - U(-1, 0) + Vv(0, 1) - Vv(0, -1)));
+  Div.setSchedule(S == Schedule::LineBuffer ? Schedule::Materialize : S);
+  // Jacobi iterations on pressure (p starts at zero: first step = div/4).
+  Func Pf = P.define("p0", Div(0, 0) / 4.0f);
+  Pf.setSchedule(S);
+  for (int K = 1; K != PressureIters; ++K) {
+    Func Next = P.define("p" + std::to_string(K),
+                         (Div(0, 0) + Pf(-1, 0) + Pf(1, 0) + Pf(0, -1) +
+                          Pf(0, 1)) /
+                             4.0f);
+    Next.setSchedule(S);
+    Pf = Next;
+  }
+  Func UOut = P.define("uout",
+                       U(0, 0) - Expr(0.5f) * (Pf(1, 0) - Pf(-1, 0)));
+  P.setOutput(UOut);
+  V->CP = P.compile(V->E, {Vec});
+  return V;
+}
+
+std::vector<float> &secondInput() {
+  static std::vector<float> V = [] {
+    std::vector<float> Out(W * H);
+    for (int64_t K = 0; K != W * H; ++K)
+      Out[K] = 1.0f - inputImage()[K];
+    return Out;
+  }();
+  return V;
+}
+
+void runProject(benchmark::State &State, OrionVariant &V) {
+  if (!V.CP.valid()) {
+    State.SkipWithError("pipeline failed to compile");
+    return;
+  }
+  if (!V.CP.prepare({inputImage().data(), secondInput().data()}, W, H)) {
+    State.SkipWithError("prepare failed");
+    return;
+  }
+  for (auto _ : State) {
+    V.CP.runPrepared();
+    benchmark::ClobberMemory();
+  }
+  setPixelRate(State);
+}
+
+void BM_ProjectOrionMatch(benchmark::State &State) {
+  static auto V = makeProject(Schedule::Materialize, 1);
+  runProject(State, *V);
+}
+void BM_ProjectOrionVectorized(benchmark::State &State) {
+  static auto V = makeProject(Schedule::Materialize, 8);
+  runProject(State, *V);
+}
+void BM_ProjectOrionLineBuffered(benchmark::State &State) {
+  static auto V = makeProject(Schedule::LineBuffer, 8);
+  runProject(State, *V);
+}
+BENCHMARK(BM_ProjectOrionMatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProjectOrionVectorized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProjectOrionLineBuffered)->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Point-wise pipeline: materialized vs inlined (paper: 3.8x)
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<OrionVariant> makePointwise(Schedule S) {
+  auto V = std::make_unique<OrionVariant>();
+  Pipeline P;
+  Func I0 = P.input("img");
+  Func S1 = P.define("blacklevel", I0(0, 0) - 0.05f);
+  Func S2 = P.define("brightness", S1(0, 0) * 1.2f);
+  Func S3 = P.define("scale", S2(0, 0) * 0.9f + 0.01f);
+  Func S4 = P.define("invert", Expr(1.0f) - S3(0, 0));
+  S1.setSchedule(S);
+  S2.setSchedule(S);
+  S3.setSchedule(S);
+  P.setOutput(S4);
+  V->CP = P.compile(V->E, {8});
+  return V;
+}
+
+void BM_PointwiseMaterialized(benchmark::State &State) {
+  static auto V = makePointwise(Schedule::Materialize);
+  runOrion(State, *V);
+}
+void BM_PointwiseInlined(benchmark::State &State) {
+  static auto V = makePointwise(Schedule::Inline);
+  runOrion(State, *V);
+}
+BENCHMARK(BM_PointwiseMaterialized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PointwiseInlined)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+//===- class_shapes.cpp - Class system + DataTable demo (§6.3) ------------===//
+//
+// Demonstrates the reflection-based libraries: a Shape/Square/Circle class
+// hierarchy with an interface, dispatched virtually from Terra code, and a
+// DataTable whose layout flips between AoS and SoA with one argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classes/ClassSystem.h"
+#include "core/Engine.h"
+#include "core/StagingAPI.h"
+#include "core/TerraType.h"
+#include "layout/DataTable.h"
+
+#include <cstdio>
+
+using namespace terracpp;
+using namespace terracpp::classes;
+using namespace terracpp::layout;
+using stage::Builder;
+
+static void addArea(ClassSystem &J, Engine &E, StructType *Class, double K,
+                    const char *Name) {
+  Builder B(E.context());
+  TypeContext &TC = E.context().types();
+  TerraSymbol *Self = B.sym(TC.pointer(Class), "self");
+  TerraExpr *W1 = B.select(B.deref(B.var(Self)), "w");
+  TerraExpr *W2 = B.select(B.deref(B.var(Self)), "w");
+  J.method(Class, "area",
+           B.function(Name, {Self}, TC.float64(),
+                      B.block({B.ret(B.mul(B.litFloat(K), B.mul(W1, W2)))})));
+}
+
+int main() {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  Builder B(E.context());
+
+  // Class hierarchy (paper §6.3.1).
+  ClassSystem J(E);
+  Interface *Areal = J.interface("Areal", {{"area", TC.function({}, TC.float64())}});
+  StructType *Shape = J.newClass("Shape");
+  J.field(Shape, "w", TC.float64());
+  J.implements(Shape, Areal);
+  addArea(J, E, Shape, 0.0, "Shape_area");
+  StructType *Square = J.newClass("Square");
+  J.extends(Square, Shape);
+  addArea(J, E, Square, 1.0, "Square_area");
+  StructType *Circle = J.newClass("Circle");
+  J.extends(Circle, Shape);
+  addArea(J, E, Circle, 3.14159, "Circle_area");
+
+  // A Terra function that builds one of each and sums areas through the
+  // base-class vtable.
+  TerraFunction *Demo;
+  {
+    TerraSymbol *Sq = B.sym(Square, "sq");
+    TerraSymbol *Ci = B.sym(Circle, "ci");
+    TerraSymbol *P = B.sym(TC.pointer(Shape), "p");
+    std::vector<TerraStmt *> Body;
+    Body.push_back(B.varDecl(Sq));
+    Body.push_back(B.varDecl(Ci));
+    Body.push_back(B.exprStmt(B.methodCall(B.addrOf(B.var(Sq)), "initvtable", {})));
+    Body.push_back(B.exprStmt(B.methodCall(B.addrOf(B.var(Ci)), "initvtable", {})));
+    Body.push_back(B.assign(B.select(B.var(Sq), "w"), B.litFloat(2.0)));
+    Body.push_back(B.assign(B.select(B.var(Ci), "w"), B.litFloat(1.0)));
+    Body.push_back(B.varDecl(P, B.addrOf(B.var(Sq)))); // Upcast via __cast.
+    TerraSymbol *Sum = B.sym(TC.float64(), "sum");
+    Body.push_back(B.varDecl(Sum, B.methodCall(B.var(P), "area", {})));
+    Body.push_back(B.assign(B.var(P), B.addrOf(B.var(Ci))));
+    Body.push_back(B.assign(
+        B.var(Sum), B.add(B.var(Sum), B.methodCall(B.var(P), "area", {}))));
+    Body.push_back(B.ret(B.var(Sum)));
+    Demo = B.function("shape_demo", {}, TC.float64(), B.block(std::move(Body)));
+  }
+  if (!E.compiler().ensureCompiled(Demo)) {
+    fprintf(stderr, "error:\n%s\n", E.errors().c_str());
+    return 1;
+  }
+  auto *DemoFn = reinterpret_cast<double (*)()>(Demo->RawPtr);
+  printf("square(2) + circle(1) area via vtables = %.5f (expect 7.14159)\n",
+         DemoFn());
+
+  // Data layout (paper §6.3.2): same interface, different layout.
+  for (LayoutKind L : {LayoutKind::AoS, LayoutKind::SoA}) {
+    DataTable DT(E, L == LayoutKind::AoS ? "PtsA" : "PtsS",
+                 {{"x", TC.float64()}, {"y", TC.float64()}}, L);
+    TerraSymbol *T = B.sym(DT.type(), "t");
+    TerraSymbol *I = B.sym(TC.int64(), "i");
+    TerraSymbol *Sum = B.sym(TC.float64(), "sum");
+    std::vector<TerraStmt *> Fill;
+    Fill.push_back(B.exprStmt(B.methodCall(B.addrOf(B.var(T)), "set_x",
+                                           {B.var(I), B.cast(TC.float64(), B.var(I))})));
+    Fill.push_back(B.exprStmt(B.methodCall(
+        B.addrOf(B.var(T)), "set_y",
+        {B.var(I), B.mul(B.cast(TC.float64(), B.var(I)), B.litFloat(0.5))})));
+    std::vector<TerraStmt *> Body;
+    Body.push_back(B.varDecl(T));
+    Body.push_back(B.exprStmt(
+        B.methodCall(B.addrOf(B.var(T)), "init", {B.litI64(100)})));
+    Body.push_back(B.forNum(I, B.litI64(0), B.litI64(100),
+                            B.block(std::move(Fill))));
+    Body.push_back(B.varDecl(Sum, B.litFloat(0.0)));
+    TerraSymbol *I2 = B.sym(TC.int64(), "i");
+    std::vector<TerraStmt *> Acc2;
+    Acc2.push_back(B.assign(
+        B.var(Sum),
+        B.add(B.var(Sum),
+              B.add(B.methodCall(B.addrOf(B.var(T)), "get_x", {B.var(I2)}),
+                    B.methodCall(B.addrOf(B.var(T)), "get_y", {B.var(I2)})))));
+    Body.push_back(B.forNum(I2, B.litI64(0), B.litI64(100),
+                            B.block(std::move(Acc2))));
+    Body.push_back(B.exprStmt(B.methodCall(B.addrOf(B.var(T)), "free", {})));
+    Body.push_back(B.ret(B.var(Sum)));
+    TerraFunction *Fn = B.function(
+        L == LayoutKind::AoS ? "sum_aos" : "sum_soa", {}, TC.float64(),
+        B.block(std::move(Body)));
+    if (!E.compiler().ensureCompiled(Fn)) {
+      fprintf(stderr, "error:\n%s\n", E.errors().c_str());
+      return 1;
+    }
+    printf("%s sum = %.1f (expect 7425.0)\n",
+           L == LayoutKind::AoS ? "AoS" : "SoA",
+           reinterpret_cast<double (*)()>(Fn->RawPtr)());
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+-- hosted_orion.t — the Orion stencil DSL used from the hosted language, as
+-- the paper implements it (§6.2: "operator overloading on Lua tables").
+-- Run with:  terracpp examples/scripts/hosted_orion.t
+-- (requires the embedding application to call installHostedOrion; the
+-- terracpp CLI and the test suite do.)
+
+local W, H = 64, 64
+
+local P = orion.pipeline()
+local im = P:input("im")
+local blurx = P:define("blurx", (im(-1, 0) + im(0, 0) + im(1, 0)) / 3)
+blurx:setschedule("linebuffer")
+local blury = P:define("blury",
+                       (blurx(0, -1) + blurx(0, 0) + blurx(0, 1)) / 3)
+P:output(blury)
+local run = P:compile { vectorize = 8 }
+
+-- Allocate images as cdata and fill the input.
+local input = terralib.new(float[W * H])
+local output = terralib.new(float[W * H])
+
+terra fillimg(p: &float, n: int): {}
+  for i = 0, n do
+    p[i] = [float]((i * 37) % 255) / 255.f
+  end
+end
+
+terra checksum(p: &float, n: int): double
+  var s = 0.0
+  for i = 0, n do s = s + p[i] end
+  return s
+end
+
+fillimg(input, W * H)
+run(input, output, W, H)
+local sum = checksum(output, W * H)
+print(string.format("hosted orion 3x3 blur: checksum = %.3f", sum))
+assert(sum > 0, "blur produced an empty image")
+result = sum

@@ -1,0 +1,68 @@
+-- mandelbrot.t — a complete hosted program exercising structs, methods,
+-- staging, and libc interop. Run with:  terracpp examples/scripts/mandelbrot.t
+
+std = terralib.includec("stdlib.h")
+io_c = terralib.includec("stdio.h")
+
+struct Complex { re : double; im : double }
+
+terra Complex:abs2(): double
+  return self.re * self.re + self.im * self.im
+end
+
+terra Complex:mulAdd(c: Complex): Complex
+  -- self^2 + c
+  return Complex { self.re * self.re - self.im * self.im + c.re,
+                   2.0 * self.re * self.im + c.im }
+end
+
+-- Stage the iteration count so the inner loop is unrolled MAXITER times.
+local MAXITER = 32
+
+function unrolled_escape_count(z, c, count)
+  -- Builds MAXITER iterations: z = z:mulAdd(c); bail when |z|^2 > 4.
+  local stmts = terralib.newlist()
+  for i = 1, MAXITER do
+    stmts:insert(quote
+      if [count] < 0 then
+      else
+        [z] = [z]:mulAdd([c])
+        if [z]:abs2() > 4.0 then
+          [count] = -([count] + 1)
+        else
+          [count] = [count] + 1
+        end
+      end
+    end)
+  end
+  return stmts
+end
+
+terra escape_count(cre: double, cim: double): int
+  var c = Complex { cre, cim }
+  var z = Complex { 0.0, 0.0 }
+  var count = 0
+  [ unrolled_escape_count(z, c, count) ]
+  if count < 0 then return -count - 1 end
+  return [MAXITER]
+end
+
+terra render(w: int, h: int): int
+  var inside = 0
+  for y = 0, h do
+    for x = 0, w do
+      var cre = 3.0 * x / w - 2.25
+      var cim = 2.5 * y / h - 1.25
+      if escape_count(cre, cim) == [MAXITER] then
+        inside = inside + 1
+      end
+    end
+  end
+  return inside
+end
+
+local w, h = 64, 48
+local inside = render(w, h)
+print(string.format("mandelbrot %dx%d: %d interior points", w, h, inside))
+assert(inside > 0 and inside < w * h, "implausible mandelbrot result")
+result = inside

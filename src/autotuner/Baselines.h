@@ -1,0 +1,112 @@
+//===- Baselines.h - Native GEMM comparators (paper Fig. 6) -----*- C++ -*-===//
+//
+// The baselines the paper's Fig. 6 compares against, rebuilt as native C++
+// (DESIGN.md §4): a naive triple loop ("Naive"), a cache-blocked triple loop
+// ("Blocked"), and a hand-tuned register-blocked vectorized kernel standing
+// in for ATLAS/MKL ("TunedC"). All compute C += A * B on square row-major
+// matrices.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_AUTOTUNER_BASELINES_H
+#define TERRACPP_AUTOTUNER_BASELINES_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace terracpp {
+namespace autotuner {
+
+/// Naive triple loop (paper's "Naive" curve; "over 65 times slower than the
+/// best-tuned algorithm").
+template <typename T>
+void naiveGemm(const T *A, const T *B, T *C, int64_t N) {
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      T Acc = C[I * N + J];
+      for (int64_t K = 0; K < N; ++K)
+        Acc += A[I * N + K] * B[K * N + J];
+      C[I * N + J] = Acc;
+    }
+}
+
+/// Cache-blocked triple loop (paper's "Blocked" curve: better than naive for
+/// large matrices but still well below peak).
+template <typename T>
+void blockedGemm(const T *A, const T *B, T *C, int64_t N, int64_t NB = 64) {
+  for (int64_t Ib = 0; Ib < N; Ib += NB)
+    for (int64_t Kb = 0; Kb < N; Kb += NB)
+      for (int64_t Jb = 0; Jb < N; Jb += NB) {
+        int64_t IMax = std::min(Ib + NB, N);
+        int64_t KMax = std::min(Kb + NB, N);
+        int64_t JMax = std::min(Jb + NB, N);
+        for (int64_t I = Ib; I < IMax; ++I)
+          for (int64_t K = Kb; K < KMax; ++K) {
+            T Av = A[I * N + K];
+            for (int64_t J = Jb; J < JMax; ++J)
+              C[I * N + J] += Av * B[K * N + J];
+          }
+      }
+}
+
+namespace detail {
+
+template <typename T, int V> struct VecOf;
+template <> struct VecOf<double, 4> {
+  typedef double Ty __attribute__((vector_size(32), aligned(8)));
+};
+template <> struct VecOf<float, 8> {
+  typedef float Ty __attribute__((vector_size(32), aligned(4)));
+};
+
+} // namespace detail
+
+/// Hand-tuned register-blocked, vectorized, prefetching kernel — the
+/// ATLAS/MKL stand-in ("TunedC"). Same optimization family the paper's
+/// staged kernel generates, written by hand with fixed parameters
+/// (NB=64, RM=4, RN=2).
+template <typename T>
+void tunedGemm(const T *A, const T *B, T *C, int64_t N) {
+  constexpr int NB = 64;
+  constexpr int RM = 4;
+  constexpr int RN = 2;
+  constexpr int V = std::is_same_v<T, float> ? 8 : 4;
+  using Vec = typename detail::VecOf<T, V>::Ty;
+
+  for (int64_t Ib = 0; Ib < N; Ib += NB)
+    for (int64_t Kb = 0; Kb < N; Kb += NB)
+      for (int64_t Jb = 0; Jb < N; Jb += NB) {
+        // L1 kernel on the NB x NB block.
+        for (int64_t I = Ib; I < std::min<int64_t>(Ib + NB, N); I += RM)
+          for (int64_t J = Jb; J < std::min<int64_t>(Jb + NB, N);
+               J += RN * V) {
+            Vec Acc[RM][RN];
+            for (int M = 0; M != RM; ++M)
+              for (int R = 0; R != RN; ++R)
+                Acc[M][R] = *(const Vec *)&C[(I + M) * N + J + R * V];
+            for (int64_t K = Kb; K < std::min<int64_t>(Kb + NB, N); ++K) {
+              __builtin_prefetch(&B[(K + 4) * N + J], 0, 3);
+              Vec Bv[RN];
+              for (int R = 0; R != RN; ++R)
+                Bv[R] = *(const Vec *)&B[K * N + J + R * V];
+              for (int M = 0; M != RM; ++M) {
+                T Av = A[(I + M) * N + K];
+                Vec Avv;
+                for (int X = 0; X != V; ++X)
+                  Avv[X] = Av;
+                for (int R = 0; R != RN; ++R)
+                  Acc[M][R] += Avv * Bv[R];
+              }
+            }
+            for (int M = 0; M != RM; ++M)
+              for (int R = 0; R != RN; ++R)
+                *(Vec *)&C[(I + M) * N + J + R * V] = Acc[M][R];
+          }
+      }
+}
+
+} // namespace autotuner
+} // namespace terracpp
+
+#endif // TERRACPP_AUTOTUNER_BASELINES_H

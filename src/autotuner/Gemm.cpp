@@ -1,0 +1,263 @@
+#include "autotuner/Gemm.h"
+
+#include "core/StagingAPI.h"
+#include "core/TerraType.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace terracpp;
+using namespace terracpp::autotuner;
+using stage::Builder;
+
+//===----------------------------------------------------------------------===//
+// L1 kernel generator — a direct transcription of paper Fig. 5
+//===----------------------------------------------------------------------===//
+
+TerraFunction *autotuner::generateKernel(Engine &E, Type *ElemTy,
+                                         const KernelParams &P) {
+  assert(P.valid() && "invalid kernel parameters");
+  Builder B(E.context());
+  TypeContext &TC = B.types();
+
+  Type *VecTy = TC.vector(ElemTy, P.V);       // vector(double, V)
+  Type *VecPtr = TC.pointer(VecTy);           // &vector(double, V)
+  Type *PtrTy = TC.pointer(ElemTy);
+  Type *I64 = TC.int64();
+
+  // Parameters (paper: terra([A] : &double, [B], [C], [lda], [ldb], [ldc])).
+  TerraSymbol *A = B.sym(PtrTy, "A");
+  TerraSymbol *Bp = B.sym(PtrTy, "B");
+  TerraSymbol *C = B.sym(PtrTy, "C");
+  TerraSymbol *Lda = B.sym(I64, "lda");
+  TerraSymbol *Ldb = B.sym(I64, "ldb");
+  TerraSymbol *Ldc = B.sym(I64, "ldc");
+
+  // symmat-style grids of symbols (paper lines 4-9).
+  std::vector<std::vector<TerraSymbol *>> Caddr(P.RM), Cacc(P.RM);
+  for (int M = 0; M != P.RM; ++M)
+    for (int N = 0; N != P.RN; ++N) {
+      Caddr[M].push_back(B.sym(VecPtr, "caddr"));
+      Cacc[M].push_back(B.sym(VecTy, "c"));
+    }
+  std::vector<TerraSymbol *> Avec(P.RM), Bvec(P.RN);
+  for (int M = 0; M != P.RM; ++M)
+    Avec[M] = B.sym(VecTy, "a");
+  for (int N = 0; N != P.RN; ++N)
+    Bvec[N] = B.sym(VecTy, "b");
+
+  auto VecLoad = [&](TerraExpr *Addr) { return B.deref(B.cast(VecPtr, Addr)); };
+
+  // loadc (paper lines 10-20): caddr[m][n] = C + m*ldc + n*V;
+  // c[m][n] = @caddr[m][n] (alpha = 1).
+  std::vector<TerraStmt *> LoadC;
+  for (int M = 0; M != P.RM; ++M)
+    for (int N = 0; N != P.RN; ++N) {
+      TerraExpr *Addr = B.add(B.var(C), B.add(B.mul(B.litI64(M), B.var(Ldc)),
+                                              B.litI64(N * P.V)));
+      LoadC.push_back(B.varDecl(Caddr[M][N], B.cast(VecPtr, Addr)));
+      LoadC.push_back(B.varDecl(Cacc[M][N], B.deref(B.var(Caddr[M][N]))));
+    }
+
+  // storec (paper lines 17-19): @caddr[m][n] = c[m][n].
+  std::vector<TerraStmt *> StoreC;
+  for (int M = 0; M != P.RM; ++M)
+    for (int N = 0; N != P.RN; ++N)
+      StoreC.push_back(
+          B.assign(B.deref(B.var(Caddr[M][N])), B.var(Cacc[M][N])));
+
+  // calcc (paper lines 21-36): load B vectors, broadcast A scalars, FMA grid.
+  std::vector<TerraStmt *> CalcC;
+  if (P.Prefetch)
+    CalcC.push_back(B.exprStmt(B.prefetch(
+        B.add(B.var(Bp), B.mul(B.litI64(4), B.var(Ldb))), 0, 3)));
+  for (int N = 0; N != P.RN; ++N)
+    CalcC.push_back(B.varDecl(
+        Bvec[N], VecLoad(B.addrOf(B.index(B.var(Bp), B.litI64(N * P.V))))));
+  for (int M = 0; M != P.RM; ++M)
+    CalcC.push_back(B.varDecl(
+        Avec[M],
+        B.cast(VecTy, B.index(B.var(A), B.mul(B.litI64(M), B.var(Lda))))));
+  for (int M = 0; M != P.RM; ++M)
+    for (int N = 0; N != P.RN; ++N)
+      CalcC.push_back(
+          B.assign(B.var(Cacc[M][N]),
+                   B.add(B.var(Cacc[M][N]),
+                         B.mul(B.var(Avec[M]), B.var(Bvec[N])))));
+  // B,A = B + ldb, A + 1 (paper line 45).
+  CalcC.push_back(B.assignMany(
+      {B.var(Bp), B.var(A)},
+      {B.add(B.var(Bp), B.var(Ldb)), B.add(B.var(A), B.litI64(1))}));
+
+  TerraSymbol *K = B.sym(I64, "k");
+  TerraStmt *KLoop =
+      B.forNum(K, B.litI64(0), B.litI64(P.NB), B.block(std::move(CalcC)));
+
+  // Inner nn loop body: loadc; k-loop; storec; pointer bump (paper line 48):
+  // A,B,C = A - NB, B - ldb*NB + RN*V, C + RN*V.
+  std::vector<TerraStmt *> NNBody = std::move(LoadC);
+  NNBody.push_back(KLoop);
+  for (TerraStmt *S : StoreC)
+    NNBody.push_back(S);
+  NNBody.push_back(B.assignMany(
+      {B.var(A), B.var(Bp), B.var(C)},
+      {B.sub(B.var(A), B.litI64(P.NB)),
+       B.add(B.sub(B.var(Bp), B.mul(B.var(Ldb), B.litI64(P.NB))),
+             B.litI64(P.RN * P.V)),
+       B.add(B.var(C), B.litI64(P.RN * P.V))}));
+
+  TerraSymbol *NN = B.sym(I64, "nn");
+  TerraStmt *NNLoop = B.forNum(NN, B.litI64(0), B.litI64(P.NB),
+                               B.block(std::move(NNBody)),
+                               B.litI64(P.RN * P.V));
+
+  // Outer mm loop body: nn-loop; pointer bump (paper line 50):
+  // A,B,C = A + lda*RM, B - NB, C + RM*ldc - NB.
+  std::vector<TerraStmt *> MMBody;
+  MMBody.push_back(NNLoop);
+  MMBody.push_back(B.assignMany(
+      {B.var(A), B.var(Bp), B.var(C)},
+      {B.add(B.var(A), B.mul(B.var(Lda), B.litI64(P.RM))),
+       B.sub(B.var(Bp), B.litI64(P.NB)),
+       B.add(B.var(C),
+             B.sub(B.mul(B.litI64(P.RM), B.var(Ldc)), B.litI64(P.NB)))}));
+
+  TerraSymbol *MM = B.sym(I64, "mm");
+  TerraStmt *MMLoop = B.forNum(MM, B.litI64(0), B.litI64(P.NB),
+                               B.block(std::move(MMBody)), B.litI64(P.RM));
+
+  return B.function("l1kernel", {A, Bp, C, Lda, Ldb, Ldc},
+                    E.context().types().voidType(), B.block({MMLoop}));
+}
+
+//===----------------------------------------------------------------------===//
+// Two-level blocked multiply over the L1 kernel
+//===----------------------------------------------------------------------===//
+
+TerraFunction *autotuner::generateGemm(Engine &E, Type *ElemTy,
+                                       const KernelParams &P) {
+  TerraFunction *Kernel = generateKernel(E, ElemTy, P);
+  Builder B(E.context());
+  TypeContext &TC = B.types();
+  Type *PtrTy = TC.pointer(ElemTy);
+  Type *I64 = TC.int64();
+
+  TerraSymbol *A = B.sym(PtrTy, "A");
+  TerraSymbol *Bp = B.sym(PtrTy, "B");
+  TerraSymbol *C = B.sym(PtrTy, "C");
+  TerraSymbol *N = B.sym(I64, "N");
+  TerraSymbol *Ib = B.sym(I64, "ib");
+  TerraSymbol *Jb = B.sym(I64, "jb");
+  TerraSymbol *Kb = B.sym(I64, "kb");
+
+  auto At = [&](TerraSymbol *Base, TerraExpr *Row, TerraExpr *Col) {
+    return B.addrOf(
+        B.index(B.var(Base), B.add(B.mul(Row, B.var(N)), Col)));
+  };
+
+  TerraStmt *Call = B.exprStmt(B.call(
+      Kernel, {At(A, B.var(Ib), B.var(Kb)), At(Bp, B.var(Kb), B.var(Jb)),
+               At(C, B.var(Ib), B.var(Jb)), B.var(N), B.var(N), B.var(N)}));
+
+  TerraStmt *JbLoop = B.forNum(Jb, B.litI64(0), B.var(N), B.block({Call}),
+                               B.litI64(P.NB));
+  TerraStmt *KbLoop = B.forNum(Kb, B.litI64(0), B.var(N), B.block({JbLoop}),
+                               B.litI64(P.NB));
+  TerraStmt *IbLoop = B.forNum(Ib, B.litI64(0), B.var(N), B.block({KbLoop}),
+                               B.litI64(P.NB));
+
+  return B.function("gemm", {A, Bp, C, N}, TC.voidType(), B.block({IbLoop}));
+}
+
+//===----------------------------------------------------------------------===//
+// Auto-tuner
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Times one compiled gemm on a TestN multiply; returns GFLOP/s.
+template <typename T>
+double timeGemm(void *Fn, int64_t N, std::vector<T> &A, std::vector<T> &B,
+                std::vector<T> &C) {
+  auto *G = reinterpret_cast<void (*)(const T *, const T *, T *, int64_t)>(Fn);
+  memset(C.data(), 0, C.size() * sizeof(T));
+  // Warm up once, then time the best of two runs.
+  G(A.data(), B.data(), C.data(), N);
+  double BestSec = 1e30;
+  for (int R = 0; R != 2; ++R) {
+    Timer Tm;
+    G(A.data(), B.data(), C.data(), N);
+    BestSec = std::min(BestSec, Tm.seconds());
+  }
+  return 2.0 * static_cast<double>(N) * N * N / BestSec / 1e9;
+}
+
+} // namespace
+
+TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
+                               bool Quick) {
+  TuneResult Result;
+  bool IsFloat = ElemTy->size() == 4;
+
+  // Parameter grid (paper: "searches over reasonable values").
+  std::vector<int> NBs = Quick ? std::vector<int>{64}
+                               : std::vector<int>{32, 64, 128};
+  std::vector<int> RMs = Quick ? std::vector<int>{4} : std::vector<int>{2, 4};
+  std::vector<int> RNs = Quick ? std::vector<int>{2} : std::vector<int>{1, 2};
+  std::vector<int> Vs = IsFloat ? std::vector<int>{4, 8}
+                                : std::vector<int>{2, 4};
+  if (Quick)
+    Vs = {IsFloat ? 8 : 4};
+
+  std::vector<double> Ad, Bd, Cd;
+  std::vector<float> Af, Bf, Cf;
+  size_t Elems = static_cast<size_t>(TestN) * TestN;
+  if (IsFloat) {
+    Af.resize(Elems);
+    Bf.resize(Elems);
+    Cf.resize(Elems);
+    for (size_t I = 0; I != Elems; ++I) {
+      Af[I] = static_cast<float>((I * 37 % 97) / 97.0);
+      Bf[I] = static_cast<float>((I * 71 % 89) / 89.0);
+    }
+  } else {
+    Ad.resize(Elems);
+    Bd.resize(Elems);
+    Cd.resize(Elems);
+    for (size_t I = 0; I != Elems; ++I) {
+      Ad[I] = (I * 37 % 97) / 97.0;
+      Bd[I] = (I * 71 % 89) / 89.0;
+    }
+  }
+
+  for (int NB : NBs) {
+    if (TestN % NB != 0)
+      continue;
+    for (int RM : RMs)
+      for (int RN : RNs)
+        for (int V : Vs) {
+          KernelParams P{NB, RM, RN, V, /*Prefetch=*/true};
+          if (!P.valid())
+            continue;
+          // Keep the accumulator grid within the architectural register
+          // budget (16 SIMD registers): RM*RN accumulators + RM + RN
+          // operands.
+          if (RM * RN + RM + RN > 14)
+            continue;
+          TerraFunction *Fn = generateGemm(E, ElemTy, P);
+          if (!E.compiler().ensureCompiled(Fn) || !Fn->RawPtr)
+            continue;
+          double GF = IsFloat ? timeGemm(Fn->RawPtr, TestN, Af, Bf, Cf)
+                              : timeGemm(Fn->RawPtr, TestN, Ad, Bd, Cd);
+          Result.Trials.emplace_back(P, GF);
+          if (GF > Result.BestGFlops) {
+            Result.BestGFlops = GF;
+            Result.Best = P;
+            Result.Fn = Fn;
+            Result.RawFn = Fn->RawPtr;
+          }
+        }
+  }
+  return Result;
+}

@@ -1,0 +1,468 @@
+#include "classes/ClassSystem.h"
+
+#include "core/LuaInterp.h"
+#include "core/StagingAPI.h"
+
+#include <cstring>
+
+using namespace terracpp;
+using namespace terracpp::classes;
+using namespace terracpp::lua;
+using stage::Builder;
+
+ClassSystem::ClassSystem(Engine &E) : E(E) {}
+
+//===----------------------------------------------------------------------===//
+// Interfaces
+//===----------------------------------------------------------------------===//
+
+Interface *ClassSystem::interface(
+    const std::string &Name,
+    std::vector<std::pair<std::string, FunctionType *>> Methods) {
+  auto I = std::make_unique<Interface>();
+  I->Name = Name;
+  I->Methods = std::move(Methods);
+  I->Id = static_cast<int>(Interfaces.size());
+
+  TypeContext &TC = E.context().types();
+  Type *CodePtr = TC.opaquePtr();               // &opaque
+  Type *Table = TC.pointer(CodePtr);            // &&opaque
+  StructType *RefTy = TC.createStruct(Name);
+  RefTy->addField("__vtable", Table);
+  I->RefTy = RefTy;
+
+  // Interface dispatch stubs: load the wrapper address from the itable and
+  // call it with the interface reference as self.
+  Builder B(E.context());
+  for (size_t M = 0; M != I->Methods.size(); ++M) {
+    FunctionType *Sig = I->Methods[M].second;
+    std::vector<Type *> WrapperParams;
+    WrapperParams.push_back(TC.pointer(RefTy));
+    for (Type *P : Sig->params())
+      WrapperParams.push_back(P);
+    FunctionType *WrapperTy = TC.function(WrapperParams, Sig->result());
+
+    TerraSymbol *Self = B.sym(TC.pointer(RefTy), "self");
+    std::vector<TerraSymbol *> Params = {Self};
+    for (size_t P = 0; P != Sig->params().size(); ++P)
+      Params.push_back(B.sym(Sig->params()[P], "a" + std::to_string(P)));
+
+    TerraSymbol *F = B.sym(WrapperTy, "f");
+    std::vector<TerraStmt *> Body;
+    Body.push_back(B.varDecl(
+        F, B.cast(WrapperTy,
+                  B.index(B.select(B.deref(B.var(Self)), "__vtable"),
+                          static_cast<int64_t>(M)))));
+    std::vector<TerraExpr *> CallArgs;
+    for (TerraSymbol *P : Params)
+      CallArgs.push_back(B.var(P));
+    TerraExpr *Call = B.callIndirect(B.var(F), CallArgs);
+    if (Sig->result()->isVoid()) {
+      Body.push_back(B.exprStmt(Call));
+      Body.push_back(B.ret());
+    } else {
+      Body.push_back(B.ret(Call));
+    }
+    TerraFunction *Stub =
+        B.function(Name + "_" + I->Methods[M].first + "_dispatch", Params,
+                   Sig->result(), B.block(std::move(Body)));
+    RefTy->methods()->setStr(I->Methods[M].first, Value::terraFn(Stub));
+  }
+
+  Interfaces.push_back(std::move(I));
+  return Interfaces.back().get();
+}
+
+//===----------------------------------------------------------------------===//
+// Class construction
+//===----------------------------------------------------------------------===//
+
+StructType *ClassSystem::newClass(const std::string &Name) {
+  StructType *Ty = E.context().types().createStruct(Name);
+  auto Info = std::make_shared<ClassInfo>();
+  Info->Ty = Ty;
+  Classes[Ty] = Info;
+
+  // Lazy layout via the reflection hook (paper §6.3.1: "__finalizelayout is
+  // called by the Terra typechecker right before a type is examined").
+  ClassSystem *Self = this;
+  Ty->metamethods()->setStr(
+      "__finalizelayout",
+      Value::builtin("__finalizelayout",
+                     [Self, Ty](Interp &, std::vector<Value> &,
+                                std::vector<Value> &, SourceLoc) {
+                       return Self->finalizeClass(Ty);
+                     }));
+  installCastMetamethod(Ty);
+  return Ty;
+}
+
+void ClassSystem::extends(StructType *Child, StructType *Parent) {
+  assert(Classes.count(Child) && Classes.count(Parent) &&
+         "both types must be classes");
+  Classes[Child]->Parent = Parent;
+}
+
+void ClassSystem::implements(StructType *Class, Interface *I) {
+  assert(Classes.count(Class));
+  Classes[Class]->Interfaces.push_back(I);
+}
+
+void ClassSystem::field(StructType *Class, const std::string &Name,
+                        Type *Ty) {
+  assert(Classes.count(Class));
+  Classes[Class]->Fields.emplace_back(Name, Ty);
+}
+
+void ClassSystem::method(StructType *Class, const std::string &Name,
+                         TerraFunction *Fn) {
+  assert(Classes.count(Class));
+  // Concrete implementations live in the methods table until finalization
+  // replaces them with dispatch stubs (and moves them into the vtable).
+  Class->methods()->setStr(Name, Value::terraFn(Fn));
+}
+
+bool ClassSystem::isSubclass(StructType *From, StructType *To) const {
+  for (StructType *C = From; C;) {
+    if (C == To)
+      return true;
+    auto It = Classes.find(C);
+    if (It == Classes.end())
+      return false;
+    C = It->second->Parent;
+  }
+  return false;
+}
+
+bool ClassSystem::implementsInterface(StructType *Class, Interface *I) const {
+  for (StructType *C = Class; C;) {
+    auto It = Classes.find(C);
+    if (It == Classes.end())
+      return false;
+    for (Interface *Have : It->second->Interfaces)
+      if (Have == I)
+        return true;
+    C = It->second->Parent;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Layout finalization
+//===----------------------------------------------------------------------===//
+
+bool ClassSystem::finalizeClass(StructType *Class) {
+  auto It = Classes.find(Class);
+  if (It == Classes.end())
+    return true;
+  ClassInfo &Info = *It->second;
+  if (Info.Finalized)
+    return true;
+  Info.Finalized = true;
+
+  TypeContext &TC = E.context().types();
+  Type *CodePtr = TC.opaquePtr();
+  Type *Table = TC.pointer(CodePtr);
+  DiagnosticEngine &D = E.diags();
+
+  ClassInfo *ParentInfo = nullptr;
+  if (Info.Parent) {
+    if (!E.compiler().typechecker().completeStruct(Info.Parent, SourceLoc()))
+      return false;
+    ParentInfo = Classes[Info.Parent].get();
+  }
+
+  // Layout: [__vtable][parent tail (incl. its itable slots)][new itable
+  // slots][own fields]. The prefix matches the parent exactly so an upcast
+  // is a pointer cast.
+  Class->addField("__vtable", Table);
+  if (ParentInfo) {
+    const auto &PF = Info.Parent->fields();
+    for (size_t K = 1; K != PF.size(); ++K) // Skip the shared __vtable.
+      Class->addField(PF[K].Name, PF[K].FieldType);
+    Info.ITableFieldName = ParentInfo->ITableFieldName;
+    // Inherit the vtable slots and implementations.
+    Info.VTable = ParentInfo->VTable;
+    Info.SlotOf = ParentInfo->SlotOf;
+  }
+  for (Interface *I : Info.Interfaces) {
+    if (Info.ITableFieldName.count(I->Id))
+      continue; // Slot inherited from the parent.
+    std::string FieldName = "__itable_" + I->name();
+    Class->addField(FieldName, Table);
+    Info.ITableFieldName[I->Id] = FieldName;
+  }
+  for (const auto &F : Info.Fields)
+    Class->addField(F.first, F.second);
+
+  // Collect own concrete methods (insertion order) and assign vtable slots;
+  // overrides replace the inherited implementation in place.
+  for (const auto &KV : Class->methods()->entries()) {
+    if (!KV.first.isString() || !KV.second.isTerraFn())
+      continue;
+    const std::string &Name = KV.first.asString();
+    TerraFunction *Impl = KV.second.asTerraFn();
+    auto Slot = Info.SlotOf.find(Name);
+    if (Slot != Info.SlotOf.end()) {
+      Info.VTable[Slot->second].second = Impl;
+    } else {
+      Info.SlotOf[Name] = static_cast<int>(Info.VTable.size());
+      Info.VTable.emplace_back(Name, Impl);
+    }
+  }
+
+  // Vtable storage (one code pointer per slot) and itable storages.
+  if (!Info.VTable.empty())
+    Info.VTableStorage = E.context().createGlobal(
+        Class->name() + "_vtable",
+        TC.array(CodePtr, Info.VTable.size()));
+  for (const auto &FieldOfIface : Info.ITableFieldName) {
+    Interface *I = Interfaces[FieldOfIface.first].get();
+    Info.ITableStorage[I->Id] = E.context().createGlobal(
+        Class->name() + "_itable_" + I->name(),
+        TC.array(CodePtr, std::max<size_t>(1, I->Methods.size())));
+  }
+
+  // Replace methods with dispatch stubs: obj:m(a) becomes an indirect call
+  // through obj.__vtable (paper's generated stub).
+  Builder B(E.context());
+  for (size_t Slot = 0; Slot != Info.VTable.size(); ++Slot) {
+    TerraFunction *Impl = Info.VTable[Slot].second;
+    // The stub needs the implementation's signature before bodies are
+    // typechecked; virtual methods therefore need annotated return types.
+    std::vector<Type *> ImplParams;
+    for (unsigned P = 0; P != Impl->NumParams; ++P) {
+      if (!Impl->Params[P]->DeclaredType) {
+        D.error(SourceLoc(), "class method '" + Info.VTable[Slot].first +
+                                 "' has an untyped parameter");
+        return false;
+      }
+      ImplParams.push_back(Impl->Params[P]->DeclaredType);
+    }
+    if (ImplParams.empty() || !ImplParams[0]->isPointer()) {
+      D.error(SourceLoc(), "class method '" + Info.VTable[Slot].first +
+                               "' must take self as its first parameter");
+      return false;
+    }
+    if (!Impl->RetTy.Resolved && !Impl->FnTy) {
+      D.error(SourceLoc(),
+              "class method '" + Info.VTable[Slot].first +
+                  "' needs an explicit return type to be virtual");
+      return false;
+    }
+    Type *Ret = Impl->FnTy ? Impl->FnTy->result() : Impl->RetTy.Resolved;
+    FunctionType *ImplTy = TC.function(ImplParams, Ret);
+
+    TerraSymbol *Self = B.sym(TC.pointer(Class), "self");
+    std::vector<TerraSymbol *> Params = {Self};
+    for (size_t P = 1; P < ImplParams.size(); ++P)
+      Params.push_back(B.sym(ImplParams[P], "a" + std::to_string(P)));
+
+    TerraSymbol *F = B.sym(ImplTy, "f");
+    std::vector<TerraStmt *> Body;
+    Body.push_back(B.varDecl(
+        F, B.cast(ImplTy, B.index(B.select(B.deref(B.var(Self)), "__vtable"),
+                                  static_cast<int64_t>(Slot)))));
+    std::vector<TerraExpr *> Args;
+    Args.push_back(B.cast(ImplParams[0], B.var(Self)));
+    for (size_t P = 1; P < Params.size(); ++P)
+      Args.push_back(B.var(Params[P]));
+    TerraExpr *Call = B.callIndirect(B.var(F), Args);
+    if (Ret->isVoid()) {
+      Body.push_back(B.exprStmt(Call));
+      Body.push_back(B.ret());
+    } else {
+      Body.push_back(B.ret(Call));
+    }
+    TerraFunction *Stub =
+        B.function(Class->name() + "_" + Info.VTable[Slot].first + "_stub",
+                   Params, Ret, B.block(std::move(Body)));
+    Class->methods()->setStr(Info.VTable[Slot].first, Value::terraFn(Stub));
+  }
+
+  // initvtable: installs the vtable/itable pointers into an object.
+  {
+    TerraSymbol *Self = B.sym(TC.pointer(Class), "self");
+    std::vector<TerraStmt *> Body;
+    if (Info.VTableStorage) {
+      auto *VL = E.context().make<LitExpr>();
+      VL->LK = LitExpr::LK_Pointer;
+      VL->PtrVal = Info.VTableStorage->Storage;
+      VL->LitTy = Table;
+      Body.push_back(
+          B.assign(B.select(B.deref(B.var(Self)), "__vtable"), VL));
+    }
+    for (const auto &FieldOfIface : Info.ITableFieldName) {
+      auto *IL = E.context().make<LitExpr>();
+      IL->LK = LitExpr::LK_Pointer;
+      IL->PtrVal = Info.ITableStorage[FieldOfIface.first]->Storage;
+      IL->LitTy = Table;
+      Body.push_back(B.assign(
+          B.select(B.deref(B.var(Self)), FieldOfIface.second), IL));
+    }
+    Body.push_back(B.ret());
+    TerraFunction *Init =
+        B.function(Class->name() + "_initvtable", {Self}, TC.voidType(),
+                   B.block(std::move(Body)));
+    Class->methods()->setStr("initvtable", Value::terraFn(Init));
+  }
+
+  // Vtable contents need field offsets (interface wrappers) and compiled
+  // method addresses, so filling is deferred to the post-layout
+  // __staticinitialize hook.
+  ClassSystem *Self = this;
+  Class->metamethods()->setStr(
+      "__staticinitialize",
+      Value::builtin("__staticinitialize",
+                     [Self, Class](Interp &, std::vector<Value> &,
+                                   std::vector<Value> &, SourceLoc) {
+                       return Self->fillTables(*Self->Classes[Class]);
+                     }));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Table filling (code addresses)
+//===----------------------------------------------------------------------===//
+
+static bool codeAddressOf(Engine &E, TerraFunction *Fn, void *&Out) {
+  if (E.compiler().backend() == BackendKind::Interp) {
+    // In the interpreter backend, function values are TerraFunction*.
+    Out = Fn;
+    return true;
+  }
+  if (!E.compiler().ensureCompiled(Fn) || !Fn->RawPtr)
+    return false;
+  Out = Fn->RawPtr;
+  return true;
+}
+
+TerraFunction *ClassSystem::makeInterfaceWrapper(ClassInfo &Info,
+                                                 Interface *I,
+                                                 unsigned MethodIdx) {
+  // wrapper(self : &Iface, args...) — restores the object pointer by
+  // subtracting the itable field offset, then calls the concrete method.
+  TypeContext &TC = E.context().types();
+  Builder B(E.context());
+  const std::string &Name = I->Methods[MethodIdx].first;
+  FunctionType *Sig = I->Methods[MethodIdx].second;
+
+  auto SlotIt = Info.SlotOf.find(Name);
+  if (SlotIt == Info.SlotOf.end()) {
+    E.diags().error(SourceLoc(), "class " + Info.Ty->name() +
+                                     " implements interface " + I->name() +
+                                     " but has no method '" + Name + "'");
+    return nullptr;
+  }
+  TerraFunction *Impl = Info.VTable[SlotIt->second].second;
+
+  int FieldIdx = Info.Ty->fieldIndex(Info.ITableFieldName.at(I->Id));
+  assert(FieldIdx >= 0);
+  uint64_t Offset = Info.Ty->fields()[FieldIdx].Offset;
+
+  TerraSymbol *Self = B.sym(TC.pointer(I->refType()), "self");
+  std::vector<TerraSymbol *> Params = {Self};
+  for (size_t P = 0; P != Sig->params().size(); ++P)
+    Params.push_back(B.sym(Sig->params()[P], "a" + std::to_string(P)));
+
+  TerraSymbol *Obj = B.sym(TC.pointer(Info.Ty), "obj");
+  std::vector<TerraStmt *> Body;
+  Body.push_back(B.varDecl(
+      Obj, B.cast(TC.pointer(Info.Ty),
+                  B.sub(B.cast(TC.opaquePtr(), B.var(Self)),
+                        B.litI64(static_cast<int64_t>(Offset))))));
+  std::vector<TerraExpr *> Args;
+  Args.push_back(B.cast(Impl->Params[0]->DeclaredType, B.var(Obj)));
+  for (size_t P = 1; P != Params.size(); ++P)
+    Args.push_back(B.var(Params[P]));
+  TerraExpr *Call = B.call(Impl, Args);
+  if (Sig->result()->isVoid()) {
+    Body.push_back(B.exprStmt(Call));
+    Body.push_back(B.ret());
+  } else {
+    Body.push_back(B.ret(Call));
+  }
+  return B.function(Info.Ty->name() + "_" + I->name() + "_" + Name + "_wrap",
+                    Params, Sig->result(), B.block(std::move(Body)));
+}
+
+bool ClassSystem::fillTables(ClassInfo &Info) {
+  // Virtual dispatch table.
+  if (Info.VTableStorage) {
+    auto *Slots = static_cast<void **>(Info.VTableStorage->Storage);
+    for (size_t S = 0; S != Info.VTable.size(); ++S) {
+      void *Addr = nullptr;
+      if (!codeAddressOf(E, Info.VTable[S].second, Addr))
+        return false;
+      Slots[S] = Addr;
+    }
+  }
+  // Interface tables.
+  for (auto &Entry : Info.ITableStorage) {
+    Interface *I = Interfaces[Entry.first].get();
+    auto *Slots = static_cast<void **>(Entry.second->Storage);
+    for (size_t M = 0; M != I->Methods.size(); ++M) {
+      TerraFunction *Wrapper =
+          makeInterfaceWrapper(Info, I, static_cast<unsigned>(M));
+      if (!Wrapper)
+        return false;
+      void *Addr = nullptr;
+      if (!codeAddressOf(E, Wrapper, Addr))
+        return false;
+      Slots[M] = Addr;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Subtyping via __cast (paper §6.3.1)
+//===----------------------------------------------------------------------===//
+
+void ClassSystem::installCastMetamethod(StructType *Class) {
+  ClassSystem *Self = this;
+  Class->metamethods()->setStr(
+      "__cast",
+      Value::builtin(
+          "__cast",
+          [Self](Interp &In, std::vector<Value> &Args,
+                 std::vector<Value> &Res, SourceLoc L) {
+            if (Args.size() != 3 || !Args[0].isType() || !Args[1].isType() ||
+                !Args[2].isQuote())
+              return In.fail(L, "__cast: bad arguments");
+            auto *FromP = dyn_cast<PointerType>(Args[0].asType());
+            auto *ToP = dyn_cast<PointerType>(Args[1].asType());
+            if (!FromP || !ToP)
+              return In.fail(L, "not a subtype (non-pointer)");
+            auto *FromS = dyn_cast<StructType>(FromP->pointee());
+            auto *ToS = dyn_cast<StructType>(ToP->pointee());
+            if (!FromS || !ToS)
+              return In.fail(L, "not a subtype (non-struct)");
+            TerraExpr *Operand = Args[2].asQuote().Expr;
+            Builder B(Self->E.context());
+            if (Self->isSubclass(FromS, ToS)) {
+              // The parent layout is a prefix: plain pointer cast.
+              QuoteValue Q;
+              Q.Expr = B.cast(ToP, Operand);
+              Res.push_back(Value::quote(Q));
+              return true;
+            }
+            for (const auto &IPtr : Self->Interfaces) {
+              if (IPtr->refType() != ToS)
+                continue;
+              if (!Self->implementsInterface(FromS, IPtr.get()))
+                break;
+              // Extract the itable subobject: &exp.__itable_I.
+              if (!Self->E.compiler().typechecker().completeStruct(FromS, L))
+                return false;
+              const std::string &FieldName =
+                  Self->Classes[FromS]->ITableFieldName.at(IPtr->Id);
+              QuoteValue Q;
+              Q.Expr = B.cast(
+                  ToP, B.addrOf(B.select(B.deref(Operand), FieldName)));
+              Res.push_back(Value::quote(Q));
+              return true;
+            }
+            return In.fail(L, "not a subtype");
+          }));
+}

@@ -1,0 +1,91 @@
+#include "core/Engine.h"
+
+#include "core/LuaStdlib.h"
+#include "core/Parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace terracpp;
+using namespace terracpp::lua;
+
+BackendKind Engine::defaultBackend() {
+  const char *Env = getenv("TERRACPP_BACKEND");
+  if (Env && std::string(Env) == "interp")
+    return BackendKind::Interp;
+  return BackendKind::Native;
+}
+
+Engine::Engine(BackendKind Backend) : Diags(&SM) {
+  TCtx = std::make_unique<TerraContext>(Diags);
+  I = std::make_unique<Interp>(*TCtx, Diags);
+  Comp = std::make_unique<TerraCompiler>(*TCtx, *I, Backend);
+  // Wire the interpreter to the compiler.
+  TerraCompiler *CompP = Comp.get();
+  I->hooks().Typecheck = [CompP](TerraFunction *F) {
+    return CompP->typechecker().check(F);
+  };
+  I->hooks().CallTerra = [CompP](TerraFunction *F, std::vector<Value> &Args,
+                                 std::vector<Value> &Results, SourceLoc Loc) {
+    return CompP->callFromHost(F, Args, Results, Loc);
+  };
+  installStdlib(*I, *Comp);
+}
+
+Engine::~Engine() = default;
+
+bool Engine::run(const std::string &Source, const std::string &Name) {
+  uint32_t BufferId = SM.addBuffer(Name, Source);
+  Parser P(*TCtx, SM.bufferContents(BufferId), BufferId, Diags);
+  const Block *Chunk = P.parseChunk();
+  if (!Chunk || Diags.hasErrors())
+    return false;
+  return I->runChunk(Chunk);
+}
+
+bool Engine::runFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open file " + Path);
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return run(SS.str(), Path);
+}
+
+Value Engine::global(const std::string &Name) {
+  Cell C = I->globalEnv()->lookup(TCtx->intern(Name));
+  return C ? *C : Value::nil();
+}
+
+void Engine::setGlobal(const std::string &Name, Value V) {
+  I->globalEnv()->define(TCtx->intern(Name), std::move(V));
+}
+
+TerraFunction *Engine::terraFunction(const std::string &GlobalName) {
+  Value V = global(GlobalName);
+  return V.isTerraFn() ? V.asTerraFn() : nullptr;
+}
+
+void *Engine::rawPointer(const std::string &GlobalName) {
+  TerraFunction *F = terraFunction(GlobalName);
+  if (!F) {
+    Diags.error(SourceLoc(),
+                "no terra function named '" + GlobalName + "'");
+    return nullptr;
+  }
+  return rawPointer(F);
+}
+
+void *Engine::rawPointer(TerraFunction *F) {
+  if (!Comp->ensureCompiled(F))
+    return nullptr;
+  return F->RawPtr;
+}
+
+bool Engine::call(const Value &Fn, std::vector<Value> Args,
+                  std::vector<Value> &Results) {
+  return I->call(Fn, std::move(Args), Results, SourceLoc());
+}

@@ -1,0 +1,78 @@
+//===- Engine.h - Public facade for the terracpp system ---------*- C++ -*-===//
+//
+// The Engine owns one complete Lua/Terra universe: source manager,
+// diagnostics, Terra context, host interpreter, and compiler. It is the
+// entry point applications use:
+//
+//   terracpp::Engine E;
+//   E.run("terra add(a: int, b: int): int return a + b end");
+//   auto *Add = (int32_t(*)(int32_t, int32_t))E.rawPointer("add");
+//
+// Substrate libraries (auto-tuner, Orion, class system, DataTable) are
+// built on the Engine plus the C++ staging API in StagingAPI.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_ENGINE_H
+#define TERRACPP_CORE_ENGINE_H
+
+#include "core/LuaInterp.h"
+#include "core/TerraCompiler.h"
+
+#include <memory>
+#include <string>
+
+namespace terracpp {
+
+class Engine {
+public:
+  /// Backend defaults to Native; set the TERRACPP_BACKEND environment
+  /// variable to "interp" to run without a C compiler.
+  explicit Engine(BackendKind Backend = defaultBackend());
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  static BackendKind defaultBackend();
+
+  /// Parses and runs a combined Lua/Terra chunk. False on error (see
+  /// errors()).
+  bool run(const std::string &Source, const std::string &Name = "chunk");
+  bool runFile(const std::string &Path);
+
+  /// Reads/writes a global host variable.
+  lua::Value global(const std::string &Name);
+  void setGlobal(const std::string &Name, lua::Value V);
+
+  /// Looks up a global holding a Terra function.
+  TerraFunction *terraFunction(const std::string &GlobalName);
+
+  /// Compiles the named Terra function and returns its native code address
+  /// (null in interp backend or on error). Cast to the correct signature.
+  void *rawPointer(const std::string &GlobalName);
+  void *rawPointer(TerraFunction *F);
+
+  /// Calls a host value (closure or Terra function) with host-value args.
+  bool call(const lua::Value &Fn, std::vector<lua::Value> Args,
+            std::vector<lua::Value> &Results);
+
+  DiagnosticEngine &diags() { return Diags; }
+  TerraContext &context() { return *TCtx; }
+  lua::Interp &interp() { return *I; }
+  TerraCompiler &compiler() { return *Comp; }
+  SourceManager &sourceManager() { return SM; }
+
+  /// All diagnostics rendered as one string; clears nothing.
+  std::string errors() const { return Diags.renderAll(); }
+
+private:
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  std::unique_ptr<TerraContext> TCtx;
+  std::unique_ptr<lua::Interp> I;
+  std::unique_ptr<TerraCompiler> Comp;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_ENGINE_H

@@ -1,0 +1,389 @@
+//===- LuaAST.h - Host-language abstract syntax -----------------*- C++ -*-===//
+//
+// AST for the Luna host language (the Lua role in the paper). Terra
+// constructs appear as host expressions: a `terra` literal, a quotation, or
+// a struct declaration — each carrying an unspecialized Terra subtree that
+// the interpreter hands to the Specializer when the expression is evaluated
+// (the paper's "preprocessor replaces Terra function text with a call to
+// specialize the Terra function in the local environment").
+//
+// Host AST nodes are arena-allocated and trivially destructible: names are
+// interned and child lists are arena arrays.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_LUAAST_H
+#define TERRACPP_CORE_LUAAST_H
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace terracpp {
+
+class TerraExpr;
+class TerraStmt;
+class BlockStmt;
+struct TypeRef;
+
+namespace lua {
+
+struct Stmt;
+struct Block;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum ExprKind {
+    EK_Nil,
+    EK_Bool,
+    EK_Number,
+    EK_String,
+    EK_Ident,
+    EK_Select,     ///< base.name
+    EK_Index,      ///< base[key]
+    EK_Call,
+    EK_MethodCall, ///< base:name(args)
+    EK_Function,
+    EK_Table,
+    EK_BinOp,
+    EK_UnOp,
+    EK_TerraFunc,   ///< terra (...) ... end literal
+    EK_TerraQuote,  ///< quote ... end or `expr
+    EK_TerraStruct, ///< struct { ... } literal
+  };
+
+  ExprKind EK;
+  SourceLoc Loc;
+
+  ExprKind kind() const { return EK; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  explicit Expr(ExprKind EK) : EK(EK) {}
+};
+
+struct NilExpr : Expr {
+  NilExpr() : Expr(EK_Nil) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Nil; }
+};
+
+struct BoolExpr : Expr {
+  bool Val = false;
+  BoolExpr() : Expr(EK_Bool) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Bool; }
+};
+
+struct NumberExpr : Expr {
+  double Val = 0;
+  NumberExpr() : Expr(EK_Number) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Number; }
+};
+
+struct StringExpr : Expr {
+  const std::string *Val = nullptr;
+  StringExpr() : Expr(EK_String) {}
+  static bool classof(const Expr *E) { return E->EK == EK_String; }
+};
+
+struct IdentExpr : Expr {
+  const std::string *Name = nullptr;
+  IdentExpr() : Expr(EK_Ident) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Ident; }
+};
+
+struct SelectExprL : Expr {
+  const Expr *Base = nullptr;
+  const std::string *Name = nullptr;
+  SelectExprL() : Expr(EK_Select) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Select; }
+};
+
+struct IndexExprL : Expr {
+  const Expr *Base = nullptr;
+  const Expr *Key = nullptr;
+  IndexExprL() : Expr(EK_Index) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Index; }
+};
+
+struct CallExpr : Expr {
+  const Expr *Callee = nullptr;
+  const Expr *const *Args = nullptr;
+  unsigned NumArgs = 0;
+  CallExpr() : Expr(EK_Call) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Call; }
+};
+
+struct MethodCallExprL : Expr {
+  const Expr *Obj = nullptr;
+  const std::string *Method = nullptr;
+  const Expr *const *Args = nullptr;
+  unsigned NumArgs = 0;
+  MethodCallExprL() : Expr(EK_MethodCall) {}
+  static bool classof(const Expr *E) { return E->EK == EK_MethodCall; }
+};
+
+struct FunctionExpr : Expr {
+  const std::string *const *Params = nullptr;
+  unsigned NumParams = 0;
+  const Block *Body = nullptr;
+  const std::string *DebugName = nullptr; ///< May be null.
+  FunctionExpr() : Expr(EK_Function) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Function; }
+};
+
+/// Table constructor `{ a, b, x = 1, [k] = v }`.
+struct TableExpr : Expr {
+  struct Item {
+    const Expr *KeyExpr;        ///< Null unless `[k] = v` form.
+    const std::string *KeyName; ///< Null unless `x = v` form.
+    const Expr *Val;
+  };
+  const Item *Items = nullptr;
+  unsigned NumItems = 0;
+  TableExpr() : Expr(EK_Table) {}
+  static bool classof(const Expr *E) { return E->EK == EK_Table; }
+};
+
+enum class LBinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Pow,
+  Concat,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+};
+
+struct BinOpExprL : Expr {
+  LBinOp Op = LBinOp::Add;
+  const Expr *LHS = nullptr;
+  const Expr *RHS = nullptr;
+  BinOpExprL() : Expr(EK_BinOp) {}
+  static bool classof(const Expr *E) { return E->EK == EK_BinOp; }
+};
+
+enum class LUnOp { Neg, Not, Len };
+
+struct UnOpExprL : Expr {
+  LUnOp Op = LUnOp::Neg;
+  const Expr *Operand = nullptr;
+  UnOpExprL() : Expr(EK_UnOp) {}
+  static bool classof(const Expr *E) { return E->EK == EK_UnOp; }
+};
+
+/// One parameter of a `terra` literal. The name may be an escape producing a
+/// symbol or a list of symbols (`terra([params]) ...`, paper §6.3.1).
+struct TerraParamDecl {
+  const std::string *Name = nullptr;
+  const Expr *NameEscape = nullptr;
+  const Expr *TypeExpr = nullptr; ///< Host expression; null with NameEscape.
+};
+
+/// `terra (params) : ret body end` in expression position. Statement-form
+/// definitions wrap this literal.
+struct TerraFuncExpr : Expr {
+  const TerraParamDecl *Params = nullptr;
+  unsigned NumParams = 0;
+  const Expr *RetTypeExpr = nullptr; ///< Null: infer.
+  BlockStmt *Body = nullptr;         ///< Unspecialized Terra AST.
+  const std::string *DebugName = nullptr;
+  /// For method-sugar definitions (`terra T:m(...)`): prepend `self`.
+  bool IsMethod = false;
+  TerraFuncExpr() : Expr(EK_TerraFunc) {}
+  static bool classof(const Expr *E) { return E->EK == EK_TerraFunc; }
+};
+
+/// `quote stmts end` (expression is null) or `` `e `` (stmts is null).
+struct TerraQuoteExpr : Expr {
+  BlockStmt *Stmts = nullptr;
+  TerraExpr *ExprTree = nullptr;
+  TerraQuoteExpr() : Expr(EK_TerraQuote) {}
+  static bool classof(const Expr *E) { return E->EK == EK_TerraQuote; }
+};
+
+/// `struct Name { f : T; ... }` or anonymous `struct { ... }`.
+struct TerraStructExpr : Expr {
+  struct FieldDecl {
+    const std::string *Name;
+    const Expr *TypeExpr;
+  };
+  const std::string *DebugName = nullptr;
+  const FieldDecl *Fields = nullptr;
+  unsigned NumFields = 0;
+  TerraStructExpr() : Expr(EK_TerraStruct) {}
+  static bool classof(const Expr *E) { return E->EK == EK_TerraStruct; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum StmtKind {
+    SK_Local,
+    SK_Assign,
+    SK_ExprStmt,
+    SK_If,
+    SK_While,
+    SK_Repeat,
+    SK_NumericFor,
+    SK_GenericFor,
+    SK_Return,
+    SK_Break,
+    SK_Do,
+    SK_FunctionDecl,
+    SK_TerraDecl,
+    SK_StructDecl,
+  };
+
+  StmtKind SK;
+  SourceLoc Loc;
+
+  StmtKind kind() const { return SK; }
+
+protected:
+  explicit Stmt(StmtKind SK) : SK(SK) {}
+};
+
+struct Block {
+  const Stmt *const *Stmts = nullptr;
+  unsigned NumStmts = 0;
+};
+
+struct LocalStmt : Stmt {
+  const std::string *const *Names = nullptr;
+  unsigned NumNames = 0;
+  const Expr *const *Inits = nullptr;
+  unsigned NumInits = 0;
+  LocalStmt() : Stmt(SK_Local) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_Local; }
+};
+
+struct AssignStmtL : Stmt {
+  const Expr *const *Targets = nullptr; ///< Ident/Select/Index expressions.
+  unsigned NumTargets = 0;
+  const Expr *const *Vals = nullptr;
+  unsigned NumVals = 0;
+  AssignStmtL() : Stmt(SK_Assign) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_Assign; }
+};
+
+struct ExprStmtL : Stmt {
+  const Expr *E = nullptr;
+  ExprStmtL() : Stmt(SK_ExprStmt) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_ExprStmt; }
+};
+
+struct IfStmtL : Stmt {
+  const Expr *const *Conds = nullptr;
+  const Block *const *Blocks = nullptr;
+  unsigned NumClauses = 0;
+  const Block *ElseBlock = nullptr;
+  IfStmtL() : Stmt(SK_If) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_If; }
+};
+
+struct WhileStmtL : Stmt {
+  const Expr *Cond = nullptr;
+  const Block *Body = nullptr;
+  WhileStmtL() : Stmt(SK_While) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_While; }
+};
+
+struct RepeatStmtL : Stmt {
+  const Block *Body = nullptr;
+  const Expr *Until = nullptr;
+  RepeatStmtL() : Stmt(SK_Repeat) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_Repeat; }
+};
+
+/// Lua numeric for (inclusive limit, unlike Terra's).
+struct NumericForStmtL : Stmt {
+  const std::string *Var = nullptr;
+  const Expr *Lo = nullptr;
+  const Expr *Hi = nullptr;
+  const Expr *Step = nullptr; ///< Null means 1.
+  const Block *Body = nullptr;
+  NumericForStmtL() : Stmt(SK_NumericFor) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_NumericFor; }
+};
+
+/// `for a, b in e do ... end` (the iterator expression is evaluated and must
+/// produce an iterator triple as in Lua; pairs/ipairs are builtin).
+struct GenericForStmtL : Stmt {
+  const std::string *const *Names = nullptr;
+  unsigned NumNames = 0;
+  const Expr *Iter = nullptr;
+  const Block *Body = nullptr;
+  GenericForStmtL() : Stmt(SK_GenericFor) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_GenericFor; }
+};
+
+struct ReturnStmtL : Stmt {
+  const Expr *const *Vals = nullptr;
+  unsigned NumVals = 0;
+  ReturnStmtL() : Stmt(SK_Return) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_Return; }
+};
+
+struct BreakStmtL : Stmt {
+  BreakStmtL() : Stmt(SK_Break) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_Break; }
+};
+
+struct DoStmtL : Stmt {
+  const Block *Body = nullptr;
+  DoStmtL() : Stmt(SK_Do) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_Do; }
+};
+
+/// `function a.b.c(...)` / `function a:m(...)` / `local function f(...)`.
+struct FunctionDeclStmt : Stmt {
+  const std::string *const *Path = nullptr; ///< a, b, c.
+  unsigned PathLen = 0;
+  bool IsMethod = false; ///< Last path element declared with ':'.
+  bool IsLocal = false;
+  const FunctionExpr *Fn = nullptr;
+  FunctionDeclStmt() : Stmt(SK_FunctionDecl) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_FunctionDecl; }
+};
+
+/// `terra a.b.c(...) ... end` / `terra T:m(...)` / `local terra f(...)`.
+/// Defines (or declares-and-defines) a Terra function and stores it at the
+/// path — into `T.methods.m` for the method form (paper §2).
+struct TerraDeclStmt : Stmt {
+  const std::string *const *Path = nullptr;
+  unsigned PathLen = 0;
+  bool IsMethod = false;
+  bool IsLocal = false;
+  const TerraFuncExpr *Fn = nullptr;
+  TerraDeclStmt() : Stmt(SK_TerraDecl) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_TerraDecl; }
+};
+
+/// `struct Name { ... }` / `local struct Name { ... }`.
+struct StructDeclStmt : Stmt {
+  const std::string *Name = nullptr;
+  bool IsLocal = false;
+  const TerraStructExpr *Decl = nullptr;
+  StructDeclStmt() : Stmt(SK_StructDecl) {}
+  static bool classof(const Stmt *S) { return S->SK == SK_StructDecl; }
+};
+
+} // namespace lua
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_LUAAST_H

@@ -1,0 +1,1108 @@
+#include "core/LuaInterp.h"
+
+#include "core/TerraSpecialize.h"
+#include "core/TerraType.h"
+
+#include <cmath>
+
+using namespace terracpp;
+using namespace terracpp::lua;
+
+Interp::Interp(TerraContext &TCtx, DiagnosticEngine &Diags)
+    : TCtx(TCtx), Diags(Diags), Globals(std::make_shared<Env>()),
+      Spec(std::make_unique<Specializer>(TCtx, *this)) {}
+
+Interp::~Interp() = default;
+
+bool Interp::fail(SourceLoc Loc, const std::string &Message) {
+  Diags.error(Loc, Message);
+  return false;
+}
+
+bool Interp::runChunk(const Block *B) {
+  Flow F = Flow::Normal;
+  std::vector<Value> Ret;
+  return execBlock(B, Globals, F, Ret);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool Interp::execBlock(const Block *B, const EnvPtr &Environment, Flow &F,
+                       std::vector<Value> &Ret) {
+  // A block introduces a scope.
+  EnvPtr Scope = std::make_shared<Env>(Environment);
+  for (unsigned I = 0; I != B->NumStmts; ++I) {
+    if (!execStmt(B->Stmts[I], Scope, F, Ret))
+      return false;
+    if (F != Flow::Normal)
+      return true;
+  }
+  return true;
+}
+
+bool Interp::execStmt(const Stmt *S, const EnvPtr &Environment, Flow &F,
+                      std::vector<Value> &Ret) {
+  switch (S->kind()) {
+  case Stmt::SK_Local:
+    return execLocal(cast<LocalStmt>(S), Environment);
+  case Stmt::SK_Assign:
+    return execAssign(cast<AssignStmtL>(S), Environment);
+  case Stmt::SK_ExprStmt: {
+    std::vector<Value> Ignored;
+    return evalMulti(cast<ExprStmtL>(S)->E, Environment, Ignored);
+  }
+  case Stmt::SK_If: {
+    const auto *If = cast<IfStmtL>(S);
+    for (unsigned I = 0; I != If->NumClauses; ++I) {
+      Value Cond;
+      if (!evalExpr(If->Conds[I], Environment, Cond))
+        return false;
+      if (Cond.isTruthy())
+        return execBlock(If->Blocks[I], Environment, F, Ret);
+    }
+    if (If->ElseBlock)
+      return execBlock(If->ElseBlock, Environment, F, Ret);
+    return true;
+  }
+  case Stmt::SK_While: {
+    const auto *W = cast<WhileStmtL>(S);
+    while (true) {
+      Value Cond;
+      if (!evalExpr(W->Cond, Environment, Cond))
+        return false;
+      if (!Cond.isTruthy())
+        return true;
+      if (!execBlock(W->Body, Environment, F, Ret))
+        return false;
+      if (F == Flow::Break) {
+        F = Flow::Normal;
+        return true;
+      }
+      if (F == Flow::Return)
+        return true;
+    }
+  }
+  case Stmt::SK_Repeat: {
+    const auto *R = cast<RepeatStmtL>(S);
+    while (true) {
+      if (!execBlock(R->Body, Environment, F, Ret))
+        return false;
+      if (F == Flow::Break) {
+        F = Flow::Normal;
+        return true;
+      }
+      if (F == Flow::Return)
+        return true;
+      Value Cond;
+      if (!evalExpr(R->Until, Environment, Cond))
+        return false;
+      if (Cond.isTruthy())
+        return true;
+    }
+  }
+  case Stmt::SK_NumericFor:
+    return execNumericFor(cast<NumericForStmtL>(S), Environment, F, Ret);
+  case Stmt::SK_GenericFor:
+    return execGenericFor(cast<GenericForStmtL>(S), Environment, F, Ret);
+  case Stmt::SK_Return: {
+    const auto *R = cast<ReturnStmtL>(S);
+    Ret.clear();
+    if (!evalExprList(R->Vals, R->NumVals, Environment, Ret))
+      return false;
+    F = Flow::Return;
+    return true;
+  }
+  case Stmt::SK_Break:
+    F = Flow::Break;
+    return true;
+  case Stmt::SK_Do:
+    return execBlock(cast<DoStmtL>(S)->Body, Environment, F, Ret);
+  case Stmt::SK_FunctionDecl:
+    return execFunctionDecl(cast<FunctionDeclStmt>(S), Environment);
+  case Stmt::SK_TerraDecl:
+    return execTerraDecl(cast<TerraDeclStmt>(S), Environment);
+  case Stmt::SK_StructDecl:
+    return execStructDecl(cast<StructDeclStmt>(S), Environment);
+  }
+  return fail(S->Loc, "internal: unknown statement kind");
+}
+
+bool Interp::execLocal(const LocalStmt *S, const EnvPtr &Environment) {
+  std::vector<Value> Vals;
+  if (!evalExprList(S->Inits, S->NumInits, Environment, Vals))
+    return false;
+  for (unsigned I = 0; I != S->NumNames; ++I)
+    Environment->define(S->Names[I], I < Vals.size() ? Vals[I] : Value::nil());
+  return true;
+}
+
+bool Interp::execAssign(const AssignStmtL *S, const EnvPtr &Environment) {
+  std::vector<Value> Vals;
+  if (!evalExprList(S->Vals, S->NumVals, Environment, Vals))
+    return false;
+  for (unsigned I = 0; I != S->NumTargets; ++I) {
+    Value V = I < Vals.size() ? Vals[I] : Value::nil();
+    if (!assignTo(S->Targets[I], std::move(V), Environment))
+      return false;
+  }
+  return true;
+}
+
+bool Interp::assignTo(const Expr *Target, Value V, const EnvPtr &Environment) {
+  switch (Target->kind()) {
+  case Expr::EK_Ident: {
+    const auto *I = cast<IdentExpr>(Target);
+    if (Cell C = Environment->lookup(I->Name)) {
+      *C = std::move(V);
+      return true;
+    }
+    // Unbound: create a global (Lua semantics).
+    Globals->define(I->Name, std::move(V));
+    return true;
+  }
+  case Expr::EK_Select: {
+    const auto *Sel = cast<SelectExprL>(Target);
+    Value Base;
+    if (!evalExpr(Sel->Base, Environment, Base))
+      return false;
+    return setIndex(Base, Value::string(*Sel->Name), std::move(V),
+                    Target->loc());
+  }
+  case Expr::EK_Index: {
+    const auto *Idx = cast<IndexExprL>(Target);
+    Value Base, Key;
+    if (!evalExpr(Idx->Base, Environment, Base) ||
+        !evalExpr(Idx->Key, Environment, Key))
+      return false;
+    return setIndex(Base, Key, std::move(V), Target->loc());
+  }
+  default:
+    return fail(Target->loc(), "cannot assign to this expression");
+  }
+}
+
+bool Interp::execNumericFor(const NumericForStmtL *S, const EnvPtr &Environment,
+                            Flow &F, std::vector<Value> &Ret) {
+  Value Lo, Hi, Step;
+  if (!evalExpr(S->Lo, Environment, Lo) || !evalExpr(S->Hi, Environment, Hi))
+    return false;
+  double StepN = 1;
+  if (S->Step) {
+    if (!evalExpr(S->Step, Environment, Step))
+      return false;
+    if (!Step.isNumber())
+      return fail(S->Loc, "'for' step must be a number");
+    StepN = Step.asNumber();
+  }
+  if (!Lo.isNumber() || !Hi.isNumber())
+    return fail(S->Loc, "'for' bounds must be numbers");
+  if (StepN == 0)
+    return fail(S->Loc, "'for' step must be nonzero");
+  for (double I = Lo.asNumber();
+       StepN > 0 ? I <= Hi.asNumber() : I >= Hi.asNumber(); I += StepN) {
+    EnvPtr Iter = std::make_shared<Env>(Environment);
+    Iter->define(S->Var, Value::number(I));
+    Flow BF = Flow::Normal;
+    if (!execBlock(S->Body, Iter, BF, Ret))
+      return false;
+    if (BF == Flow::Break)
+      return true;
+    if (BF == Flow::Return) {
+      F = Flow::Return;
+      return true;
+    }
+  }
+  return true;
+}
+
+bool Interp::execGenericFor(const GenericForStmtL *S, const EnvPtr &Environment,
+                            Flow &F, std::vector<Value> &Ret) {
+  std::vector<Value> IterVals;
+  if (!evalMulti(S->Iter, Environment, IterVals))
+    return false;
+  IterVals.resize(3);
+  Value Fn = IterVals[0], State = IterVals[1], Ctrl = IterVals[2];
+  if (!Fn.isCallable())
+    return fail(S->Loc, "generic 'for' expects an iterator function");
+  while (true) {
+    std::vector<Value> Results;
+    if (!call(Fn, {State, Ctrl}, Results, S->Loc))
+      return false;
+    if (Results.empty() || Results[0].isNil())
+      return true;
+    Ctrl = Results[0];
+    EnvPtr Iter = std::make_shared<Env>(Environment);
+    for (unsigned I = 0; I != S->NumNames; ++I)
+      Iter->define(S->Names[I],
+                   I < Results.size() ? Results[I] : Value::nil());
+    Flow BF = Flow::Normal;
+    if (!execBlock(S->Body, Iter, BF, Ret))
+      return false;
+    if (BF == Flow::Break)
+      return true;
+    if (BF == Flow::Return) {
+      F = Flow::Return;
+      return true;
+    }
+  }
+}
+
+bool Interp::storeAtPath(const std::string *const *Path, unsigned PathLen,
+                         bool IsLocal, Value V, const EnvPtr &Environment,
+                         SourceLoc Loc) {
+  if (PathLen == 1) {
+    if (IsLocal) {
+      Environment->define(Path[0], std::move(V));
+      return true;
+    }
+    if (Cell C = Environment->lookup(Path[0])) {
+      *C = std::move(V);
+      return true;
+    }
+    Globals->define(Path[0], std::move(V));
+    return true;
+  }
+  // Navigate to the container.
+  Cell C = Environment->lookup(Path[0]);
+  if (!C)
+    return fail(Loc, "undefined name '" + *Path[0] + "'");
+  Value Container = *C;
+  for (unsigned I = 1; I + 1 < PathLen; ++I) {
+    Value Next;
+    if (!indexValue(Container, Value::string(*Path[I]), Next, Loc))
+      return false;
+    Container = Next;
+  }
+  return setIndex(Container, Value::string(*Path[PathLen - 1]), std::move(V),
+                  Loc);
+}
+
+bool Interp::execFunctionDecl(const FunctionDeclStmt *S,
+                              const EnvPtr &Environment) {
+  if (S->IsLocal) {
+    // Bind the name first so the closure can recurse.
+    Cell C = Environment->define(S->Path[0], Value::nil());
+    auto Cls = std::make_shared<Closure>();
+    Cls->Fn = S->Fn;
+    Cls->Captured = Environment;
+    Cls->Name = *S->Path[0];
+    *C = Value::closure(std::move(Cls));
+    return true;
+  }
+  auto Cls = std::make_shared<Closure>();
+  Cls->Fn = S->Fn;
+  Cls->Captured = Environment;
+  Cls->Name = *S->Path[S->PathLen - 1];
+  return storeAtPath(S->Path, S->PathLen, false, Value::closure(std::move(Cls)),
+                     Environment, S->Loc);
+}
+
+bool Interp::execTerraDecl(const TerraDeclStmt *S, const EnvPtr &Environment) {
+  // Find any existing declaration at the target (paper: "a Terra definition
+  // will create a declaration if it does not already exist").
+  TerraFunction *Existing = nullptr;
+  StructType *SelfType = nullptr;
+  Value Container;
+  bool HaveContainer = false;
+
+  if (S->PathLen == 1) {
+    if (Cell C = Environment->lookup(S->Path[0]))
+      if (C->isTerraFn())
+        Existing = C->asTerraFn();
+  } else {
+    Cell C = Environment->lookup(S->Path[0]);
+    if (!C)
+      return fail(S->Loc, "undefined name '" + *S->Path[0] + "'");
+    Container = *C;
+    for (unsigned I = 1; I + 1 < S->PathLen; ++I) {
+      Value Next;
+      if (!indexValue(Container, Value::string(*S->Path[I]), Next, S->Loc))
+        return false;
+      Container = Next;
+    }
+    HaveContainer = true;
+    if (S->IsMethod) {
+      if (!Container.isType() || !isa<StructType>(Container.asType()))
+        return fail(S->Loc, "method definition target is not a struct type");
+      SelfType = cast<StructType>(Container.asType());
+    }
+    if (Container.isType()) {
+      // `terra T:m()` / `terra T.m()` stores into T.methods (paper §2).
+      auto *ST = dyn_cast<StructType>(Container.asType());
+      if (!ST)
+        return fail(S->Loc, "cannot define a method on a non-struct type");
+      Container = Value::table(
+          std::shared_ptr<Table>(std::shared_ptr<Table>(), ST->methods()));
+    }
+    Value Cur;
+    if (!indexValue(Container, Value::string(*S->Path[S->PathLen - 1]), Cur,
+                    S->Loc))
+      return false;
+    if (Cur.isTerraFn())
+      Existing = Cur.asTerraFn();
+  }
+
+  if (Existing && Existing->isDefined())
+    Existing = nullptr; // Redefinition creates a fresh function object.
+
+  // Declare first (paper rule LTDECL), and bind the declaration at the
+  // target before specializing the body so directly-recursive functions can
+  // refer to themselves.
+  TerraFunction *Decl =
+      Existing ? Existing : TCtx.createFunction(*S->Path[S->PathLen - 1]);
+  if (!HaveContainer) {
+    if (!storeAtPath(S->Path, S->PathLen, S->IsLocal, Value::terraFn(Decl),
+                     Environment, S->Loc))
+      return false;
+  } else {
+    if (!setIndex(Container, Value::string(*S->Path[S->PathLen - 1]),
+                  Value::terraFn(Decl), S->Loc))
+      return false;
+  }
+  return Spec->specializeFunction(S->Fn, Environment, Decl, SelfType) !=
+         nullptr;
+}
+
+bool Interp::execStructDecl(const StructDeclStmt *S,
+                            const EnvPtr &Environment) {
+  StructType *ST = TCtx.types().createStruct(*S->Name);
+  // Bind the name first so field types can refer to the struct itself
+  // (e.g. struct List { next : &List }).
+  if (S->IsLocal)
+    Environment->define(S->Name, Value::type(ST));
+  else if (Cell C = Environment->lookup(S->Name))
+    *C = Value::type(ST);
+  else
+    Globals->define(S->Name, Value::type(ST));
+
+  for (unsigned I = 0; I != S->Decl->NumFields; ++I) {
+    const auto &F = S->Decl->Fields[I];
+    Value TyV;
+    if (!evalExpr(F.TypeExpr, Environment, TyV))
+      return false;
+    Type *FT = valueAsType(TyV);
+    if (!FT)
+      return fail(S->Loc, "field '" + *F.Name + "' of struct " + *S->Name +
+                              " is not a type (got " + TyV.typeName() + ")");
+    ST->addField(*F.Name, FT);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+bool Interp::evalExprList(const Expr *const *Exprs, unsigned N,
+                          const EnvPtr &Environment, std::vector<Value> &Out) {
+  for (unsigned I = 0; I != N; ++I) {
+    if (I + 1 == N) {
+      // Last element expands multi-values.
+      std::vector<Value> Tail;
+      if (!evalMulti(Exprs[I], Environment, Tail))
+        return false;
+      for (Value &V : Tail)
+        Out.push_back(std::move(V));
+    } else {
+      Value V;
+      if (!evalExpr(Exprs[I], Environment, V))
+        return false;
+      Out.push_back(std::move(V));
+    }
+  }
+  return true;
+}
+
+bool Interp::evalMulti(const Expr *E, const EnvPtr &Environment,
+                       std::vector<Value> &Out) {
+  if (E->kind() == Expr::EK_Call || E->kind() == Expr::EK_MethodCall) {
+    // Calls may produce multiple values.
+    Value Fn;
+    std::vector<Value> Args;
+    SourceLoc Loc = E->loc();
+    if (const auto *C = dyn_cast<CallExpr>(E)) {
+      if (!evalExpr(C->Callee, Environment, Fn))
+        return false;
+      if (!evalExprList(C->Args, C->NumArgs, Environment, Args))
+        return false;
+    } else {
+      const auto *M = cast<MethodCallExprL>(E);
+      Value Obj;
+      if (!evalExpr(M->Obj, Environment, Obj))
+        return false;
+      if (!indexValue(Obj, Value::string(*M->Method), Fn, Loc))
+        return false;
+      Args.push_back(Obj);
+      if (!evalExprList(M->Args, M->NumArgs, Environment, Args))
+        return false;
+    }
+    return call(Fn, std::move(Args), Out, Loc);
+  }
+  Value V;
+  if (!evalExpr(E, Environment, V))
+    return false;
+  Out.push_back(std::move(V));
+  return true;
+}
+
+bool Interp::evalExpr(const Expr *E, const EnvPtr &Environment, Value &Out) {
+  switch (E->kind()) {
+  case Expr::EK_Nil:
+    Out = Value::nil();
+    return true;
+  case Expr::EK_Bool:
+    Out = Value::boolean(cast<BoolExpr>(E)->Val);
+    return true;
+  case Expr::EK_Number:
+    Out = Value::number(cast<NumberExpr>(E)->Val);
+    return true;
+  case Expr::EK_String:
+    Out = Value::string(*cast<StringExpr>(E)->Val);
+    return true;
+  case Expr::EK_Ident: {
+    const auto *I = cast<IdentExpr>(E);
+    if (Cell C = Environment->lookup(I->Name)) {
+      Out = *C;
+      return true;
+    }
+    Out = Value::nil(); // Unbound reads yield nil, as in Lua.
+    return true;
+  }
+  case Expr::EK_Select: {
+    const auto *S = cast<SelectExprL>(E);
+    Value Base;
+    if (!evalExpr(S->Base, Environment, Base))
+      return false;
+    return indexValue(Base, Value::string(*S->Name), Out, E->loc());
+  }
+  case Expr::EK_Index: {
+    const auto *I = cast<IndexExprL>(E);
+    Value Base, Key;
+    if (!evalExpr(I->Base, Environment, Base) ||
+        !evalExpr(I->Key, Environment, Key))
+      return false;
+    return indexValue(Base, Key, Out, E->loc());
+  }
+  case Expr::EK_Call:
+  case Expr::EK_MethodCall: {
+    std::vector<Value> Results;
+    if (!evalMulti(E, Environment, Results))
+      return false;
+    Out = Results.empty() ? Value::nil() : Results[0];
+    return true;
+  }
+  case Expr::EK_Function: {
+    auto Cls = std::make_shared<Closure>();
+    Cls->Fn = cast<FunctionExpr>(E);
+    Cls->Captured = Environment;
+    if (Cls->Fn->DebugName)
+      Cls->Name = *Cls->Fn->DebugName;
+    Out = Value::closure(std::move(Cls));
+    return true;
+  }
+  case Expr::EK_Table:
+    return evalTable(cast<TableExpr>(E), Environment, Out);
+  case Expr::EK_BinOp:
+    return evalBinOp(cast<BinOpExprL>(E), Environment, Out);
+  case Expr::EK_UnOp:
+    return evalUnOp(cast<UnOpExprL>(E), Environment, Out);
+  case Expr::EK_TerraFunc: {
+    TerraFunction *Fn = Spec->specializeFunction(cast<TerraFuncExpr>(E),
+                                                 Environment, nullptr, nullptr);
+    if (!Fn)
+      return false;
+    Out = Value::terraFn(Fn);
+    return true;
+  }
+  case Expr::EK_TerraQuote: {
+    QuoteValue Q;
+    if (!Spec->specializeQuote(cast<TerraQuoteExpr>(E), Environment, Q))
+      return false;
+    Out = Value::quote(Q);
+    return true;
+  }
+  case Expr::EK_TerraStruct: {
+    const auto *SE = cast<TerraStructExpr>(E);
+    StructType *ST = TCtx.types().createStruct(
+        SE->DebugName ? *SE->DebugName : std::string("anon"));
+    for (unsigned I = 0; I != SE->NumFields; ++I) {
+      Value TyV;
+      if (!evalExpr(SE->Fields[I].TypeExpr, Environment, TyV))
+        return false;
+      Type *FT = valueAsType(TyV);
+      if (!FT)
+        return fail(E->loc(), "struct field '" + *SE->Fields[I].Name +
+                                  "' is not a type");
+      ST->addField(*SE->Fields[I].Name, FT);
+    }
+    Out = Value::type(ST);
+    return true;
+  }
+  }
+  return fail(E->loc(), "internal: unknown expression kind");
+}
+
+bool Interp::evalTable(const TableExpr *E, const EnvPtr &Environment,
+                       Value &Out) {
+  auto T = std::make_shared<Table>();
+  int64_t ArrayIdx = 1;
+  for (unsigned I = 0; I != E->NumItems; ++I) {
+    const TableExpr::Item &Item = E->Items[I];
+    if (Item.KeyName) {
+      Value V;
+      if (!evalExpr(Item.Val, Environment, V))
+        return false;
+      T->setStr(*Item.KeyName, std::move(V));
+    } else if (Item.KeyExpr) {
+      Value K, V;
+      if (!evalExpr(Item.KeyExpr, Environment, K) ||
+          !evalExpr(Item.Val, Environment, V))
+        return false;
+      if (K.isNil())
+        return fail(E->loc(), "table key is nil");
+      T->set(K, std::move(V));
+    } else if (I + 1 == E->NumItems) {
+      // Last positional item expands multi-values.
+      std::vector<Value> Vals;
+      if (!evalMulti(Item.Val, Environment, Vals))
+        return false;
+      for (Value &V : Vals)
+        T->setInt(ArrayIdx++, std::move(V));
+    } else {
+      Value V;
+      if (!evalExpr(Item.Val, Environment, V))
+        return false;
+      T->setInt(ArrayIdx++, std::move(V));
+    }
+  }
+  Out = Value::table(std::move(T));
+  return true;
+}
+
+bool Interp::tryMetaBinOp(const char *Event, const Value &L, const Value &R,
+                          Value &Out, bool &Handled, SourceLoc Loc) {
+  Handled = false;
+  for (const Value *V : {&L, &R}) {
+    if (!V->isTable())
+      continue;
+    std::shared_ptr<Table> Meta = V->asTable()->meta();
+    if (!Meta)
+      continue;
+    Value H = Meta->getStr(Event);
+    if (H.isNil())
+      continue;
+    std::vector<Value> Results;
+    if (!call(H, {L, R}, Results, Loc))
+      return false;
+    Out = Results.empty() ? Value::nil() : Results[0];
+    Handled = true;
+    return true;
+  }
+  return true;
+}
+
+bool Interp::evalBinOp(const BinOpExprL *E, const EnvPtr &Environment,
+                       Value &Out) {
+  // Short-circuit operators evaluate lazily.
+  if (E->Op == LBinOp::And || E->Op == LBinOp::Or) {
+    Value L;
+    if (!evalExpr(E->LHS, Environment, L))
+      return false;
+    if (E->Op == LBinOp::And ? !L.isTruthy() : L.isTruthy()) {
+      Out = L;
+      return true;
+    }
+    return evalExpr(E->RHS, Environment, Out);
+  }
+
+  Value L, R;
+  if (!evalExpr(E->LHS, Environment, L) || !evalExpr(E->RHS, Environment, R))
+    return false;
+
+  switch (E->Op) {
+  case LBinOp::Add:
+  case LBinOp::Sub:
+  case LBinOp::Mul:
+  case LBinOp::Div:
+  case LBinOp::Mod:
+  case LBinOp::Pow: {
+    if (L.isNumber() && R.isNumber()) {
+      double A = L.asNumber(), B = R.asNumber(), V = 0;
+      switch (E->Op) {
+      case LBinOp::Add:
+        V = A + B;
+        break;
+      case LBinOp::Sub:
+        V = A - B;
+        break;
+      case LBinOp::Mul:
+        V = A * B;
+        break;
+      case LBinOp::Div:
+        V = A / B;
+        break;
+      case LBinOp::Mod:
+        V = A - std::floor(A / B) * B;
+        break;
+      case LBinOp::Pow:
+        V = std::pow(A, B);
+        break;
+      default:
+        break;
+      }
+      Out = Value::number(V);
+      return true;
+    }
+    static const char *Events[] = {"__add", "__sub", "__mul",
+                                   "__div", "__mod", "__pow"};
+    bool Handled;
+    if (!tryMetaBinOp(Events[static_cast<int>(E->Op)], L, R, Out, Handled,
+                      E->loc()))
+      return false;
+    if (Handled)
+      return true;
+    return fail(E->loc(), std::string("cannot apply arithmetic to ") +
+                              L.typeName() + " and " + R.typeName());
+  }
+  case LBinOp::Concat: {
+    auto Render = [&](const Value &V, std::string &S) {
+      if (V.isString())
+        S = V.asString();
+      else if (V.isNumber())
+        S = toDisplayString(V);
+      else
+        return false;
+      return true;
+    };
+    std::string A, B;
+    if (Render(L, A) && Render(R, B)) {
+      Out = Value::string(A + B);
+      return true;
+    }
+    bool Handled;
+    if (!tryMetaBinOp("__concat", L, R, Out, Handled, E->loc()))
+      return false;
+    if (Handled)
+      return true;
+    return fail(E->loc(), std::string("cannot concatenate ") + L.typeName() +
+                              " and " + R.typeName());
+  }
+  case LBinOp::Eq:
+    Out = Value::boolean(L.equals(R));
+    return true;
+  case LBinOp::Ne:
+    Out = Value::boolean(!L.equals(R));
+    return true;
+  case LBinOp::Lt:
+  case LBinOp::Le:
+  case LBinOp::Gt:
+  case LBinOp::Ge: {
+    bool V;
+    if (L.isNumber() && R.isNumber()) {
+      double A = L.asNumber(), B = R.asNumber();
+      V = E->Op == LBinOp::Lt   ? A < B
+          : E->Op == LBinOp::Le ? A <= B
+          : E->Op == LBinOp::Gt ? A > B
+                                : A >= B;
+    } else if (L.isString() && R.isString()) {
+      const std::string &A = L.asString(), &B = R.asString();
+      V = E->Op == LBinOp::Lt   ? A < B
+          : E->Op == LBinOp::Le ? A <= B
+          : E->Op == LBinOp::Gt ? A > B
+                                : A >= B;
+    } else {
+      return fail(E->loc(), std::string("cannot compare ") + L.typeName() +
+                                " with " + R.typeName());
+    }
+    Out = Value::boolean(V);
+    return true;
+  }
+  case LBinOp::And:
+  case LBinOp::Or:
+    break; // Handled above.
+  }
+  return fail(E->loc(), "internal: unknown binary operator");
+}
+
+bool Interp::evalUnOp(const UnOpExprL *E, const EnvPtr &Environment,
+                      Value &Out) {
+  Value V;
+  if (!evalExpr(E->Operand, Environment, V))
+    return false;
+  switch (E->Op) {
+  case LUnOp::Neg: {
+    if (V.isNumber()) {
+      Out = Value::number(-V.asNumber());
+      return true;
+    }
+    if (V.isTable()) {
+      if (std::shared_ptr<Table> Meta = V.asTable()->meta()) {
+        Value H = Meta->getStr("__unm");
+        if (!H.isNil()) {
+          std::vector<Value> Results;
+          if (!call(H, {V}, Results, E->loc()))
+            return false;
+          Out = Results.empty() ? Value::nil() : Results[0];
+          return true;
+        }
+      }
+    }
+    return fail(E->loc(), std::string("cannot negate ") + V.typeName());
+  }
+  case LUnOp::Not:
+    Out = Value::boolean(!V.isTruthy());
+    return true;
+  case LUnOp::Len:
+    if (V.isString()) {
+      Out = Value::number(static_cast<double>(V.asString().size()));
+      return true;
+    }
+    if (V.isTable()) {
+      Out = Value::number(static_cast<double>(V.asTable()->arrayLength()));
+      return true;
+    }
+    return fail(E->loc(), std::string("cannot take length of ") + V.typeName());
+  }
+  return fail(E->loc(), "internal: unknown unary operator");
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+bool Interp::call(const Value &Fn, std::vector<Value> Args,
+                  std::vector<Value> &Results, SourceLoc Loc) {
+  if (CallDepth > 200)
+    return fail(Loc, "host call stack overflow (depth > 200)");
+  CallDepth++;
+  struct Depth {
+    unsigned &D;
+    ~Depth() { --D; }
+  } DepthGuard{CallDepth};
+
+  switch (Fn.kind()) {
+  case Value::VK_Closure: {
+    Closure *C = Fn.asClosure();
+    EnvPtr Frame = std::make_shared<Env>(C->Captured);
+    for (unsigned I = 0; I != C->Fn->NumParams; ++I)
+      Frame->define(C->Fn->Params[I],
+                    I < Args.size() ? std::move(Args[I]) : Value::nil());
+    Flow F = Flow::Normal;
+    Results.clear();
+    if (!execBlock(C->Fn->Body, Frame, F, Results))
+      return false;
+    if (F != Flow::Return)
+      Results.clear();
+    return true;
+  }
+  case Value::VK_Builtin: {
+    Results.clear();
+    return Fn.asBuiltin().Fn(*this, Args, Results, Loc);
+  }
+  case Value::VK_TerraFn: {
+    if (!Hooks.CallTerra)
+      return fail(Loc, "terra functions cannot be called (no backend "
+                       "installed in this context)");
+    Results.clear();
+    return Hooks.CallTerra(Fn.asTerraFn(), Args, Results, Loc);
+  }
+  case Value::VK_Table: {
+    if (std::shared_ptr<Table> Meta = Fn.asTable()->meta()) {
+      Value H = Meta->getStr("__call");
+      if (!H.isNil()) {
+        Args.insert(Args.begin(), Fn);
+        return call(H, std::move(Args), Results, Loc);
+      }
+    }
+    return fail(Loc, "attempt to call a table value");
+  }
+  default:
+    return fail(Loc, std::string("attempt to call a ") + Fn.typeName() +
+                         " value");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Indexing (tables + Terra-entity reflection)
+//===----------------------------------------------------------------------===//
+
+/// Builds a reflection builtin bound as a method (expects self as Args[0]).
+static Value reflectionMethod(std::string Name,
+                              std::function<bool(Interp &, std::vector<Value> &,
+                                                 std::vector<Value> &,
+                                                 SourceLoc)>
+                                  Impl) {
+  return Value::builtin(std::move(Name), std::move(Impl));
+}
+
+bool Interp::indexValue(const Value &Base, const Value &Key, Value &Out,
+                        SourceLoc Loc) {
+  switch (Base.kind()) {
+  case Value::VK_Table: {
+    Table *T = Base.asTable();
+    Out = T->get(Key);
+    if (!Out.isNil())
+      return true;
+    if (std::shared_ptr<Table> Meta = T->meta()) {
+      Value H = Meta->getStr("__index");
+      if (H.isTable())
+        return indexValue(H, Key, Out, Loc);
+      if (H.isCallable()) {
+        std::vector<Value> Results;
+        if (!call(H, {Base, Key}, Results, Loc))
+          return false;
+        Out = Results.empty() ? Value::nil() : Results[0];
+        return true;
+      }
+    }
+    // List-method fallback: plain tables respond to t:insert(v) etc. by
+    // delegating to the global `table` library (terralib lists and struct
+    // `entries` tables are plain tables with list methods in the paper).
+    if (Key.isString()) {
+      if (Cell C = Globals->lookup(TCtx.intern("table"))) {
+        if (C->isTable()) {
+          Value M = C->asTable()->getStr(Key.asString());
+          if (M.isCallable()) {
+            Out = M;
+            return true;
+          }
+        }
+      }
+    }
+    Out = Value::nil();
+    return true;
+  }
+  case Value::VK_String: {
+    // Minimal string-method support: s:sub etc. resolved via the global
+    // 'string' table, Lua-style.
+    if (Cell C = Globals->lookup(TCtx.intern("string"))) {
+      if (C->isTable())
+        return indexValue(*C, Key, Out, Loc);
+    }
+    Out = Value::nil();
+    return true;
+  }
+  case Value::VK_Type: {
+    Type *T = Base.asType();
+    // T[N] builds an array type.
+    if (Key.isNumber()) {
+      int64_t N = static_cast<int64_t>(Key.asNumber());
+      if (N < 0)
+        return fail(Loc, "array length must be non-negative");
+      Out = Value::type(TCtx.types().array(T, static_cast<uint64_t>(N)));
+      return true;
+    }
+    if (!Key.isString())
+      return fail(Loc, "invalid key for terra type");
+    const std::string &K = Key.asString();
+
+    if (auto *ST = dyn_cast<StructType>(T)) {
+      if (K == "methods") {
+        // The methods table is owned by the struct; expose it by shared
+        // aliasing (the struct type outlives the engine's heap use).
+        Out = Value::table(std::shared_ptr<Table>(
+            std::shared_ptr<Table>(), ST->methods()));
+        return true;
+      }
+      if (K == "metamethods") {
+        Out = Value::table(std::shared_ptr<Table>(std::shared_ptr<Table>(),
+                                                  ST->metamethods()));
+        return true;
+      }
+      if (K == "entries") {
+        Out = Value::table(std::shared_ptr<Table>(std::shared_ptr<Table>(),
+                                                  ST->entriesTable()));
+        return true;
+      }
+      if (K == "name") {
+        Out = Value::string(ST->name());
+        return true;
+      }
+    }
+    if (auto *PT = dyn_cast<PointerType>(T)) {
+      if (K == "type") {
+        Out = Value::type(PT->pointee());
+        return true;
+      }
+    }
+    if (auto *AT = dyn_cast<ArrayType>(T)) {
+      if (K == "type") {
+        Out = Value::type(AT->element());
+        return true;
+      }
+      if (K == "N") {
+        Out = Value::number(static_cast<double>(AT->length()));
+        return true;
+      }
+    }
+    if (auto *VT = dyn_cast<VectorType>(T)) {
+      if (K == "type") {
+        Out = Value::type(VT->element());
+        return true;
+      }
+      if (K == "N") {
+        Out = Value::number(static_cast<double>(VT->length()));
+        return true;
+      }
+    }
+    if (auto *FT = dyn_cast<FunctionType>(T)) {
+      if (K == "parameters") {
+        auto L = std::make_shared<Table>();
+        for (Type *P : FT->params())
+          L->append(Value::type(P));
+        Out = Value::table(std::move(L));
+        return true;
+      }
+      if (K == "returntype") {
+        Out = Value::type(FT->result());
+        return true;
+      }
+    }
+
+    // Reflection predicates, usable as t:ispointer() etc.
+    auto Predicate = [&](bool (*P)(Type *)) {
+      return reflectionMethod(K, [P](Interp &In, std::vector<Value> &Args,
+                                     std::vector<Value> &Res, SourceLoc L) {
+        if (Args.empty() || !Args[0].isType())
+          return In.fail(L, "expected type as self argument");
+        Res.push_back(Value::boolean(P(Args[0].asType())));
+        return true;
+      });
+    };
+    if (K == "ispointer") {
+      Out = Predicate(+[](Type *X) { return X->isPointer(); });
+      return true;
+    }
+    if (K == "isstruct") {
+      Out = Predicate(+[](Type *X) { return X->isStruct(); });
+      return true;
+    }
+    if (K == "isarray") {
+      Out = Predicate(+[](Type *X) { return X->isArray(); });
+      return true;
+    }
+    if (K == "isvector") {
+      Out = Predicate(+[](Type *X) { return X->isVector(); });
+      return true;
+    }
+    if (K == "isarithmetic") {
+      Out = Predicate(+[](Type *X) { return X->isArithmetic(); });
+      return true;
+    }
+    if (K == "isintegral") {
+      Out = Predicate(+[](Type *X) { return X->isIntegral(); });
+      return true;
+    }
+    if (K == "isfloat") {
+      Out = Predicate(+[](Type *X) { return X->isFloat(); });
+      return true;
+    }
+    if (K == "isfunction") {
+      Out = Predicate(+[](Type *X) { return X->isFunction(); });
+      return true;
+    }
+    if (K == "islogical") {
+      Out = Predicate(+[](Type *X) { return X->isBool(); });
+      return true;
+    }
+    Out = Value::nil();
+    return true;
+  }
+  case Value::VK_TerraFn: {
+    if (!Key.isString())
+      return fail(Loc, "invalid key for terra function");
+    const std::string &K = Key.asString();
+    if (K == "gettype") {
+      Out = reflectionMethod(
+          "gettype", [](Interp &In, std::vector<Value> &Args,
+                        std::vector<Value> &Res, SourceLoc L) {
+            if (Args.empty() || !Args[0].isTerraFn())
+              return In.fail(L, "expected terra function as self argument");
+            TerraFunction *F = Args[0].asTerraFn();
+            if (!In.hooks().Typecheck || !In.hooks().Typecheck(F))
+              return In.fail(L, "could not typecheck terra function '" +
+                                    F->Name + "'");
+            Res.push_back(Value::type(F->FnTy));
+            return true;
+          });
+      return true;
+    }
+    if (K == "getname") {
+      Out = reflectionMethod("getname",
+                             [](Interp &In, std::vector<Value> &Args,
+                                std::vector<Value> &Res, SourceLoc L) {
+                               if (Args.empty() || !Args[0].isTerraFn())
+                                 return In.fail(L, "expected terra function");
+                               Res.push_back(
+                                   Value::string(Args[0].asTerraFn()->Name));
+                               return true;
+                             });
+      return true;
+    }
+    if (K == "isdefined") {
+      Out = reflectionMethod("isdefined",
+                             [](Interp &In, std::vector<Value> &Args,
+                                std::vector<Value> &Res, SourceLoc L) {
+                               if (Args.empty() || !Args[0].isTerraFn())
+                                 return In.fail(L, "expected terra function");
+                               Res.push_back(Value::boolean(
+                                   Args[0].asTerraFn()->isDefined()));
+                               return true;
+                             });
+      return true;
+    }
+    Out = Value::nil();
+    return true;
+  }
+  case Value::VK_Symbol: {
+    if (Key.isString() && Key.asString() == "type") {
+      TerraSymbol *Sym = Base.asSymbol();
+      Out = Sym->DeclaredType ? Value::type(Sym->DeclaredType) : Value::nil();
+      return true;
+    }
+    Out = Value::nil();
+    return true;
+  }
+  default:
+    return fail(Loc, std::string("attempt to index a ") + Base.typeName() +
+                         " value");
+  }
+}
+
+bool Interp::setIndex(Value &Base, const Value &Key, Value V, SourceLoc Loc) {
+  if (Base.isTable()) {
+    if (Key.isNil())
+      return fail(Loc, "table key is nil");
+    Base.asTable()->set(Key, std::move(V));
+    return true;
+  }
+  if (Base.isType()) {
+    // Writing through a type goes to its reflection tables, e.g.
+    // T.methods.m = fn is handled by indexing 'methods' first; direct field
+    // writes on types are not allowed.
+    return fail(Loc, "cannot assign into a terra type directly; use "
+                     ".methods/.metamethods/.entries");
+  }
+  return fail(Loc,
+              std::string("attempt to index a ") + Base.typeName() + " value");
+}
+
+Type *Interp::valueAsType(const Value &V) {
+  if (V.isType())
+    return V.asType();
+  if (V.isTable()) {
+    Table *T = V.asTable();
+    int64_t N = T->arrayLength();
+    if (N == 0)
+      return TCtx.types().voidType(); // `{}` is the unit/void type.
+    if (N == 1) {
+      Value E = T->getInt(1);
+      if (E.isType())
+        return E.asType();
+    }
+    return nullptr;
+  }
+  return nullptr;
+}

@@ -1,0 +1,131 @@
+//===- LuaInterp.h - Host-language interpreter ------------------*- C++ -*-===//
+//
+// Tree-walking evaluator for the Luna host language. Evaluation of a `terra`
+// literal, quotation, or struct declaration calls into the Specializer with
+// the current environment — this is where the paper's staged evaluation
+// happens. Calls to Terra functions and typechecking-on-demand are routed
+// through hooks installed by the Engine so the interpreter itself stays
+// independent of the compiler backends.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_LUAINTERP_H
+#define TERRACPP_CORE_LUAINTERP_H
+
+#include "core/LuaAST.h"
+#include "core/LuaValue.h"
+#include "core/TerraAST.h"
+
+#include <functional>
+#include <memory>
+
+namespace terracpp {
+
+class Specializer;
+
+namespace lua {
+
+using EnvPtr = std::shared_ptr<Env>;
+
+/// Hooks the Engine installs to connect the interpreter to the Terra
+/// compiler pipeline without a dependency cycle.
+struct InterpHooks {
+  /// Typechecks (and links) a function; false on failure (diagnosed).
+  std::function<bool(TerraFunction *)> Typecheck;
+  /// Calls a compiled Terra function with host values (FFI boundary).
+  std::function<bool(TerraFunction *, std::vector<Value> &Args,
+                     std::vector<Value> &Results, SourceLoc Loc)>
+      CallTerra;
+};
+
+class Interp {
+public:
+  Interp(TerraContext &TCtx, DiagnosticEngine &Diags);
+  ~Interp();
+
+  TerraContext &terraCtx() { return TCtx; }
+  DiagnosticEngine &diags() { return Diags; }
+  EnvPtr globalEnv() { return Globals; }
+  InterpHooks &hooks() { return Hooks; }
+  Specializer &specializer() { return *Spec; }
+
+  /// Executes a chunk in the global environment. False on error.
+  bool runChunk(const Block *B);
+
+  /// Evaluates a single expression to one value. False on error.
+  bool evalExpr(const Expr *E, const EnvPtr &Environment, Value &Out);
+
+  /// Evaluates an expression in multi-value context.
+  bool evalMulti(const Expr *E, const EnvPtr &Environment,
+                 std::vector<Value> &Out);
+
+  /// Calls any callable host value (closure, builtin, Terra function, or a
+  /// table with a __call metamethod).
+  bool call(const Value &Fn, std::vector<Value> Args,
+            std::vector<Value> &Results, SourceLoc Loc);
+
+  /// Reports an error at \p Loc and returns false (convenience).
+  bool fail(SourceLoc Loc, const std::string &Message);
+
+  /// Index/field read with Terra-entity awareness (types expose .methods,
+  /// .entries, reflection fields; tables honor __index).
+  bool indexValue(const Value &Base, const Value &Key, Value &Out,
+                  SourceLoc Loc);
+  /// Index/field write.
+  bool setIndex(Value &Base, const Value &Key, Value V, SourceLoc Loc);
+
+  /// Converts a value to a Terra type if it denotes one (type value, or an
+  /// empty table meaning the void/unit type `{}`; a table of types denotes a
+  /// parameter list in __arrow). Null if not a type.
+  Type *valueAsType(const Value &V);
+
+private:
+  enum class Flow { Normal, Break, Return };
+
+  bool execBlock(const Block *B, const EnvPtr &Environment, Flow &F,
+                 std::vector<Value> &Ret);
+  bool execStmt(const Stmt *S, const EnvPtr &Environment, Flow &F,
+                std::vector<Value> &Ret);
+  bool execLocal(const LocalStmt *S, const EnvPtr &Environment);
+  bool execAssign(const AssignStmtL *S, const EnvPtr &Environment);
+  bool execNumericFor(const NumericForStmtL *S, const EnvPtr &Environment,
+                      Flow &F, std::vector<Value> &Ret);
+  bool execGenericFor(const GenericForStmtL *S, const EnvPtr &Environment,
+                      Flow &F, std::vector<Value> &Ret);
+  bool execFunctionDecl(const FunctionDeclStmt *S, const EnvPtr &Environment);
+  bool execTerraDecl(const TerraDeclStmt *S, const EnvPtr &Environment);
+  bool execStructDecl(const StructDeclStmt *S, const EnvPtr &Environment);
+
+  /// Evaluates an expression list with Lua multi-value expansion of the last
+  /// element.
+  bool evalExprList(const Expr *const *Exprs, unsigned N,
+                    const EnvPtr &Environment, std::vector<Value> &Out);
+
+  bool evalBinOp(const BinOpExprL *E, const EnvPtr &Environment, Value &Out);
+  bool evalUnOp(const UnOpExprL *E, const EnvPtr &Environment, Value &Out);
+  bool evalTable(const TableExpr *E, const EnvPtr &Environment, Value &Out);
+
+  /// Assigns to an lvalue expression (ident/select/index).
+  bool assignTo(const Expr *Target, Value V, const EnvPtr &Environment);
+
+  /// Resolves a statement path (a.b.c / a.b:c) to its container and final
+  /// key for terra/function declaration statements.
+  bool storeAtPath(const std::string *const *Path, unsigned PathLen,
+                   bool IsLocal, Value V, const EnvPtr &Environment,
+                   SourceLoc Loc);
+
+  bool tryMetaBinOp(const char *Event, const Value &L, const Value &R,
+                    Value &Out, bool &Handled, SourceLoc Loc);
+
+  TerraContext &TCtx;
+  DiagnosticEngine &Diags;
+  EnvPtr Globals;
+  InterpHooks Hooks;
+  std::unique_ptr<Specializer> Spec;
+  unsigned CallDepth = 0;
+};
+
+} // namespace lua
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_LUAINTERP_H

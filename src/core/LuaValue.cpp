@@ -1,0 +1,321 @@
+#include "core/LuaValue.h"
+
+#include "core/TerraAST.h"
+#include "core/TerraType.h"
+
+#include <cstring>
+#include <sstream>
+
+using namespace terracpp;
+using namespace terracpp::lua;
+
+//===----------------------------------------------------------------------===//
+// Value factories
+//===----------------------------------------------------------------------===//
+
+Value Value::boolean(bool B) {
+  Value V;
+  V.Kind = VK_Bool;
+  V.B = B;
+  return V;
+}
+
+Value Value::number(double N) {
+  Value V;
+  V.Kind = VK_Number;
+  V.Num = N;
+  return V;
+}
+
+Value Value::string(std::string S) {
+  Value V;
+  V.Kind = VK_String;
+  V.Str = std::make_shared<const std::string>(std::move(S));
+  return V;
+}
+
+Value Value::string(std::shared_ptr<const std::string> S) {
+  Value V;
+  V.Kind = VK_String;
+  V.Str = std::move(S);
+  return V;
+}
+
+Value Value::table(std::shared_ptr<Table> T) {
+  Value V;
+  V.Kind = VK_Table;
+  V.Tbl = std::move(T);
+  return V;
+}
+
+Value Value::newTable() { return table(std::make_shared<Table>()); }
+
+Value Value::closure(std::shared_ptr<Closure> C) {
+  Value V;
+  V.Kind = VK_Closure;
+  V.Cls = std::move(C);
+  return V;
+}
+
+Value Value::builtin(std::string Name, BuiltinImpl Impl) {
+  Value V;
+  V.Kind = VK_Builtin;
+  V.Bf = std::make_shared<Builtin>(Builtin{std::move(Name), std::move(Impl)});
+  return V;
+}
+
+Value Value::type(Type *T) {
+  Value V;
+  V.Kind = VK_Type;
+  V.Ty = T;
+  return V;
+}
+
+Value Value::terraFn(TerraFunction *F) {
+  Value V;
+  V.Kind = VK_TerraFn;
+  V.TFn = F;
+  return V;
+}
+
+Value Value::quote(QuoteValue Q) {
+  Value V;
+  V.Kind = VK_Quote;
+  V.Q = Q;
+  return V;
+}
+
+Value Value::symbol(TerraSymbol *S) {
+  Value V;
+  V.Kind = VK_Symbol;
+  V.Sym = S;
+  return V;
+}
+
+Value Value::global(TerraGlobal *G) {
+  Value V;
+  V.Kind = VK_Global;
+  V.Gl = G;
+  return V;
+}
+
+Value Value::cdata(std::shared_ptr<CData> D) {
+  Value V;
+  V.Kind = VK_CData;
+  V.CD = std::move(D);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Value queries
+//===----------------------------------------------------------------------===//
+
+const void *Value::identity() const {
+  switch (Kind) {
+  case VK_Nil:
+  case VK_Bool:
+  case VK_Number:
+    return nullptr;
+  case VK_String:
+    return Str.get();
+  case VK_Table:
+    return Tbl.get();
+  case VK_Closure:
+    return Cls.get();
+  case VK_Builtin:
+    return Bf.get();
+  case VK_Type:
+    return Ty;
+  case VK_TerraFn:
+    return TFn;
+  case VK_Quote:
+    return Q.Expr ? static_cast<const void *>(Q.Expr)
+                  : static_cast<const void *>(Q.Stmts);
+  case VK_Symbol:
+    return Sym;
+  case VK_Global:
+    return Gl;
+  case VK_CData:
+    return CD.get();
+  }
+  return nullptr;
+}
+
+bool Value::equals(const Value &Other) const {
+  if (Kind != Other.Kind)
+    return false;
+  switch (Kind) {
+  case VK_Nil:
+    return true;
+  case VK_Bool:
+    return B == Other.B;
+  case VK_Number:
+    return Num == Other.Num;
+  case VK_String:
+    return *Str == *Other.Str;
+  default:
+    return identity() == Other.identity();
+  }
+}
+
+const char *Value::typeName() const {
+  switch (Kind) {
+  case VK_Nil:
+    return "nil";
+  case VK_Bool:
+    return "boolean";
+  case VK_Number:
+    return "number";
+  case VK_String:
+    return "string";
+  case VK_Table:
+    return "table";
+  case VK_Closure:
+  case VK_Builtin:
+    return "function";
+  case VK_Type:
+    return "terratype";
+  case VK_TerraFn:
+    return "terrafunction";
+  case VK_Quote:
+    return "quote";
+  case VK_Symbol:
+    return "symbol";
+  case VK_Global:
+    return "terraglobal";
+  case VK_CData:
+    return "cdata";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+size_t Table::KeyHash::operator()(const Value &K) const {
+  switch (K.kind()) {
+  case Value::VK_Nil:
+    return 0;
+  case Value::VK_Bool:
+    return K.asBool() ? 1 : 2;
+  case Value::VK_Number:
+    return std::hash<double>()(K.asNumber());
+  case Value::VK_String:
+    return std::hash<std::string>()(K.asString());
+  default:
+    return std::hash<const void *>()(K.identity());
+  }
+}
+
+Value Table::get(const Value &Key) const {
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return Value::nil();
+  return Items[It->second].second;
+}
+
+void Table::set(const Value &Key, Value V) {
+  assert(!Key.isNil() && "table key may not be nil");
+  auto It = Index.find(Key);
+  if (V.isNil()) {
+    if (It != Index.end()) {
+      // Tombstone the slot; entries() skips nil values.
+      Items[It->second].second = Value::nil();
+      Index.erase(It);
+    }
+    return;
+  }
+  if (It != Index.end()) {
+    Items[It->second].second = std::move(V);
+    return;
+  }
+  Index.emplace(Key, Items.size());
+  Items.emplace_back(Key, std::move(V));
+}
+
+int64_t Table::arrayLength() const {
+  int64_t N = 0;
+  while (!get(Value::number(static_cast<double>(N + 1))).isNil())
+    ++N;
+  return N;
+}
+
+std::vector<std::pair<Value, Value>> Table::entries() const {
+  std::vector<std::pair<Value, Value>> Out;
+  Out.reserve(Items.size());
+  for (const auto &KV : Items)
+    if (!KV.second.isNil())
+      Out.push_back(KV);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Env
+//===----------------------------------------------------------------------===//
+
+Cell Env::lookup(const std::string *Name) const {
+  for (const Env *E = this; E; E = E->Parent.get()) {
+    auto It = E->Cells.find(Name);
+    if (It != E->Cells.end())
+      return It->second;
+  }
+  return nullptr;
+}
+
+Cell Env::define(const std::string *Name, Value V) {
+  Cell C = std::make_shared<Value>(std::move(V));
+  Cells[Name] = C;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Display
+//===----------------------------------------------------------------------===//
+
+std::string lua::toDisplayString(const Value &V) {
+  std::ostringstream OS;
+  switch (V.kind()) {
+  case Value::VK_Nil:
+    return "nil";
+  case Value::VK_Bool:
+    return V.asBool() ? "true" : "false";
+  case Value::VK_Number: {
+    double N = V.asNumber();
+    if (N == static_cast<int64_t>(N)) {
+      OS << static_cast<int64_t>(N);
+    } else {
+      OS.precision(14);
+      OS << N;
+    }
+    return OS.str();
+  }
+  case Value::VK_String:
+    return V.asString();
+  case Value::VK_Table:
+    OS << "table: " << V.identity();
+    return OS.str();
+  case Value::VK_Closure:
+  case Value::VK_Builtin:
+    OS << "function: " << V.identity();
+    return OS.str();
+  case Value::VK_Type:
+    return V.asType()->str();
+  case Value::VK_TerraFn:
+    OS << "terra function: " << V.identity();
+    return OS.str();
+  case Value::VK_Quote:
+    OS << "quote: " << V.identity();
+    return OS.str();
+  case Value::VK_Symbol:
+    OS << "symbol: " << V.identity();
+    return OS.str();
+  case Value::VK_Global:
+    OS << "global: " << V.identity();
+    return OS.str();
+  case Value::VK_CData:
+    OS << "cdata<" << V.asCData()->Ty->str() << ">: " << V.identity();
+    return OS.str();
+  }
+  return "?";
+}

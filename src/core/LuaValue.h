@@ -1,0 +1,328 @@
+//===- LuaValue.h - Host-language (Luna) values -----------------*- C++ -*-===//
+//
+// Values of the dynamically-typed host language. Following the paper, Terra
+// entities — types, functions, quotations, symbols, and globals — are
+// first-class host values, which is what makes the staged programming model
+// work: host evaluation manipulates Terra terms as ordinary values, and the
+// specializer converts host values back into Terra terms when they are
+// spliced.
+//
+// Heap values (strings, tables, closures, builtins, cdata) are reference
+// counted with shared_ptr. Reference cycles between host tables leak; the
+// host language is a compile-time orchestration language in this system, so
+// this mirrors an arena-per-engine lifetime policy rather than a full GC.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_LUAVALUE_H
+#define TERRACPP_CORE_LUAVALUE_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace terracpp {
+
+class Type;
+class TerraFunction;
+class TerraGlobal;
+class TerraExpr;
+class TerraStmt;
+struct TerraSymbol;
+
+namespace lua {
+
+class Interp;
+class Table;
+class Value;
+struct Closure;
+struct CData;
+
+/// A C++-implemented host function. Writes results (possibly several, for
+/// multi-value returns) into \p Results. Returns false after reporting a
+/// diagnostic on failure.
+using BuiltinImpl = std::function<bool(Interp &, std::vector<Value> &Args,
+                                       std::vector<Value> &Results,
+                                       SourceLoc Loc)>;
+
+struct Builtin {
+  std::string Name;
+  BuiltinImpl Fn;
+};
+
+/// A quotation value: a block of (specialized) Terra code created by
+/// `quote ... end` (statement quote) or a backtick (expression quote).
+struct QuoteValue {
+  /// Null for statement quotes.
+  TerraExpr *Expr = nullptr;
+  /// Null for expression quotes.
+  TerraStmt *Stmts = nullptr;
+
+  bool isExpr() const { return Expr != nullptr; }
+};
+
+/// A dynamically-typed host value.
+class Value {
+public:
+  enum ValueKind {
+    VK_Nil,
+    VK_Bool,
+    VK_Number,
+    VK_String,
+    VK_Table,
+    VK_Closure,
+    VK_Builtin,
+    VK_Type,     ///< A Terra type (first-class, paper §4.1).
+    VK_TerraFn,  ///< A Terra function (declared or defined).
+    VK_Quote,    ///< A Terra quotation.
+    VK_Symbol,   ///< A gensym created by symbol() (paper §6.1).
+    VK_Global,   ///< A Terra global variable.
+    VK_CData,    ///< A typed foreign value (pointer or struct) from the FFI.
+  };
+
+  Value() : Kind(VK_Nil) {}
+
+  ValueKind kind() const { return Kind; }
+
+  static Value nil() { return Value(); }
+  static Value boolean(bool B);
+  static Value number(double N);
+  static Value string(std::string S);
+  static Value string(std::shared_ptr<const std::string> S);
+  static Value table(std::shared_ptr<Table> T);
+  static Value newTable();
+  static Value closure(std::shared_ptr<Closure> C);
+  static Value builtin(std::string Name, BuiltinImpl Impl);
+  static Value type(Type *T);
+  static Value terraFn(TerraFunction *F);
+  static Value quote(QuoteValue Q);
+  static Value symbol(TerraSymbol *S);
+  static Value global(TerraGlobal *G);
+  static Value cdata(std::shared_ptr<CData> D);
+
+  bool isNil() const { return Kind == VK_Nil; }
+  bool isBool() const { return Kind == VK_Bool; }
+  bool isNumber() const { return Kind == VK_Number; }
+  bool isString() const { return Kind == VK_String; }
+  bool isTable() const { return Kind == VK_Table; }
+  bool isClosure() const { return Kind == VK_Closure; }
+  bool isBuiltin() const { return Kind == VK_Builtin; }
+  bool isCallable() const { return Kind == VK_Closure || Kind == VK_Builtin; }
+  bool isType() const { return Kind == VK_Type; }
+  bool isTerraFn() const { return Kind == VK_TerraFn; }
+  bool isQuote() const { return Kind == VK_Quote; }
+  bool isSymbol() const { return Kind == VK_Symbol; }
+  bool isGlobal() const { return Kind == VK_Global; }
+  bool isCData() const { return Kind == VK_CData; }
+
+  /// Lua truthiness: everything except nil and false is true.
+  bool isTruthy() const { return !(Kind == VK_Nil || (Kind == VK_Bool && !B)); }
+
+  bool asBool() const {
+    assert(Kind == VK_Bool);
+    return B;
+  }
+  double asNumber() const {
+    assert(Kind == VK_Number);
+    return Num;
+  }
+  const std::string &asString() const {
+    assert(Kind == VK_String);
+    return *Str;
+  }
+  std::shared_ptr<const std::string> stringPtr() const {
+    assert(Kind == VK_String);
+    return Str;
+  }
+  Table *asTable() const {
+    assert(Kind == VK_Table);
+    return Tbl.get();
+  }
+  std::shared_ptr<Table> tablePtr() const {
+    assert(Kind == VK_Table);
+    return Tbl;
+  }
+  Closure *asClosure() const {
+    assert(Kind == VK_Closure);
+    return Cls.get();
+  }
+  std::shared_ptr<Closure> closurePtr() const {
+    assert(Kind == VK_Closure);
+    return Cls;
+  }
+  const Builtin &asBuiltin() const {
+    assert(Kind == VK_Builtin);
+    return *Bf;
+  }
+  Type *asType() const {
+    assert(Kind == VK_Type);
+    return Ty;
+  }
+  TerraFunction *asTerraFn() const {
+    assert(Kind == VK_TerraFn);
+    return TFn;
+  }
+  const QuoteValue &asQuote() const {
+    assert(Kind == VK_Quote);
+    return Q;
+  }
+  TerraSymbol *asSymbol() const {
+    assert(Kind == VK_Symbol);
+    return Sym;
+  }
+  TerraGlobal *asGlobal() const {
+    assert(Kind == VK_Global);
+    return Gl;
+  }
+  CData *asCData() const {
+    assert(Kind == VK_CData);
+    return CD.get();
+  }
+  std::shared_ptr<CData> cdataPtr() const {
+    assert(Kind == VK_CData);
+    return CD;
+  }
+
+  /// Raw equality (Lua ==): by value for nil/bool/number/string, by identity
+  /// for everything else.
+  bool equals(const Value &Other) const;
+
+  /// The name Lua's type() would report ("nil", "number", ... ; Terra
+  /// entities report "terratype", "terrafunction", "quote", "symbol",
+  /// "terraglobal", "cdata").
+  const char *typeName() const;
+
+  /// Identity pointer for heap-like values; null for nil/bool/number.
+  const void *identity() const;
+
+private:
+  ValueKind Kind;
+  union {
+    bool B;
+    double Num;
+    Type *Ty;
+    TerraFunction *TFn;
+    TerraSymbol *Sym;
+    TerraGlobal *Gl;
+    QuoteValue Q;
+  };
+  // Out-of-union reference-counted payloads.
+  std::shared_ptr<const std::string> Str;
+  std::shared_ptr<Table> Tbl;
+  std::shared_ptr<Closure> Cls;
+  std::shared_ptr<Builtin> Bf;
+  std::shared_ptr<CData> CD;
+};
+
+/// A typed foreign value: the bytes of a Terra-typed object held on the host
+/// side (a pointer, struct, or scalar produced by FFI calls).
+struct CData {
+  Type *Ty = nullptr;
+  std::vector<uint8_t> Bytes;
+
+  void *pointerValue() const {
+    assert(Bytes.size() == sizeof(void *));
+    void *P;
+    memcpy(&P, Bytes.data(), sizeof(void *));
+    return P;
+  }
+};
+
+/// Host tables: associative maps with insertion-ordered iteration and Lua
+/// array conventions (1-based dense integer keys). Any non-nil value can be
+/// a key; heap values key by identity.
+class Table {
+public:
+  Value get(const Value &Key) const;
+  /// Raw set; assigning nil erases the key.
+  void set(const Value &Key, Value V);
+
+  Value getStr(const std::string &Key) const { return get(Value::string(Key)); }
+  void setStr(const std::string &Key, Value V) {
+    set(Value::string(Key), std::move(V));
+  }
+  Value getInt(int64_t Key) const {
+    return get(Value::number(static_cast<double>(Key)));
+  }
+  void setInt(int64_t Key, Value V) {
+    set(Value::number(static_cast<double>(Key)), std::move(V));
+  }
+
+  /// Lua '#': largest N such that keys 1..N are all present.
+  int64_t arrayLength() const;
+
+  /// Appends at arrayLength()+1 (table.insert).
+  void append(Value V) { setInt(arrayLength() + 1, std::move(V)); }
+
+  /// Insertion-ordered live entries (tombstones skipped).
+  std::vector<std::pair<Value, Value>> entries() const;
+
+  /// Metatable (may be null).
+  std::shared_ptr<Table> meta() const { return Meta; }
+  void setMeta(std::shared_ptr<Table> M) { Meta = std::move(M); }
+
+private:
+  struct KeyHash {
+    size_t operator()(const Value &K) const;
+  };
+  struct KeyEq {
+    bool operator()(const Value &A, const Value &B) const { return A.equals(B); }
+  };
+
+  std::vector<std::pair<Value, Value>> Items;
+  std::unordered_map<Value, size_t, KeyHash, KeyEq> Index;
+  std::shared_ptr<Table> Meta;
+};
+
+class Env;
+
+/// A mutable variable cell. The paper's formalism separates the namespace G
+/// (names -> addresses) from the store S (addresses -> values); a Cell is an
+/// address, so closures that capture the same variable share mutations.
+using Cell = std::shared_ptr<Value>;
+
+/// Lexical environment: names (interned) -> cells, chained to the enclosing
+/// scope. Both host evaluation and Terra specialization use this one
+/// environment (the paper's "shared lexical environment").
+class Env {
+public:
+  explicit Env(std::shared_ptr<Env> Parent = nullptr)
+      : Parent(std::move(Parent)) {}
+
+  /// Finds the cell for \p Name, searching enclosing scopes; null if unbound.
+  Cell lookup(const std::string *Name) const;
+
+  /// Defines a new variable in this scope (shadowing any outer binding).
+  Cell define(const std::string *Name, Value V);
+
+  Env *parent() const { return Parent.get(); }
+  std::shared_ptr<Env> parentPtr() const { return Parent; }
+
+private:
+  std::shared_ptr<Env> Parent;
+  std::unordered_map<const std::string *, Cell> Cells;
+};
+
+struct FunctionExpr; // Host AST node, defined in LuaAST.h.
+
+/// A host closure: function AST + captured environment.
+struct Closure {
+  const FunctionExpr *Fn = nullptr;
+  std::shared_ptr<Env> Captured;
+  std::string Name; // For diagnostics; may be empty.
+};
+
+/// Renders a value for print()/tostring().
+std::string toDisplayString(const Value &V);
+
+} // namespace lua
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_LUAVALUE_H

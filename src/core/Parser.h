@@ -1,0 +1,102 @@
+//===- Parser.h - Combined Lua/Terra parser ---------------------*- C++ -*-===//
+//
+// Recursive-descent parser for the combined language. Host (Luna) grammar is
+// a Lua subset; `terra`, `quote`, backtick, and `struct` switch into the
+// Terra grammar, and `[...]` inside Terra switches back into host
+// expressions (escapes). This mirrors the paper's preprocessor, except that
+// we build both ASTs directly instead of rewriting text.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_PARSER_H
+#define TERRACPP_CORE_PARSER_H
+
+#include "core/Lexer.h"
+#include "core/LuaAST.h"
+#include "core/TerraAST.h"
+
+#include <vector>
+
+namespace terracpp {
+
+class Parser {
+public:
+  Parser(TerraContext &Ctx, const std::string &Src, uint32_t BufferId,
+         DiagnosticEngine &Diags);
+
+  /// Parses a whole chunk; returns null if any syntax error was reported.
+  const lua::Block *parseChunk();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token management (2 tokens of lookahead).
+  //===--------------------------------------------------------------------===
+  const Token &tok(unsigned N = 0);
+  void consume();
+  bool check(Tok Kind, unsigned N = 0) { return tok(N).Kind == Kind; }
+  bool accept(Tok Kind);
+  bool expect(Tok Kind, const char *Context);
+  void errorHere(const std::string &Message);
+
+  const std::string *intern(const std::string &S) { return Ctx.intern(S); }
+
+  //===--------------------------------------------------------------------===
+  // Host grammar.
+  //===--------------------------------------------------------------------===
+  const lua::Block *parseBlock();
+  bool blockFollow();
+  const lua::Stmt *parseStatement();
+  const lua::Stmt *parseLocal();
+  const lua::Stmt *parseIf();
+  const lua::Stmt *parseWhile();
+  const lua::Stmt *parseRepeat();
+  const lua::Stmt *parseFor();
+  const lua::Stmt *parseReturn();
+  const lua::Stmt *parseFunctionStmt(bool IsLocal);
+  const lua::Stmt *parseTerraStmtDecl(bool IsLocal);
+  const lua::Stmt *parseStructStmt(bool IsLocal);
+  const lua::Stmt *parseExprStatement();
+
+  const lua::Expr *parseExpr();
+  const lua::Expr *parseBinExpr(unsigned MinPrec);
+  const lua::Expr *parseUnaryExpr();
+  const lua::Expr *parseSuffixedExpr();
+  const lua::Expr *parsePrimaryExpr();
+  const lua::Expr *parseTableCtor();
+  const lua::FunctionExpr *parseFunctionBody(const std::string *DebugName,
+                                             bool IsMethod = false);
+  std::vector<const lua::Expr *> parseExprList();
+
+  //===--------------------------------------------------------------------===
+  // Terra grammar.
+  //===--------------------------------------------------------------------===
+  const lua::TerraFuncExpr *parseTerraFunctionRest(const std::string *Name,
+                                                   bool IsMethod);
+  const lua::TerraStructExpr *parseStructBody(const std::string *Name);
+  BlockStmt *parseTerraBlock();
+  bool terraBlockFollow();
+  TerraStmt *parseTerraStatement();
+  TerraStmt *parseTerraVar();
+  TerraStmt *parseTerraIf();
+  TerraStmt *parseTerraWhile();
+  TerraStmt *parseTerraFor();
+  TerraStmt *parseTerraExprOrAssign(TerraExpr *First);
+
+  TerraExpr *parseTerraExpr();
+  TerraExpr *parseTerraBinExpr(unsigned MinPrec);
+  TerraExpr *parseTerraUnaryExpr();
+  TerraExpr *parseTerraSuffixedExpr();
+  TerraExpr *parseTerraPrimaryExpr();
+  const lua::Expr *parseEscapeBody(); ///< After '[', up to ']'.
+
+  TerraContext &Ctx;
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  Token LookAhead[2];
+  unsigned NumLookAhead = 0;
+  bool HadError = false;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_PARSER_H

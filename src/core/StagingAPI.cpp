@@ -1,0 +1,280 @@
+#include "core/StagingAPI.h"
+
+using namespace terracpp;
+using namespace terracpp::stage;
+
+TerraExpr *Builder::var(TerraSymbol *S) {
+  auto *V = Ctx.make<VarExpr>();
+  V->Sym = S;
+  V->Name = S->Name;
+  return V;
+}
+
+TerraExpr *Builder::litInt(int64_t V, Type *T) {
+  auto *L = Ctx.make<LitExpr>();
+  L->LK = LitExpr::LK_Int;
+  L->IntVal = V;
+  L->LitTy = T ? T : types().int32();
+  return L;
+}
+
+TerraExpr *Builder::litFloat(double V, Type *T) {
+  auto *L = Ctx.make<LitExpr>();
+  L->LK = LitExpr::LK_Float;
+  L->FloatVal = V;
+  L->LitTy = T ? T : types().float64();
+  return L;
+}
+
+TerraExpr *Builder::litBool(bool V) {
+  auto *L = Ctx.make<LitExpr>();
+  L->LK = LitExpr::LK_Bool;
+  L->BoolVal = V;
+  L->LitTy = types().boolType();
+  return L;
+}
+
+TerraExpr *Builder::litString(const std::string &S) {
+  auto *L = Ctx.make<LitExpr>();
+  L->LK = LitExpr::LK_String;
+  L->StrVal = Ctx.intern(S);
+  L->LitTy = types().rawstring();
+  return L;
+}
+
+TerraExpr *Builder::nullPtr(Type *PointerTy) {
+  auto *L = Ctx.make<LitExpr>();
+  L->LK = LitExpr::LK_Pointer;
+  L->PtrVal = nullptr;
+  L->LitTy = PointerTy;
+  return L;
+}
+
+TerraExpr *Builder::binop(BinOpKind Op, TerraExpr *L, TerraExpr *R) {
+  auto *B = Ctx.make<BinOpExpr>();
+  B->Op = Op;
+  B->LHS = L;
+  B->RHS = R;
+  return B;
+}
+
+TerraExpr *Builder::neg(TerraExpr *E) {
+  auto *U = Ctx.make<UnOpExpr>();
+  U->Op = UnOpKind::Neg;
+  U->Operand = E;
+  return U;
+}
+
+TerraExpr *Builder::logicalNot(TerraExpr *E) {
+  auto *U = Ctx.make<UnOpExpr>();
+  U->Op = UnOpKind::Not;
+  U->Operand = E;
+  return U;
+}
+
+TerraExpr *Builder::deref(TerraExpr *Ptr) {
+  auto *U = Ctx.make<UnOpExpr>();
+  U->Op = UnOpKind::Deref;
+  U->Operand = Ptr;
+  return U;
+}
+
+TerraExpr *Builder::addrOf(TerraExpr *LValue) {
+  auto *U = Ctx.make<UnOpExpr>();
+  U->Op = UnOpKind::AddrOf;
+  U->Operand = LValue;
+  return U;
+}
+
+TerraExpr *Builder::index(TerraExpr *Base, TerraExpr *Idx) {
+  auto *X = Ctx.make<IndexExpr>();
+  X->Base = Base;
+  X->Idx = Idx;
+  return X;
+}
+
+TerraExpr *Builder::select(TerraExpr *Base, const std::string &Field) {
+  auto *S = Ctx.make<SelectExpr>();
+  S->Base = Base;
+  S->Field = Ctx.intern(Field);
+  return S;
+}
+
+TerraExpr *Builder::cast(Type *To, TerraExpr *E) {
+  auto *C = Ctx.make<CastExpr>();
+  C->TyRef = TypeRef::fromType(To);
+  C->Operand = E;
+  return C;
+}
+
+TerraExpr *Builder::construct(StructType *ST, std::vector<TerraExpr *> Inits) {
+  auto *C = Ctx.make<ConstructorExpr>();
+  C->TyRef = TypeRef::fromType(ST);
+  C->Inits = Ctx.copyArray(Inits);
+  C->NumInits = Inits.size();
+  return C;
+}
+
+TerraExpr *Builder::call(TerraFunction *F, std::vector<TerraExpr *> Args) {
+  return callIndirect(funcLit(F), std::move(Args));
+}
+
+TerraExpr *Builder::callIndirect(TerraExpr *Callee,
+                                 std::vector<TerraExpr *> Args) {
+  auto *A = Ctx.make<ApplyExpr>();
+  A->Callee = Callee;
+  A->Args = Ctx.copyArray(Args);
+  A->NumArgs = Args.size();
+  return A;
+}
+
+TerraExpr *Builder::methodCall(TerraExpr *Obj, const std::string &Method,
+                               std::vector<TerraExpr *> Args) {
+  auto *M = Ctx.make<MethodCallExpr>();
+  M->Obj = Obj;
+  M->Method = Ctx.intern(Method);
+  M->Args = Ctx.copyArray(Args);
+  M->NumArgs = Args.size();
+  return M;
+}
+
+TerraExpr *Builder::funcLit(TerraFunction *F) {
+  auto *L = Ctx.make<FuncLitExpr>();
+  L->Fn = F;
+  return L;
+}
+
+TerraExpr *Builder::globalRef(TerraGlobal *G) {
+  auto *R = Ctx.make<GlobalRefExpr>();
+  R->Global = G;
+  return R;
+}
+
+TerraExpr *Builder::sizeOf(Type *T) {
+  auto *N = Ctx.make<IntrinsicExpr>();
+  N->IK = IntrinsicKind::Sizeof;
+  N->TyRef = TypeRef::fromType(T);
+  return N;
+}
+
+TerraExpr *Builder::prefetch(TerraExpr *Addr, int RW, int Locality) {
+  auto *N = Ctx.make<IntrinsicExpr>();
+  N->IK = IntrinsicKind::Prefetch;
+  std::vector<TerraExpr *> Args = {Addr, litInt(RW), litInt(Locality)};
+  N->Args = Ctx.copyArray(Args);
+  N->NumArgs = Args.size();
+  return N;
+}
+
+static TerraExpr *makeMinMax(TerraContext &Ctx, IntrinsicKind IK,
+                             TerraExpr *A, TerraExpr *B) {
+  auto *N = Ctx.make<IntrinsicExpr>();
+  N->IK = IK;
+  std::vector<TerraExpr *> Args = {A, B};
+  N->Args = Ctx.copyArray(Args);
+  N->NumArgs = 2;
+  return N;
+}
+
+TerraExpr *Builder::minExpr(TerraExpr *A, TerraExpr *B2) {
+  return makeMinMax(Ctx, IntrinsicKind::Min, A, B2);
+}
+
+TerraExpr *Builder::maxExpr(TerraExpr *A, TerraExpr *B2) {
+  return makeMinMax(Ctx, IntrinsicKind::Max, A, B2);
+}
+
+BlockStmt *Builder::block(std::vector<TerraStmt *> Stmts) {
+  auto *B = Ctx.make<BlockStmt>();
+  B->Stmts = Ctx.copyArray(Stmts);
+  B->NumStmts = Stmts.size();
+  return B;
+}
+
+TerraStmt *Builder::varDecl(TerraSymbol *S, TerraExpr *Init) {
+  auto *D = Ctx.make<VarDeclStmt>();
+  std::vector<VarDeclName> Names(1);
+  Names[0].Name = S->Name;
+  Names[0].Sym = S;
+  Names[0].Ty = TypeRef::fromType(S->DeclaredType);
+  D->Names = Ctx.copyArray(Names);
+  D->NumNames = 1;
+  if (Init) {
+    std::vector<TerraExpr *> Inits = {Init};
+    D->Inits = Ctx.copyArray(Inits);
+    D->NumInits = 1;
+  }
+  return D;
+}
+
+TerraStmt *Builder::assign(TerraExpr *LHS, TerraExpr *RHS) {
+  return assignMany({LHS}, {RHS});
+}
+
+TerraStmt *Builder::assignMany(std::vector<TerraExpr *> LHS,
+                               std::vector<TerraExpr *> RHS) {
+  auto *A = Ctx.make<AssignStmt>();
+  A->LHS = Ctx.copyArray(LHS);
+  A->NumLHS = LHS.size();
+  A->RHS = Ctx.copyArray(RHS);
+  A->NumRHS = RHS.size();
+  return A;
+}
+
+TerraStmt *Builder::forNum(TerraSymbol *IVar, TerraExpr *Lo, TerraExpr *Hi,
+                           BlockStmt *Body, TerraExpr *Step) {
+  auto *F = Ctx.make<ForNumStmt>();
+  F->Var.Name = IVar->Name;
+  F->Var.Sym = IVar;
+  F->Var.Ty = TypeRef::fromType(IVar->DeclaredType);
+  F->Lo = Lo;
+  F->Hi = Hi;
+  F->Step = Step;
+  F->Body = Body;
+  return F;
+}
+
+TerraStmt *Builder::whileLoop(TerraExpr *Cond, BlockStmt *Body) {
+  auto *W = Ctx.make<WhileStmt>();
+  W->Cond = Cond;
+  W->Body = Body;
+  return W;
+}
+
+TerraStmt *Builder::ifStmt(TerraExpr *Cond, BlockStmt *Then, BlockStmt *Else) {
+  auto *I = Ctx.make<IfStmt>();
+  std::vector<TerraExpr *> Conds = {Cond};
+  std::vector<BlockStmt *> Blocks = {Then};
+  I->Conds = Ctx.copyArray(Conds);
+  I->Blocks = Ctx.copyArray(Blocks);
+  I->NumClauses = 1;
+  I->ElseBlock = Else;
+  return I;
+}
+
+TerraStmt *Builder::ret(TerraExpr *Val) {
+  auto *R = Ctx.make<ReturnStmt>();
+  R->Val = Val;
+  return R;
+}
+
+TerraStmt *Builder::exprStmt(TerraExpr *E) {
+  auto *S = Ctx.make<ExprStmt>();
+  S->E = E;
+  return S;
+}
+
+TerraStmt *Builder::breakStmt() { return Ctx.make<BreakStmt>(); }
+
+TerraFunction *Builder::function(const std::string &Name,
+                                 std::vector<TerraSymbol *> Params,
+                                 Type *RetTy, BlockStmt *Body) {
+  TerraFunction *F = Ctx.createFunction(Name);
+  F->Params = Ctx.copyArray(Params);
+  F->NumParams = Params.size();
+  if (RetTy)
+    F->RetTy = TypeRef::fromType(RetTy);
+  F->Body = Body;
+  F->State = TerraFunction::SK_Defined;
+  return F;
+}

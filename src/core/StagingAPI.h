@@ -1,0 +1,151 @@
+//===- StagingAPI.h - C++ builder for staged Terra code ---------*- C++ -*-===//
+//
+// A programmatic staging interface mirroring what Lua code does with
+// quotations and escapes: substrate libraries (the GEMM auto-tuner, the
+// Orion stencil DSL, the class system, the DataTable generator) build
+// specialized Terra trees directly from C++ and hand them to the normal
+// typecheck/compile pipeline. Nodes built here are already "specialized":
+// every variable carries a unique TerraSymbol (the builder gensyms them, the
+// same mechanism as the paper's symbol()).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_STAGINGAPI_H
+#define TERRACPP_CORE_STAGINGAPI_H
+
+#include "core/TerraAST.h"
+#include "core/TerraType.h"
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace terracpp {
+namespace stage {
+
+/// Builds specialized Terra AST nodes. All returned nodes live in the
+/// TerraContext arena.
+class Builder {
+public:
+  explicit Builder(TerraContext &Ctx) : Ctx(Ctx) {}
+
+  TerraContext &context() { return Ctx; }
+  TypeContext &types() { return Ctx.types(); }
+
+  //===--------------------------------------------------------------------===
+  // Symbols
+  //===--------------------------------------------------------------------===
+  TerraSymbol *sym(Type *T, const std::string &Name = "v") {
+    return Ctx.freshSymbol(Ctx.intern(Name), T);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+  TerraExpr *var(TerraSymbol *S);
+  TerraExpr *litInt(int64_t V, Type *T = nullptr); ///< Default int32.
+  TerraExpr *litI64(int64_t V) { return litInt(V, types().int64()); }
+  TerraExpr *litFloat(double V, Type *T = nullptr); ///< Default double.
+  TerraExpr *litBool(bool V);
+  TerraExpr *litString(const std::string &S);
+  TerraExpr *nullPtr(Type *PointerTy);
+
+  TerraExpr *binop(BinOpKind Op, TerraExpr *L, TerraExpr *R);
+  TerraExpr *add(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Add, L, R);
+  }
+  TerraExpr *sub(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Sub, L, R);
+  }
+  TerraExpr *mul(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Mul, L, R);
+  }
+  TerraExpr *div(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Div, L, R);
+  }
+  TerraExpr *mod(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Mod, L, R);
+  }
+  TerraExpr *lt(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Lt, L, R);
+  }
+  TerraExpr *le(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Le, L, R);
+  }
+  TerraExpr *gt(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Gt, L, R);
+  }
+  TerraExpr *ge(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Ge, L, R);
+  }
+  TerraExpr *eq(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Eq, L, R);
+  }
+  TerraExpr *ne(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Ne, L, R);
+  }
+  TerraExpr *logicalAnd(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::And, L, R);
+  }
+  TerraExpr *logicalOr(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Or, L, R);
+  }
+
+  TerraExpr *neg(TerraExpr *E);
+  TerraExpr *logicalNot(TerraExpr *E);
+  TerraExpr *deref(TerraExpr *Ptr);
+  TerraExpr *addrOf(TerraExpr *LValue);
+  TerraExpr *index(TerraExpr *Base, TerraExpr *Idx);
+  TerraExpr *index(TerraExpr *Base, int64_t Idx) {
+    return index(Base, litI64(Idx));
+  }
+  TerraExpr *select(TerraExpr *Base, const std::string &Field);
+  TerraExpr *cast(Type *To, TerraExpr *E);
+  TerraExpr *construct(StructType *ST, std::vector<TerraExpr *> Inits);
+  TerraExpr *call(TerraFunction *F, std::vector<TerraExpr *> Args);
+  TerraExpr *callIndirect(TerraExpr *Callee, std::vector<TerraExpr *> Args);
+  TerraExpr *methodCall(TerraExpr *Obj, const std::string &Method,
+                        std::vector<TerraExpr *> Args);
+  TerraExpr *funcLit(TerraFunction *F);
+  TerraExpr *globalRef(TerraGlobal *G);
+  TerraExpr *sizeOf(Type *T);
+  /// prefetch(addr, rw, locality) — emits __builtin_prefetch (paper Fig. 5).
+  TerraExpr *prefetch(TerraExpr *Addr, int RW = 0, int Locality = 3);
+  /// Elementwise min/max (scalars and SIMD vectors).
+  TerraExpr *minExpr(TerraExpr *A, TerraExpr *B2);
+  TerraExpr *maxExpr(TerraExpr *A, TerraExpr *B2);
+
+  //===--------------------------------------------------------------------===
+  // Statements
+  //===--------------------------------------------------------------------===
+  BlockStmt *block(std::vector<TerraStmt *> Stmts);
+  TerraStmt *varDecl(TerraSymbol *S, TerraExpr *Init = nullptr);
+  TerraStmt *assign(TerraExpr *LHS, TerraExpr *RHS);
+  TerraStmt *assignMany(std::vector<TerraExpr *> LHS,
+                        std::vector<TerraExpr *> RHS);
+  /// Terra numeric for: exclusive limit.
+  TerraStmt *forNum(TerraSymbol *IVar, TerraExpr *Lo, TerraExpr *Hi,
+                    BlockStmt *Body, TerraExpr *Step = nullptr);
+  TerraStmt *whileLoop(TerraExpr *Cond, BlockStmt *Body);
+  TerraStmt *ifStmt(TerraExpr *Cond, BlockStmt *Then,
+                    BlockStmt *Else = nullptr);
+  TerraStmt *ret(TerraExpr *Val = nullptr);
+  TerraStmt *exprStmt(TerraExpr *E);
+  TerraStmt *breakStmt();
+
+  //===--------------------------------------------------------------------===
+  // Functions
+  //===--------------------------------------------------------------------===
+  /// Defines a Terra function; RetTy null means "infer from returns".
+  TerraFunction *function(const std::string &Name,
+                          std::vector<TerraSymbol *> Params, Type *RetTy,
+                          BlockStmt *Body);
+
+private:
+  TerraContext &Ctx;
+};
+
+} // namespace stage
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_STAGINGAPI_H

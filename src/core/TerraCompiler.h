@@ -1,0 +1,109 @@
+//===- TerraCompiler.h - Compilation driver + FFI ---------------*- C++ -*-===//
+//
+// Orchestrates the lazy compilation pipeline (paper §4.1/§5): when a Terra
+// function is first called, its whole connected component is typechecked
+// (Fig. 4), midend passes run, and the component is compiled by the selected
+// backend. Also implements the FFI (paper §4.2): host values convert to
+// Terra values at call boundaries, Terra results convert back, and host
+// closures can be wrapped as callable Terra functions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRACOMPILER_H
+#define TERRACPP_CORE_TERRACOMPILER_H
+
+#include "core/LuaValue.h"
+#include "core/TerraAST.h"
+#include "core/TerraJIT.h"
+#include "core/TerraTypecheck.h"
+
+#include <map>
+#include <memory>
+
+namespace terracpp {
+
+class TerraInterpBackend;
+
+/// Which execution engine runs compiled Terra code.
+enum class BackendKind {
+  Native, ///< CBackend -> system cc -> dlopen (default).
+  Interp, ///< Tree-walking evaluator (no C compiler required).
+};
+
+class TerraCompiler {
+public:
+  TerraCompiler(TerraContext &Ctx, lua::Interp &I,
+                BackendKind Backend = BackendKind::Native);
+  ~TerraCompiler();
+
+  Typechecker &typechecker() { return TC; }
+  JITEngine &jit() { return JIT; }
+  BackendKind backend() const { return Backend; }
+
+  /// Typechecks, optimizes, and compiles F (and its connected component).
+  /// Idempotent; false on failure.
+  bool ensureCompiled(TerraFunction *F);
+
+  /// Calls a Terra function with host values across the FFI.
+  bool callFromHost(TerraFunction *F, std::vector<lua::Value> &Args,
+                    std::vector<lua::Value> &Results, SourceLoc Loc);
+
+  /// Converts one host value into the bytes of a Terra value of type \p Ty
+  /// at \p Dst (paper §4.2 FFI conversions). False on conversion failure.
+  bool marshalValue(const lua::Value &V, Type *Ty, void *Dst, SourceLoc Loc);
+
+  /// Converts Terra bytes back into a host value.
+  lua::Value unmarshalValue(Type *Ty, const void *Src);
+
+  /// Wraps a host closure as a Terra function of type \p FnTy
+  /// (terralib.cast). The wrapper is compiled lazily like any function.
+  TerraFunction *wrapHostClosure(std::shared_ptr<lua::Closure> C,
+                                 FunctionType *FnTy, std::string Name);
+
+  /// Creates an extern "C" function binding (terralib.includec substitute).
+  TerraFunction *createExtern(std::string Name, FunctionType *FnTy,
+                              std::string Header, void *Addr);
+
+  /// Invoked by the generated-code trampoline for host-closure wrappers.
+  bool invokeHostClosure(uint64_t Id, void **Args, void *Ret);
+
+  /// saveobj: writes the named functions (and their components) to a .c,
+  /// .o, or .so file with unmangled exported names.
+  bool saveObject(const std::string &Path,
+                  const std::vector<std::pair<std::string, TerraFunction *>>
+                      &Exports);
+
+  /// Cumulative pipeline timings (for bench_compile).
+  struct Stats {
+    double TypecheckSeconds = 0;
+    double CodegenSeconds = 0;
+    unsigned ModulesCompiled = 0;
+    unsigned FunctionsCompiled = 0;
+  };
+  const Stats &stats() const { return Timing; }
+  double backendCompilerSeconds() const { return JIT.compilerSeconds(); }
+
+private:
+  /// Collects the not-yet-compiled connected component rooted at F.
+  void collectComponent(TerraFunction *F,
+                        std::vector<TerraFunction *> &Component);
+
+  TerraContext &Ctx;
+  lua::Interp &I;
+  BackendKind Backend;
+  Typechecker TC;
+  JITEngine JIT;
+  std::unique_ptr<TerraInterpBackend> InterpBackend;
+
+  struct HostClosureInfo {
+    std::shared_ptr<lua::Closure> Closure;
+    FunctionType *FnTy;
+  };
+  std::map<uint64_t, HostClosureInfo> HostClosures;
+  uint64_t NextHostClosureId = 1;
+  Stats Timing;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRACOMPILER_H

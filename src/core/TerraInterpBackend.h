@@ -1,0 +1,39 @@
+//===- TerraInterpBackend.h - Tree-walking Terra evaluator ------*- C++ -*-===//
+//
+// Fallback execution engine that evaluates typechecked Terra trees directly
+// over raw memory, with no C compiler required. It implements the same
+// separate-evaluation semantics as the native backend (Terra code never
+// touches the host store) and is used for differential testing of the
+// native backend and for environments without a toolchain.
+//
+// Representation notes: values are raw bytes typed by Type*. In this
+// backend, values of function type hold a TerraFunction* (never a machine
+// address), so interpreted code can call externs, host wrappers, and other
+// interpreted functions uniformly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRAINTERPBACKEND_H
+#define TERRACPP_CORE_TERRAINTERPBACKEND_H
+
+#include "core/TerraAST.h"
+
+namespace terracpp {
+
+class TerraCompiler;
+
+class TerraInterpBackend {
+public:
+  TerraInterpBackend(TerraContext &Ctx, TerraCompiler &Compiler);
+
+  /// Installs an interpretive Entry thunk on \p F. Idempotent.
+  bool prepare(TerraFunction *F);
+
+private:
+  TerraContext &Ctx;
+  TerraCompiler &Compiler;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRAINTERPBACKEND_H

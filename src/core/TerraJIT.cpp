@@ -1,0 +1,130 @@
+#include "core/TerraJIT.h"
+
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace terracpp;
+
+JITEngine::JITEngine(DiagnosticEngine &Diags) : Diags(Diags) {
+  char Template[] = "/tmp/terracpp-XXXXXX";
+  const char *Dir = mkdtemp(Template);
+  TempDir = Dir ? Dir : "/tmp";
+}
+
+JITEngine::~JITEngine() {
+  for (void *H : Handles)
+    dlclose(H);
+  // Best-effort cleanup of the scratch directory.
+  if (TempDir.rfind("/tmp/terracpp-", 0) == 0) {
+    std::string Cmd = "rm -rf '" + TempDir + "'";
+    if (system(Cmd.c_str()) != 0) {
+      // Leave stray files behind rather than failing shutdown.
+    }
+  }
+}
+
+static std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool JITEngine::runCompiler(const std::string &SrcPath,
+                            const std::string &OutPath,
+                            const std::string &ExtraFlags) {
+  std::string Log = OutPath + ".log";
+  std::string Cmd = "cc " + OptFlags + " " + ExtraFlags + " '" + SrcPath +
+                    "' -o '" + OutPath + "' 2> '" + Log + "'";
+  Timer T;
+  int RC = system(Cmd.c_str());
+  CompilerSeconds += T.seconds();
+  if (RC != 0) {
+    Diags.error(SourceLoc(), "C compiler failed for generated module:\n" +
+                                 readFile(Log) + "\ncommand: " + Cmd);
+    return false;
+  }
+  return true;
+}
+
+bool JITEngine::addModule(const std::string &CSource,
+                          const std::vector<TerraFunction *> &Fns) {
+  LastSource = CSource;
+  unsigned Id = ModuleCounter++;
+  std::string Base = TempDir + "/mod" + std::to_string(Id);
+  std::string SrcPath = Base + ".c";
+  std::string SoPath = Base + ".so";
+  {
+    std::ofstream Out(SrcPath);
+    if (!Out) {
+      Diags.error(SourceLoc(), "cannot write generated source " + SrcPath);
+      return false;
+    }
+    Out << CSource;
+  }
+  if (!runCompiler(SrcPath, SoPath, "-shared -fPIC"))
+    return false;
+
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    Diags.error(SourceLoc(),
+                std::string("dlopen failed for generated module: ") +
+                    dlerror());
+    return false;
+  }
+  Handles.push_back(Handle);
+
+  for (TerraFunction *F : Fns) {
+    std::string Name = F->mangledName();
+    void *Sym = dlsym(Handle, Name.c_str());
+    void *EntrySym = dlsym(Handle, (Name + "_entry").c_str());
+    if (!Sym || !EntrySym) {
+      Diags.error(SourceLoc(),
+                  "dlsym failed for '" + Name + "' in generated module");
+      return false;
+    }
+    F->RawPtr = Sym;
+    using EntryFnC = void (*)(void **, void *);
+    EntryFnC EP = reinterpret_cast<EntryFnC>(EntrySym);
+    F->Entry = [EP](void **Args, void *Ret) { EP(Args, Ret); };
+  }
+  return true;
+}
+
+bool JITEngine::saveObject(const std::string &Path,
+                           const std::string &CSource) {
+  auto EndsWith = [&](const char *Suffix) {
+    size_t N = strlen(Suffix);
+    return Path.size() >= N && Path.compare(Path.size() - N, N, Suffix) == 0;
+  };
+  if (EndsWith(".c")) {
+    std::ofstream Out(Path);
+    if (!Out) {
+      Diags.error(SourceLoc(), "cannot write " + Path);
+      return false;
+    }
+    Out << CSource;
+    return true;
+  }
+  std::string SrcPath = TempDir + "/save" + std::to_string(ModuleCounter++) +
+                        ".c";
+  {
+    std::ofstream Out(SrcPath);
+    Out << CSource;
+  }
+  if (EndsWith(".o"))
+    return runCompiler(SrcPath, Path, "-c -fPIC");
+  if (EndsWith(".so"))
+    return runCompiler(SrcPath, Path, "-shared -fPIC");
+  Diags.error(SourceLoc(), "saveobj: unsupported extension on " + Path +
+                               " (use .c, .o, or .so)");
+  return false;
+}

@@ -1,0 +1,64 @@
+//===- TerraJIT.h - Compile-and-load driver for the C backend ---*- C++ -*-===//
+//
+// Takes C source emitted by CBackend, compiles it to a shared object with
+// the system C compiler, loads it with dlopen, and resolves each function's
+// raw pointer and FFI entry thunk. Loaded modules live as long as the
+// engine. This is the offline substitute for LLVM's MCJIT (DESIGN.md §4).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRAJIT_H
+#define TERRACPP_CORE_TERRAJIT_H
+
+#include "core/TerraAST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace terracpp {
+
+class JITEngine {
+public:
+  explicit JITEngine(DiagnosticEngine &Diags);
+  ~JITEngine();
+  JITEngine(const JITEngine &) = delete;
+  JITEngine &operator=(const JITEngine &) = delete;
+
+  /// Compiles \p CSource and fills RawPtr/Entry for each function in
+  /// \p Fns. False on failure (compiler errors are attached to the
+  /// diagnostic).
+  bool addModule(const std::string &CSource,
+                 const std::vector<TerraFunction *> &Fns);
+
+  /// Writes \p CSource to \p Path as C (ext .c), a relocatable object
+  /// (.o), or a shared library (.so), chosen by extension — the saveobj
+  /// feature (paper §2).
+  bool saveObject(const std::string &Path, const std::string &CSource);
+
+  /// The source of the most recently added module (for tests/debugging).
+  const std::string &lastModuleSource() const { return LastSource; }
+
+  /// Seconds spent inside the C compiler so far (for bench_compile).
+  double compilerSeconds() const { return CompilerSeconds; }
+
+  /// Extra flags for the C compiler (defaults to -O3 -march=native).
+  void setOptFlags(std::string Flags) { OptFlags = std::move(Flags); }
+
+private:
+  bool runCompiler(const std::string &SrcPath, const std::string &OutPath,
+                   const std::string &ExtraFlags);
+
+  DiagnosticEngine &Diags;
+  std::string TempDir;
+  std::string OptFlags = "-O3 -march=native -fno-math-errno "
+                         "-fno-semantic-interposition";
+  unsigned ModuleCounter = 0;
+  std::vector<void *> Handles;
+  std::string LastSource;
+  double CompilerSeconds = 0;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRAJIT_H

@@ -1,0 +1,473 @@
+#include "core/TerraPasses.h"
+
+#include "core/TerraType.h"
+
+#include <cmath>
+
+using namespace terracpp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+bool isIntLit(const TerraExpr *E, int64_t &Out) {
+  const auto *L = dyn_cast<LitExpr>(E);
+  if (!L || L->LK != LitExpr::LK_Int)
+    return false;
+  Out = L->IntVal;
+  return true;
+}
+
+bool isFloatLit(const TerraExpr *E, double &Out) {
+  const auto *L = dyn_cast<LitExpr>(E);
+  if (!L || L->LK != LitExpr::LK_Float)
+    return false;
+  Out = L->FloatVal;
+  return true;
+}
+
+class Folder {
+public:
+  explicit Folder(TerraContext &Ctx) : Ctx(Ctx) {}
+
+  void foldExpr(TerraExpr *&E);
+  void foldStmt(TerraStmt *&S);
+  void foldBlock(BlockStmt *B);
+
+private:
+  LitExpr *makeInt(int64_t V, Type *Ty, SourceLoc Loc) {
+    auto *L = Ctx.make<LitExpr>(Loc);
+    L->LK = LitExpr::LK_Int;
+    L->IntVal = V;
+    L->LitTy = Ty;
+    L->Ty = Ty;
+    return L;
+  }
+  LitExpr *makeFloat(double V, Type *Ty, SourceLoc Loc) {
+    auto *L = Ctx.make<LitExpr>(Loc);
+    L->LK = LitExpr::LK_Float;
+    L->FloatVal = V;
+    L->LitTy = Ty;
+    L->Ty = Ty;
+    return L;
+  }
+  LitExpr *makeBool(bool V, Type *Ty, SourceLoc Loc) {
+    auto *L = Ctx.make<LitExpr>(Loc);
+    L->LK = LitExpr::LK_Bool;
+    L->BoolVal = V;
+    L->LitTy = Ty;
+    L->Ty = Ty;
+    return L;
+  }
+
+  TerraContext &Ctx;
+};
+
+void Folder::foldExpr(TerraExpr *&E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case TerraNode::NK_BinOp: {
+    auto *B = cast<BinOpExpr>(E);
+    foldExpr(B->LHS);
+    foldExpr(B->RHS);
+    int64_t LI, RI;
+    double LF, RF;
+    Type *Ty = B->Ty;
+    if (!Ty || Ty->isVector())
+      return;
+    if (isIntLit(B->LHS, LI) && isIntLit(B->RHS, RI)) {
+      switch (B->Op) {
+      case BinOpKind::Add:
+        E = makeInt(LI + RI, Ty, E->loc());
+        return;
+      case BinOpKind::Sub:
+        E = makeInt(LI - RI, Ty, E->loc());
+        return;
+      case BinOpKind::Mul:
+        E = makeInt(LI * RI, Ty, E->loc());
+        return;
+      case BinOpKind::Div:
+        if (RI != 0)
+          E = makeInt(LI / RI, Ty, E->loc());
+        return;
+      case BinOpKind::Mod:
+        if (RI != 0)
+          E = makeInt(LI % RI, Ty, E->loc());
+        return;
+      case BinOpKind::Lt:
+        E = makeBool(LI < RI, Ty, E->loc());
+        return;
+      case BinOpKind::Le:
+        E = makeBool(LI <= RI, Ty, E->loc());
+        return;
+      case BinOpKind::Gt:
+        E = makeBool(LI > RI, Ty, E->loc());
+        return;
+      case BinOpKind::Ge:
+        E = makeBool(LI >= RI, Ty, E->loc());
+        return;
+      case BinOpKind::Eq:
+        E = makeBool(LI == RI, Ty, E->loc());
+        return;
+      case BinOpKind::Ne:
+        E = makeBool(LI != RI, Ty, E->loc());
+        return;
+      default:
+        return;
+      }
+    }
+    if (isFloatLit(B->LHS, LF) && isFloatLit(B->RHS, RF)) {
+      switch (B->Op) {
+      case BinOpKind::Add:
+        E = makeFloat(LF + RF, Ty, E->loc());
+        return;
+      case BinOpKind::Sub:
+        E = makeFloat(LF - RF, Ty, E->loc());
+        return;
+      case BinOpKind::Mul:
+        E = makeFloat(LF * RF, Ty, E->loc());
+        return;
+      case BinOpKind::Div:
+        E = makeFloat(LF / RF, Ty, E->loc());
+        return;
+      default:
+        return;
+      }
+    }
+    return;
+  }
+  case TerraNode::NK_UnOp: {
+    auto *U = cast<UnOpExpr>(E);
+    foldExpr(U->Operand);
+    int64_t I;
+    double F;
+    if (U->Op == UnOpKind::Neg && U->Ty && !U->Ty->isVector()) {
+      if (isIntLit(U->Operand, I)) {
+        E = makeInt(-I, U->Ty, E->loc());
+        return;
+      }
+      if (isFloatLit(U->Operand, F)) {
+        E = makeFloat(-F, U->Ty, E->loc());
+        return;
+      }
+    }
+    if (U->Op == UnOpKind::Not) {
+      if (const auto *L = dyn_cast<LitExpr>(U->Operand);
+          L && L->LK == LitExpr::LK_Bool) {
+        E = makeBool(!L->BoolVal, U->Ty, E->loc());
+        return;
+      }
+    }
+    return;
+  }
+  case TerraNode::NK_Cast: {
+    auto *C = cast<CastExpr>(E);
+    foldExpr(C->Operand);
+    // Fold numeric casts of literals.
+    Type *To = C->Ty;
+    const auto *L = dyn_cast<LitExpr>(C->Operand);
+    if (!L || !To || To->isVector() || To->isPointer())
+      return;
+    if (L->LK == LitExpr::LK_Int && To->isFloat()) {
+      E = makeFloat(static_cast<double>(L->IntVal), To, E->loc());
+      return;
+    }
+    if (L->LK == LitExpr::LK_Int && To->isIntegral()) {
+      E = makeInt(L->IntVal, To, E->loc());
+      return;
+    }
+    if (L->LK == LitExpr::LK_Float && To->isFloat()) {
+      double V = L->FloatVal;
+      if (To->size() == 4)
+        V = static_cast<float>(V);
+      E = makeFloat(V, To, E->loc());
+      return;
+    }
+    return;
+  }
+  case TerraNode::NK_Apply: {
+    auto *A = cast<ApplyExpr>(E);
+    foldExpr(A->Callee);
+    for (unsigned I = 0; I != A->NumArgs; ++I)
+      foldExpr(A->Args[I]);
+    return;
+  }
+  case TerraNode::NK_Index: {
+    auto *X = cast<IndexExpr>(E);
+    foldExpr(X->Base);
+    foldExpr(X->Idx);
+    return;
+  }
+  case TerraNode::NK_Select: {
+    foldExpr(cast<SelectExpr>(E)->Base);
+    return;
+  }
+  case TerraNode::NK_Constructor: {
+    auto *C = cast<ConstructorExpr>(E);
+    for (unsigned I = 0; I != C->NumInits; ++I)
+      foldExpr(C->Inits[I]);
+    return;
+  }
+  case TerraNode::NK_Intrinsic: {
+    auto *N = cast<IntrinsicExpr>(E);
+    for (unsigned I = 0; I != N->NumArgs; ++I)
+      foldExpr(N->Args[I]);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Folder::foldBlock(BlockStmt *B) {
+  // Fold each statement, drop everything after a return/break, and resolve
+  // constant conditionals.
+  std::vector<TerraStmt *> Out;
+  for (unsigned I = 0; I != B->NumStmts; ++I) {
+    TerraStmt *S = B->Stmts[I];
+    foldStmt(S);
+    if (!S)
+      continue;
+    Out.push_back(S);
+    if (isa<ReturnStmt>(S) || isa<BreakStmt>(S))
+      break; // Unreachable code after terminator.
+  }
+  if (Out.size() != B->NumStmts) {
+    B->Stmts = Ctx.copyArray(Out);
+    B->NumStmts = Out.size();
+  } else {
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      B->Stmts[I] = Out[I];
+  }
+}
+
+void Folder::foldStmt(TerraStmt *&S) {
+  switch (S->kind()) {
+  case TerraNode::NK_Block:
+    foldBlock(cast<BlockStmt>(S));
+    return;
+  case TerraNode::NK_VarDecl: {
+    auto *D = cast<VarDeclStmt>(S);
+    for (unsigned I = 0; I != D->NumInits; ++I)
+      foldExpr(D->Inits[I]);
+    return;
+  }
+  case TerraNode::NK_Assign: {
+    auto *A = cast<AssignStmt>(S);
+    for (unsigned I = 0; I != A->NumLHS; ++I)
+      foldExpr(A->LHS[I]);
+    for (unsigned I = 0; I != A->NumRHS; ++I)
+      foldExpr(A->RHS[I]);
+    return;
+  }
+  case TerraNode::NK_If: {
+    auto *I2 = cast<IfStmt>(S);
+    for (unsigned K = 0; K != I2->NumClauses; ++K) {
+      foldExpr(I2->Conds[K]);
+      foldBlock(I2->Blocks[K]);
+    }
+    if (I2->ElseBlock)
+      foldBlock(I2->ElseBlock);
+    // Dead-branch elimination for a single constant-condition clause.
+    if (I2->NumClauses == 1) {
+      if (const auto *L = dyn_cast<LitExpr>(I2->Conds[0]);
+          L && L->LK == LitExpr::LK_Bool) {
+        if (L->BoolVal) {
+          S = I2->Blocks[0];
+        } else if (I2->ElseBlock) {
+          S = I2->ElseBlock;
+        } else {
+          S = nullptr;
+        }
+      }
+    }
+    return;
+  }
+  case TerraNode::NK_While: {
+    auto *W = cast<WhileStmt>(S);
+    foldExpr(W->Cond);
+    foldBlock(W->Body);
+    return;
+  }
+  case TerraNode::NK_ForNum: {
+    auto *F = cast<ForNumStmt>(S);
+    foldExpr(F->Lo);
+    foldExpr(F->Hi);
+    if (F->Step)
+      foldExpr(F->Step);
+    foldBlock(F->Body);
+    return;
+  }
+  case TerraNode::NK_Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->Val)
+      foldExpr(R->Val);
+    return;
+  }
+  case TerraNode::NK_ExprStmt:
+    foldExpr(cast<ExprStmt>(S)->E);
+    return;
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+class Verifier {
+public:
+  Verifier(DiagnosticEngine &Diags) : Diags(Diags) {}
+  bool OK = true;
+
+  void require(bool Cond, SourceLoc Loc, const char *Msg) {
+    if (Cond)
+      return;
+    Diags.error(Loc, std::string("verifier: ") + Msg);
+    OK = false;
+  }
+
+  void visitExpr(const TerraExpr *E) {
+    if (!E)
+      return;
+    require(E->Ty != nullptr, E->loc(), "expression has no type");
+    require(!isa<EscapeExpr>(E), E->loc(), "escape survived specialization");
+    require(!isa<MethodCallExpr>(E), E->loc(),
+            "method call survived typechecking");
+    switch (E->kind()) {
+    case TerraNode::NK_Select:
+      visitExpr(cast<SelectExpr>(E)->Base);
+      require(cast<SelectExpr>(E)->FieldIndex >= 0, E->loc(),
+              "unresolved field");
+      break;
+    case TerraNode::NK_Apply: {
+      const auto *A = cast<ApplyExpr>(E);
+      visitExpr(A->Callee);
+      for (unsigned I = 0; I != A->NumArgs; ++I)
+        visitExpr(A->Args[I]);
+      break;
+    }
+    case TerraNode::NK_BinOp:
+      visitExpr(cast<BinOpExpr>(E)->LHS);
+      visitExpr(cast<BinOpExpr>(E)->RHS);
+      break;
+    case TerraNode::NK_UnOp:
+      visitExpr(cast<UnOpExpr>(E)->Operand);
+      break;
+    case TerraNode::NK_Index:
+      visitExpr(cast<IndexExpr>(E)->Base);
+      visitExpr(cast<IndexExpr>(E)->Idx);
+      break;
+    case TerraNode::NK_Cast:
+      visitExpr(cast<CastExpr>(E)->Operand);
+      break;
+    case TerraNode::NK_Constructor: {
+      const auto *C = cast<ConstructorExpr>(E);
+      for (unsigned I = 0; I != C->NumInits; ++I)
+        visitExpr(C->Inits[I]);
+      break;
+    }
+    case TerraNode::NK_Intrinsic: {
+      const auto *N = cast<IntrinsicExpr>(E);
+      for (unsigned I = 0; I != N->NumArgs; ++I)
+        visitExpr(N->Args[I]);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  void visitStmt(const TerraStmt *S) {
+    switch (S->kind()) {
+    case TerraNode::NK_Block: {
+      const auto *B = cast<BlockStmt>(S);
+      for (unsigned I = 0; I != B->NumStmts; ++I)
+        visitStmt(B->Stmts[I]);
+      break;
+    }
+    case TerraNode::NK_VarDecl: {
+      const auto *D = cast<VarDeclStmt>(S);
+      for (unsigned I = 0; I != D->NumNames; ++I) {
+        require(D->Names[I].Sym != nullptr, S->loc(), "unbound declaration");
+        require(D->Names[I].Sym->DeclaredType != nullptr, S->loc(),
+                "declaration without a type");
+      }
+      for (unsigned I = 0; I != D->NumInits; ++I)
+        visitExpr(D->Inits[I]);
+      break;
+    }
+    case TerraNode::NK_Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      for (unsigned I = 0; I != A->NumLHS; ++I)
+        visitExpr(A->LHS[I]);
+      for (unsigned I = 0; I != A->NumRHS; ++I)
+        visitExpr(A->RHS[I]);
+      break;
+    }
+    case TerraNode::NK_If: {
+      const auto *I2 = cast<IfStmt>(S);
+      for (unsigned K = 0; K != I2->NumClauses; ++K) {
+        visitExpr(I2->Conds[K]);
+        visitStmt(I2->Blocks[K]);
+      }
+      if (I2->ElseBlock)
+        visitStmt(I2->ElseBlock);
+      break;
+    }
+    case TerraNode::NK_While:
+      visitExpr(cast<WhileStmt>(S)->Cond);
+      visitStmt(cast<WhileStmt>(S)->Body);
+      break;
+    case TerraNode::NK_ForNum: {
+      const auto *F = cast<ForNumStmt>(S);
+      require(F->Var.Sym && F->Var.Sym->DeclaredType, S->loc(),
+              "loop variable untyped");
+      visitExpr(F->Lo);
+      visitExpr(F->Hi);
+      if (F->Step)
+        visitExpr(F->Step);
+      visitStmt(F->Body);
+      break;
+    }
+    case TerraNode::NK_Return:
+      if (cast<ReturnStmt>(S)->Val)
+        visitExpr(cast<ReturnStmt>(S)->Val);
+      break;
+    case TerraNode::NK_Break:
+      break;
+    case TerraNode::NK_ExprStmt:
+      visitExpr(cast<ExprStmt>(S)->E);
+      break;
+    case TerraNode::NK_EscapeStmt:
+      require(false, S->loc(), "escape statement survived specialization");
+      break;
+    default:
+      require(false, S->loc(), "unknown statement kind");
+    }
+  }
+
+private:
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+void terracpp::runMidendPasses(TerraContext &Ctx, TerraFunction *F) {
+  if (!F->Body)
+    return;
+  Folder Fo(Ctx);
+  Fo.foldBlock(F->Body);
+}
+
+bool terracpp::verifyFunction(DiagnosticEngine &Diags, TerraFunction *F) {
+  if (!F->Body)
+    return true; // Extern / host wrapper.
+  Verifier V(Diags);
+  V.visitStmt(F->Body);
+  return V.OK;
+}

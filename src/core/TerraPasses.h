@@ -1,0 +1,33 @@
+//===- TerraPasses.h - Midend passes over typed Terra trees -----*- C++ -*-===//
+//
+// Small optimization/cleanup pipeline run between typechecking and code
+// generation:
+//   * constant folding of arithmetic/comparisons on literals;
+//   * dead-branch elimination (`if true/false` from staged parameters);
+//   * trivially unreachable-statement removal after `return`/`break`;
+//   * a verifier that asserts the tree is fully typed and escape-free.
+//
+// Heavy optimization is deliberately left to the downstream C compiler (the
+// LLVM substitute); these passes exist to clean up staging residue (e.g.
+// `if [cond] then` where cond was a host constant) and to catch backend
+// precondition violations early.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRAPASSES_H
+#define TERRACPP_CORE_TERRAPASSES_H
+
+#include "core/TerraAST.h"
+
+namespace terracpp {
+
+/// Runs the standard pipeline over a typechecked function. Idempotent.
+void runMidendPasses(TerraContext &Ctx, TerraFunction *F);
+
+/// Verifies backend preconditions (fully typed, no escapes, no method
+/// calls). Returns false and reports through \p Diags on violation.
+bool verifyFunction(DiagnosticEngine &Diags, TerraFunction *F);
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRAPASSES_H

@@ -1,0 +1,279 @@
+#include "core/TerraPrint.h"
+
+#include "core/TerraType.h"
+
+#include <sstream>
+
+using namespace terracpp;
+
+namespace {
+
+std::string symName(const TerraSymbol *S) {
+  if (!S)
+    return "<unbound>";
+  return *S->Name + "$" + std::to_string(S->Id);
+}
+
+const char *binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "~=";
+  case BinOpKind::And:
+    return "and";
+  case BinOpKind::Or:
+    return "or";
+  }
+  return "?";
+}
+
+std::string ind(unsigned N) { return std::string(N * 2, ' '); }
+
+} // namespace
+
+std::string terracpp::printExpr(const TerraExpr *E) {
+  if (!E)
+    return "<null>";
+  switch (E->kind()) {
+  case TerraNode::NK_Lit: {
+    const auto *L = cast<LitExpr>(E);
+    switch (L->LK) {
+    case LitExpr::LK_Int:
+      return std::to_string(L->IntVal);
+    case LitExpr::LK_Float: {
+      std::ostringstream OS;
+      OS << L->FloatVal;
+      std::string S = OS.str();
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos)
+        S += ".0";
+      if (L->LitTy && L->LitTy->size() == 4)
+        S += "f";
+      return S;
+    }
+    case LitExpr::LK_Bool:
+      return L->BoolVal ? "true" : "false";
+    case LitExpr::LK_String: {
+      std::string S = "\"";
+      for (char C : *L->StrVal)
+        S += C == '"' ? std::string("\\\"")
+                      : (C == '\n' ? std::string("\\n") : std::string(1, C));
+      return S + "\"";
+    }
+    case LitExpr::LK_Pointer:
+      return L->PtrVal ? "<ptr>" : "nil";
+    }
+    return "?";
+  }
+  case TerraNode::NK_Var:
+    return symName(cast<VarExpr>(E)->Sym);
+  case TerraNode::NK_Escape:
+    return "[<escape>]";
+  case TerraNode::NK_Select:
+    return printExpr(cast<SelectExpr>(E)->Base) + "." +
+           *cast<SelectExpr>(E)->Field;
+  case TerraNode::NK_Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    std::string S = printExpr(A->Callee) + "(";
+    for (unsigned I = 0; I != A->NumArgs; ++I) {
+      if (I)
+        S += ", ";
+      S += printExpr(A->Args[I]);
+    }
+    return S + ")";
+  }
+  case TerraNode::NK_MethodCall: {
+    const auto *M = cast<MethodCallExpr>(E);
+    std::string S = printExpr(M->Obj) + ":" + *M->Method + "(";
+    for (unsigned I = 0; I != M->NumArgs; ++I) {
+      if (I)
+        S += ", ";
+      S += printExpr(M->Args[I]);
+    }
+    return S + ")";
+  }
+  case TerraNode::NK_BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    return "(" + printExpr(B->LHS) + " " + binOpSpelling(B->Op) + " " +
+           printExpr(B->RHS) + ")";
+  }
+  case TerraNode::NK_UnOp: {
+    const auto *U = cast<UnOpExpr>(E);
+    const char *Op = U->Op == UnOpKind::Neg      ? "-"
+                     : U->Op == UnOpKind::Not    ? "not "
+                     : U->Op == UnOpKind::Deref  ? "@"
+                                                 : "&";
+    return std::string(Op) + printExpr(U->Operand);
+  }
+  case TerraNode::NK_Index:
+    return printExpr(cast<IndexExpr>(E)->Base) + "[" +
+           printExpr(cast<IndexExpr>(E)->Idx) + "]";
+  case TerraNode::NK_Constructor: {
+    const auto *C = cast<ConstructorExpr>(E);
+    std::string S =
+        (C->TyRef.Resolved ? C->TyRef.Resolved->str() : "<type>") + " { ";
+    for (unsigned I = 0; I != C->NumInits; ++I) {
+      if (I)
+        S += ", ";
+      if (C->FieldNames && C->FieldNames[I])
+        S += *C->FieldNames[I] + " = ";
+      S += printExpr(C->Inits[I]);
+    }
+    return S + " }";
+  }
+  case TerraNode::NK_Cast: {
+    const auto *C = cast<CastExpr>(E);
+    if (C->Implicit)
+      return printExpr(C->Operand); // Keep implicit conversions quiet.
+    return "[" + (C->TyRef.Resolved ? C->TyRef.Resolved->str() : "?") + "](" +
+           printExpr(C->Operand) + ")";
+  }
+  case TerraNode::NK_FuncLit:
+    return cast<FuncLitExpr>(E)->Fn->Name;
+  case TerraNode::NK_GlobalRef:
+    return "@global:" + cast<GlobalRefExpr>(E)->Global->Name;
+  case TerraNode::NK_Intrinsic: {
+    const auto *N = cast<IntrinsicExpr>(E);
+    if (N->IK == IntrinsicKind::Sizeof)
+      return "sizeof(" +
+             (N->TyRef.Resolved ? N->TyRef.Resolved->str() : "?") + ")";
+    std::string S = "prefetch(";
+    for (unsigned I = 0; I != N->NumArgs; ++I) {
+      if (I)
+        S += ", ";
+      S += printExpr(N->Args[I]);
+    }
+    return S + ")";
+  }
+  default:
+    return "<expr>";
+  }
+}
+
+std::string terracpp::printStmt(const TerraStmt *S, unsigned Indent) {
+  std::ostringstream OS;
+  switch (S->kind()) {
+  case TerraNode::NK_Block: {
+    const auto *B = cast<BlockStmt>(S);
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      OS << printStmt(B->Stmts[I], Indent);
+    return OS.str();
+  }
+  case TerraNode::NK_VarDecl: {
+    const auto *D = cast<VarDeclStmt>(S);
+    OS << ind(Indent) << "var ";
+    for (unsigned I = 0; I != D->NumNames; ++I) {
+      if (I)
+        OS << ", ";
+      OS << symName(D->Names[I].Sym);
+      if (D->Names[I].Sym && D->Names[I].Sym->DeclaredType)
+        OS << " : " << D->Names[I].Sym->DeclaredType->str();
+    }
+    if (D->NumInits) {
+      OS << " = ";
+      for (unsigned I = 0; I != D->NumInits; ++I) {
+        if (I)
+          OS << ", ";
+        OS << printExpr(D->Inits[I]);
+      }
+    }
+    OS << "\n";
+    return OS.str();
+  }
+  case TerraNode::NK_Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    OS << ind(Indent);
+    for (unsigned I = 0; I != A->NumLHS; ++I)
+      OS << (I ? ", " : "") << printExpr(A->LHS[I]);
+    OS << " = ";
+    for (unsigned I = 0; I != A->NumRHS; ++I)
+      OS << (I ? ", " : "") << printExpr(A->RHS[I]);
+    OS << "\n";
+    return OS.str();
+  }
+  case TerraNode::NK_If: {
+    const auto *I2 = cast<IfStmt>(S);
+    for (unsigned K = 0; K != I2->NumClauses; ++K) {
+      OS << ind(Indent) << (K ? "elseif " : "if ")
+         << printExpr(I2->Conds[K]) << " then\n"
+         << printStmt(I2->Blocks[K], Indent + 1);
+    }
+    if (I2->ElseBlock)
+      OS << ind(Indent) << "else\n" << printStmt(I2->ElseBlock, Indent + 1);
+    OS << ind(Indent) << "end\n";
+    return OS.str();
+  }
+  case TerraNode::NK_While: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << ind(Indent) << "while " << printExpr(W->Cond) << " do\n"
+       << printStmt(W->Body, Indent + 1) << ind(Indent) << "end\n";
+    return OS.str();
+  }
+  case TerraNode::NK_ForNum: {
+    const auto *F = cast<ForNumStmt>(S);
+    OS << ind(Indent) << "for " << symName(F->Var.Sym) << " = "
+       << printExpr(F->Lo) << ", " << printExpr(F->Hi);
+    if (F->Step)
+      OS << ", " << printExpr(F->Step);
+    OS << " do\n" << printStmt(F->Body, Indent + 1) << ind(Indent) << "end\n";
+    return OS.str();
+  }
+  case TerraNode::NK_Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    OS << ind(Indent) << "return";
+    if (R->Val)
+      OS << " " << printExpr(R->Val);
+    OS << "\n";
+    return OS.str();
+  }
+  case TerraNode::NK_Break:
+    return ind(Indent) + "break\n";
+  case TerraNode::NK_ExprStmt:
+    return ind(Indent) + printExpr(cast<ExprStmt>(S)->E) + "\n";
+  case TerraNode::NK_EscapeStmt:
+    return ind(Indent) + "[<escape>]\n";
+  default:
+    return ind(Indent) + "<stmt>\n";
+  }
+}
+
+std::string terracpp::printFunction(const TerraFunction *F) {
+  std::ostringstream OS;
+  OS << "terra " << F->Name << "(";
+  for (unsigned I = 0; I != F->NumParams; ++I) {
+    if (I)
+      OS << ", ";
+    OS << symName(F->Params[I]);
+    if (F->Params[I]->DeclaredType)
+      OS << " : " << F->Params[I]->DeclaredType->str();
+  }
+  OS << ")";
+  if (F->RetTy.Resolved)
+    OS << " : " << F->RetTy.Resolved->str();
+  OS << "\n";
+  if (F->Body)
+    OS << printStmt(F->Body, 1);
+  else
+    OS << "  <declared>\n";
+  OS << "end\n";
+  return OS.str();
+}

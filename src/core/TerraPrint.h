@@ -1,0 +1,31 @@
+//===- TerraPrint.h - Pretty-printing for Terra trees -----------*- C++ -*-===//
+//
+// Renders specialized (and typed) Terra ASTs back to readable Terra-like
+// source — the equivalent of the original implementation's printpretty.
+// Used for debugging staged generators (inspecting what a quote actually
+// expanded to) and by tests that assert on the structure of specialization
+// output.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRAPRINT_H
+#define TERRACPP_CORE_TERRAPRINT_H
+
+#include "core/TerraAST.h"
+
+#include <string>
+
+namespace terracpp {
+
+/// Renders one expression (no trailing newline).
+std::string printExpr(const TerraExpr *E);
+
+/// Renders a statement (possibly multi-line, trailing newline included).
+std::string printStmt(const TerraStmt *S, unsigned Indent = 0);
+
+/// Renders a whole function definition.
+std::string printFunction(const TerraFunction *F);
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRAPRINT_H

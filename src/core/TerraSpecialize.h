@@ -1,0 +1,71 @@
+//===- TerraSpecialize.h - Eager hygienic specialization --------*- C++ -*-===//
+//
+// Specialization (paper Fig. 2) turns unspecialized Terra trees into
+// specialized ones, eagerly, at the moment a `terra` definition or quotation
+// is evaluated by the host interpreter:
+//
+//  * every escape `[e]` (and implicit escape: a free variable, a nested
+//    table chain like std.malloc, a type annotation) is evaluated as a host
+//    expression in the current shared lexical environment, and the resulting
+//    host value is converted into a Terra term;
+//
+//  * every Terra-bound variable (parameter, `var`, `for`) is renamed to a
+//    fresh TerraSymbol (hygiene), and the name is bound to that symbol in
+//    the shared environment so host code evaluated during specialization
+//    sees it (paper §4.1's capture examples);
+//
+//  * quotations spliced in are deep-copied so each use site owns its tree.
+//
+// Specialization happens exactly once per definition — mutating a host
+// variable afterwards does not change the Terra function (eager
+// specialization, paper §4.1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRASPECIALIZE_H
+#define TERRACPP_CORE_TERRASPECIALIZE_H
+
+#include "core/LuaAST.h"
+#include "core/LuaValue.h"
+#include "core/TerraAST.h"
+
+namespace terracpp {
+
+class StructType;
+
+namespace lua {
+class Interp;
+}
+
+class Specializer {
+public:
+  Specializer(TerraContext &Ctx, lua::Interp &I);
+
+  /// Specializes a `terra` literal into \p Target (a declared-but-undefined
+  /// function, paper rule LTDEFN) or a fresh function when Target is null.
+  /// When \p SelfType is non-null, a `self : &SelfType` parameter is
+  /// prepended (method-definition sugar). Returns null on error.
+  TerraFunction *specializeFunction(const lua::TerraFuncExpr *Fn,
+                                    std::shared_ptr<lua::Env> Environment,
+                                    TerraFunction *Target,
+                                    StructType *SelfType);
+
+  /// Specializes `quote ... end` / backtick quotations.
+  bool specializeQuote(const lua::TerraQuoteExpr *Q,
+                       std::shared_ptr<lua::Env> Environment,
+                       lua::QuoteValue &Out);
+
+  /// Deep-copies a specialized tree (used when a quotation is spliced, so
+  /// each splice owns its nodes; symbols are shared, not renamed).
+  TerraExpr *cloneExpr(const TerraExpr *E);
+  TerraStmt *cloneStmt(const TerraStmt *S);
+
+private:
+  class Impl;
+  TerraContext &Ctx;
+  lua::Interp &I;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRASPECIALIZE_H

@@ -1,0 +1,55 @@
+//===- TerraTypecheck.h - Lazy Terra typechecking ---------------*- C++ -*-===//
+//
+// Typechecking is lazy (paper §4.1): it runs the first time a function is
+// called or referenced by a function being called, and the whole connected
+// component of referenced functions is checked together (paper Fig. 4).
+// Results are cached and monotonic — a function that typechecked once can
+// never stop typechecking, because struct layouts freeze on first use and
+// functions cannot be redefined.
+//
+// The checker annotates the specialized AST in place: every TerraExpr gets
+// its Ty and IsLValue filled in, implicit conversions become explicit
+// CastExpr nodes, and method calls are desugared into plain applications of
+// the function stored in T.methods (paper §4.1). Metamethod hooks
+// (__finalizelayout, __cast) call back into the host interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRATYPECHECK_H
+#define TERRACPP_CORE_TERRATYPECHECK_H
+
+#include "core/TerraAST.h"
+
+namespace terracpp {
+
+class StructType;
+
+namespace lua {
+class Interp;
+}
+
+class Typechecker {
+public:
+  Typechecker(TerraContext &Ctx, lua::Interp &I);
+
+  /// Typechecks \p F and every function in its connected component.
+  /// Idempotent; false on failure (sticky: the function enters SK_Error).
+  bool check(TerraFunction *F);
+
+  /// Finalizes a struct's layout (running __finalizelayout first).
+  /// Idempotent; false on failure.
+  bool completeStruct(StructType *ST, SourceLoc Loc);
+
+  /// The conversion test used for arguments/assignments; exposed for the
+  /// FFI. Returns true if \p From can convert implicitly to \p To.
+  static bool isImplicitlyConvertible(Type *From, Type *To);
+
+private:
+  class Impl;
+  TerraContext &Ctx;
+  lua::Interp &I;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRATYPECHECK_H

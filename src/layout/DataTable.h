@@ -1,0 +1,61 @@
+//===- DataTable.h - AoS/SoA data layout library (paper §6.3.2) -*- C++ -*-===//
+//
+// Reimplements the paper's DataTable: a type constructor that generates a
+// record container stored either as an array of structs (AoS: all fields of
+// a record contiguous) or a struct of arrays (SoA: each field contiguous),
+// behind one layout-independent interface. Changing the layout is a
+// one-argument change — the paper's point is that this can be generated
+// dynamically (e.g. from runtime feedback), which ahead-of-time templates
+// cannot do.
+//
+// Interface installed on the generated container type (all Terra methods):
+//   t:init(n)          allocate storage for n rows
+//   t:free()
+//   t:row(i)           returns a row accessor r
+//   r:<field>()        read a field of the row
+//   r:set<field>(v)    write a field of the row
+//   t:get_<field>(i) / t:set_<field>(i, v)   direct element access
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_LAYOUT_DATATABLE_H
+#define TERRACPP_LAYOUT_DATATABLE_H
+
+#include "core/Engine.h"
+#include "core/TerraType.h"
+
+#include <string>
+#include <vector>
+
+namespace terracpp {
+namespace layout {
+
+enum class LayoutKind { AoS, SoA };
+
+class DataTable {
+public:
+  /// Builds the container type and its methods. Field types must be
+  /// sized (no functions/void).
+  DataTable(Engine &E, const std::string &Name,
+            std::vector<std::pair<std::string, Type *>> Fields,
+            LayoutKind Layout);
+
+  /// The generated container type (a Terra struct with methods installed);
+  /// the interface is identical for both layouts.
+  StructType *type() const { return Container; }
+  /// The row-accessor type returned by t:row(i).
+  StructType *rowType() const { return RowRef; }
+  LayoutKind layout() const { return Layout; }
+  bool valid() const { return Container != nullptr; }
+
+private:
+  LayoutKind Layout;
+  StructType *Container = nullptr;
+  StructType *RowRef = nullptr;
+  StructType *ElemTy = nullptr; ///< AoS only.
+};
+
+} // namespace layout
+} // namespace terracpp
+
+#endif // TERRACPP_LAYOUT_DATATABLE_H

@@ -1,0 +1,207 @@
+//===- Orion.h - Stencil DSL for images (paper §6.2) ------------*- C++ -*-===//
+//
+// Reimplements Orion, the paper's DSL for 2D stencil computations on
+// images. Programs are written with image-wide operators — `f(-1,0) +
+// f(1,0)` adds the image f translated by -1 and +1 in x — with constant
+// offsets, which guarantees every function is a stencil. The user guides
+// optimization by choosing a schedule per function (paper, after Halide):
+//
+//   * Materialize — computed once into a full buffer;
+//   * Inline      — recomputed at every use site;
+//   * LineBuffer  — interleaved with its consumer, keeping only a ring of
+//                   rows in scratch storage.
+//
+// Any schedule can additionally be vectorized using Terra's vector types.
+// Boundaries use the zero boundary condition (as the paper's port of the
+// fluid solver does), implemented with zero-filled halos.
+//
+// The pipeline compiles to a single Terra function through the staging API,
+// exercising the same path a hosted Orion implementation would.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ORION_ORION_H
+#define TERRACPP_ORION_ORION_H
+
+#include "core/Engine.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace terracpp {
+namespace orion {
+
+class Pipeline;
+
+/// Maximum stencil radius supported (limits the halo size).
+constexpr int MaxRadius = 8;
+
+//===----------------------------------------------------------------------===//
+// Expression IR (built by operator overloading, paper: "we use operator
+// overloading ... to build an intermediate representation suitable for
+// optimization")
+//===----------------------------------------------------------------------===//
+
+struct ExprNode;
+using ExprRef = std::shared_ptr<ExprNode>;
+
+enum class OpKind { Tap, Const, Add, Sub, Mul, Div, Min, Max };
+
+struct ExprNode {
+  OpKind Kind;
+  // Tap:
+  int StageId = -1; ///< Source stage (or input) id within the pipeline.
+  int Dx = 0, Dy = 0;
+  // Const:
+  float ConstVal = 0;
+  // Binary:
+  ExprRef L, R;
+};
+
+/// Value-semantics wrapper for building expressions.
+class Expr {
+public:
+  Expr() = default;
+  /*implicit*/ Expr(float C)
+      : Node(std::make_shared<ExprNode>(ExprNode{OpKind::Const, -1, 0, 0, C,
+                                                 nullptr, nullptr})) {}
+  explicit Expr(ExprRef N) : Node(std::move(N)) {}
+
+  ExprRef node() const { return Node; }
+  bool valid() const { return Node != nullptr; }
+
+private:
+  ExprRef Node;
+};
+
+Expr operator+(Expr A, Expr B);
+Expr operator-(Expr A, Expr B);
+Expr operator*(Expr A, Expr B);
+Expr operator/(Expr A, Expr B);
+Expr min(Expr A, Expr B);
+Expr max(Expr A, Expr B);
+
+//===----------------------------------------------------------------------===//
+// Funcs and schedules
+//===----------------------------------------------------------------------===//
+
+enum class Schedule {
+  Materialize, ///< Full buffer (default; matches hand-written C).
+  Inline,      ///< Recompute at each use.
+  LineBuffer,  ///< Ring of rows interleaved with the consumer.
+};
+
+/// A handle to an image-wide function (or an input image) in a pipeline.
+class Func {
+public:
+  Func() = default;
+
+  /// f(dx, dy): this image translated by (dx, dy) — the paper's image-wide
+  /// operator. Offsets must be compile-time constants by construction.
+  Expr operator()(int Dx, int Dy) const;
+
+  void setSchedule(Schedule S);
+  Schedule schedule() const;
+  int id() const { return Id; }
+  bool valid() const { return P != nullptr; }
+
+private:
+  friend class Pipeline;
+  Func(Pipeline *P, int Id) : P(P), Id(Id) {}
+  Pipeline *P = nullptr;
+  int Id = -1;
+};
+
+/// Compilation options.
+struct CompileOptions {
+  int Vectorize = 1; ///< Vector width (1 = scalar); W must be divisible.
+};
+
+/// A compiled pipeline: one Terra function plus the buffer plan.
+class CompiledPipeline {
+public:
+  /// Runs on W x H images. Inputs/Output are row-major W*H float arrays in
+  /// the order the inputs were declared. Allocates scratch per call; for
+  /// benchmarking use prepare()/runPrepared() to exclude buffer setup.
+  bool run(const std::vector<const float *> &Inputs, float *Output,
+           int64_t W, int64_t H);
+
+  /// Allocates and fills all buffers once; runPrepared() then only executes
+  /// the kernel (inputs are reused across calls).
+  bool prepare(const std::vector<const float *> &Inputs, int64_t W,
+               int64_t H);
+  bool runPrepared();
+  /// Copies the output payload of the last runPrepared() into \p Output.
+  void readOutput(float *Output) const;
+
+  TerraFunction *terraFunction() const { return Fn; }
+  bool valid() const { return Fn != nullptr; }
+
+private:
+  friend class Pipeline;
+  struct StagePlan {
+    int StageId;
+    bool IsInput;
+    Schedule Sched;
+    int RingRows = 0; ///< For LineBuffer.
+    int Lead = 0;
+    int Slot = -1; ///< Storage slot (materialized buffers may be recycled).
+  };
+  struct Prepared {
+    std::vector<std::vector<float>> Storage;
+    std::vector<float> ZeroRow;
+    std::vector<uint64_t> SlotVals;
+    std::vector<void *> Args;
+    const float *OutBase = nullptr;
+    int64_t W = 0, H = 0, Stride = 0;
+    bool Valid = false;
+  };
+  Engine *E = nullptr;
+  TerraFunction *Fn = nullptr;
+  unsigned NumInputs = 0;
+  std::vector<StagePlan> Buffers; ///< Materialized + ring stages, in order.
+  int OutputStageId = -1;
+  int VecWidth = 1;
+  int NumSlots = 0;
+  Prepared Prep;
+};
+
+/// An Orion pipeline: declared inputs, defined funcs, one output.
+class Pipeline {
+public:
+  /// Declares an input image.
+  Func input(const std::string &Name);
+
+  /// Defines a new image-wide function.
+  Func define(const std::string &Name, Expr E);
+
+  /// Marks the pipeline output (must be a defined func, not an input).
+  void setOutput(Func F);
+
+  /// Compiles to a Terra function (paper: orion.compile).
+  CompiledPipeline compile(Engine &E, const CompileOptions &Opts = {});
+
+  /// Number of stages including inputs (for tests).
+  size_t numStages() const { return Stages.size(); }
+
+private:
+  friend class Func;
+  friend class CompiledPipeline;
+
+  struct Stage {
+    std::string Name;
+    bool IsInput = false;
+    Expr Def;
+    Schedule Sched = Schedule::Materialize;
+  };
+
+  std::vector<Stage> Stages;
+  int OutputId = -1;
+};
+
+} // namespace orion
+} // namespace terracpp
+
+#endif // TERRACPP_ORION_ORION_H

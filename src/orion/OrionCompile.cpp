@@ -1,0 +1,524 @@
+#include "orion/Orion.h"
+
+#include "core/StagingAPI.h"
+#include "core/TerraType.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+using namespace terracpp;
+using namespace terracpp::orion;
+using stage::Builder;
+
+//===----------------------------------------------------------------------===//
+// Expression building
+//===----------------------------------------------------------------------===//
+
+static Expr makeBin(OpKind K, Expr A, Expr B) {
+  assert(A.valid() && B.valid() && "operand not initialized");
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = K;
+  N->L = A.node();
+  N->R = B.node();
+  return Expr(std::move(N));
+}
+
+Expr orion::operator+(Expr A, Expr B) { return makeBin(OpKind::Add, A, B); }
+Expr orion::operator-(Expr A, Expr B) { return makeBin(OpKind::Sub, A, B); }
+Expr orion::operator*(Expr A, Expr B) { return makeBin(OpKind::Mul, A, B); }
+Expr orion::operator/(Expr A, Expr B) { return makeBin(OpKind::Div, A, B); }
+Expr orion::min(Expr A, Expr B) { return makeBin(OpKind::Min, A, B); }
+Expr orion::max(Expr A, Expr B) { return makeBin(OpKind::Max, A, B); }
+
+Expr Func::operator()(int Dx, int Dy) const {
+  assert(P && "tap on an invalid func");
+  assert(std::abs(Dx) <= MaxRadius && std::abs(Dy) <= MaxRadius &&
+         "stencil offset exceeds MaxRadius");
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = OpKind::Tap;
+  N->StageId = Id;
+  N->Dx = Dx;
+  N->Dy = Dy;
+  return Expr(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline construction
+//===----------------------------------------------------------------------===//
+
+Func Pipeline::input(const std::string &Name) {
+  Stage S;
+  S.Name = Name;
+  S.IsInput = true;
+  Stages.push_back(std::move(S));
+  return Func(this, static_cast<int>(Stages.size() - 1));
+}
+
+Func Pipeline::define(const std::string &Name, Expr E) {
+  assert(E.valid() && "func defined with an empty expression");
+  Stage S;
+  S.Name = Name;
+  S.Def = E;
+  Stages.push_back(std::move(S));
+  return Func(this, static_cast<int>(Stages.size() - 1));
+}
+
+void Pipeline::setOutput(Func F) {
+  assert(F.valid());
+  OutputId = F.id();
+}
+
+void Func::setSchedule(Schedule S) { P->Stages[Id].Sched = S; }
+
+Schedule Func::schedule() const { return P->Stages[Id].Sched; }
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int Halo = orion::MaxRadius;
+
+/// Shifts every tap in an expression by (dx, dy) — used when inlining.
+ExprRef shiftExpr(const ExprRef &N, int Dx, int Dy) {
+  auto Out = std::make_shared<ExprNode>(*N);
+  if (N->Kind == OpKind::Tap) {
+    Out->Dx += Dx;
+    Out->Dy += Dy;
+    assert(std::abs(Out->Dx) <= Halo && std::abs(Out->Dy) <= Halo &&
+           "inlining grew the stencil beyond MaxRadius");
+  } else if (N->L) {
+    Out->L = shiftExpr(N->L, Dx, Dy);
+    if (N->R)
+      Out->R = shiftExpr(N->R, Dx, Dy);
+  }
+  return Out;
+}
+
+struct StageInfo {
+  int Id;
+  bool IsInput;
+  Schedule Sched;
+  ExprRef Eff;   ///< Effective expression with Inline stages substituted.
+  int Lead = 0;
+  int RingRows = 0;
+  // Codegen:
+  TerraSymbol *BufParam = nullptr;
+};
+
+void collectTaps(const ExprRef &N, std::vector<ExprNode *> &Out) {
+  if (!N)
+    return;
+  if (N->Kind == OpKind::Tap) {
+    Out.push_back(N.get());
+    return;
+  }
+  collectTaps(N->L, Out);
+  collectTaps(N->R, Out);
+}
+
+} // namespace
+
+CompiledPipeline Pipeline::compile(Engine &E, const CompileOptions &Opts) {
+  CompiledPipeline Out;
+  DiagnosticEngine &D = E.diags();
+  if (OutputId < 0 || Stages[OutputId].IsInput) {
+    D.error(SourceLoc(), "orion: pipeline output not set (or set to an "
+                         "input)");
+    return Out;
+  }
+  int V = std::max(1, Opts.Vectorize);
+
+  // 1. Compute effective expressions with Inline stages substituted, in
+  //    definition order (stages can only tap earlier stages).
+  std::vector<ExprRef> Effective(Stages.size());
+  auto Substitute = [&](const ExprRef &N, auto &&Self) -> ExprRef {
+    if (!N)
+      return nullptr;
+    if (N->Kind == OpKind::Tap) {
+      const Stage &S = Stages[N->StageId];
+      if (!S.IsInput && S.Sched == Schedule::Inline)
+        return shiftExpr(Effective[N->StageId], N->Dx, N->Dy);
+      return std::make_shared<ExprNode>(*N);
+    }
+    auto Copy = std::make_shared<ExprNode>(*N);
+    Copy->L = Self(N->L, Self);
+    Copy->R = Self(N->R, Self);
+    return Copy;
+  };
+  for (size_t I = 0; I != Stages.size(); ++I)
+    if (!Stages[I].IsInput)
+      Effective[I] = Substitute(Stages[I].Def.node(), Substitute);
+
+  // 2. Concrete stages (inputs + non-inline funcs); output forced
+  //    materialize.
+  std::vector<StageInfo> Concrete;
+  std::map<int, int> IdToConcrete;
+  for (size_t I = 0; I != Stages.size(); ++I) {
+    const Stage &S = Stages[I];
+    if (!S.IsInput && S.Sched == Schedule::Inline &&
+        static_cast<int>(I) != OutputId)
+      continue;
+    StageInfo Info;
+    Info.Id = static_cast<int>(I);
+    Info.IsInput = S.IsInput;
+    Info.Sched = S.IsInput || static_cast<int>(I) == OutputId
+                     ? Schedule::Materialize
+                     : S.Sched;
+    Info.Eff = Effective[I];
+    IdToConcrete[Info.Id] = static_cast<int>(Concrete.size());
+    Concrete.push_back(std::move(Info));
+  }
+
+  // 3. Leads (how many rows ahead of the sink each stage must run) and ring
+  //    sizes.
+  bool AnyLineBuffer = false;
+  for (auto It = Concrete.rbegin(); It != Concrete.rend(); ++It) {
+    StageInfo &C = *It;
+    if (C.IsInput)
+      continue;
+    if (C.Sched == Schedule::LineBuffer)
+      AnyLineBuffer = true;
+    std::vector<ExprNode *> Taps;
+    collectTaps(C.Eff, Taps);
+    for (ExprNode *T : Taps) {
+      auto F = IdToConcrete.find(T->StageId);
+      assert(F != IdToConcrete.end() && "tap on an unscheduled stage");
+      StageInfo &Src = Concrete[F->second];
+      if (Src.IsInput)
+        continue;
+      Src.Lead = std::max(Src.Lead, C.Lead + std::abs(T->Dy));
+    }
+  }
+  int LeadMax = 0;
+  for (StageInfo &S : Concrete)
+    LeadMax = std::max(LeadMax, S.Lead);
+  for (StageInfo &S : Concrete) {
+    if (S.Sched != Schedule::LineBuffer)
+      continue;
+    // The ring must hold every row between the oldest consumer's read
+    // window and this stage's newest row.
+    int MaxRad = 0;
+    int MinConsumerLead = S.Lead;
+    for (const StageInfo &C : Concrete) {
+      if (C.IsInput || C.Id == S.Id)
+        continue;
+      std::vector<ExprNode *> Taps;
+      collectTaps(C.Eff, Taps);
+      for (ExprNode *T : Taps)
+        if (T->StageId == S.Id) {
+          MaxRad = std::max(MaxRad, std::abs(T->Dy));
+          MinConsumerLead = std::min(MinConsumerLead, C.Lead);
+        }
+    }
+    S.RingRows = (S.Lead - MinConsumerLead) + MaxRad + 2;
+  }
+
+  // 4. Generate the Terra function.
+  Builder B(E.context());
+  TypeContext &TC = B.types();
+  Type *F32 = TC.float32();
+  Type *PtrF = TC.pointer(F32);
+  Type *I64 = TC.int64();
+  Type *VecTy = V > 1 ? TC.vector(F32, static_cast<uint64_t>(V)) : nullptr;
+  Type *VecPtr = VecTy ? TC.pointer(VecTy) : nullptr;
+
+  std::vector<TerraSymbol *> Params;
+  unsigned NumInputs = 0;
+  for (StageInfo &S : Concrete) {
+    S.BufParam = B.sym(PtrF, "buf_" + Stages[S.Id].Name);
+    Params.push_back(S.BufParam);
+    if (S.IsInput)
+      ++NumInputs;
+  }
+  TerraSymbol *ZeroRow = B.sym(PtrF, "zerorow");
+  TerraSymbol *W = B.sym(I64, "W");
+  TerraSymbol *H = B.sym(I64, "H");
+  TerraSymbol *Stride = B.sym(I64, "stride");
+  Params.push_back(ZeroRow);
+  Params.push_back(W);
+  Params.push_back(H);
+  Params.push_back(Stride);
+
+  // Row base address of a padded buffer: base + (r + Halo)*stride + Halo.
+  auto PaddedRow = [&](TerraSymbol *Base, TerraExpr *Row) {
+    return B.add(B.var(Base),
+                 B.add(B.mul(B.add(Row, B.litI64(Halo)), B.var(Stride)),
+                       B.litI64(Halo)));
+  };
+  auto RingRow = [&](TerraSymbol *Base, TerraExpr *Slot) {
+    return B.add(B.var(Base),
+                 B.add(B.mul(Slot, B.var(Stride)), B.litI64(Halo)));
+  };
+
+  // Emits the statements computing one row `RowE` of stage S into its
+  // destination, given pointer variables for each (source, dy) pair.
+  auto EmitRow = [&](const StageInfo &S, TerraExpr *RowE,
+                     std::vector<TerraStmt *> &Out2) {
+    // Collect distinct (source, dy) pairs.
+    std::vector<ExprNode *> Taps;
+    collectTaps(S.Eff, Taps);
+    std::map<std::pair<int, int>, TerraSymbol *> RowPtrs;
+    for (ExprNode *T : Taps) {
+      auto Key = std::make_pair(T->StageId, T->Dy);
+      if (RowPtrs.count(Key))
+        continue;
+      const StageInfo &Src = Concrete[IdToConcrete.at(T->StageId)];
+      TerraSymbol *P = B.sym(PtrF, "row_" + Stages[T->StageId].Name);
+      TerraExpr *R = B.add(RowE, B.litI64(T->Dy));
+      if (Src.Sched == Schedule::LineBuffer) {
+        // Rows outside [0, H) read the permanent zero row.
+        Out2.push_back(B.varDecl(P, B.add(B.var(ZeroRow), B.litI64(Halo))));
+        TerraExpr *InRange =
+            B.logicalAnd(B.ge(B.add(RowE, B.litI64(T->Dy)), B.litI64(0)),
+                         B.lt(B.add(RowE, B.litI64(T->Dy)), B.var(H)));
+        TerraStmt *Assign = B.assign(
+            B.var(P),
+            RingRow(Src.BufParam,
+                    B.mod(R, B.litI64(Src.RingRows))));
+        Out2.push_back(B.ifStmt(InRange, B.block({Assign})));
+      } else {
+        // Materialized / input: the y-halo absorbs out-of-range rows.
+        Out2.push_back(B.varDecl(P, PaddedRow(Src.BufParam, R)));
+      }
+      RowPtrs[Key] = P;
+    }
+
+    // Destination row pointer.
+    TerraSymbol *Dst = B.sym(PtrF, "dst");
+    if (S.Sched == Schedule::LineBuffer)
+      Out2.push_back(B.varDecl(
+          Dst, RingRow(S.BufParam, B.mod(RowE, B.litI64(S.RingRows)))));
+    else
+      Out2.push_back(B.varDecl(Dst, PaddedRow(S.BufParam, RowE)));
+
+    // Inner x loop.
+    TerraSymbol *X = B.sym(I64, "x");
+    auto EmitExpr = [&](const ExprRef &N, auto &&Self) -> TerraExpr * {
+      switch (N->Kind) {
+      case OpKind::Tap: {
+        TerraSymbol *P = RowPtrs.at({N->StageId, N->Dy});
+        TerraExpr *Addr = B.addrOf(
+            B.index(B.var(P), B.add(B.var(X), B.litI64(N->Dx))));
+        if (V > 1)
+          return B.deref(B.cast(VecPtr, Addr));
+        return B.index(B.var(P), B.add(B.var(X), B.litI64(N->Dx)));
+      }
+      case OpKind::Const: {
+        TerraExpr *C = B.litFloat(N->ConstVal, F32);
+        if (V > 1)
+          return B.cast(VecTy, C);
+        return C;
+      }
+      case OpKind::Add:
+        return B.add(Self(N->L, Self), Self(N->R, Self));
+      case OpKind::Sub:
+        return B.sub(Self(N->L, Self), Self(N->R, Self));
+      case OpKind::Mul:
+        return B.mul(Self(N->L, Self), Self(N->R, Self));
+      case OpKind::Div:
+        return B.div(Self(N->L, Self), Self(N->R, Self));
+      case OpKind::Min:
+        return B.minExpr(Self(N->L, Self), Self(N->R, Self));
+      case OpKind::Max:
+        return B.maxExpr(Self(N->L, Self), Self(N->R, Self));
+      }
+      return nullptr;
+    };
+    TerraExpr *Val = EmitExpr(S.Eff, EmitExpr);
+    TerraExpr *StoreAddr =
+        B.addrOf(B.index(B.var(Dst), B.var(X)));
+    TerraStmt *Store =
+        V > 1 ? B.assign(B.deref(B.cast(VecPtr, StoreAddr)), Val)
+              : B.assign(B.index(B.var(Dst), B.var(X)), Val);
+    Out2.push_back(B.forNum(X, B.litI64(0), B.var(W), B.block({Store}),
+                            V > 1 ? B.litI64(V) : nullptr));
+  };
+
+  std::vector<TerraStmt *> Body;
+  if (!AnyLineBuffer) {
+    // Classic schedule: one full loop nest per stage, in order.
+    for (const StageInfo &S : Concrete) {
+      if (S.IsInput)
+        continue;
+      TerraSymbol *Y = B.sym(I64, "y");
+      std::vector<TerraStmt *> RowBody;
+      EmitRow(S, B.var(Y), RowBody);
+      Body.push_back(
+          B.forNum(Y, B.litI64(0), B.var(H), B.block(std::move(RowBody))));
+    }
+  } else {
+    // Interleaved master loop: at tick t, each stage computes row
+    // t - (LeadMax - lead) when it is in range.
+    TerraSymbol *T = B.sym(I64, "t");
+    std::vector<TerraStmt *> Tick;
+    for (const StageInfo &S : Concrete) {
+      if (S.IsInput)
+        continue;
+      TerraSymbol *Row = B.sym(I64, "row");
+      std::vector<TerraStmt *> Guarded;
+      Guarded.push_back(
+          B.varDecl(Row, B.sub(B.var(T), B.litI64(LeadMax - S.Lead))));
+      std::vector<TerraStmt *> RowBody;
+      EmitRow(S, B.var(Row), RowBody);
+      Guarded.push_back(B.ifStmt(
+          B.logicalAnd(B.ge(B.var(Row), B.litI64(0)),
+                       B.lt(B.var(Row), B.var(H))),
+          B.block(std::move(RowBody))));
+      Tick.push_back(B.block(std::move(Guarded)));
+    }
+    Body.push_back(B.forNum(T, B.litI64(0),
+                            B.add(B.var(H), B.litI64(LeadMax)),
+                            B.block(std::move(Tick))));
+  }
+
+  TerraFunction *Fn = B.function("orion_" + Stages[OutputId].Name,
+                                 std::move(Params), TC.voidType(),
+                                 B.block(std::move(Body)));
+  if (!E.compiler().ensureCompiled(Fn))
+    return Out;
+
+  Out.E = &E;
+  Out.Fn = Fn;
+  Out.NumInputs = NumInputs;
+  Out.VecWidth = V;
+  for (const StageInfo &S : Concrete)
+    Out.Buffers.push_back({S.Id, S.IsInput, S.Sched, S.RingRows, S.Lead, -1});
+  Out.OutputStageId = OutputId;
+
+  // Storage-slot assignment. Without line buffering, stages execute
+  // strictly in order, so intermediate buffers can be recycled once their
+  // last consumer has run (this is what makes the "matching" schedule use
+  // the same working set as hand-written C). Inputs, the output, and ring
+  // buffers keep dedicated slots.
+  {
+    std::vector<int> LastUse(Concrete.size(), 0);
+    for (size_t CI = 0; CI != Concrete.size(); ++CI) {
+      std::vector<ExprNode *> Taps;
+      collectTaps(Concrete[CI].Eff, Taps);
+      for (ExprNode *T : Taps)
+        LastUse[IdToConcrete.at(T->StageId)] =
+            std::max(LastUse[IdToConcrete.at(T->StageId)],
+                     static_cast<int>(CI));
+    }
+    int NextSlot = 0;
+    std::vector<int> FreePool;
+    std::vector<std::pair<int, int>> Active; // (lastUse, slot)
+    for (size_t CI = 0; CI != Concrete.size(); ++CI) {
+      auto &Plan = Out.Buffers[CI];
+      bool Recyclable = !AnyLineBuffer && !Plan.IsInput &&
+                        Plan.StageId != OutputId &&
+                        Plan.Sched == Schedule::Materialize;
+      if (Recyclable) {
+        // Release slots dead before this stage runs.
+        for (auto It2 = Active.begin(); It2 != Active.end();) {
+          if (It2->first < static_cast<int>(CI)) {
+            FreePool.push_back(It2->second);
+            It2 = Active.erase(It2);
+          } else {
+            ++It2;
+          }
+        }
+        if (!FreePool.empty()) {
+          Plan.Slot = FreePool.back();
+          FreePool.pop_back();
+        } else {
+          Plan.Slot = NextSlot++;
+        }
+        Active.emplace_back(LastUse[CI], Plan.Slot);
+      } else {
+        Plan.Slot = NextSlot++;
+      }
+    }
+    Out.NumSlots = NextSlot;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution wrapper
+//===----------------------------------------------------------------------===//
+
+bool CompiledPipeline::prepare(const std::vector<const float *> &Inputs,
+                               int64_t W, int64_t H) {
+  Prep = Prepared();
+  if (!Fn || !Fn->Entry)
+    return false;
+  if (Inputs.size() != NumInputs)
+    return false;
+  if (VecWidth > 1 && W % VecWidth != 0)
+    return false; // Vectorized schedules require W to be a multiple of V.
+
+  int64_t Stride = W + 2 * Halo;
+  auto PaddedSize = [&](int64_t Rows) {
+    return static_cast<size_t>(Stride) * (Rows + 2 * Halo);
+  };
+
+  Prep.Storage.resize(NumSlots);
+  for (const auto &Plan : Buffers) {
+    size_t Want = Plan.Sched == Schedule::LineBuffer
+                      ? static_cast<size_t>(Stride) * Plan.RingRows
+                      : PaddedSize(H);
+    if (Prep.Storage[Plan.Slot].size() < Want)
+      Prep.Storage[Plan.Slot].assign(Want, 0.0f);
+  }
+  size_t InputIdx = 0;
+  for (const auto &Plan : Buffers) {
+    float *Base = Prep.Storage[Plan.Slot].data();
+    if (Plan.IsInput) {
+      // Fill the input payload; the halo stays zero (zero boundary).
+      const float *Src = Inputs[InputIdx++];
+      for (int64_t Y = 0; Y != H; ++Y)
+        memcpy(Base + (Y + Halo) * Stride + Halo, Src + Y * W,
+               static_cast<size_t>(W) * sizeof(float));
+    }
+    if (Plan.StageId == OutputStageId)
+      Prep.OutBase = Base;
+  }
+  Prep.ZeroRow.assign(static_cast<size_t>(Stride), 0.0f);
+
+  // Marshal arguments: every parameter slot holds a 64-bit value.
+  for (const auto &Plan : Buffers)
+    Prep.SlotVals.push_back(
+        reinterpret_cast<uint64_t>(Prep.Storage[Plan.Slot].data()));
+  Prep.SlotVals.push_back(reinterpret_cast<uint64_t>(Prep.ZeroRow.data()));
+  Prep.SlotVals.push_back(static_cast<uint64_t>(W));
+  Prep.SlotVals.push_back(static_cast<uint64_t>(H));
+  Prep.SlotVals.push_back(static_cast<uint64_t>(Stride));
+  for (uint64_t &S : Prep.SlotVals)
+    Prep.Args.push_back(&S);
+  Prep.W = W;
+  Prep.H = H;
+  Prep.Stride = Stride;
+  Prep.Valid = true;
+  return true;
+}
+
+bool CompiledPipeline::runPrepared() {
+  if (!Prep.Valid)
+    return false;
+  // Every payload row is overwritten each run and halos are never written,
+  // so no re-zeroing is needed between runs.
+  Fn->Entry(Prep.Args.data(), nullptr);
+  return true;
+}
+
+void CompiledPipeline::readOutput(float *Output) const {
+  for (int64_t Y = 0; Y != Prep.H; ++Y)
+    memcpy(Output + Y * Prep.W,
+           Prep.OutBase + (Y + Halo) * Prep.Stride + Halo,
+           static_cast<size_t>(Prep.W) * sizeof(float));
+}
+
+bool CompiledPipeline::run(const std::vector<const float *> &Inputs,
+                           float *Output, int64_t W, int64_t H) {
+  if (!prepare(Inputs, W, H))
+    return false;
+  if (!runPrepared())
+    return false;
+  readOutput(Output);
+  return true;
+}

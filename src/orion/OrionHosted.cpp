@@ -1,0 +1,299 @@
+#include "orion/OrionHosted.h"
+
+#include "core/Engine.h"
+#include "core/LuaInterp.h"
+#include "core/TerraType.h"
+#include "orion/Orion.h"
+
+#include <map>
+#include <memory>
+
+using namespace terracpp;
+using namespace terracpp::orion;
+using namespace terracpp::lua;
+
+namespace {
+
+/// Shared state behind one hosted pipeline object.
+struct HostedPipeline {
+  Engine *E = nullptr;
+  Pipeline P;
+  std::vector<Func> Funcs; ///< Indexed by the handles' __sid.
+  std::shared_ptr<Table> ExprMeta;
+  std::shared_ptr<Table> FuncMeta;
+};
+
+using PipeRef = std::shared_ptr<HostedPipeline>;
+
+Value exprNode(const PipeRef &PR, const char *Kind) {
+  Value T = Value::newTable();
+  T.asTable()->setStr("kind", Value::string(Kind));
+  T.asTable()->setMeta(PR->ExprMeta);
+  return T;
+}
+
+/// Converts a host value (expression table or number) to an expression
+/// table, wrapping numbers as constants.
+bool toExprTable(Interp &In, const PipeRef &PR, const Value &V, Value &Out,
+                 SourceLoc L) {
+  if (V.isTable()) {
+    Out = V;
+    return true;
+  }
+  if (V.isNumber()) {
+    Out = exprNode(PR, "const");
+    Out.asTable()->setStr("v", V);
+    return true;
+  }
+  return In.fail(L, "orion: expected an expression or number");
+}
+
+/// Recursively converts an expression table into a C++ orion::Expr.
+bool buildExpr(Interp &In, const PipeRef &PR, const Value &V,
+               orion::Expr &Out, SourceLoc L) {
+  if (V.isNumber()) {
+    Out = orion::Expr(static_cast<float>(V.asNumber()));
+    return true;
+  }
+  if (!V.isTable())
+    return In.fail(L, "orion: malformed expression");
+  Table *T = V.asTable();
+  std::string Kind = T->getStr("kind").isString()
+                         ? T->getStr("kind").asString()
+                         : "";
+  if (Kind == "const") {
+    Out = orion::Expr(static_cast<float>(T->getStr("v").asNumber()));
+    return true;
+  }
+  if (Kind == "tap") {
+    int Sid = static_cast<int>(T->getStr("sid").asNumber());
+    int Dx = static_cast<int>(T->getStr("dx").asNumber());
+    int Dy = static_cast<int>(T->getStr("dy").asNumber());
+    if (Sid < 0 || Sid >= static_cast<int>(PR->Funcs.size()))
+      return In.fail(L, "orion: tap on an unknown func");
+    Out = PR->Funcs[Sid](Dx, Dy);
+    return true;
+  }
+  orion::Expr LHS, RHS;
+  if (!buildExpr(In, PR, T->getStr("l"), LHS, L) ||
+      !buildExpr(In, PR, T->getStr("r"), RHS, L))
+    return false;
+  if (Kind == "add")
+    Out = LHS + RHS;
+  else if (Kind == "sub")
+    Out = LHS - RHS;
+  else if (Kind == "mul")
+    Out = LHS * RHS;
+  else if (Kind == "div")
+    Out = LHS / RHS;
+  else if (Kind == "min")
+    Out = orion::min(LHS, RHS);
+  else if (Kind == "max")
+    Out = orion::max(LHS, RHS);
+  else
+    return In.fail(L, "orion: unknown operator '" + Kind + "'");
+  return true;
+}
+
+Value makeBinOpMeta(const PipeRef &PR, const char *Kind) {
+  PipeRef P2 = PR;
+  std::string K = Kind;
+  return Value::builtin(Kind, [P2, K](Interp &In, std::vector<Value> &Args,
+                                      std::vector<Value> &Res, SourceLoc L) {
+    if (Args.size() != 2)
+      return In.fail(L, "orion: binary operator needs two operands");
+    Value LHS, RHS;
+    if (!toExprTable(In, P2, Args[0], LHS, L) ||
+        !toExprTable(In, P2, Args[1], RHS, L))
+      return false;
+    Value N = exprNode(P2, K.c_str());
+    N.asTable()->setStr("l", LHS);
+    N.asTable()->setStr("r", RHS);
+    Res.push_back(N);
+    return true;
+  });
+}
+
+Value makeFuncHandle(const PipeRef &PR, int Sid) {
+  Value H = Value::newTable();
+  H.asTable()->setStr("__sid", Value::number(Sid));
+  H.asTable()->setMeta(PR->FuncMeta);
+  return H;
+}
+
+/// Resolves a run()-argument into a float buffer pointer: accepts pointer
+/// cdata (e.g. from std.malloc) or array cdata (from terralib.new).
+float *bufferOf(const Value &V) {
+  if (!V.isCData())
+    return nullptr;
+  CData *CD = V.asCData();
+  if (CD->Ty->isPointer())
+    return static_cast<float *>(CD->pointerValue());
+  return reinterpret_cast<float *>(CD->Bytes.data());
+}
+
+void setupMetatables(const PipeRef &PR) {
+  PR->ExprMeta = std::make_shared<Table>();
+  PR->ExprMeta->setStr("__add", makeBinOpMeta(PR, "add"));
+  PR->ExprMeta->setStr("__sub", makeBinOpMeta(PR, "sub"));
+  PR->ExprMeta->setStr("__mul", makeBinOpMeta(PR, "mul"));
+  PR->ExprMeta->setStr("__div", makeBinOpMeta(PR, "div"));
+
+  // Func handles are callable (the paper's image-wide translate operator)
+  // and carry methods via __index.
+  PR->FuncMeta = std::make_shared<Table>();
+  PipeRef P2 = PR;
+  PR->FuncMeta->setStr(
+      "__call",
+      Value::builtin("func.__call", [P2](Interp &In, std::vector<Value> &Args,
+                                         std::vector<Value> &Res,
+                                         SourceLoc L) {
+        if (Args.size() != 3 || !Args[0].isTable() || !Args[1].isNumber() ||
+            !Args[2].isNumber())
+          return In.fail(L, "orion: use f(dx, dy) with constant offsets");
+        Value N = exprNode(P2, "tap");
+        N.asTable()->setStr("sid", Args[0].asTable()->getStr("__sid"));
+        N.asTable()->setStr("dx", Args[1]);
+        N.asTable()->setStr("dy", Args[2]);
+        Res.push_back(N);
+        return true;
+      }));
+  auto Methods = std::make_shared<Table>();
+  Methods->setStr(
+      "setschedule",
+      Value::builtin("setschedule",
+                     [P2](Interp &In, std::vector<Value> &Args,
+                          std::vector<Value> &, SourceLoc L) {
+                       if (Args.size() != 2 || !Args[0].isTable() ||
+                           !Args[1].isString())
+                         return In.fail(L, "setschedule(name) expected");
+                       int Sid = static_cast<int>(
+                           Args[0].asTable()->getStr("__sid").asNumber());
+                       const std::string &S = Args[1].asString();
+                       Schedule Sched;
+                       if (S == "materialize")
+                         Sched = Schedule::Materialize;
+                       else if (S == "inline")
+                         Sched = Schedule::Inline;
+                       else if (S == "linebuffer")
+                         Sched = Schedule::LineBuffer;
+                       else
+                         return In.fail(L, "unknown schedule '" + S + "'");
+                       P2->Funcs[Sid].setSchedule(Sched);
+                       return true;
+                     }));
+  PR->FuncMeta->setStr("__index", Value::table(Methods));
+}
+
+Value makePipelineValue(Engine *E) {
+  auto PR = std::make_shared<HostedPipeline>();
+  PR->E = E;
+  setupMetatables(PR);
+
+  Value P = Value::newTable();
+  Table *PT = P.asTable();
+
+  PT->setStr("input", Value::builtin(
+                          "input", [PR](Interp &In, std::vector<Value> &Args,
+                                        std::vector<Value> &Res, SourceLoc L) {
+                            std::string Name =
+                                Args.size() > 1 && Args[1].isString()
+                                    ? Args[1].asString()
+                                    : "in" + std::to_string(PR->Funcs.size());
+                            (void)In;
+                            (void)L;
+                            PR->Funcs.push_back(PR->P.input(Name));
+                            Res.push_back(makeFuncHandle(
+                                PR, static_cast<int>(PR->Funcs.size() - 1)));
+                            return true;
+                          }));
+
+  PT->setStr(
+      "define",
+      Value::builtin("define", [PR](Interp &In, std::vector<Value> &Args,
+                                    std::vector<Value> &Res, SourceLoc L) {
+        if (Args.size() != 3 || !Args[1].isString())
+          return In.fail(L, "define(name, expr) expected");
+        orion::Expr E2;
+        if (!buildExpr(In, PR, Args[2], E2, L))
+          return false;
+        PR->Funcs.push_back(PR->P.define(Args[1].asString(), E2));
+        Res.push_back(
+            makeFuncHandle(PR, static_cast<int>(PR->Funcs.size() - 1)));
+        return true;
+      }));
+
+  PT->setStr("output",
+             Value::builtin("output", [PR](Interp &In,
+                                           std::vector<Value> &Args,
+                                           std::vector<Value> &, SourceLoc L) {
+               if (Args.size() != 2 || !Args[1].isTable())
+                 return In.fail(L, "output(func) expected");
+               int Sid = static_cast<int>(
+                   Args[1].asTable()->getStr("__sid").asNumber());
+               PR->P.setOutput(PR->Funcs[Sid]);
+               return true;
+             }));
+
+  PT->setStr(
+      "compile",
+      Value::builtin("compile", [PR](Interp &In, std::vector<Value> &Args,
+                                     std::vector<Value> &Res, SourceLoc L) {
+        int Vec = 1;
+        if (Args.size() > 1 && Args[1].isTable()) {
+          Value V = Args[1].asTable()->getStr("vectorize");
+          if (V.isNumber())
+            Vec = static_cast<int>(V.asNumber());
+        }
+        auto CP = std::make_shared<CompiledPipeline>(
+            PR->P.compile(*PR->E, {Vec}));
+        if (!CP->valid())
+          return In.fail(L, "orion: pipeline failed to compile");
+        Res.push_back(Value::builtin(
+            "orion.run",
+            [CP](Interp &In2, std::vector<Value> &RArgs,
+                 std::vector<Value> &RRes, SourceLoc L2) {
+              // run(in1, ..., ink, out, W, H)
+              if (RArgs.size() < 3)
+                return In2.fail(L2, "orion.run: missing arguments");
+              int64_t W =
+                  static_cast<int64_t>(RArgs[RArgs.size() - 2].asNumber());
+              int64_t H =
+                  static_cast<int64_t>(RArgs[RArgs.size() - 1].asNumber());
+              std::vector<const float *> Ins;
+              for (size_t I = 0; I + 3 < RArgs.size(); ++I) {
+                float *P2 = bufferOf(RArgs[I]);
+                if (!P2)
+                  return In2.fail(L2, "orion.run: input must be cdata");
+                Ins.push_back(P2);
+              }
+              float *Out = bufferOf(RArgs[RArgs.size() - 3]);
+              if (!Out)
+                return In2.fail(L2, "orion.run: output must be cdata");
+              if (!CP->run(Ins, Out, W, H))
+                return In2.fail(L2, "orion.run failed (check input count "
+                                    "and that W is divisible by the vector "
+                                    "width)");
+              RRes.push_back(Value::boolean(true));
+              return true;
+            }));
+        return true;
+      }));
+
+  return P;
+}
+
+} // namespace
+
+void orion::installHostedOrion(Engine &E) {
+  Engine *EP = &E;
+  Value OrionTable = Value::newTable();
+  OrionTable.asTable()->setStr(
+      "pipeline",
+      Value::builtin("pipeline", [EP](Interp &, std::vector<Value> &,
+                                      std::vector<Value> &Res, SourceLoc) {
+        Res.push_back(makePipelineValue(EP));
+        return true;
+      }));
+  E.setGlobal("orion", OrionTable);
+}

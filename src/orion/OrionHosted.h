@@ -1,0 +1,35 @@
+//===- OrionHosted.h - Orion embedded in the host language ------*- C++ -*-===//
+//
+// The paper implements Orion *in Lua*: "we use operator overloading on Lua
+// tables to build Orion expressions" (§6.2), and its future-work section
+// envisions DSLs embedded in Lua the same way Terra is. This module installs
+// that surface: an `orion` table in the host environment whose expression
+// values are Lua tables with arithmetic metamethods, compiled through the
+// same pipeline as the C++ API:
+//
+//   local P  = orion.pipeline()
+//   local im = P:input("im")
+//   local bl = P:define("blur", (im(-1,0) + im(0,0) + im(1,0)) / 3)
+//   bl:setschedule("linebuffer")
+//   P:output(bl)
+//   local run = P:compile { vectorize = 8 }
+//   run(inputcdata, outputcdata, W, H)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ORION_ORIONHOSTED_H
+#define TERRACPP_ORION_ORIONHOSTED_H
+
+namespace terracpp {
+
+class Engine;
+
+namespace orion {
+
+/// Installs the `orion` global into the engine's host environment.
+void installHostedOrion(Engine &E);
+
+} // namespace orion
+} // namespace terracpp
+
+#endif // TERRACPP_ORION_ORIONHOSTED_H

@@ -1,0 +1,32 @@
+#include "support/Arena.h"
+
+#include <cassert>
+
+using namespace terracpp;
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+  if (!Cur || Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+    addSlab(Size + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + Align - 1) & ~(Align - 1);
+  }
+  Cur = reinterpret_cast<char *>(Aligned + Size);
+  BytesAllocated += Size;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void Arena::addSlab(size_t MinSize) {
+  size_t SlabSize = NextSlabSize;
+  if (SlabSize < MinSize)
+    SlabSize = MinSize;
+  Slabs.push_back(std::make_unique<char[]>(SlabSize));
+  Cur = Slabs.back().get();
+  End = Cur + SlabSize;
+  // Grow slabs geometrically, but cap growth to keep worst-case waste low.
+  if (NextSlabSize < 4 * 1024 * 1024)
+    NextSlabSize *= 2;
+}

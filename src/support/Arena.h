@@ -1,0 +1,66 @@
+//===- Arena.h - Bump-pointer allocation ------------------------*- C++ -*-===//
+//
+// A simple bump-pointer arena. ASTs, types, and IR nodes in terracpp are
+// allocated in arenas owned by their context object and are never
+// individually freed; destructors of arena-allocated objects are not run, so
+// such objects must be trivially destructible or hold only arena-allocated
+// state.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_ARENA_H
+#define TERRACPP_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace terracpp {
+
+/// Bump-pointer allocator backed by geometrically growing slabs.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align);
+
+  /// Allocates and constructs a T in the arena. T's destructor never runs.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(CtorArgs)...);
+  }
+
+  /// Copies \p Count objects of trivially-copyable T into the arena and
+  /// returns the new array (null when Count is zero).
+  template <typename T> T *copyArray(const T *Data, size_t Count) {
+    if (Count == 0)
+      return nullptr;
+    T *Mem = static_cast<T *>(allocate(sizeof(T) * Count, alignof(T)));
+    for (size_t I = 0; I != Count; ++I)
+      new (Mem + I) T(Data[I]);
+    return Mem;
+  }
+
+  /// Total bytes handed out, for statistics.
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  void addSlab(size_t MinSize);
+
+  static constexpr size_t DefaultSlabSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NextSlabSize = DefaultSlabSize;
+  size_t BytesAllocated = 0;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_ARENA_H

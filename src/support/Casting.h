@@ -1,0 +1,51 @@
+//===- Casting.h - isa/cast/dyn_cast templates ------------------*- C++ -*-===//
+//
+// LLVM-style casting machinery for terracpp. Class hierarchies in this
+// project do not use C++ RTTI; instead each polymorphic hierarchy exposes a
+// kind enumeration and a static `classof(const Base *)` predicate on every
+// subclass. These templates provide checked downcasts in terms of `classof`.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_CASTING_H
+#define TERRACPP_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace terracpp {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val is an instance of To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not an instance of To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates null inputs.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_CASTING_H

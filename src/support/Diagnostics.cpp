@@ -1,0 +1,69 @@
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace terracpp;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  report(DiagKind::Error, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  report(DiagKind::Warning, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  report(DiagKind::Note, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
+                              std::string Message) {
+  Diags.push_back({Kind, Loc, std::move(Message)});
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  if (PrintToStderr)
+    fprintf(stderr, "%s\n", render(Diags.back()).c_str());
+}
+
+std::string DiagnosticEngine::render(const Diagnostic &D) const {
+  std::ostringstream OS;
+  if (D.Loc.isValid() && SM) {
+    OS << SM->bufferName(D.Loc.BufferId) << ":" << D.Loc.Line << ":"
+       << D.Loc.Column << ": ";
+  } else if (D.Loc.isValid()) {
+    OS << "<buffer " << D.Loc.BufferId << ">:" << D.Loc.Line << ":"
+       << D.Loc.Column << ": ";
+  }
+  switch (D.Kind) {
+  case DiagKind::Error:
+    OS << "error: ";
+    break;
+  case DiagKind::Warning:
+    OS << "warning: ";
+    break;
+  case DiagKind::Note:
+    OS << "note: ";
+    break;
+  }
+  OS << D.Message;
+  if (D.Loc.isValid() && SM) {
+    std::string Line = SM->lineText(D.Loc.BufferId, D.Loc.Line);
+    if (!Line.empty()) {
+      OS << "\n  " << Line << "\n  ";
+      for (uint32_t I = 1; I < D.Loc.Column; ++I)
+        OS << ' ';
+      OS << '^';
+    }
+  }
+  return OS.str();
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += render(D);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- Diagnostics.h - Error reporting --------------------------*- C++ -*-===//
+//
+// terracpp is built without exceptions, so all phases (parsing,
+// specialization, typechecking, linking, code generation, execution) report
+// failures through a DiagnosticEngine and return null/false to their caller.
+// Diagnostics accumulate; callers test hasErrors() at phase boundaries.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_DIAGNOSTICS_H
+#define TERRACPP_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace terracpp {
+
+enum class DiagKind { Error, Warning, Note };
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation context.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager *SM = nullptr) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Drops all accumulated diagnostics (used between REPL-style statements
+  /// and by tests).
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Checkpoint/rollback support for speculative operations (e.g. trying
+  /// one __cast metamethod before another during typechecking).
+  size_t checkpoint() const { return Diags.size(); }
+  void rollback(size_t Checkpoint) {
+    while (Diags.size() > Checkpoint) {
+      if (Diags.back().Kind == DiagKind::Error)
+        --NumErrors;
+      Diags.pop_back();
+    }
+  }
+
+  /// Renders one diagnostic as "file:line:col: error: message" with the
+  /// source line appended when available.
+  std::string render(const Diagnostic &D) const;
+
+  /// Renders every accumulated diagnostic, one per line.
+  std::string renderAll() const;
+
+  /// When set, errors are also printed to stderr as they are reported.
+  void setPrintToStderr(bool Print) { PrintToStderr = Print; }
+
+private:
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+
+  const SourceManager *SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  bool PrintToStderr = false;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,37 @@
+#include "support/SourceLoc.h"
+
+#include <cassert>
+
+using namespace terracpp;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Contents) {
+  Buffers.push_back({std::move(Name), std::move(Contents)});
+  return static_cast<uint32_t>(Buffers.size());
+}
+
+const std::string &SourceManager::bufferName(uint32_t Id) const {
+  assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+  return Buffers[Id - 1].Name;
+}
+
+const std::string &SourceManager::bufferContents(uint32_t Id) const {
+  assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+  return Buffers[Id - 1].Contents;
+}
+
+std::string SourceManager::lineText(uint32_t Id, uint32_t Line) const {
+  if (Id < 1 || Id > Buffers.size() || Line == 0)
+    return "";
+  const std::string &Text = Buffers[Id - 1].Contents;
+  size_t Pos = 0;
+  for (uint32_t L = 1; L < Line; ++L) {
+    Pos = Text.find('\n', Pos);
+    if (Pos == std::string::npos)
+      return "";
+    ++Pos;
+  }
+  size_t LineEnd = Text.find('\n', Pos);
+  if (LineEnd == std::string::npos)
+    LineEnd = Text.size();
+  return Text.substr(Pos, LineEnd - Pos);
+}

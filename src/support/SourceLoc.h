@@ -1,0 +1,51 @@
+//===- SourceLoc.h - Source locations and buffers ---------------*- C++ -*-===//
+//
+// Source locations for diagnostics. A SourceLoc names a buffer (by id), a
+// 1-based line, and a 1-based column. The SourceManager owns buffer contents
+// so diagnostics can print the offending line.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_SOURCELOC_H
+#define TERRACPP_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace terracpp {
+
+/// A position in a source buffer. Line/column are 1-based; 0 means unknown.
+struct SourceLoc {
+  uint32_t BufferId = 0;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  static SourceLoc unknown() { return SourceLoc(); }
+};
+
+/// Owns source buffers and maps buffer ids back to names and contents.
+class SourceManager {
+public:
+  /// Registers a buffer and returns its id (ids start at 1).
+  uint32_t addBuffer(std::string Name, std::string Contents);
+
+  const std::string &bufferName(uint32_t Id) const;
+  const std::string &bufferContents(uint32_t Id) const;
+
+  /// Returns the text of line \p Line (1-based) in buffer \p Id, without the
+  /// trailing newline. Returns an empty string for out-of-range requests.
+  std::string lineText(uint32_t Id, uint32_t Line) const;
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Contents;
+  };
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_SOURCELOC_H

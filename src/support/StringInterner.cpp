@@ -1,0 +1,8 @@
+#include "support/StringInterner.h"
+
+using namespace terracpp;
+
+const std::string *StringInterner::intern(std::string_view S) {
+  auto It = Pool.emplace(S).first;
+  return &*It;
+}

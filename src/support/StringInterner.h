@@ -1,0 +1,30 @@
+//===- StringInterner.h - Unique'd strings ----------------------*- C++ -*-===//
+//
+// Interns strings so identifiers can be compared by pointer. Interned
+// strings live as long as the interner.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_STRINGINTERNER_H
+#define TERRACPP_SUPPORT_STRINGINTERNER_H
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace terracpp {
+
+/// Pointer-comparable interned string handle.
+class StringInterner {
+public:
+  /// Returns a stable pointer to a NUL-terminated copy of \p S; equal
+  /// strings always return the same pointer.
+  const std::string *intern(std::string_view S);
+
+private:
+  std::unordered_set<std::string> Pool;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,30 @@
+//===- Timer.h - Wall-clock timing helpers ----------------------*- C++ -*-===//
+
+#ifndef TERRACPP_SUPPORT_TIMER_H
+#define TERRACPP_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace terracpp {
+
+/// Measures elapsed wall-clock time from construction (or the last reset).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_TIMER_H

@@ -1,0 +1,271 @@
+//===- test_lua.cpp - Host-language (Luna) interpreter tests --------------===//
+//
+// Coverage for the Lua-subset host language: values, control flow,
+// closures and upvalue sharing, multiple returns, tables and metatables,
+// the generic-for iterator protocol, and the standard library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace terracpp;
+using lua::Value;
+
+namespace {
+
+/// Runs a chunk and returns the global `r`.
+Value evalR(const std::string &Src) {
+  Engine E;
+  bool OK = E.run(Src);
+  EXPECT_TRUE(OK) << E.errors();
+  return OK ? E.global("r") : Value::nil();
+}
+
+double evalNum(const std::string &Src) {
+  Value V = evalR(Src);
+  EXPECT_TRUE(V.isNumber());
+  return V.isNumber() ? V.asNumber() : -1;
+}
+
+std::string evalStr(const std::string &Src) {
+  Value V = evalR(Src);
+  EXPECT_TRUE(V.isString());
+  return V.isString() ? V.asString() : "";
+}
+
+TEST(Lua, ArithmeticAndPrecedence) {
+  EXPECT_EQ(evalNum("r = 2 + 3 * 4"), 14);
+  EXPECT_EQ(evalNum("r = (2 + 3) * 4"), 20);
+  EXPECT_EQ(evalNum("r = 2 ^ 3 ^ 2"), 512); // Right associative.
+  EXPECT_EQ(evalNum("r = 7 % 3"), 1);
+  EXPECT_EQ(evalNum("r = -2 + 5"), 3);
+  EXPECT_EQ(evalNum("r = 10 / 4"), 2.5);
+}
+
+TEST(Lua, ComparisonAndLogic) {
+  EXPECT_EQ(evalNum("r = (1 < 2) and 10 or 20"), 10);
+  EXPECT_EQ(evalNum("r = (1 > 2) and 10 or 20"), 20);
+  // and/or return operands, not booleans.
+  EXPECT_EQ(evalNum("r = nil or 5"), 5);
+  EXPECT_EQ(evalNum("r = false and 1 or 2"), 2);
+  EXPECT_EQ(evalStr("r = 'a' .. 'b' .. 1"), "ab1");
+}
+
+TEST(Lua, ControlFlow) {
+  EXPECT_EQ(evalNum("local s = 0\n"
+                    "for i = 1, 10 do s = s + i end\n"
+                    "r = s"),
+            55); // Host for is inclusive (unlike Terra's exclusive for).
+  EXPECT_EQ(evalNum("local s = 0\n"
+                    "for i = 10, 1, -2 do s = s + i end\n"
+                    "r = s"),
+            30);
+  EXPECT_EQ(evalNum("local s, i = 0, 0\n"
+                    "while i < 5 do i = i + 1 s = s + i end\n"
+                    "r = s"),
+            15);
+  EXPECT_EQ(evalNum("local i = 0\n"
+                    "repeat i = i + 3 until i > 10\n"
+                    "r = i"),
+            12);
+  EXPECT_EQ(evalNum("local s = 0\n"
+                    "for i = 1, 100 do\n"
+                    "  if i == 4 then break end\n"
+                    "  s = s + i\n"
+                    "end\n"
+                    "r = s"),
+            6);
+  EXPECT_EQ(evalNum("if 1 > 2 then r = 1 elseif 2 > 3 then r = 2 else r = 3 "
+                    "end"),
+            3);
+}
+
+TEST(Lua, ClosuresShareUpvalueCells) {
+  // The paper's G/S split: closures capture addresses, not values.
+  EXPECT_EQ(evalNum("local c = 0\n"
+                    "local function bump() c = c + 1 return c end\n"
+                    "bump() bump()\n"
+                    "r = bump()"),
+            3);
+  EXPECT_EQ(evalNum("local function counter()\n"
+                    "  local n = 0\n"
+                    "  return function() n = n + 1 return n end\n"
+                    "end\n"
+                    "local a, b = counter(), counter()\n"
+                    "a() a()\n"
+                    "r = a() * 10 + b()"),
+            31); // Independent cells per counter() call.
+}
+
+TEST(Lua, Recursion) {
+  EXPECT_EQ(evalNum("function fact(n)\n"
+                    "  if n <= 1 then return 1 end\n"
+                    "  return n * fact(n - 1)\n"
+                    "end\n"
+                    "r = fact(10)"),
+            3628800);
+  EXPECT_EQ(evalNum("local function fib(n)\n"
+                    "  if n < 2 then return n end\n"
+                    "  return fib(n - 1) + fib(n - 2)\n"
+                    "end\n"
+                    "r = fib(15)"),
+            610);
+}
+
+TEST(Lua, MultipleReturnsAndAssignment) {
+  EXPECT_EQ(evalNum("local function mr() return 1, 2, 3 end\n"
+                    "local a, b, c = mr()\n"
+                    "r = a * 100 + b * 10 + c"),
+            123);
+  // Only the last call in a list expands.
+  EXPECT_EQ(evalNum("local function mr() return 1, 2 end\n"
+                    "local a, b, c = mr(), mr()\n"
+                    "r = a * 100 + b * 10 + c"),
+            112);
+  EXPECT_EQ(evalNum("local t = { 7, 8, 9 }\n"
+                    "local a, b, c = unpack(t)\n"
+                    "r = a * 100 + b * 10 + c"),
+            789);
+  // Swap.
+  EXPECT_EQ(evalNum("local a, b = 1, 2\n"
+                    "a, b = b, a\n"
+                    "r = a * 10 + b"),
+            21);
+}
+
+TEST(Lua, Tables) {
+  EXPECT_EQ(evalNum("local t = { 10, 20, x = 30, [40] = 50 }\n"
+                    "r = t[1] + t[2] + t.x + t[40]"),
+            110);
+  EXPECT_EQ(evalNum("local t = {}\n"
+                    "t.a = {}\n"
+                    "t.a.b = 5\n"
+                    "r = t['a']['b']"),
+            5);
+  EXPECT_EQ(evalNum("local t = { 1, 2, 3 }\n"
+                    "r = #t"),
+            3);
+  EXPECT_EQ(evalNum("local t = { 1, 2, 3 }\n"
+                    "t[3] = nil\n"
+                    "r = #t"),
+            2);
+  // Non-string keys by identity.
+  EXPECT_EQ(evalNum("local k = {}\n"
+                    "local t = {}\n"
+                    "t[k] = 9\n"
+                    "r = t[k]"),
+            9);
+}
+
+TEST(Lua, TableLibrary) {
+  EXPECT_EQ(evalNum("local t = {}\n"
+                    "table.insert(t, 'a')\n"
+                    "table.insert(t, 'c')\n"
+                    "table.insert(t, 2, 'b')\n"
+                    "r = #t"),
+            3);
+  EXPECT_EQ(evalStr("local t = { 'x', 'y', 'z' }\n"
+                    "table.remove(t, 2)\n"
+                    "r = table.concat(t, '-')"),
+            "x-z");
+  EXPECT_EQ(evalStr("local t = { 3, 1, 2 }\n"
+                    "table.sort(t)\n"
+                    "r = table.concat(t, '')"),
+            "123");
+}
+
+TEST(Lua, PairsAndIpairs) {
+  EXPECT_EQ(evalNum("local t = { 5, 6, 7 }\n"
+                    "local s = 0\n"
+                    "for i, v in ipairs(t) do s = s + i * v end\n"
+                    "r = s"),
+            5 + 12 + 21);
+  EXPECT_EQ(evalNum("local t = { a = 1, b = 2, c = 3 }\n"
+                    "local s = 0\n"
+                    "for k, v in pairs(t) do s = s + v end\n"
+                    "r = s"),
+            6);
+}
+
+TEST(Lua, Metatables) {
+  // __index fallback (table form and function form).
+  EXPECT_EQ(evalNum("local base = { x = 10 }\n"
+                    "local t = setmetatable({}, { __index = base })\n"
+                    "r = t.x"),
+            10);
+  EXPECT_EQ(evalNum("local t = setmetatable({}, {\n"
+                    "  __index = function(tbl, k) return 42 end })\n"
+                    "r = t.anything"),
+            42);
+  // Operator overloading (how Orion builds its IR, §6.2).
+  EXPECT_EQ(evalNum("local mt = {}\n"
+                    "mt.__add = function(a, b) return a.v + b.v end\n"
+                    "local x = setmetatable({ v = 3 }, mt)\n"
+                    "local y = setmetatable({ v = 4 }, mt)\n"
+                    "r = x + y"),
+            7);
+  // __call.
+  EXPECT_EQ(evalNum("local f = setmetatable({}, {\n"
+                    "  __call = function(self, a) return a * 2 end })\n"
+                    "r = f(21)"),
+            42);
+}
+
+TEST(Lua, StringLibrary) {
+  EXPECT_EQ(evalStr("r = string.format('%d-%s-%.2f', 7, 'x', 1.5)"),
+            "7-x-1.50");
+  EXPECT_EQ(evalStr("r = string.rep('ab', 3)"), "ababab");
+  EXPECT_EQ(evalStr("r = string.sub('hello', 2, 4)"), "ell");
+  EXPECT_EQ(evalStr("r = string.sub('hello', -3)"), "llo");
+  EXPECT_EQ(evalNum("r = string.len('hello')"), 5);
+  EXPECT_EQ(evalStr("r = ('abc'):upper()"), "ABC"); // String method sugar.
+}
+
+TEST(Lua, MathLibrary) {
+  EXPECT_EQ(evalNum("r = math.max(1, 7, 3)"), 7);
+  EXPECT_EQ(evalNum("r = math.min(4, 2, 8)"), 2);
+  EXPECT_EQ(evalNum("r = math.floor(3.7)"), 3);
+  EXPECT_EQ(evalNum("r = math.ceil(3.2)"), 4);
+  EXPECT_EQ(evalNum("r = math.abs(-5)"), 5);
+  EXPECT_EQ(evalNum("r = math.sqrt(81)"), 9);
+}
+
+TEST(Lua, ErrorsReportAndStop) {
+  Engine E;
+  EXPECT_FALSE(E.run("error('boom')"));
+  EXPECT_NE(E.errors().find("boom"), std::string::npos);
+  Engine E2;
+  EXPECT_FALSE(E2.run("assert(false, 'bad state')"));
+  EXPECT_NE(E2.errors().find("bad state"), std::string::npos);
+  Engine E3;
+  EXPECT_FALSE(E3.run("local x = nil\nx()"));
+  Engine E4;
+  EXPECT_FALSE(E4.run("local x = 5\nlocal y = x.field"));
+}
+
+TEST(Lua, CallSugar) {
+  // f{...} and f"..." call forms (used by the paper's J.interface{...}).
+  EXPECT_EQ(evalNum("local function f(t) return t.a + t.b end\n"
+                    "r = f { a = 1, b = 2 }"),
+            3);
+  EXPECT_EQ(evalNum("local function f(s) return #s end\n"
+                    "r = f 'hello'"),
+            5);
+  EXPECT_EQ(evalNum("local obj = { n = 4 }\n"
+                    "function obj:scale(k) return self.n * k end\n"
+                    "r = obj:scale(3)"),
+            12);
+}
+
+TEST(Lua, StdlibIntegrity) {
+  EXPECT_EQ(evalStr("r = type({})"), "table");
+  EXPECT_EQ(evalStr("r = type(print)"), "function");
+  EXPECT_EQ(evalStr("r = type(int)"), "terratype");
+  EXPECT_EQ(evalStr("r = tostring(42)"), "42");
+  EXPECT_EQ(evalNum("r = tonumber('3.5')"), 3.5);
+  EXPECT_TRUE(evalR("r = tonumber('xyz')").isNil());
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- test_parser.cpp - Combined-grammar parser tests --------------------===//
+//
+// Syntax acceptance/rejection for the combined Lua/Terra grammar, including
+// the newline-sensitive escape-vs-index disambiguation and Terra-specific
+// literal suffixes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "core/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace terracpp;
+
+namespace {
+
+bool parses(const std::string &Src) {
+  Engine E;
+  uint32_t Id = E.sourceManager().addBuffer("t", Src);
+  Parser P(E.context(), E.sourceManager().bufferContents(Id), Id, E.diags());
+  const lua::Block *B = P.parseChunk();
+  return B != nullptr && !E.diags().hasErrors();
+}
+
+TEST(Parser, HostStatements) {
+  EXPECT_TRUE(parses("local a, b = 1, 2"));
+  EXPECT_TRUE(parses("a = 1; b = 2;"));
+  EXPECT_TRUE(parses("if a then b() elseif c then d() else e() end"));
+  EXPECT_TRUE(parses("while x do y() end"));
+  EXPECT_TRUE(parses("repeat x() until y"));
+  EXPECT_TRUE(parses("for i = 1, 10, 2 do f(i) end"));
+  EXPECT_TRUE(parses("for k, v in pairs(t) do print(k, v) end"));
+  EXPECT_TRUE(parses("do local x = 1 end"));
+  EXPECT_TRUE(parses("function a.b.c:m(x) return x end"));
+  EXPECT_TRUE(parses("local function f() return end"));
+  EXPECT_TRUE(parses("return 1, 2, 3"));
+}
+
+TEST(Parser, HostExpressions) {
+  EXPECT_TRUE(parses("x = a.b[c](d):e(f)"));
+  EXPECT_TRUE(parses("x = { 1, 2; x = 3, [k] = v, }"));
+  EXPECT_TRUE(parses("x = f { a = 1 }"));
+  EXPECT_TRUE(parses("x = f 'str'"));
+  EXPECT_TRUE(parses("x = -a ^ b"));
+  EXPECT_TRUE(parses("x = a .. b .. c"));
+  EXPECT_TRUE(parses("x = not (a and b or c)"));
+  EXPECT_TRUE(parses("x = #t + 1"));
+  EXPECT_TRUE(parses("ft = {int, double} -> bool"));
+  EXPECT_TRUE(parses("ft = int -> int -> int")); // Right associative.
+  EXPECT_TRUE(parses("pt = &&int"));
+}
+
+TEST(Parser, TerraConstructs) {
+  EXPECT_TRUE(parses("terra f(a: int, b: &float): {} end"));
+  EXPECT_TRUE(parses("terra f(): int return 0 end"));
+  EXPECT_TRUE(parses("terra obj:m(x: int): int return x end"));
+  EXPECT_TRUE(parses("local terra f(): int return 0 end"));
+  EXPECT_TRUE(parses("struct S { a : int; b : &S }"));
+  EXPECT_TRUE(parses("local s = struct { x : float }"));
+  EXPECT_TRUE(parses("q = quote var x = 1 x = x + 1 end"));
+  EXPECT_TRUE(parses("e = `1 + 2 * 3"));
+  EXPECT_TRUE(parses("terra f(): int\n"
+                     "  var a, b = 1, 2\n"
+                     "  a, b = b, a\n"
+                     "  for i = 0, 10, 2 do a = a + i end\n"
+                     "  while a > 0 do a = a - 1 break end\n"
+                     "  if a == 0 then return b end\n"
+                     "  return a\n"
+                     "end"));
+  EXPECT_TRUE(parses("terra f(x: &int): int return @x + x[1] end"));
+  EXPECT_TRUE(parses("terra f(s: S): int return s.field end"));
+  EXPECT_TRUE(parses("terra f(): {} var v = T { 1, x = 2 } end"));
+}
+
+TEST(Parser, EscapePositions) {
+  EXPECT_TRUE(parses("terra f(): int return [e] end"));
+  EXPECT_TRUE(parses("terra f(): int\n  [stmts]\n  return 0\nend"));
+  EXPECT_TRUE(parses("terra f(): {} var [s] = 1 end"));
+  EXPECT_TRUE(parses("terra f([params]): int return 0 end"));
+  EXPECT_TRUE(parses("terra f([a] : int): int return 0 end"));
+  EXPECT_TRUE(parses("terra f(): {} for [i] = 0, 10 do end end"));
+  EXPECT_TRUE(parses("terra f(x: &S): int return x.[name] end"));
+  EXPECT_TRUE(parses("terra f(): {}\n  [lhs] = 1\nend"));
+  EXPECT_TRUE(parses("terra f(): {}\n  @[ptrs[1]] = 2\nend"));
+}
+
+TEST(Parser, NewlineDisambiguation) {
+  // '[' on the same line indexes; on a new line it starts an escape.
+  EXPECT_TRUE(parses("terra f(a: &int): int\n"
+                     "  var x = a[0]\n"
+                     "  [stmts]\n"
+                     "  return x\n"
+                     "end"));
+  EXPECT_TRUE(parses("terra f(): int : int\n  return 0\nend") == false);
+}
+
+TEST(Parser, NumericLiterals) {
+  EXPECT_TRUE(parses("x = 0x10 + 1e3 + 1.5e-2 + .5"));
+  EXPECT_TRUE(parses("terra f(): float return 1.5f end"));
+  EXPECT_TRUE(parses("terra f(): int64 return 42LL end"));
+  EXPECT_TRUE(parses("terra f(): uint64 return 42ULL end"));
+}
+
+TEST(Parser, Comments) {
+  EXPECT_TRUE(parses("-- line comment\nx = 1 -- trailing\n"));
+  EXPECT_TRUE(parses("--[[ block\ncomment ]] x = 1"));
+  EXPECT_TRUE(parses("--[==[ nested ]] still comment ]==] x = 1"));
+}
+
+TEST(Parser, RejectsBadSyntax) {
+  EXPECT_FALSE(parses("local = 5"));
+  EXPECT_FALSE(parses("if x then"));
+  EXPECT_FALSE(parses("for do end"));
+  EXPECT_FALSE(parses("terra f(x): int return x end")); // Missing type.
+  EXPECT_FALSE(parses("terra f(x:) end"));
+  EXPECT_FALSE(parses("struct S { x int }"));
+  EXPECT_FALSE(parses("x = (1 + "));
+  EXPECT_FALSE(parses("quote end")); // Quote is an expression.
+  EXPECT_FALSE(parses("x = 1 2"));
+  EXPECT_FALSE(parses("end"));
+}
+
+TEST(Parser, DiagnosticsCarryLocations) {
+  Engine E;
+  uint32_t Id = E.sourceManager().addBuffer("file.t", "x = 1\ny = (2 + \n");
+  Parser P(E.context(), E.sourceManager().bufferContents(Id), Id, E.diags());
+  P.parseChunk();
+  ASSERT_TRUE(E.diags().hasErrors());
+  const Diagnostic &D = E.diags().diagnostics().front();
+  EXPECT_EQ(D.Loc.BufferId, Id);
+  EXPECT_GE(D.Loc.Line, 2u);
+  EXPECT_NE(E.errors().find("file.t"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- test_print.cpp - Pretty-printer tests -------------------------------===//
+//
+// The printer is also a window into specialization: these tests assert on
+// the *structure* of specialized trees (constants baked in, symbols
+// renamed) by inspecting the printed form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "core/TerraPrint.h"
+
+#include <gtest/gtest.h>
+
+using namespace terracpp;
+
+namespace {
+
+std::string dump(const std::string &Src, const std::string &FnName) {
+  Engine E;
+  EXPECT_TRUE(E.run(Src)) << E.errors();
+  TerraFunction *F = E.terraFunction(FnName);
+  EXPECT_NE(F, nullptr);
+  return F ? printFunction(F) : "";
+}
+
+TEST(Print, ConstantsAreBakedIn) {
+  std::string S = dump("local N = 7\n"
+                       "terra f(x: int): int return x * N end",
+                       "f");
+  // Eager specialization replaced N with the literal.
+  EXPECT_NE(S.find("* 7"), std::string::npos) << S;
+  EXPECT_EQ(S.find("N"), std::string::npos) << S;
+}
+
+TEST(Print, SymbolsCarryUniqueIds) {
+  std::string S = dump("terra f(x: int): int\n"
+                       "  var x = x + 1\n" // Shadowing: two distinct x's.
+                       "  return x\n"
+                       "end",
+                       "f");
+  // Both x's print with distinct $id suffixes.
+  EXPECT_NE(S.find("x$"), std::string::npos) << S;
+  size_t First = S.find("x$");
+  size_t FirstEnd = S.find_first_not_of("0123456789", First + 2);
+  std::string Id1 = S.substr(First, FirstEnd - First);
+  EXPECT_NE(S.find("x$", FirstEnd), std::string::npos) << S;
+}
+
+TEST(Print, QuotedSpliceAppearsInline) {
+  std::string S = dump("local q = `10 + 20\n"
+                       "terra f(): int return [q] end",
+                       "f");
+  EXPECT_NE(S.find("(10 + 20)"), std::string::npos) << S;
+}
+
+TEST(Print, ControlFlowRoundTrips) {
+  std::string S = dump("terra f(n: int): int\n"
+                       "  var s = 0\n"
+                       "  for i = 0, n, 2 do\n"
+                       "    if i > 3 then s = s + i else s = s - 1 end\n"
+                       "  end\n"
+                       "  while s > 100 do break end\n"
+                       "  return s\n"
+                       "end",
+                       "f");
+  EXPECT_NE(S.find("for "), std::string::npos);
+  EXPECT_NE(S.find(", 2 do"), std::string::npos);
+  EXPECT_NE(S.find("if "), std::string::npos);
+  EXPECT_NE(S.find("else"), std::string::npos);
+  EXPECT_NE(S.find("while "), std::string::npos);
+  EXPECT_NE(S.find("break"), std::string::npos);
+  EXPECT_NE(S.find("end"), std::string::npos);
+}
+
+TEST(Print, DeclaredFunctionPrintsPlaceholder) {
+  Engine E;
+  TerraFunction *F = E.context().createFunction("pending");
+  EXPECT_NE(printFunction(F).find("<declared>"), std::string::npos);
+}
+
+} // namespace

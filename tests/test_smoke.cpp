@@ -1,0 +1,108 @@
+//===- test_smoke.cpp - End-to-end engine smoke tests ---------------------===//
+//
+// Minimal end-to-end checks that the whole pipeline (parse -> host eval ->
+// specialize -> typecheck -> compile -> FFI call) works for the paper's §2
+// style programs. Deeper per-module tests live in the other test files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace terracpp;
+using lua::Value;
+
+namespace {
+
+/// Runs a chunk and expects success, printing diagnostics on failure.
+void runOK(Engine &E, const std::string &Src) {
+  bool OK = E.run(Src);
+  EXPECT_TRUE(OK) << E.errors();
+}
+
+/// Calls a global terra function with number arguments, expecting a single
+/// numeric result.
+double callNumber(Engine &E, const std::string &Name,
+                  std::vector<double> Args) {
+  std::vector<Value> VArgs;
+  for (double A : Args)
+    VArgs.push_back(Value::number(A));
+  std::vector<Value> Results;
+  bool OK = E.call(E.global(Name), VArgs, Results);
+  EXPECT_TRUE(OK) << E.errors();
+  if (!OK || Results.empty() || !Results[0].isNumber())
+    return -99999;
+  return Results[0].asNumber();
+}
+
+TEST(Smoke, HostArithmetic) {
+  Engine E;
+  runOK(E, "x = 1 + 2 * 3");
+  ASSERT_TRUE(E.global("x").isNumber());
+  EXPECT_EQ(E.global("x").asNumber(), 7);
+}
+
+TEST(Smoke, TerraAdd) {
+  Engine E;
+  runOK(E, "terra add(a: int, b: int): int return a + b end");
+  EXPECT_EQ(callNumber(E, "add", {3, 4}), 7);
+}
+
+TEST(Smoke, TerraMinFromPaper) {
+  Engine E;
+  runOK(E, "terra min(a: int, b: int): int\n"
+           "  if a < b then return a else return b end\n"
+           "end");
+  EXPECT_EQ(callNumber(E, "min", {3, 4}), 3);
+  EXPECT_EQ(callNumber(E, "min", {9, -2}), -2);
+}
+
+TEST(Smoke, StagedConstant) {
+  Engine E;
+  runOK(E, "local N = 10\n"
+           "terra f(): int return N end");
+  EXPECT_EQ(callNumber(E, "f", {}), 10);
+}
+
+TEST(Smoke, RawPointerCall) {
+  Engine E;
+  runOK(E, "terra mul(a: double, b: double): double return a * b end");
+  if (E.compiler().backend() == BackendKind::Native) {
+    auto *Fn = reinterpret_cast<double (*)(double, double)>(
+        E.rawPointer("mul"));
+    ASSERT_NE(Fn, nullptr) << E.errors();
+    EXPECT_EQ(Fn(3.0, 4.0), 12.0);
+  }
+}
+
+TEST(Smoke, LoopsAndLocals) {
+  Engine E;
+  runOK(E, "terra sumto(n: int): int\n"
+           "  var s = 0\n"
+           "  for i = 0, n do s = s + i end\n"
+           "  return s\n"
+           "end");
+  // Terra for has an exclusive limit: 0..9 sums to 45.
+  EXPECT_EQ(callNumber(E, "sumto", {10}), 45);
+}
+
+TEST(Smoke, QuoteAndEscape) {
+  Engine E;
+  runOK(E, "local q = `40 + 2\n"
+           "terra f(): int return [q] end");
+  EXPECT_EQ(callNumber(E, "f", {}), 42);
+}
+
+TEST(Smoke, MallocAndStructs) {
+  Engine E;
+  runOK(E, "std = terralib.includec('stdlib.h')\n"
+           "struct Point { x : double; y : double; }\n"
+           "terra dist2(): double\n"
+           "  var p = Point { 3.0, 4.0 }\n"
+           "  return p.x * p.x + p.y * p.y\n"
+           "end");
+  EXPECT_EQ(callNumber(E, "dist2", {}), 25.0);
+}
+
+} // namespace

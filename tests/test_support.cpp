@@ -1,0 +1,127 @@
+//===- test_support.cpp - Support-library unit tests ----------------------===//
+
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace terracpp;
+
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena A;
+  void *P1 = A.allocate(3, 1);
+  void *P2 = A.allocate(8, 8);
+  void *P3 = A.allocate(1, 32);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P3) % 32, 0u);
+  EXPECT_NE(P1, P2);
+  memset(P2, 0xAB, 8);
+  EXPECT_EQ(*static_cast<unsigned char *>(P2), 0xAB);
+}
+
+TEST(Arena, LargeAllocationsSpillToNewSlabs) {
+  Arena A;
+  // Bigger than the default slab: must still succeed.
+  void *Big = A.allocate(1 << 20, 16);
+  ASSERT_NE(Big, nullptr);
+  memset(Big, 0, 1 << 20);
+  EXPECT_GE(A.bytesAllocated(), static_cast<size_t>(1 << 20));
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  Arena A;
+  struct Node {
+    int X;
+    Node *Next;
+  };
+  Node *N1 = A.create<Node>(Node{1, nullptr});
+  Node *N2 = A.create<Node>(Node{2, N1});
+  EXPECT_EQ(N2->Next->X, 1);
+  int Data[3] = {7, 8, 9};
+  int *Copy = A.copyArray(Data, 3);
+  EXPECT_EQ(Copy[2], 9);
+  EXPECT_EQ(A.copyArray(Data, 0), nullptr);
+}
+
+TEST(Interner, PointerEqualityForEqualStrings) {
+  StringInterner I;
+  const std::string *A = I.intern("hello");
+  const std::string *B = I.intern(std::string("hel") + "lo");
+  const std::string *C = I.intern("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(*A, "hello");
+}
+
+TEST(Diagnostics, CountsAndRollback) {
+  SourceManager SM;
+  DiagnosticEngine D(&SM);
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(), "just a warning");
+  EXPECT_FALSE(D.hasErrors());
+  size_t CP = D.checkpoint();
+  D.error(SourceLoc(), "speculative failure");
+  EXPECT_TRUE(D.hasErrors());
+  D.rollback(CP);
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(), "real failure");
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_NE(D.renderAll().find("real failure"), std::string::npos);
+}
+
+TEST(Diagnostics, RenderIncludesSourceLine) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("demo.t", "first\nsecond line here\nthird\n");
+  DiagnosticEngine D(&SM);
+  D.error({Id, 2, 8}, "something odd");
+  std::string R = D.renderAll();
+  EXPECT_NE(R.find("demo.t:2:8"), std::string::npos);
+  EXPECT_NE(R.find("second line here"), std::string::npos);
+  EXPECT_NE(R.find("^"), std::string::npos);
+}
+
+TEST(SourceManagerTest, LineLookup) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("b", "aa\nbb\ncc");
+  EXPECT_EQ(SM.lineText(Id, 1), "aa");
+  EXPECT_EQ(SM.lineText(Id, 2), "bb");
+  EXPECT_EQ(SM.lineText(Id, 3), "cc");
+  EXPECT_EQ(SM.lineText(Id, 4), "");
+  EXPECT_EQ(SM.bufferName(Id), "b");
+}
+
+namespace hierarchy {
+struct Base {
+  enum Kind { K_A, K_B } K;
+  Base(Kind K) : K(K) {}
+};
+struct A : Base {
+  A() : Base(K_A) {}
+  static bool classof(const Base *B) { return B->K == K_A; }
+};
+struct B : Base {
+  B() : Base(K_B) {}
+  static bool classof(const Base *X) { return X->K == K_B; }
+};
+} // namespace hierarchy
+
+TEST(Casting, IsaDynCast) {
+  using namespace hierarchy;
+  A AObj;
+  Base *P = &AObj;
+  EXPECT_TRUE(isa<A>(P));
+  EXPECT_FALSE(isa<B>(P));
+  EXPECT_EQ(dyn_cast<A>(P), &AObj);
+  EXPECT_EQ(dyn_cast<B>(P), nullptr);
+  EXPECT_EQ(cast<A>(P), &AObj);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<A>(Null), nullptr);
+}
+
+} // namespace

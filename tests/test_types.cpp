@@ -1,0 +1,130 @@
+//===- test_types.cpp - Terra type system unit tests ----------------------===//
+//
+// TypeContext uniquing, layout computation (sizes, alignment, padding),
+// struct reflection tables, and the completion/monotonicity rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "core/TerraType.h"
+
+#include <gtest/gtest.h>
+
+using namespace terracpp;
+
+namespace {
+
+TEST(Types, PrimitiveSizes) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  EXPECT_EQ(TC.boolType()->size(), 1u);
+  EXPECT_EQ(TC.int8()->size(), 1u);
+  EXPECT_EQ(TC.int16()->size(), 2u);
+  EXPECT_EQ(TC.int32()->size(), 4u);
+  EXPECT_EQ(TC.int64()->size(), 8u);
+  EXPECT_EQ(TC.float32()->size(), 4u);
+  EXPECT_EQ(TC.float64()->size(), 8u);
+  EXPECT_EQ(TC.voidType()->size(), 0u);
+}
+
+TEST(Types, UniquingIsPointerEquality) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  EXPECT_EQ(TC.pointer(TC.int32()), TC.pointer(TC.int32()));
+  EXPECT_NE(TC.pointer(TC.int32()), TC.pointer(TC.int64()));
+  EXPECT_EQ(TC.array(TC.float32(), 4), TC.array(TC.float32(), 4));
+  EXPECT_NE(TC.array(TC.float32(), 4), TC.array(TC.float32(), 8));
+  EXPECT_EQ(TC.vector(TC.float64(), 2), TC.vector(TC.float64(), 2));
+  EXPECT_EQ(TC.function({TC.int32()}, TC.int32()),
+            TC.function({TC.int32()}, TC.int32()));
+  EXPECT_NE(TC.function({TC.int32()}, TC.int32()),
+            TC.function({TC.int32()}, TC.int64()));
+  // Nominal structs are never uniqued.
+  EXPECT_NE(TC.createStruct("S"), TC.createStruct("S"));
+}
+
+TEST(Types, DerivedLayout) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  EXPECT_EQ(TC.pointer(TC.int8())->size(), sizeof(void *));
+  EXPECT_EQ(TC.array(TC.int32(), 10)->size(), 40u);
+  EXPECT_EQ(TC.vector(TC.float32(), 8)->size(), 32u);
+  EXPECT_EQ(TC.vector(TC.float32(), 8)->align(), 32u);
+}
+
+TEST(Types, StructLayoutFollowsCRules) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  StructType *S = TC.createStruct("S");
+  S->addField("a", TC.int8());
+  S->addField("b", TC.int64()); // Padded to offset 8.
+  S->addField("c", TC.int8());  // Offset 16; size padded to 24.
+  std::string Err;
+  ASSERT_TRUE(S->finalizeLayout(Err)) << Err;
+  EXPECT_EQ(S->fields()[0].Offset, 0u);
+  EXPECT_EQ(S->fields()[1].Offset, 8u);
+  EXPECT_EQ(S->fields()[2].Offset, 16u);
+  EXPECT_EQ(S->size(), 24u);
+  EXPECT_EQ(S->align(), 8u);
+}
+
+TEST(Types, EmptyStructHasSizeOne) {
+  Engine E;
+  StructType *S = E.context().types().createStruct("Empty");
+  std::string Err;
+  ASSERT_TRUE(S->finalizeLayout(Err));
+  EXPECT_EQ(S->size(), 1u);
+}
+
+TEST(Types, SelfReferenceThroughPointerOK) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  StructType *L = TC.createStruct("List");
+  L->addField("next", TC.pointer(L));
+  L->addField("v", TC.int32());
+  std::string Err;
+  ASSERT_TRUE(L->finalizeLayout(Err)) << Err;
+  EXPECT_EQ(L->size(), 16u);
+}
+
+TEST(Types, SelfContainmentByValueRejected) {
+  Engine E;
+  StructType *S = E.context().types().createStruct("Bad");
+  S->addField("self", S);
+  std::string Err;
+  EXPECT_FALSE(S->finalizeLayout(Err));
+  EXPECT_NE(Err.find("recursively"), std::string::npos);
+}
+
+TEST(Types, MalformedEntriesRejected) {
+  Engine E;
+  StructType *S = E.context().types().createStruct("M");
+  S->entriesTable()->append(lua::Value::number(5)); // Not a table.
+  std::string Err;
+  EXPECT_FALSE(S->finalizeLayout(Err));
+}
+
+TEST(Types, Spelling) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  EXPECT_EQ(TC.pointer(TC.float32())->str(), "&float");
+  EXPECT_EQ(TC.array(TC.int32(), 4)->str(), "int32[4]");
+  EXPECT_EQ(TC.vector(TC.float64(), 4)->str(), "vector(double,4)");
+  EXPECT_EQ(TC.function({TC.int32()}, TC.boolType())->str(),
+            "{int32} -> bool");
+}
+
+TEST(Types, PredicateHelpers) {
+  Engine E;
+  TypeContext &TC = E.context().types();
+  EXPECT_TRUE(TC.int32()->isIntegral());
+  EXPECT_TRUE(TC.int32()->isSigned());
+  EXPECT_FALSE(TC.uint32()->isSigned());
+  EXPECT_TRUE(TC.float32()->isFloat());
+  EXPECT_FALSE(TC.boolType()->isArithmetic());
+  EXPECT_TRUE(TC.pointer(TC.int8())->isPointer());
+  EXPECT_TRUE(TC.vector(TC.float32(), 4)->isArithmeticOrVector());
+  EXPECT_TRUE(TC.voidType()->isVoid());
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- terracpp.cpp - Command-line driver ---------------------------------===//
+//
+// Runs combined Lua/Terra programs from files or -e strings, like the
+// original `terra` executable:
+//
+//   terracpp program.t                  run a script
+//   terracpp -e 'print(1 + 2)'         run a chunk
+//   terracpp --backend=interp prog.t   run without a C compiler
+//   terracpp --dump-fn NAME prog.t     pretty-print a terra function after
+//                                      running the script
+//   terracpp --emit-c NAME prog.t      print the generated C for NAME's
+//                                      connected component
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CBackend.h"
+#include "core/Engine.h"
+#include "core/TerraPasses.h"
+#include "core/TerraPrint.h"
+#include "orion/OrionHosted.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace terracpp;
+
+namespace {
+
+void usage() {
+  fprintf(stderr,
+          "usage: terracpp [options] [script.t]\n"
+          "  -e CHUNK           run CHUNK\n"
+          "  --backend=interp   use the tree-walking Terra evaluator\n"
+          "  --dump-fn NAME     pretty-print terra function NAME\n"
+          "  --emit-c NAME      print generated C for NAME\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BackendKind Backend = Engine::defaultBackend();
+  std::vector<std::string> Chunks;
+  std::string ScriptPath;
+  std::string DumpFn, EmitC;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-e" && I + 1 < Argc) {
+      Chunks.push_back(Argv[++I]);
+    } else if (Arg == "--backend=interp") {
+      Backend = BackendKind::Interp;
+    } else if (Arg == "--backend=native") {
+      Backend = BackendKind::Native;
+    } else if (Arg == "--dump-fn" && I + 1 < Argc) {
+      DumpFn = Argv[++I];
+    } else if (Arg == "--emit-c" && I + 1 < Argc) {
+      EmitC = Argv[++I];
+    } else if (Arg == "-h" || Arg == "--help") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      ScriptPath = Arg;
+    }
+  }
+  if (Chunks.empty() && ScriptPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  Engine E(Backend);
+  orion::installHostedOrion(E); // DSL-in-host demo library (paper §6.2/§8).
+  for (const std::string &C : Chunks)
+    if (!E.run(C, "<command line>")) {
+      fprintf(stderr, "%s", E.errors().c_str());
+      return 1;
+    }
+  if (!ScriptPath.empty() && !E.runFile(ScriptPath)) {
+    fprintf(stderr, "%s", E.errors().c_str());
+    return 1;
+  }
+
+  if (!DumpFn.empty()) {
+    TerraFunction *F = E.terraFunction(DumpFn);
+    if (!F) {
+      fprintf(stderr, "no terra function named '%s'\n", DumpFn.c_str());
+      return 1;
+    }
+    printf("%s", printFunction(F).c_str());
+  }
+  if (!EmitC.empty()) {
+    TerraFunction *F = E.terraFunction(EmitC);
+    if (!F) {
+      fprintf(stderr, "no terra function named '%s'\n", EmitC.c_str());
+      return 1;
+    }
+    if (!E.compiler().typechecker().check(F)) {
+      fprintf(stderr, "%s", E.errors().c_str());
+      return 1;
+    }
+    runMidendPasses(E.context(), F);
+    CBackend CB(E.context());
+    std::vector<TerraFunction *> Fns = {F};
+    for (TerraFunction *Callee : F->Callees)
+      if (!Callee->IsExtern)
+        Fns.push_back(Callee);
+    printf("%s", CB.emitModule(Fns, &E.compiler()).c_str());
+  }
+  return 0;
+}
