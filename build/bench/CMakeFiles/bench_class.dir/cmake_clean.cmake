@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class.dir/bench_class.cpp.o"
+  "CMakeFiles/bench_class.dir/bench_class.cpp.o.d"
+  "bench_class"
+  "bench_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemm_ablation.dir/bench_gemm_ablation.cpp.o"
+  "CMakeFiles/bench_gemm_ablation.dir/bench_gemm_ablation.cpp.o.d"
+  "bench_gemm_ablation"
+  "bench_gemm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stencil_blocking.dir/bench_stencil_blocking.cpp.o"
+  "CMakeFiles/bench_stencil_blocking.dir/bench_stencil_blocking.cpp.o.d"
+  "bench_stencil_blocking"
+  "bench_stencil_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stencil_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

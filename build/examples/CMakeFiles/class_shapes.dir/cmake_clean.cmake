@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_shapes.dir/class_shapes.cpp.o"
+  "CMakeFiles/class_shapes.dir/class_shapes.cpp.o.d"
+  "class_shapes"
+  "class_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

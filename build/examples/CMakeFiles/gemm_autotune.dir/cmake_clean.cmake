@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_autotune.dir/gemm_autotune.cpp.o"
+  "CMakeFiles/gemm_autotune.dir/gemm_autotune.cpp.o.d"
+  "gemm_autotune"
+  "gemm_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

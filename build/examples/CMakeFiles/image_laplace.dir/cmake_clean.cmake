@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_laplace.dir/image_laplace.cpp.o"
+  "CMakeFiles/image_laplace.dir/image_laplace.cpp.o.d"
+  "image_laplace"
+  "image_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_pipeline.dir/orion_pipeline.cpp.o"
+  "CMakeFiles/orion_pipeline.dir/orion_pipeline.cpp.o.d"
+  "orion_pipeline"
+  "orion_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_object.dir/save_object.cpp.o"
+  "CMakeFiles/save_object.dir/save_object.cpp.o.d"
+  "save_object"
+  "save_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

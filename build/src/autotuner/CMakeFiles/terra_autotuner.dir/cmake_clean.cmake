@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terra_autotuner.dir/Gemm.cpp.o"
+  "CMakeFiles/terra_autotuner.dir/Gemm.cpp.o.d"
+  "libterra_autotuner.a"
+  "libterra_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terra_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terra_classes.dir/ClassSystem.cpp.o"
+  "CMakeFiles/terra_classes.dir/ClassSystem.cpp.o.d"
+  "libterra_classes.a"
+  "libterra_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terra_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libterra_classes.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CBackend.cpp" "src/core/CMakeFiles/terra_core.dir/CBackend.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/CBackend.cpp.o.d"
+  "/root/repo/src/core/Engine.cpp" "src/core/CMakeFiles/terra_core.dir/Engine.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/Engine.cpp.o.d"
+  "/root/repo/src/core/Lexer.cpp" "src/core/CMakeFiles/terra_core.dir/Lexer.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/Lexer.cpp.o.d"
+  "/root/repo/src/core/LuaInterp.cpp" "src/core/CMakeFiles/terra_core.dir/LuaInterp.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/LuaInterp.cpp.o.d"
+  "/root/repo/src/core/LuaStdlib.cpp" "src/core/CMakeFiles/terra_core.dir/LuaStdlib.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/LuaStdlib.cpp.o.d"
+  "/root/repo/src/core/LuaValue.cpp" "src/core/CMakeFiles/terra_core.dir/LuaValue.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/LuaValue.cpp.o.d"
+  "/root/repo/src/core/Parser.cpp" "src/core/CMakeFiles/terra_core.dir/Parser.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/Parser.cpp.o.d"
+  "/root/repo/src/core/StagingAPI.cpp" "src/core/CMakeFiles/terra_core.dir/StagingAPI.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/StagingAPI.cpp.o.d"
+  "/root/repo/src/core/TerraAST.cpp" "src/core/CMakeFiles/terra_core.dir/TerraAST.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraAST.cpp.o.d"
+  "/root/repo/src/core/TerraCompiler.cpp" "src/core/CMakeFiles/terra_core.dir/TerraCompiler.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraCompiler.cpp.o.d"
+  "/root/repo/src/core/TerraInterpBackend.cpp" "src/core/CMakeFiles/terra_core.dir/TerraInterpBackend.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraInterpBackend.cpp.o.d"
+  "/root/repo/src/core/TerraJIT.cpp" "src/core/CMakeFiles/terra_core.dir/TerraJIT.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraJIT.cpp.o.d"
+  "/root/repo/src/core/TerraPasses.cpp" "src/core/CMakeFiles/terra_core.dir/TerraPasses.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraPasses.cpp.o.d"
+  "/root/repo/src/core/TerraPrint.cpp" "src/core/CMakeFiles/terra_core.dir/TerraPrint.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraPrint.cpp.o.d"
+  "/root/repo/src/core/TerraSpecialize.cpp" "src/core/CMakeFiles/terra_core.dir/TerraSpecialize.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraSpecialize.cpp.o.d"
+  "/root/repo/src/core/TerraType.cpp" "src/core/CMakeFiles/terra_core.dir/TerraType.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraType.cpp.o.d"
+  "/root/repo/src/core/TerraTypecheck.cpp" "src/core/CMakeFiles/terra_core.dir/TerraTypecheck.cpp.o" "gcc" "src/core/CMakeFiles/terra_core.dir/TerraTypecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/terra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

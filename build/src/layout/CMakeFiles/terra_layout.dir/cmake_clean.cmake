@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terra_layout.dir/DataTable.cpp.o"
+  "CMakeFiles/terra_layout.dir/DataTable.cpp.o.d"
+  "libterra_layout.a"
+  "libterra_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terra_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terra_orion.dir/OrionCompile.cpp.o"
+  "CMakeFiles/terra_orion.dir/OrionCompile.cpp.o.d"
+  "CMakeFiles/terra_orion.dir/OrionHosted.cpp.o"
+  "CMakeFiles/terra_orion.dir/OrionHosted.cpp.o.d"
+  "libterra_orion.a"
+  "libterra_orion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terra_orion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terra_support.dir/Arena.cpp.o"
+  "CMakeFiles/terra_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/terra_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/terra_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/terra_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/terra_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/terra_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/terra_support.dir/StringInterner.cpp.o.d"
+  "libterra_support.a"
+  "libterra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backends.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_backends.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_backends.cpp.o.d"
+  "/root/repo/tests/test_classes.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_classes.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_classes.cpp.o.d"
+  "/root/repo/tests/test_ffi.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_ffi.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_ffi.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_gemm.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_lua.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_lua.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_lua.cpp.o.d"
+  "/root/repo/tests/test_orion.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_orion.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_orion.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_print.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_print.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_print.cpp.o.d"
+  "/root/repo/tests/test_scripts.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_scripts.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_scripts.cpp.o.d"
+  "/root/repo/tests/test_semantics.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_semantics.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_semantics.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_typecheck.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_typecheck.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_typecheck.cpp.o.d"
+  "/root/repo/tests/test_types.cpp" "tests/CMakeFiles/terracpp_tests.dir/test_types.cpp.o" "gcc" "tests/CMakeFiles/terracpp_tests.dir/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/terra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotuner/CMakeFiles/terra_autotuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/orion/CMakeFiles/terra_orion.dir/DependInfo.cmake"
+  "/root/repo/build/src/classes/CMakeFiles/terra_classes.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/terra_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/terra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terracpp.dir/terracpp.cpp.o"
+  "CMakeFiles/terracpp.dir/terracpp.cpp.o.d"
+  "terracpp"
+  "terracpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terracpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
