@@ -1,0 +1,74 @@
+//===- BenchReport.h - Machine-readable benchmark reports ------*- C++ -*-===//
+//
+// Tiny JSON emitter for the perf-trajectory files (BENCH_compile.json,
+// BENCH_gemm.json) written next to the benchmark binaries. Flat
+// object/array structure only — enough for counters, no general escaping
+// of exotic strings (keys/values are ASCII identifiers and numbers).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_BENCH_BENCHREPORT_H
+#define TERRACPP_BENCH_BENCHREPORT_H
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace benchreport {
+
+class Json {
+public:
+  Json &put(const std::string &Key, double V) {
+    std::ostringstream SS;
+    SS << V;
+    return raw(Key, SS.str());
+  }
+  Json &put(const std::string &Key, unsigned V) {
+    return raw(Key, std::to_string(V));
+  }
+  Json &put(const std::string &Key, int V) {
+    return raw(Key, std::to_string(V));
+  }
+  Json &put(const std::string &Key, bool V) {
+    return raw(Key, V ? "true" : "false");
+  }
+  Json &put(const std::string &Key, const std::string &V) {
+    return raw(Key, "\"" + V + "\"");
+  }
+  Json &put(const std::string &Key, const Json &Nested) {
+    return raw(Key, Nested.str());
+  }
+  Json &put(const std::string &Key, const std::vector<Json> &Arr) {
+    std::string S = "[";
+    for (size_t I = 0; I != Arr.size(); ++I)
+      S += (I ? ", " : "") + Arr[I].str();
+    return raw(Key, S + "]");
+  }
+
+  std::string str() const {
+    std::string S = "{";
+    for (size_t I = 0; I != Fields.size(); ++I)
+      S += (I ? ", " : "") + Fields[I];
+    return S + "}";
+  }
+
+  bool writeTo(const std::string &Path) const {
+    std::ofstream Out(Path, std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << str() << "\n";
+    return static_cast<bool>(Out);
+  }
+
+private:
+  Json &raw(const std::string &Key, const std::string &V) {
+    Fields.push_back("\"" + Key + "\": " + V);
+    return *this;
+  }
+  std::vector<std::string> Fields;
+};
+
+} // namespace benchreport
+
+#endif // TERRACPP_BENCH_BENCHREPORT_H

@@ -9,7 +9,16 @@
 //   ParseAndSpecialize — host evaluation of a chunk of terra definitions
 //                        (includes eager specialization, no typechecking);
 //   TypecheckOnly      — typechecking the whole family;
-//   FullCompile        — specialization + typecheck + native codegen + load.
+//   FullCompile        — specialization + typecheck + native codegen + load
+//                        (serial, content-addressed cache disabled);
+//   BatchCompile       — same family through the parallel compileAll
+//                        pipeline (cache disabled);
+//   WarmCacheCompile   — the family served from the persistent cache.
+//
+// Before the google-benchmark suite runs, main() measures one serial vs
+// batch vs warm-cache pass directly and writes BENCH_compile.json with the
+// cache hit-rate and the parallel speedup, so the perf trajectory is
+// tracked across PRs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,8 +26,11 @@
 #include "core/TerraType.h"
 #include "support/Timer.h"
 
+#include "BenchReport.h"
+
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <sstream>
 
 using namespace terracpp;
@@ -39,6 +51,41 @@ std::string functionFamily(int N) {
        << "end\n";
   }
   return OS.str();
+}
+
+/// Scoped environment override (TERRACPP_CACHE / TERRACPP_COMPILE_JOBS are
+/// read at Engine construction).
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Old = getenv(Name);
+    if (Old) {
+      Saved = Old;
+      HadOld = true;
+    }
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool HadOld = false;
+};
+
+std::vector<TerraFunction *> familyFunctions(Engine &E, int N) {
+  std::vector<TerraFunction *> Fns;
+  for (int I = 0; I != N; ++I)
+    Fns.push_back(E.terraFunction("fam" + std::to_string(I)));
+  return Fns;
 }
 
 void BM_ParseAndSpecialize(benchmark::State &State) {
@@ -67,9 +114,7 @@ void BM_TypecheckOnly(benchmark::State &State) {
       State.SkipWithError("run failed");
       return;
     }
-    std::vector<TerraFunction *> Fns;
-    for (int I = 0; I != N; ++I)
-      Fns.push_back(E.terraFunction("fam" + std::to_string(I)));
+    std::vector<TerraFunction *> Fns = familyFunctions(E, N);
     State.ResumeTiming();
     for (TerraFunction *F : Fns)
       if (!E.compiler().typechecker().check(F))
@@ -81,7 +126,10 @@ void BM_TypecheckOnly(benchmark::State &State) {
 }
 BENCHMARK(BM_TypecheckOnly)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
+/// Serial one-component-at-a-time compilation with the persistent cache
+/// disabled: the historical (pre-pipeline) cost of a cold compile.
 void BM_FullCompile(benchmark::State &State) {
+  ScopedEnv CacheOff("TERRACPP_CACHE", "off");
   int N = static_cast<int>(State.range(0));
   std::string Src = functionFamily(N);
   for (auto _ : State) {
@@ -90,8 +138,7 @@ void BM_FullCompile(benchmark::State &State) {
       State.SkipWithError("run failed");
       return;
     }
-    for (int I = 0; I != N; ++I) {
-      TerraFunction *F = E.terraFunction("fam" + std::to_string(I));
+    for (TerraFunction *F : familyFunctions(E, N)) {
       if (!E.compiler().ensureCompiled(F)) {
         State.SkipWithError("compile failed");
         return;
@@ -104,6 +151,52 @@ void BM_FullCompile(benchmark::State &State) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullCompile)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// The same cold family through the parallel batch pipeline.
+void BM_BatchCompile(benchmark::State &State) {
+  ScopedEnv CacheOff("TERRACPP_CACHE", "off");
+  int N = static_cast<int>(State.range(0));
+  std::string Src = functionFamily(N);
+  for (auto _ : State) {
+    Engine E;
+    if (!E.run(Src)) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    if (!E.compileAll(familyFunctions(E, N))) {
+      State.SkipWithError("batch compile failed");
+      return;
+    }
+    benchmark::DoNotOptimize(E.compiler().stats().FunctionsCompiled);
+  }
+  State.counters["fns/s"] =
+      benchmark::Counter(static_cast<double>(N) * State.iterations(),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchCompile)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// The family served from the persistent content-addressed cache (the
+/// first iteration populates it; steady state is pure dlopen).
+void BM_WarmCacheCompile(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  std::string Src = functionFamily(N);
+  for (auto _ : State) {
+    Engine E;
+    if (!E.run(Src)) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    if (!E.compileAll(familyFunctions(E, N))) {
+      State.SkipWithError("batch compile failed");
+      return;
+    }
+    benchmark::DoNotOptimize(E.compiler().stats().FunctionsCompiled);
+  }
+  State.counters["fns/s"] =
+      benchmark::Counter(static_cast<double>(N) * State.iterations(),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WarmCacheCompile)->Arg(8)->Unit(benchmark::kMillisecond);
 
 /// Lazy typechecking: defining many functions but calling one should not
 /// pay for the rest (paper: typechecking runs "only when a function is
@@ -125,6 +218,76 @@ void BM_LazyFirstCall(benchmark::State &State) {
 }
 BENCHMARK(BM_LazyFirstCall)->Unit(benchmark::kMillisecond);
 
+/// One direct serial/batch/warm comparison, written to BENCH_compile.json.
+benchreport::Json measurePipeline() {
+  constexpr int N = 16;
+  std::string Src = functionFamily(N);
+  benchreport::Json Report;
+  Report.put("family_size", N);
+
+  double SerialSeconds = 0, BatchSeconds = 0;
+  {
+    ScopedEnv CacheOff("TERRACPP_CACHE", "off");
+    {
+      Engine E;
+      if (!E.run(Src))
+        return Report.put("error", std::string("run failed"));
+      std::vector<TerraFunction *> Fns = familyFunctions(E, N);
+      Timer T;
+      for (TerraFunction *F : Fns)
+        E.compiler().ensureCompiled(F);
+      SerialSeconds = T.seconds();
+    }
+    {
+      Engine E;
+      E.run(Src);
+      std::vector<TerraFunction *> Fns = familyFunctions(E, N);
+      Timer T;
+      E.compileAll(Fns);
+      BatchSeconds = T.seconds();
+      Report.put("compile_jobs", E.compiler().jit().compileJobs());
+    }
+  }
+  Report.put("serial_cold_seconds", SerialSeconds);
+  Report.put("batch_cold_seconds", BatchSeconds);
+  Report.put("parallel_speedup",
+             BatchSeconds > 0 ? SerialSeconds / BatchSeconds : 0.0);
+
+  // Populate the cache, then measure a warm rerun in a fresh engine.
+  {
+    Engine E;
+    E.run(Src);
+    E.compileAll(familyFunctions(E, N));
+  }
+  {
+    Engine E;
+    E.run(Src);
+    Timer T;
+    E.compileAll(familyFunctions(E, N));
+    double WarmSeconds = T.seconds();
+    JITEngine::Stats S = E.compiler().jit().stats();
+    unsigned Lookups = S.CacheHits + S.CacheMisses;
+    Report.put("warm_seconds", WarmSeconds);
+    Report.put("warm_cache_hits", S.CacheHits);
+    Report.put("warm_cache_misses", S.CacheMisses);
+    Report.put("warm_hit_rate",
+               Lookups ? static_cast<double>(S.CacheHits) / Lookups : 0.0);
+    Report.put("warm_compiler_seconds", S.CompilerSeconds);
+  }
+  return Report;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchreport::Json Report = measurePipeline();
+  Report.writeTo("BENCH_compile.json");
+  fprintf(stderr, "BENCH_compile.json: %s\n", Report.str().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

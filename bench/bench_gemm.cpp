@@ -19,8 +19,11 @@
 #include "core/Engine.h"
 #include "core/TerraType.h"
 
+#include "BenchReport.h"
+
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -29,6 +32,30 @@ using namespace terracpp;
 using namespace terracpp::autotuner;
 
 namespace {
+
+/// Tuning runs recorded for BENCH_gemm.json (label -> result).
+std::vector<std::pair<std::string, TuneResult>> &tuneLog() {
+  static std::vector<std::pair<std::string, TuneResult>> Log;
+  return Log;
+}
+
+benchreport::Json tuneEntry(const std::string &Label, const TuneResult &R) {
+  benchreport::Json J;
+  unsigned Lookups = R.CacheHits + R.CacheMisses;
+  J.put("label", Label)
+      .put("candidates", R.Candidates)
+      .put("autotune_wall_seconds", R.SearchSeconds)
+      .put("compile_wall_seconds", R.CompileWallSeconds)
+      .put("compile_cpu_seconds", R.CompileCpuSeconds)
+      .put("compile_jobs", R.CompileJobs)
+      .put("cache_hits", R.CacheHits)
+      .put("cache_misses", R.CacheMisses)
+      .put("cache_hit_rate",
+           Lookups ? static_cast<double>(R.CacheHits) / Lookups : 0.0)
+      .put("best_gflops", R.BestGFlops)
+      .put("best_params", R.Best.str());
+  return J;
+}
 
 template <typename T> struct Workload {
   std::vector<T> A, B, C;
@@ -67,7 +94,10 @@ template <typename T> void *tunedTerraGemm() {
       fprintf(stderr, "tuned %s kernel: %s (%.2f GFLOPS on the tuning set)\n",
               sizeof(T) == 4 ? "SGEMM" : "DGEMM", R.Best.str().c_str(),
               R.BestGFlops);
-    return R.RawFn;
+    void *Raw = R.RawFn;
+    tuneLog().emplace_back(sizeof(T) == 4 ? "sgemm_bench" : "dgemm_bench",
+                           std::move(R));
+    return Raw;
   }();
   return Fn;
 }
@@ -148,6 +178,100 @@ BENCHMARK(BM_Blocked<float>)->Arg(Mid)->Arg(Large)->Unit(benchmark::kMillisecond
 BENCHMARK(BM_TunedC<float>)->Arg(Mid)->Arg(Large)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Terra<float>)->Arg(Mid)->Arg(Large)->Unit(benchmark::kMillisecond);
 
+/// Scoped environment override (the JIT reads its knobs at Engine
+/// construction).
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Old = getenv(Name);
+    if (Old) {
+      Saved = Old;
+      HadOld = true;
+    }
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool HadOld = false;
+};
+
+TuneResult runSearch(const char *Label) {
+  Engine E;
+  TuneResult R = tuneGemm(E, E.context().types().float64(), 384,
+                          /*Quick=*/false);
+  tuneLog().emplace_back(Label, R);
+  return R;
+}
+
+/// Measures the DGEMM autotune search three ways before the benchmark
+/// suite runs: serial compilation without the cache (the pre-pipeline
+/// baseline), the parallel pipeline, and a warm-cache rerun. The
+/// search-wall-clock ratio is the acceptance metric for the pipeline.
+void measureAutotunePipeline() {
+  double SerialWall, ParallelWall;
+  {
+    ScopedEnv CacheOff("TERRACPP_CACHE", "off");
+    {
+      ScopedEnv OneJob("TERRACPP_COMPILE_JOBS", "1");
+      SerialWall = runSearch("dgemm_serial_baseline").SearchSeconds;
+    }
+    ParallelWall = runSearch("dgemm_parallel").SearchSeconds;
+  }
+  // Cache on: the first run populates (or reuses) the persistent cache,
+  // the second must be served almost entirely from it.
+  runSearch("dgemm_cache_populate");
+  runSearch("dgemm_warm_cache");
+  fprintf(stderr,
+          "autotune search: serial %.2fs, parallel %.2fs (%.2fx)\n",
+          SerialWall, ParallelWall,
+          ParallelWall > 0 ? SerialWall / ParallelWall : 0.0);
+}
+
+void writeReport() {
+  benchreport::Json Report;
+  double SerialWall = 0, ParallelWall = 0, WarmWall = 0;
+  std::vector<benchreport::Json> Entries;
+  for (const auto &[Label, R] : tuneLog()) {
+    Entries.push_back(tuneEntry(Label, R));
+    if (Label == "dgemm_serial_baseline")
+      SerialWall = R.SearchSeconds;
+    else if (Label == "dgemm_parallel")
+      ParallelWall = R.SearchSeconds;
+    else if (Label == "dgemm_warm_cache")
+      WarmWall = R.SearchSeconds;
+  }
+  Report.put("autotune_serial_wall_seconds", SerialWall)
+      .put("autotune_parallel_wall_seconds", ParallelWall)
+      .put("autotune_speedup_vs_serial",
+           ParallelWall > 0 ? SerialWall / ParallelWall : 0.0)
+      .put("autotune_warm_cache_wall_seconds", WarmWall)
+      .put("runs", Entries);
+  Report.writeTo("BENCH_gemm.json");
+  fprintf(stderr, "BENCH_gemm.json: %s\n", Report.str().c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  measureAutotunePipeline();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  writeReport(); // After the suite so BM_Terra's tuning runs are included.
+  return 0;
+}

@@ -198,6 +198,7 @@ double timeGemm(void *Fn, int64_t N, std::vector<T> &A, std::vector<T> &B,
 TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
                                bool Quick) {
   TuneResult Result;
+  Timer SearchT;
   bool IsFloat = ElemTy->size() == 4;
 
   // Parameter grid (paper: "searches over reasonable values").
@@ -231,6 +232,14 @@ TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
     }
   }
 
+  // Stage 1: generate every candidate variant up front. Generation is pure
+  // staging (no typechecking or native compilation), so it is cheap and
+  // lets the whole grid compile as one batch.
+  struct Candidate {
+    KernelParams P;
+    TerraFunction *Fn;
+  };
+  std::vector<Candidate> Candidates;
   for (int NB : NBs) {
     if (TestN % NB != 0)
       continue;
@@ -245,19 +254,45 @@ TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
           // operands.
           if (RM * RN + RM + RN > 14)
             continue;
-          TerraFunction *Fn = generateGemm(E, ElemTy, P);
-          if (!E.compiler().ensureCompiled(Fn) || !Fn->RawPtr)
-            continue;
-          double GF = IsFloat ? timeGemm(Fn->RawPtr, TestN, Af, Bf, Cf)
-                              : timeGemm(Fn->RawPtr, TestN, Ad, Bd, Cd);
-          Result.Trials.emplace_back(P, GF);
-          if (GF > Result.BestGFlops) {
-            Result.BestGFlops = GF;
-            Result.Best = P;
-            Result.Fn = Fn;
-            Result.RawFn = Fn->RawPtr;
-          }
+          Candidates.push_back({P, generateGemm(E, ElemTy, P)});
         }
   }
+  Result.Candidates = static_cast<unsigned>(Candidates.size());
+
+  // Stage 2: batch-compile all variants through the parallel
+  // content-addressed pipeline. Failed variants are simply skipped below
+  // (RawPtr stays null); a rerun with an identical grid hits the on-disk
+  // cache and performs zero compiler invocations.
+  JITEngine &JIT = E.compiler().jit();
+  JITEngine::Stats Before = JIT.stats();
+  std::vector<TerraFunction *> Roots;
+  Roots.reserve(Candidates.size());
+  for (const Candidate &C : Candidates)
+    Roots.push_back(C.Fn);
+  Timer CompileT;
+  E.compileAll(Roots);
+  Result.CompileWallSeconds = CompileT.seconds();
+  JITEngine::Stats After = JIT.stats();
+  Result.CompileCpuSeconds = After.CompilerSeconds - Before.CompilerSeconds;
+  Result.CacheHits = After.CacheHits - Before.CacheHits;
+  Result.CacheMisses = After.CacheMisses - Before.CacheMisses;
+  Result.CompileJobs = JIT.compileJobs();
+
+  // Stage 3: time each compiled variant serially — timing shares the
+  // machine, so it stays single-threaded for stable measurements.
+  for (const Candidate &C : Candidates) {
+    if (!C.Fn->RawPtr)
+      continue;
+    double GF = IsFloat ? timeGemm(C.Fn->RawPtr, TestN, Af, Bf, Cf)
+                        : timeGemm(C.Fn->RawPtr, TestN, Ad, Bd, Cd);
+    Result.Trials.emplace_back(C.P, GF);
+    if (GF > Result.BestGFlops) {
+      Result.BestGFlops = GF;
+      Result.Best = C.P;
+      Result.Fn = C.Fn;
+      Result.RawFn = C.Fn->RawPtr;
+    }
+  }
+  Result.SearchSeconds = SearchT.seconds();
   return Result;
 }

@@ -65,6 +65,15 @@ struct TuneResult {
   void *RawFn = nullptr; ///< Cast to GemmFn-with-elem-type.
   /// Every configuration evaluated, for reporting.
   std::vector<std::pair<KernelParams, double>> Trials;
+
+  /// Search instrumentation (bench_gemm reports these in BENCH_gemm.json).
+  unsigned Candidates = 0;        ///< Variants staged for compilation.
+  double SearchSeconds = 0;       ///< Total tuneGemm wall-clock.
+  double CompileWallSeconds = 0;  ///< Wall-clock of the batch compile.
+  double CompileCpuSeconds = 0;   ///< Summed per-variant cc seconds.
+  unsigned CacheHits = 0;         ///< Variants served from the JIT cache.
+  unsigned CacheMisses = 0;       ///< Variants that invoked cc.
+  unsigned CompileJobs = 1;       ///< Concurrency the pipeline ran with.
 };
 
 /// Auto-tunes over a parameter grid using TestN x TestN multiplies (paper:

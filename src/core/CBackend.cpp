@@ -43,6 +43,16 @@ public:
   std::set<const TerraFunction *> ModuleFns;
   std::map<const TerraGlobal *, std::string> GlobalNames;
   unsigned NameCounter = 0;
+  /// Set when the module embeds a process-local absolute address (compiled
+  /// function, global storage, pointer literal, host trampoline). Such
+  /// modules are valid only within this process image, so the JIT must not
+  /// reuse them from the persistent cache across runs.
+  bool BakedRuntimeAddr = false;
+
+  std::string bakedPtr(const void *P) {
+    BakedRuntimeAddr = true;
+    return hexPtr(P);
+  }
   bool Standalone = false;
   bool Failed = false;
 
@@ -278,7 +288,7 @@ public:
     }
     if (F->RawPtr) {
       // Previously compiled: bake the absolute address, JIT-style.
-      return "((" + fnPtrCast(F) + ")" + hexPtr(F->RawPtr) + ")";
+      return "((" + fnPtrCast(F) + ")" + bakedPtr(F->RawPtr) + ")";
     }
     fail("function '" + F->Name + "' referenced before compilation");
     return "0";
@@ -364,8 +374,8 @@ public:
     if (!R->isVoid())
       OS << "  " << cdecl(R, "hc_ret") << ";\n";
     OS << "  ((void (*)(void *, uint64_t, void **, void *))"
-       << hexPtr(reinterpret_cast<void *>(&terracpp_hostcall_trampoline))
-       << ")((void *)" << hexPtr(HostCallCtx) << ", "
+       << bakedPtr(reinterpret_cast<void *>(&terracpp_hostcall_trampoline))
+       << ")((void *)" << bakedPtr(HostCallCtx) << ", "
        << F->HostClosureId << "ull, hc_args, "
        << (R->isVoid() ? "0" : "(void *)&hc_ret") << ");\n";
     if (!R->isVoid())
@@ -579,7 +589,7 @@ public:
         return S;
       }
       case LitExpr::LK_Pointer:
-        return "((" + cType(L->Ty) + ")" + hexPtr(L->PtrVal) + ")";
+        return "((" + cType(L->Ty) + ")" + bakedPtr(L->PtrVal) + ")";
       }
       return "0";
     }
@@ -602,7 +612,7 @@ public:
         return "(" + Name + ")";
       }
       return "(*(" + cType(G->Global->Ty) + " *)" +
-             hexPtr(G->Global->Storage) + ")";
+             bakedPtr(G->Global->Storage) + ")";
     }
     case TerraNode::NK_FuncLit: {
       const auto *F = cast<FuncLitExpr>(E);
@@ -844,5 +854,6 @@ std::string CBackend::emitModule(
   for (const std::string &H : Em.Headers)
     Out << "#include <" << H << ">\n";
   Out << "\n" << Em.Prologue.str() << "\n" << Decls.str() << Em.Body.str();
+  LastBakedAddrs = Em.BakedRuntimeAddr;
   return Out.str();
 }

@@ -44,9 +44,16 @@ public:
              const std::map<const TerraFunction *, std::string> *Exports =
                  nullptr);
 
+  /// True when the most recent emitModule baked a process-local absolute
+  /// address (compiled callee, global storage, host trampoline, pointer
+  /// literal) into the source. Such modules must not be served from the
+  /// JIT's persistent cross-process cache.
+  bool lastModuleBakedAddresses() const { return LastBakedAddrs; }
+
 private:
   class Emitter;
   TerraContext &Ctx;
+  bool LastBakedAddrs = false;
 };
 
 } // namespace terracpp

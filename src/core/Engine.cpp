@@ -85,6 +85,10 @@ void *Engine::rawPointer(TerraFunction *F) {
   return F->RawPtr;
 }
 
+bool Engine::compileAll(const std::vector<TerraFunction *> &Fns) {
+  return Comp->compileAll(Fns);
+}
+
 bool Engine::call(const Value &Fn, std::vector<Value> Args,
                   std::vector<Value> &Results) {
   return I->call(Fn, std::move(Args), Results, SourceLoc());

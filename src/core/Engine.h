@@ -52,6 +52,12 @@ public:
   void *rawPointer(const std::string &GlobalName);
   void *rawPointer(TerraFunction *F);
 
+  /// Batch-compiles every function's connected component through the JIT's
+  /// parallel pipeline (TerraCompiler::compileAll). Returns true only if
+  /// all succeeded; individual results are observable via each function's
+  /// RawPtr.
+  bool compileAll(const std::vector<TerraFunction *> &Fns);
+
   /// Calls a host value (closure or Terra function) with host-value args.
   bool call(const lua::Value &Fn, std::vector<lua::Value> Args,
             std::vector<lua::Value> &Results);

@@ -93,13 +93,97 @@ bool TerraCompiler::ensureCompiled(TerraFunction *F) {
   std::string Source = CB.emitModule(Component, this);
   if (Source.empty())
     return false;
-  bool OK = JIT.addModule(Source, Component);
+  bool OK = JIT.addModule(Source, Component, !CB.lastModuleBakedAddresses());
   Timing.CodegenSeconds += T.seconds();
   if (OK) {
     ++Timing.ModulesCompiled;
     Timing.FunctionsCompiled += Component.size();
   }
   return OK;
+}
+
+bool TerraCompiler::compileAll(const std::vector<TerraFunction *> &Roots) {
+  if (Backend == BackendKind::Interp) {
+    bool AllOK = true;
+    for (TerraFunction *F : Roots)
+      AllOK &= ensureCompiled(F);
+    return AllOK;
+  }
+
+  // Frontend (typecheck + midend + codegen) is single-threaded; only the
+  // C-compiler invocations parallelize. Components staged for an earlier
+  // root are not re-emitted for a later one.
+  std::set<TerraFunction *> Staged;
+  std::vector<JITEngine::ModuleJob> Jobs;
+  bool AllOK = true;
+  for (TerraFunction *F : Roots) {
+    if (!F || F->isCompiled() || Staged.count(F))
+      continue;
+    if (F->IsExtern) {
+      Ctx.diags().error(SourceLoc(),
+                        "extern function '" + F->Name +
+                            "' cannot be called directly from the host");
+      AllOK = false;
+      continue;
+    }
+    {
+      Timer T;
+      bool OK = TC.check(F);
+      Timing.TypecheckSeconds += T.seconds();
+      if (!OK) {
+        AllOK = false;
+        continue;
+      }
+    }
+    // The full component is emitted even when it overlaps an earlier
+    // staged-but-not-yet-compiled one: a module may only reference
+    // functions it defines or whose address is already known, and nothing
+    // in this batch has an address yet. Duplicate definitions across
+    // modules are benign under RTLD_LOCAL (the last load wins RawPtr).
+    std::vector<TerraFunction *> Component;
+    collectComponent(F, Component);
+    if (Component.empty())
+      continue;
+
+    bool ComponentOK = true;
+    for (TerraFunction *Fn : Component) {
+      if (Fn->HostClosure)
+        continue;
+      runMidendPasses(Ctx, Fn);
+      if (!verifyFunction(Ctx.diags(), Fn)) {
+        ComponentOK = false;
+        break;
+      }
+    }
+    if (!ComponentOK) {
+      AllOK = false;
+      continue;
+    }
+
+    Timer T;
+    CBackend CB(Ctx);
+    std::string Source = CB.emitModule(Component, this);
+    Timing.CodegenSeconds += T.seconds();
+    if (Source.empty()) {
+      AllOK = false;
+      continue;
+    }
+    for (TerraFunction *Fn : Component)
+      Staged.insert(Fn);
+    Jobs.push_back({std::move(Source), std::move(Component),
+                    !CB.lastModuleBakedAddresses()});
+  }
+
+  if (Jobs.empty())
+    return AllOK;
+  unsigned ModulesBefore = JIT.stats().ModulesLoaded;
+  bool JITOK = JIT.addModules(std::move(Jobs));
+  Timing.ModulesCompiled += JIT.stats().ModulesLoaded - ModulesBefore;
+  // Per-function success is observable via RawPtr; count what landed.
+  for (TerraFunction *Fn : Staged)
+    if (Fn->isCompiled())
+      ++Timing.FunctionsCompiled;
+  return AllOK && JITOK;
 }
 
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,16 @@ public:
   /// Idempotent; false on failure.
   bool ensureCompiled(TerraFunction *F);
 
+  /// Batch variant of ensureCompiled: typechecks and generates code for
+  /// every root's connected component serially (the frontend is
+  /// single-threaded), then pushes all resulting C modules through the
+  /// JIT's parallel job pool at once. Functions already compiled or staged
+  /// by an earlier root are skipped. Candidates fail independently —
+  /// callers that can tolerate partial success (the autotuner) should test
+  /// each function's RawPtr afterwards. Returns true only if every root
+  /// compiled.
+  bool compileAll(const std::vector<TerraFunction *> &Roots);
+
   /// Calls a Terra function with host values across the FFI.
   bool callFromHost(TerraFunction *F, std::vector<lua::Value> &Args,
                     std::vector<lua::Value> &Results, SourceLoc Loc);

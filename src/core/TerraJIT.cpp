@@ -1,94 +1,292 @@
 #include "core/TerraJIT.h"
 
+#include "support/ContentHash.h"
+#include "support/Subprocess.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <cstdlib>
+#include <cstring>
+#include <dirent.h>
 #include <dlfcn.h>
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace terracpp;
 
+//===----------------------------------------------------------------------===//
+// Filesystem helpers (no shell involved)
+//===----------------------------------------------------------------------===//
+
+static bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Contents;
+  return static_cast<bool>(Out);
+}
+
+/// mkdir -p: creates every component of \p Path that does not exist yet.
+static bool makeDirs(const std::string &Path) {
+  std::string Partial;
+  size_t I = 0;
+  while (I < Path.size()) {
+    size_t Next = Path.find('/', I + 1);
+    Partial = Path.substr(0, Next == std::string::npos ? Path.size() : Next);
+    if (!Partial.empty() && ::mkdir(Partial.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+      return false;
+    if (Next == std::string::npos)
+      break;
+    I = Next;
+  }
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+/// Removes a scratch directory and its (flat) contents.
+static void removeTree(const std::string &Path) {
+  DIR *D = ::opendir(Path.c_str());
+  if (D) {
+    while (struct dirent *E = ::readdir(D)) {
+      if (strcmp(E->d_name, ".") == 0 || strcmp(E->d_name, "..") == 0)
+        continue;
+      std::string Child = Path + "/" + E->d_name;
+      if (::unlink(Child.c_str()) != 0)
+        removeTree(Child); // Unexpected subdirectory; recurse.
+    }
+    ::closedir(D);
+  }
+  ::rmdir(Path.c_str());
+}
+
+static bool copyFile(const std::string &From, const std::string &To) {
+  std::ifstream In(From, std::ios::binary);
+  if (!In)
+    return false;
+  std::ofstream Out(To, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << In.rdbuf();
+  return static_cast<bool>(Out);
+}
+
+static std::string resolveCacheDir() {
+  if (const char *Mode = getenv("TERRACPP_CACHE"))
+    if (strcmp(Mode, "off") == 0 || strcmp(Mode, "0") == 0)
+      return "";
+  if (const char *Dir = getenv("TERRACPP_CACHE_DIR"))
+    return Dir;
+  if (const char *Xdg = getenv("XDG_CACHE_HOME"))
+    return std::string(Xdg) + "/terracpp";
+  if (const char *Home = getenv("HOME"))
+    return std::string(Home) + "/.cache/terracpp";
+  return "/tmp/terracpp-cache";
+}
+
+static unsigned resolveCompileJobs() {
+  if (const char *Env = getenv("TERRACPP_COMPILE_JOBS")) {
+    long N = strtol(Env, nullptr, 10);
+    if (N >= 1 && N <= 256)
+      return static_cast<unsigned>(N);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// JITEngine
+//===----------------------------------------------------------------------===//
+
 JITEngine::JITEngine(DiagnosticEngine &Diags) : Diags(Diags) {
+  // A per-engine scratch directory keeps concurrent engines (even in one
+  // process) from clobbering each other's generated files.
   char Template[] = "/tmp/terracpp-XXXXXX";
   const char *Dir = mkdtemp(Template);
   TempDir = Dir ? Dir : "/tmp";
+  Jobs = resolveCompileJobs();
+  CacheDir = resolveCacheDir();
+  if (!CacheDir.empty() && !makeDirs(CacheDir))
+    CacheDir.clear(); // Unusable cache location: run uncached.
 }
 
 JITEngine::~JITEngine() {
   for (void *H : Handles)
     dlclose(H);
-  // Best-effort cleanup of the scratch directory.
-  if (TempDir.rfind("/tmp/terracpp-", 0) == 0) {
-    std::string Cmd = "rm -rf '" + TempDir + "'";
-    if (system(Cmd.c_str()) != 0) {
-      // Leave stray files behind rather than failing shutdown.
-    }
-  }
+  Pool.reset(); // Join workers before deleting their scratch space.
+  if (TempDir.rfind("/tmp/terracpp-", 0) == 0)
+    removeTree(TempDir);
 }
 
-static std::string readFile(const std::string &Path) {
-  std::ifstream In(Path);
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
+void JITEngine::noteDiag(DiagKind Kind, const std::string &Message) {
+  // DiagnosticEngine is not itself thread-safe; Mutex serializes every
+  // report that originates inside the JIT.
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Kind == DiagKind::Error)
+    Diags.error(SourceLoc(), Message);
+  else if (Kind == DiagKind::Warning)
+    Diags.warning(SourceLoc(), Message);
+  else
+    Diags.note(SourceLoc(), Message);
+}
+
+const std::string &JITEngine::compilerIdentity() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (CompilerId.empty()) {
+    SpawnResult R = runCommand({"cc", "--version"}, TempDir);
+    std::string FirstLine = R.ok() ? R.Stdout : "unknown-cc";
+    size_t NL = FirstLine.find('\n');
+    if (NL != std::string::npos)
+      FirstLine.resize(NL);
+    CompilerId = FirstLine.empty() ? "unknown-cc" : FirstLine;
+  }
+  return CompilerId;
+}
+
+std::string JITEngine::cacheKey(const std::string &CSource,
+                                const std::string &ExtraFlags) {
+  ContentHash H;
+  H.updateField(compilerIdentity())
+      .updateField(OptFlags)
+      .updateField(ExtraFlags)
+      .updateField(CSource);
+  return H.hex();
 }
 
 bool JITEngine::runCompiler(const std::string &SrcPath,
                             const std::string &OutPath,
-                            const std::string &ExtraFlags) {
-  std::string Log = OutPath + ".log";
-  std::string Cmd = "cc " + OptFlags + " " + ExtraFlags + " '" + SrcPath +
-                    "' -o '" + OutPath + "' 2> '" + Log + "'";
+                            const std::string &ExtraFlags, std::string &ErrOut,
+                            double &Seconds) {
+  std::vector<std::string> Argv{"cc"};
+  for (std::string &F : splitCommandFlags(OptFlags))
+    Argv.push_back(std::move(F));
+  for (std::string &F : splitCommandFlags(ExtraFlags))
+    Argv.push_back(std::move(F));
+  Argv.push_back(SrcPath);
+  Argv.push_back("-o");
+  Argv.push_back(OutPath);
+
   Timer T;
-  int RC = system(Cmd.c_str());
-  CompilerSeconds += T.seconds();
-  if (RC != 0) {
-    Diags.error(SourceLoc(), "C compiler failed for generated module:\n" +
-                                 readFile(Log) + "\ncommand: " + Cmd);
-    return false;
-  }
-  return true;
+  SpawnResult R = runCommand(Argv, TempDir);
+  Seconds = T.seconds();
+  ErrOut = R.Spawned ? R.Stderr : R.Error;
+  if (!R.ok() && ErrOut.empty())
+    ErrOut = "cc exited with status " + std::to_string(R.ExitCode);
+  return R.ok();
 }
 
-bool JITEngine::addModule(const std::string &CSource,
-                          const std::vector<TerraFunction *> &Fns) {
-  LastSource = CSource;
+JITEngine::CompileOutcome
+JITEngine::compileSource(const std::string &CSource, bool Cacheable,
+                         bool SkipCacheLookup) {
+  CompileOutcome Out;
+  const std::string ExtraFlags = "-shared -fPIC";
+  bool UseCache = Cacheable && !CacheDir.empty();
+  std::string CachePath;
+
+  if (UseCache) {
+    CachePath = CacheDir + "/" + cacheKey(CSource, ExtraFlags) + ".so";
+    if (!SkipCacheLookup && ::access(CachePath.c_str(), R_OK) == 0) {
+      Out.OK = true;
+      Out.FromCache = true;
+      Out.SoPath = CachePath;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.CacheHits;
+      return Out;
+    }
+  }
+
   unsigned Id = ModuleCounter++;
   std::string Base = TempDir + "/mod" + std::to_string(Id);
   std::string SrcPath = Base + ".c";
   std::string SoPath = Base + ".so";
+  if (!writeFile(SrcPath, CSource)) {
+    Out.Message = "cannot write generated source " + SrcPath;
+    return Out;
+  }
+
+  std::string Err;
+  double Seconds = 0;
+  bool OK = runCompiler(SrcPath, SoPath, ExtraFlags, Err, Seconds);
   {
-    std::ofstream Out(SrcPath);
-    if (!Out) {
-      Diags.error(SourceLoc(), "cannot write generated source " + SrcPath);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.CompilerLaunches;
+    Counters.CompilerSeconds += Seconds;
+    if (UseCache)
+      ++Counters.CacheMisses;
+    else if (!Cacheable)
+      ++Counters.CacheBypassed;
+  }
+  if (!OK) {
+    Out.Message = Err;
+    return Out;
+  }
+
+  Out.OK = true;
+  Out.Seconds = Seconds;
+  Out.Message = Err; // Warnings from a successful compile.
+  Out.SoPath = SoPath;
+  if (UseCache) {
+    // Publish atomically: concurrent processes may compile the same key.
+    std::string Tmp = CachePath + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(Id);
+    if (copyFile(SoPath, Tmp) && ::rename(Tmp.c_str(), CachePath.c_str()) == 0)
+      Out.SoPath = CachePath;
+    else
+      ::unlink(Tmp.c_str()); // Cache write failed; load the temp copy.
+  }
+  return Out;
+}
+
+bool JITEngine::loadModule(const ModuleJob &Job, CompileOutcome &Outcome) {
+  if (!Outcome.Message.empty())
+    noteDiag(DiagKind::Warning,
+             "C compiler diagnostics for generated module:\n" +
+                 Outcome.Message);
+
+  void *Handle = dlopen(Outcome.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle && Outcome.FromCache) {
+    // Corrupted or truncated cache entry (e.g. a torn write from a killed
+    // process): evict it and rebuild from source.
+    const char *DLErr = dlerror();
+    noteDiag(DiagKind::Warning,
+             "evicting unloadable cached module " + Outcome.SoPath + ": " +
+                 (DLErr ? DLErr : "unknown dlopen failure"));
+    ::unlink(Outcome.SoPath.c_str());
+    Outcome = compileSource(Job.CSource, Job.Cacheable,
+                            /*SkipCacheLookup=*/true);
+    if (!Outcome.OK) {
+      noteDiag(DiagKind::Error,
+               "C compiler failed for generated module:\n" + Outcome.Message);
       return false;
     }
-    Out << CSource;
+    Handle = dlopen(Outcome.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   }
-  if (!runCompiler(SrcPath, SoPath, "-shared -fPIC"))
-    return false;
-
-  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
-    Diags.error(SourceLoc(),
-                std::string("dlopen failed for generated module: ") +
-                    dlerror());
+    const char *DLErr = dlerror();
+    noteDiag(DiagKind::Error,
+             std::string("dlopen failed for generated module: ") +
+                 (DLErr ? DLErr : "unknown error"));
     return false;
   }
-  Handles.push_back(Handle);
 
-  for (TerraFunction *F : Fns) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Handles.push_back(Handle);
+    ++Counters.ModulesLoaded;
+  }
+
+  for (TerraFunction *F : Job.Fns) {
     std::string Name = F->mangledName();
     void *Sym = dlsym(Handle, Name.c_str());
     void *EntrySym = dlsym(Handle, (Name + "_entry").c_str());
     if (!Sym || !EntrySym) {
-      Diags.error(SourceLoc(),
-                  "dlsym failed for '" + Name + "' in generated module");
+      noteDiag(DiagKind::Error,
+               "dlsym failed for '" + Name + "' in generated module");
       return false;
     }
     F->RawPtr = Sym;
@@ -99,6 +297,93 @@ bool JITEngine::addModule(const std::string &CSource,
   return true;
 }
 
+bool JITEngine::addModule(const std::string &CSource,
+                          const std::vector<TerraFunction *> &Fns,
+                          bool Cacheable) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    LastSource = CSource;
+  }
+  ModuleJob Job{CSource, Fns, Cacheable};
+  CompileOutcome Outcome =
+      compileSource(Job.CSource, Job.Cacheable, /*SkipCacheLookup=*/false);
+  if (!Outcome.OK) {
+    noteDiag(DiagKind::Error,
+             "C compiler failed for generated module:\n" + Outcome.Message);
+    return false;
+  }
+  return loadModule(Job, Outcome);
+}
+
+bool JITEngine::addModules(std::vector<ModuleJob> Jobs_) {
+  if (Jobs_.empty())
+    return true;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    LastSource = Jobs_.back().CSource;
+  }
+
+  Timer Batch;
+  std::vector<CompileOutcome> Outcomes(Jobs_.size());
+
+  if (Jobs_.size() == 1 || Jobs <= 1) {
+    for (size_t I = 0; I != Jobs_.size(); ++I)
+      Outcomes[I] = compileSource(Jobs_[I].CSource, Jobs_[I].Cacheable,
+                                  /*SkipCacheLookup=*/false);
+  } else {
+    ThreadPool &P = pool();
+    Latch Done(Jobs_.size());
+    for (size_t I = 0; I != Jobs_.size(); ++I) {
+      unsigned Depth = ++InFlight;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (Depth > Counters.MaxQueueDepth)
+          Counters.MaxQueueDepth = Depth;
+      }
+      P.enqueue([this, &Jobs_, &Outcomes, &Done, I] {
+        Outcomes[I] = compileSource(Jobs_[I].CSource, Jobs_[I].Cacheable,
+                                    /*SkipCacheLookup=*/false);
+        --InFlight;
+        Done.done();
+      });
+    }
+    Done.wait();
+  }
+
+  // dlopen/dlsym and diagnostics run serially on the calling thread, in
+  // submission order, so results are deterministic regardless of which
+  // worker finished first.
+  bool AllOK = true;
+  for (size_t I = 0; I != Jobs_.size(); ++I) {
+    if (!Outcomes[I].OK) {
+      noteDiag(DiagKind::Error, "C compiler failed for generated module:\n" +
+                                    Outcomes[I].Message);
+      AllOK = false;
+      continue;
+    }
+    if (!loadModule(Jobs_[I], Outcomes[I]))
+      AllOK = false;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.BatchWallSeconds += Batch.seconds();
+  }
+  return AllOK;
+}
+
+ThreadPool &JITEngine::pool() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+  return *Pool;
+}
+
+JITEngine::Stats JITEngine::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
 bool JITEngine::saveObject(const std::string &Path,
                            const std::string &CSource) {
   auto EndsWith = [&](const char *Suffix) {
@@ -106,25 +391,43 @@ bool JITEngine::saveObject(const std::string &Path,
     return Path.size() >= N && Path.compare(Path.size() - N, N, Suffix) == 0;
   };
   if (EndsWith(".c")) {
-    std::ofstream Out(Path);
-    if (!Out) {
-      Diags.error(SourceLoc(), "cannot write " + Path);
+    if (!writeFile(Path, CSource)) {
+      noteDiag(DiagKind::Error, "cannot write " + Path);
       return false;
     }
-    Out << CSource;
     return true;
   }
-  std::string SrcPath = TempDir + "/save" + std::to_string(ModuleCounter++) +
-                        ".c";
-  {
-    std::ofstream Out(SrcPath);
-    Out << CSource;
+  std::string SrcPath =
+      TempDir + "/save" + std::to_string(ModuleCounter++) + ".c";
+  if (!writeFile(SrcPath, CSource)) {
+    noteDiag(DiagKind::Error, "cannot write generated source " + SrcPath);
+    return false;
   }
+  const char *ExtraFlags = nullptr;
   if (EndsWith(".o"))
-    return runCompiler(SrcPath, Path, "-c -fPIC");
-  if (EndsWith(".so"))
-    return runCompiler(SrcPath, Path, "-shared -fPIC");
-  Diags.error(SourceLoc(), "saveobj: unsupported extension on " + Path +
-                               " (use .c, .o, or .so)");
-  return false;
+    ExtraFlags = "-c -fPIC";
+  else if (EndsWith(".so"))
+    ExtraFlags = "-shared -fPIC";
+  else {
+    noteDiag(DiagKind::Error, "saveobj: unsupported extension on " + Path +
+                                  " (use .c, .o, or .so)");
+    return false;
+  }
+  std::string Err;
+  double Seconds = 0;
+  bool OK = runCompiler(SrcPath, Path, ExtraFlags, Err, Seconds);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.CompilerLaunches;
+    Counters.CompilerSeconds += Seconds;
+  }
+  if (!OK) {
+    noteDiag(DiagKind::Error,
+             "C compiler failed for saved object " + Path + ":\n" + Err);
+    return false;
+  }
+  if (!Err.empty())
+    noteDiag(DiagKind::Warning,
+             "C compiler diagnostics for saved object " + Path + ":\n" + Err);
+  return true;
 }

@@ -5,6 +5,23 @@
 // raw pointer and FFI entry thunk. Loaded modules live as long as the
 // engine. This is the offline substitute for LLVM's MCJIT (DESIGN.md §4).
 //
+// Two properties make it fast under autotuner-style workloads (paper §6.1,
+// where one search compiles dozens of kernel variants):
+//
+//  * Content-addressed caching: compiled shared objects are stored in a
+//    persistent cache ($TERRACPP_CACHE_DIR, default ~/.cache/terracpp)
+//    keyed by hash(C source + flags + compiler identity). An identical
+//    specialization — same process or a later run — dlopens the cached .so
+//    with zero compiler invocations. Set TERRACPP_CACHE=off to disable.
+//
+//  * Parallel batch compilation: addModules() fans each module's cc
+//    invocation out to a worker pool (TERRACPP_COMPILE_JOBS concurrent
+//    jobs, default hardware concurrency) via posix_spawn, then loads the
+//    results serially on the calling thread.
+//
+// addModule/addModules are thread-safe: independent engines, or threads
+// sharing one engine, can compile concurrently.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef TERRACPP_CORE_TERRAJIT_H
@@ -13,10 +30,15 @@
 #include "core/TerraAST.h"
 #include "support/Diagnostics.h"
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace terracpp {
+
+class ThreadPool;
 
 class JITEngine {
 public:
@@ -25,11 +47,27 @@ public:
   JITEngine(const JITEngine &) = delete;
   JITEngine &operator=(const JITEngine &) = delete;
 
+  /// One generated translation unit: its C source and the functions whose
+  /// RawPtr/Entry resolve into it. Cacheable=false marks modules that bake
+  /// process-local addresses (CBackend::lastModuleBakedAddresses) and must
+  /// bypass the persistent cache.
+  struct ModuleJob {
+    std::string CSource;
+    std::vector<TerraFunction *> Fns;
+    bool Cacheable = true;
+  };
+
   /// Compiles \p CSource and fills RawPtr/Entry for each function in
   /// \p Fns. False on failure (compiler errors are attached to the
   /// diagnostic).
   bool addModule(const std::string &CSource,
-                 const std::vector<TerraFunction *> &Fns);
+                 const std::vector<TerraFunction *> &Fns,
+                 bool Cacheable = true);
+
+  /// Compiles every job, running the C compiler invocations concurrently
+  /// on the job pool, then loads the results in order on this thread.
+  /// Jobs fail independently; returns true only if all succeeded.
+  bool addModules(std::vector<ModuleJob> Jobs);
 
   /// Writes \p CSource to \p Path as C (ext .c), a relocatable object
   /// (.o), or a shared library (.so), chosen by extension — the saveobj
@@ -39,24 +77,68 @@ public:
   /// The source of the most recently added module (for tests/debugging).
   const std::string &lastModuleSource() const { return LastSource; }
 
-  /// Seconds spent inside the C compiler so far (for bench_compile).
-  double compilerSeconds() const { return CompilerSeconds; }
+  /// Pipeline counters (for bench_compile / bench_gemm reporting).
+  struct Stats {
+    unsigned ModulesLoaded = 0;     ///< Successful addModule(s) loads.
+    unsigned CompilerLaunches = 0;  ///< Actual cc invocations.
+    unsigned CacheHits = 0;         ///< Loads served from the cache.
+    unsigned CacheMisses = 0;       ///< Cacheable lookups that compiled.
+    unsigned CacheBypassed = 0;     ///< Uncacheable modules (baked addrs).
+    unsigned MaxQueueDepth = 0;     ///< High-water mark of in-flight jobs.
+    double CompilerSeconds = 0;     ///< Summed cc wall time across jobs.
+    double BatchWallSeconds = 0;    ///< Wall time blocked in addModules.
+  };
+  Stats stats() const;
+
+  /// Summed compiler wall time so far (kept for existing callers).
+  double compilerSeconds() const { return stats().CompilerSeconds; }
 
   /// Extra flags for the C compiler (defaults to -O3 -march=native).
   void setOptFlags(std::string Flags) { OptFlags = std::move(Flags); }
 
+  /// Resolved TERRACPP_COMPILE_JOBS (>= 1).
+  unsigned compileJobs() const { return Jobs; }
+
+  /// Resolved cache directory; empty when caching is disabled.
+  const std::string &cacheDir() const { return CacheDir; }
+
 private:
+  /// Result of producing one shared object, off or on the pool.
+  struct CompileOutcome {
+    bool OK = false;
+    bool FromCache = false;
+    std::string SoPath;   ///< Where the loadable .so landed.
+    std::string Message;  ///< Compiler stderr / failure description.
+    double Seconds = 0;   ///< Wall time inside the C compiler.
+  };
+
+  CompileOutcome compileSource(const std::string &CSource, bool Cacheable,
+                               bool SkipCacheLookup);
+  bool loadModule(const ModuleJob &Job, CompileOutcome &Outcome);
   bool runCompiler(const std::string &SrcPath, const std::string &OutPath,
-                   const std::string &ExtraFlags);
+                   const std::string &ExtraFlags, std::string &ErrOut,
+                   double &Seconds);
+  std::string cacheKey(const std::string &CSource,
+                       const std::string &ExtraFlags);
+  const std::string &compilerIdentity();
+  ThreadPool &pool();
+  void noteDiag(DiagKind Kind, const std::string &Message);
 
   DiagnosticEngine &Diags;
   std::string TempDir;
   std::string OptFlags = "-O3 -march=native -fno-math-errno "
                          "-fno-semantic-interposition";
-  unsigned ModuleCounter = 0;
+  std::string CacheDir;  ///< Empty => caching disabled.
+  unsigned Jobs = 1;
   std::vector<void *> Handles;
   std::string LastSource;
-  double CompilerSeconds = 0;
+  std::string CompilerId; ///< `cc --version` first line; lazily filled.
+
+  std::unique_ptr<ThreadPool> Pool; ///< Lazily created on first batch.
+  std::atomic<unsigned> ModuleCounter{0};
+  std::atomic<unsigned> InFlight{0};
+  mutable std::mutex Mutex; ///< Guards Handles, Diags, Counters, Pool init.
+  Stats Counters;
 };
 
 } // namespace terracpp

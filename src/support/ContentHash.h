@@ -1,0 +1,61 @@
+//===- ContentHash.h - Streaming FNV-1a content hashing ---------*- C++ -*-===//
+//
+// A 64-bit FNV-1a hasher used to content-address compilation artifacts:
+// the JIT's persistent cache keys modules by hash(C source + flags +
+// compiler identity) so identical specializations reuse a cached shared
+// object. FNV-1a is not cryptographic; a collision costs a wrong cache hit,
+// which the loader detects only if the .so fails to load, so keys should
+// always include every input that affects the artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_CONTENTHASH_H
+#define TERRACPP_SUPPORT_CONTENTHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace terracpp {
+
+class ContentHash {
+public:
+  ContentHash &update(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Len; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+
+  ContentHash &update(std::string_view S) { return update(S.data(), S.size()); }
+
+  /// Hashes the length before the bytes so concatenation points are
+  /// unambiguous ("ab"+"c" != "a"+"bc").
+  ContentHash &updateField(std::string_view S) {
+    uint64_t N = S.size();
+    update(&N, sizeof(N));
+    return update(S);
+  }
+
+  uint64_t value() const { return H; }
+
+  /// 16 lowercase hex digits — stable filename for the cache entry.
+  std::string hex() const {
+    static const char Digits[] = "0123456789abcdef";
+    std::string Out(16, '0');
+    uint64_t V = H;
+    for (int I = 15; I >= 0; --I, V >>= 4)
+      Out[static_cast<size_t>(I)] = Digits[V & 0xf];
+    return Out;
+  }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ull;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_CONTENTHASH_H

@@ -1,0 +1,103 @@
+#include "support/Subprocess.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <spawn.h>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+using namespace terracpp;
+
+std::vector<std::string> terracpp::splitCommandFlags(const std::string &Flags) {
+  std::vector<std::string> Out;
+  std::istringstream SS(Flags);
+  std::string Tok;
+  while (SS >> Tok)
+    Out.push_back(Tok);
+  return Out;
+}
+
+static std::string slurpAndRemove(const std::string &Path) {
+  std::string Out;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Out = SS.str();
+  }
+  ::unlink(Path.c_str());
+  return Out;
+}
+
+SpawnResult terracpp::runCommand(const std::vector<std::string> &Argv,
+                                 const std::string &CaptureDir) {
+  SpawnResult R;
+  if (Argv.empty()) {
+    R.Error = "empty argv";
+    return R;
+  }
+
+  // Unique capture files: the same directory may host concurrent spawns
+  // from the compile pool.
+  static std::atomic<unsigned> Serial{0};
+  std::string OutPath, ErrPath;
+  if (!CaptureDir.empty()) {
+    unsigned Id = Serial++;
+    std::string Stem = CaptureDir + "/spawn" + std::to_string(::getpid()) +
+                       "-" + std::to_string(Id);
+    OutPath = Stem + ".out";
+    ErrPath = Stem + ".err";
+  }
+
+  posix_spawn_file_actions_t Actions;
+  posix_spawn_file_actions_init(&Actions);
+  if (!CaptureDir.empty()) {
+    posix_spawn_file_actions_addopen(&Actions, STDOUT_FILENO, OutPath.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    posix_spawn_file_actions_addopen(&Actions, STDERR_FILENO, ErrPath.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+
+  std::vector<char *> Args;
+  Args.reserve(Argv.size() + 1);
+  for (const std::string &A : Argv)
+    Args.push_back(const_cast<char *>(A.c_str()));
+  Args.push_back(nullptr);
+
+  pid_t Pid = -1;
+  int RC = posix_spawnp(&Pid, Args[0], &Actions, nullptr, Args.data(),
+                        environ);
+  posix_spawn_file_actions_destroy(&Actions);
+  if (RC != 0) {
+    R.Error = std::string("posix_spawnp failed for '") + Argv[0] +
+              "': " + strerror(RC);
+    if (!CaptureDir.empty()) {
+      ::unlink(OutPath.c_str());
+      ::unlink(ErrPath.c_str());
+    }
+    return R;
+  }
+  R.Spawned = true;
+
+  int Status = 0;
+  pid_t Waited;
+  do {
+    Waited = ::waitpid(Pid, &Status, 0);
+  } while (Waited < 0 && errno == EINTR);
+  if (Waited == Pid && WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  else
+    R.ExitCode = -1; // Signal or wait failure.
+
+  if (!CaptureDir.empty()) {
+    R.Stdout = slurpAndRemove(OutPath);
+    R.Stderr = slurpAndRemove(ErrPath);
+  }
+  return R;
+}

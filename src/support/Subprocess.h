@@ -1,0 +1,41 @@
+//===- Subprocess.h - posix_spawn command execution -------------*- C++ -*-===//
+//
+// Replaces the JIT's original system() calls: runs a command by argv via
+// posix_spawnp with stdout/stderr redirected to files, so compiler
+// diagnostics can be captured and attached to the DiagnosticEngine instead
+// of leaking to the terminal. No shell is involved, so paths with spaces
+// and metacharacters are safe, and many compiles can run concurrently.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_SUBPROCESS_H
+#define TERRACPP_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <vector>
+
+namespace terracpp {
+
+struct SpawnResult {
+  bool Spawned = false; ///< False if the process could not be started.
+  int ExitCode = -1;    ///< Exit status; -1 if killed by a signal.
+  std::string Stdout;   ///< Captured stdout (empty unless requested).
+  std::string Stderr;   ///< Captured stderr (empty unless requested).
+  std::string Error;    ///< Spawn-level failure description.
+
+  bool ok() const { return Spawned && ExitCode == 0; }
+};
+
+/// Runs Argv[0] (searched on PATH) with the given arguments. When
+/// \p CaptureDir is non-empty, stdout/stderr are redirected into scratch
+/// files under it (which must exist and be writable) and returned in the
+/// result; otherwise the streams are inherited. Blocks until exit.
+SpawnResult runCommand(const std::vector<std::string> &Argv,
+                       const std::string &CaptureDir);
+
+/// Splits a flag string on whitespace ("-O3 -march=native" -> 2 args).
+std::vector<std::string> splitCommandFlags(const std::string &Flags);
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_SUBPROCESS_H

@@ -1,0 +1,49 @@
+#include "support/ThreadPool.h"
+
+using namespace terracpp;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(std::move(Task));
+  }
+  CV.notify_one();
+}
+
+size_t ThreadPool::queuedTasks() {
+  std::lock_guard<std::mutex> Lock(M);
+  return Queue.size();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [&] { return Stop || !Queue.empty(); });
+      if (Stop)
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}

@@ -1,0 +1,80 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// A minimal task pool for the parallel compilation pipeline: the JIT
+// enqueues one C-compiler invocation per generated module and joins on a
+// per-batch Latch. Tasks are plain std::function<void()>; error reporting
+// happens through state captured by the task itself (the project builds
+// with -fno-exceptions, so nothing propagates out of a worker).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_THREADPOOL_H
+#define TERRACPP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace terracpp {
+
+/// Counts down to zero; wait() blocks until every registered task called
+/// done(). Used to join one batch without draining the whole pool (two
+/// engines may share a process and batch independently).
+class Latch {
+public:
+  explicit Latch(size_t Count) : Count(Count) {}
+
+  void done() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Count > 0 && --Count == 0)
+      CV.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Count == 0; });
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable CV;
+  size_t Count;
+};
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (at least one).
+  explicit ThreadPool(unsigned Threads);
+
+  /// Signals shutdown and joins the workers. Queued-but-unstarted tasks are
+  /// discarded, so callers must join their batches (Latch) before
+  /// destroying the pool.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  void enqueue(std::function<void()> Task);
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  size_t queuedTasks();
+
+private:
+  void workerLoop();
+
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<std::function<void()>> Queue;
+  bool Stop = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_THREADPOOL_H

@@ -1,0 +1,306 @@
+//===- test_jit_cache.cpp - Parallel content-addressed JIT pipeline -------===//
+//
+// Covers the compilation pipeline added for the autotuner workload (paper
+// §6.1 compiles dozens of kernel variants per search):
+//   * cache-key stability — identical source+flags reuse a cached .so with
+//     zero compiler launches; different flags miss;
+//   * corrupted-cache-entry recovery — a truncated/garbage .so is evicted
+//     and rebuilt from source;
+//   * thread-safety — many threads pushing modules through one JITEngine,
+//     and independent Engines compiling concurrently in one process;
+//   * the batch compileAll API.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "core/TerraJIT.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace terracpp;
+
+namespace {
+
+/// Points TERRACPP_CACHE_DIR at a fresh private directory for one test and
+/// restores the previous environment afterwards. Keeps concurrently
+/// running test processes from sharing cache state.
+class ScopedCacheDir {
+public:
+  ScopedCacheDir() {
+    char Template[] = "/tmp/terracpp-cachetest-XXXXXX";
+    Dir = mkdtemp(Template);
+    const char *Old = getenv("TERRACPP_CACHE_DIR");
+    if (Old)
+      Saved = Old;
+    HadOld = Old != nullptr;
+    setenv("TERRACPP_CACHE_DIR", Dir.c_str(), 1);
+  }
+  ~ScopedCacheDir() {
+    if (HadOld)
+      setenv("TERRACPP_CACHE_DIR", Saved.c_str(), 1);
+    else
+      unsetenv("TERRACPP_CACHE_DIR");
+    for (const std::string &F : entries())
+      ::unlink((Dir + "/" + F).c_str());
+    ::rmdir(Dir.c_str());
+  }
+
+  const std::string &path() const { return Dir; }
+
+  std::vector<std::string> entries() const {
+    std::vector<std::string> Out;
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          Out.push_back(Name);
+      }
+      ::closedir(D);
+    }
+    return Out;
+  }
+
+private:
+  std::string Dir;
+  std::string Saved;
+  bool HadOld = false;
+};
+
+const char *ProbeSource = "int terracpp_cache_probe(void) { return 42; }\n";
+
+TEST(JITCache, SameSourceAndFlagsHitsCache) {
+  ScopedCacheDir Cache;
+  DiagnosticEngine D1;
+  JITEngine J1(D1);
+  ASSERT_TRUE(J1.addModule(ProbeSource, {}));
+  JITEngine::Stats S1 = J1.stats();
+  EXPECT_EQ(S1.CacheMisses, 1u);
+  EXPECT_EQ(S1.CacheHits, 0u);
+  EXPECT_EQ(S1.CompilerLaunches, 1u);
+
+  // A second engine (fresh process state as far as the cache is concerned)
+  // compiling the identical module must not launch the compiler at all.
+  DiagnosticEngine D2;
+  JITEngine J2(D2);
+  ASSERT_TRUE(J2.addModule(ProbeSource, {}));
+  JITEngine::Stats S2 = J2.stats();
+  EXPECT_EQ(S2.CacheHits, 1u);
+  EXPECT_EQ(S2.CacheMisses, 0u);
+  EXPECT_EQ(S2.CompilerLaunches, 0u);
+  EXPECT_EQ(S2.CompilerSeconds, 0.0);
+}
+
+TEST(JITCache, DifferentFlagsMiss) {
+  ScopedCacheDir Cache;
+  DiagnosticEngine D1;
+  JITEngine J1(D1);
+  ASSERT_TRUE(J1.addModule(ProbeSource, {}));
+
+  DiagnosticEngine D2;
+  JITEngine J2(D2);
+  J2.setOptFlags("-O1");
+  ASSERT_TRUE(J2.addModule(ProbeSource, {}));
+  JITEngine::Stats S2 = J2.stats();
+  EXPECT_EQ(S2.CacheHits, 0u);
+  EXPECT_EQ(S2.CacheMisses, 1u);
+  EXPECT_EQ(S2.CompilerLaunches, 1u);
+
+  // Both variants now coexist as distinct entries.
+  unsigned SoCount = 0;
+  for (const std::string &E : Cache.entries())
+    if (E.size() > 3 && E.compare(E.size() - 3, 3, ".so") == 0)
+      ++SoCount;
+  EXPECT_EQ(SoCount, 2u);
+}
+
+TEST(JITCache, UncacheableModuleBypassesCache) {
+  ScopedCacheDir Cache;
+  DiagnosticEngine D;
+  JITEngine J(D);
+  ASSERT_TRUE(J.addModule(ProbeSource, {}, /*Cacheable=*/false));
+  JITEngine::Stats S = J.stats();
+  EXPECT_EQ(S.CacheBypassed, 1u);
+  EXPECT_EQ(S.CacheHits + S.CacheMisses, 0u);
+  EXPECT_TRUE(Cache.entries().empty());
+}
+
+TEST(JITCache, CorruptedEntryIsEvictedAndRebuilt) {
+  ScopedCacheDir Cache;
+  {
+    DiagnosticEngine D;
+    JITEngine J(D);
+    ASSERT_TRUE(J.addModule(ProbeSource, {}));
+  }
+  // Truncate/garbage every cached .so — simulates a torn write from a
+  // killed process.
+  for (const std::string &E : Cache.entries()) {
+    std::ofstream Out(Cache.path() + "/" + E,
+                      std::ios::binary | std::ios::trunc);
+    Out << "this is not an ELF shared object";
+  }
+
+  DiagnosticEngine D;
+  JITEngine J(D);
+  ASSERT_TRUE(J.addModule(ProbeSource, {}));
+  EXPECT_FALSE(D.hasErrors());
+  JITEngine::Stats S = J.stats();
+  EXPECT_EQ(S.CacheHits, 1u);        // Looked like a hit...
+  EXPECT_EQ(S.CompilerLaunches, 1u); // ...but had to rebuild.
+
+  // And the rebuilt entry is loadable again without a compile.
+  DiagnosticEngine D3;
+  JITEngine J3(D3);
+  ASSERT_TRUE(J3.addModule(ProbeSource, {}));
+  EXPECT_EQ(J3.stats().CompilerLaunches, 0u);
+}
+
+TEST(JITCache, CompileErrorAttachesCompilerStderr) {
+  ScopedCacheDir Cache;
+  DiagnosticEngine D;
+  JITEngine J(D);
+  EXPECT_FALSE(J.addModule("this is not C at all\n", {}));
+  ASSERT_TRUE(D.hasErrors());
+  // The cc diagnostic text must be in the engine, not on the terminal.
+  EXPECT_NE(D.renderAll().find("error"), std::string::npos);
+}
+
+TEST(JITCache, ThreadedAddModuleStress) {
+  ScopedCacheDir Cache;
+  DiagnosticEngine D;
+  JITEngine J(D);
+  constexpr int Threads = 4, ModulesPerThread = 6;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      for (int M = 0; M != ModulesPerThread; ++M) {
+        // Unique source per module: every compile is a genuine miss.
+        std::string Src = "int stress_fn_" + std::to_string(T) + "_" +
+                          std::to_string(M) + "(void) { return " +
+                          std::to_string(T * 100 + M) + "; }\n";
+        if (!J.addModule(Src, {}))
+          ++Failures;
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(J.stats().ModulesLoaded,
+            static_cast<unsigned>(Threads * ModulesPerThread));
+}
+
+TEST(JITCache, ConcurrentEnginesCompileIndependently) {
+  ScopedCacheDir Cache;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T != 2; ++T)
+    Workers.emplace_back([&, T] {
+      Engine E;
+      std::string Name = "conc" + std::to_string(T);
+      std::string Src = "terra " + Name + "(x: int): int return x * " +
+                        std::to_string(T + 2) + " end";
+      if (!E.run(Src)) {
+        ++Failures;
+        return;
+      }
+      auto *Fn = reinterpret_cast<int32_t (*)(int32_t)>(E.rawPointer(Name));
+      if (!Fn || Fn(21) != 21 * (T + 2))
+        ++Failures;
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(JITCache, CompileAllBatchesAFamily) {
+  ScopedCacheDir Cache;
+  Engine E;
+  constexpr int N = 8;
+  std::string Src;
+  for (int I = 0; I != N; ++I)
+    Src += "terra batch" + std::to_string(I) + "(x: int): int return x + " +
+           std::to_string(I) + " end\n";
+  ASSERT_TRUE(E.run(Src)) << E.errors();
+
+  std::vector<TerraFunction *> Fns;
+  for (int I = 0; I != N; ++I)
+    Fns.push_back(E.terraFunction("batch" + std::to_string(I)));
+  ASSERT_TRUE(E.compileAll(Fns)) << E.errors();
+  for (int I = 0; I != N; ++I) {
+    ASSERT_NE(Fns[I]->RawPtr, nullptr);
+    auto *F = reinterpret_cast<int32_t (*)(int32_t)>(Fns[I]->RawPtr);
+    EXPECT_EQ(F(10), 10 + I);
+  }
+  // One module per root went through the pipeline.
+  EXPECT_GE(E.compiler().jit().stats().ModulesLoaded, static_cast<unsigned>(N));
+
+  // An identical family in a fresh engine is served entirely from cache.
+  Engine E2;
+  ASSERT_TRUE(E2.run(Src)) << E2.errors();
+  std::vector<TerraFunction *> Fns2;
+  for (int I = 0; I != N; ++I)
+    Fns2.push_back(E2.terraFunction("batch" + std::to_string(I)));
+  ASSERT_TRUE(E2.compileAll(Fns2)) << E2.errors();
+  JITEngine::Stats S2 = E2.compiler().jit().stats();
+  EXPECT_EQ(S2.CompilerLaunches, 0u);
+  EXPECT_EQ(S2.CacheHits, static_cast<unsigned>(N));
+}
+
+TEST(JITCache, CompileAllUsesWorkerPool) {
+  // On single-core machines the default job count is 1 and addModules
+  // stays serial; force a pool so the parallel path is always exercised.
+  ScopedCacheDir Cache;
+  setenv("TERRACPP_COMPILE_JOBS", "4", 1);
+  {
+    Engine E;
+    constexpr int N = 12;
+    std::string Src;
+    for (int I = 0; I != N; ++I)
+      Src += "terra pool" + std::to_string(I) + "(x: int): int return x - " +
+             std::to_string(I) + " end\n";
+    ASSERT_TRUE(E.run(Src)) << E.errors();
+    ASSERT_EQ(E.compiler().jit().compileJobs(), 4u);
+
+    std::vector<TerraFunction *> Fns;
+    for (int I = 0; I != N; ++I)
+      Fns.push_back(E.terraFunction("pool" + std::to_string(I)));
+    ASSERT_TRUE(E.compileAll(Fns)) << E.errors();
+    for (int I = 0; I != N; ++I) {
+      ASSERT_NE(Fns[I]->RawPtr, nullptr);
+      auto *F = reinterpret_cast<int32_t (*)(int32_t)>(Fns[I]->RawPtr);
+      EXPECT_EQ(F(100), 100 - I);
+    }
+    JITEngine::Stats S = E.compiler().jit().stats();
+    EXPECT_EQ(S.CacheMisses, static_cast<unsigned>(N));
+    EXPECT_GE(S.MaxQueueDepth, 2u); // Jobs genuinely overlapped in flight.
+  }
+  unsetenv("TERRACPP_COMPILE_JOBS");
+}
+
+TEST(JITCache, CompileAllSharedCalleeAcrossRoots) {
+  ScopedCacheDir Cache;
+  Engine E;
+  ASSERT_TRUE(E.run("terra shared(x: int): int return x * 3 end\n"
+                    "terra rootA(x: int): int return shared(x) + 1 end\n"
+                    "terra rootB(x: int): int return shared(x) + 2 end\n"))
+      << E.errors();
+  std::vector<TerraFunction *> Fns{E.terraFunction("rootA"),
+                                   E.terraFunction("rootB")};
+  ASSERT_TRUE(E.compileAll(Fns)) << E.errors();
+  auto *A = reinterpret_cast<int32_t (*)(int32_t)>(Fns[0]->RawPtr);
+  auto *B = reinterpret_cast<int32_t (*)(int32_t)>(Fns[1]->RawPtr);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A(5), 16);
+  EXPECT_EQ(B(5), 17);
+}
+
+} // namespace
