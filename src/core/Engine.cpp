@@ -3,6 +3,7 @@
 #include "core/LuaStdlib.h"
 #include "core/Parser.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -67,6 +68,16 @@ void Engine::setGlobal(const std::string &Name, Value V) {
 TerraFunction *Engine::terraFunction(const std::string &GlobalName) {
   Value V = global(GlobalName);
   return V.isTerraFn() ? V.asTerraFn() : nullptr;
+}
+
+std::vector<std::string> Engine::terraFunctionNames() {
+  std::vector<std::string> Names;
+  I->globalEnv()->forEachLocal([&](const std::string &Name, const Value &V) {
+    if (V.isTerraFn())
+      Names.push_back(Name);
+  });
+  std::sort(Names.begin(), Names.end());
+  return Names;
 }
 
 void *Engine::rawPointer(const std::string &GlobalName) {

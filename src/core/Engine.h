@@ -47,6 +47,11 @@ public:
   /// Looks up a global holding a Terra function.
   TerraFunction *terraFunction(const std::string &GlobalName);
 
+  /// Names of globals currently bound to Terra functions, sorted. This is
+  /// the callable surface a compiled script exposes (the terrad server
+  /// reports it per compile handle).
+  std::vector<std::string> terraFunctionNames();
+
   /// Compiles the named Terra function and returns its native code address
   /// (null in interp backend or on error). Cast to the correct signature.
   void *rawPointer(const std::string &GlobalName);

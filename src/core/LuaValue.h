@@ -305,6 +305,14 @@ public:
   Env *parent() const { return Parent.get(); }
   std::shared_ptr<Env> parentPtr() const { return Parent; }
 
+  /// Visits every binding in this scope only (no enclosing scopes), in
+  /// unspecified order. Used by the terrad server to enumerate the Terra
+  /// functions a compiled script defined.
+  template <typename Fn> void forEachLocal(Fn &&F) const {
+    for (const auto &KV : Cells)
+      F(*KV.first, *KV.second);
+  }
+
 private:
   std::shared_ptr<Env> Parent;
   std::unordered_map<const std::string *, Cell> Cells;

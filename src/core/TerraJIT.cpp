@@ -5,12 +5,14 @@
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <dirent.h>
 #include <dlfcn.h>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
@@ -89,6 +91,17 @@ static std::string resolveCacheDir() {
   return "/tmp/terracpp-cache";
 }
 
+static uint64_t resolveCacheMaxBytes() {
+  const char *Env = getenv("TERRACPP_CACHE_MAX_MB");
+  if (!Env)
+    return 0;
+  char *End = nullptr;
+  double MB = strtod(Env, &End);
+  if (!End || End == Env || MB <= 0)
+    return 0;
+  return static_cast<uint64_t>(MB * 1024.0 * 1024.0);
+}
+
 static unsigned resolveCompileJobs() {
   if (const char *Env = getenv("TERRACPP_COMPILE_JOBS")) {
     long N = strtol(Env, nullptr, 10);
@@ -111,6 +124,7 @@ JITEngine::JITEngine(DiagnosticEngine &Diags) : Diags(Diags) {
   TempDir = Dir ? Dir : "/tmp";
   Jobs = resolveCompileJobs();
   CacheDir = resolveCacheDir();
+  CacheMaxBytes = resolveCacheMaxBytes();
   if (!CacheDir.empty() && !makeDirs(CacheDir))
     CacheDir.clear(); // Unusable cache location: run uncached.
 }
@@ -174,9 +188,18 @@ bool JITEngine::runCompiler(const std::string &SrcPath,
   Timer T;
   SpawnResult R = runCommand(Argv, TempDir);
   Seconds = T.seconds();
-  ErrOut = R.Spawned ? R.Stderr : R.Error;
+  if (R.spawnFailed()) {
+    // The compiler could not even start (e.g. no `cc` installed): report
+    // the structured description rather than an empty stderr, and point at
+    // the interp backend as the compiler-free fallback.
+    ErrOut = R.describe("cc") +
+             "; the native backend needs a C compiler "
+             "(set TERRACPP_BACKEND=interp to run without one)";
+    return false;
+  }
+  ErrOut = R.Stderr;
   if (!R.ok() && ErrOut.empty())
-    ErrOut = "cc exited with status " + std::to_string(R.ExitCode);
+    ErrOut = R.describe("cc");
   return R.ok();
 }
 
@@ -191,6 +214,9 @@ JITEngine::compileSource(const std::string &CSource, bool Cacheable,
   if (UseCache) {
     CachePath = CacheDir + "/" + cacheKey(CSource, ExtraFlags) + ".so";
     if (!SkipCacheLookup && ::access(CachePath.c_str(), R_OK) == 0) {
+      // Refresh the entry's mtime so the size bound evicts by actual
+      // recency of use, not by age of first compile.
+      ::utimensat(AT_FDCWD, CachePath.c_str(), nullptr, 0);
       Out.OK = true;
       Out.FromCache = true;
       Out.SoPath = CachePath;
@@ -234,12 +260,68 @@ JITEngine::compileSource(const std::string &CSource, bool Cacheable,
     // Publish atomically: concurrent processes may compile the same key.
     std::string Tmp = CachePath + ".tmp." + std::to_string(::getpid()) + "." +
                       std::to_string(Id);
-    if (copyFile(SoPath, Tmp) && ::rename(Tmp.c_str(), CachePath.c_str()) == 0)
+    if (copyFile(SoPath, Tmp) && ::rename(Tmp.c_str(), CachePath.c_str()) == 0) {
       Out.SoPath = CachePath;
-    else
+      enforceCacheLimit(CachePath);
+    } else {
       ::unlink(Tmp.c_str()); // Cache write failed; load the temp copy.
+    }
   }
   return Out;
+}
+
+void JITEngine::enforceCacheLimit(const std::string &Protect) {
+  if (CacheMaxBytes == 0 || CacheDir.empty())
+    return;
+
+  struct Entry {
+    std::string Path;
+    uint64_t Bytes;
+    uint64_t MtimeNs; ///< Nanosecond resolution: entries touched within the
+                      ///< same second must still order by recency.
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  DIR *D = ::opendir(CacheDir.c_str());
+  if (!D)
+    return;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() < 4 || Name.compare(Name.size() - 3, 3, ".so") != 0)
+      continue;
+    std::string Path = CacheDir + "/" + Name;
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    Total += static_cast<uint64_t>(St.st_size);
+    uint64_t MtimeNs = static_cast<uint64_t>(St.st_mtim.tv_sec) * 1000000000u +
+                       static_cast<uint64_t>(St.st_mtim.tv_nsec);
+    Entries.push_back(
+        {std::move(Path), static_cast<uint64_t>(St.st_size), MtimeNs});
+  }
+  ::closedir(D);
+  if (Total <= CacheMaxBytes)
+    return;
+
+  // Oldest mtime first; hits refresh mtime, so this is LRU. The entry we
+  // just published is never a victim even if it alone exceeds the bound.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.MtimeNs < B.MtimeNs; });
+  unsigned Evicted = 0;
+  for (const Entry &Victim : Entries) {
+    if (Total <= CacheMaxBytes)
+      break;
+    if (Victim.Path == Protect)
+      continue;
+    if (::unlink(Victim.Path.c_str()) == 0) {
+      Total -= Victim.Bytes;
+      ++Evicted;
+    }
+  }
+  if (Evicted) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.CacheEvicted += Evicted;
+  }
 }
 
 bool JITEngine::loadModule(const ModuleJob &Job, CompileOutcome &Outcome) {

@@ -84,6 +84,7 @@ public:
     unsigned CacheHits = 0;         ///< Loads served from the cache.
     unsigned CacheMisses = 0;       ///< Cacheable lookups that compiled.
     unsigned CacheBypassed = 0;     ///< Uncacheable modules (baked addrs).
+    unsigned CacheEvicted = 0;      ///< Entries removed by the size bound.
     unsigned MaxQueueDepth = 0;     ///< High-water mark of in-flight jobs.
     double CompilerSeconds = 0;     ///< Summed cc wall time across jobs.
     double BatchWallSeconds = 0;    ///< Wall time blocked in addModules.
@@ -101,6 +102,9 @@ public:
 
   /// Resolved cache directory; empty when caching is disabled.
   const std::string &cacheDir() const { return CacheDir; }
+
+  /// Resolved TERRACPP_CACHE_MAX_MB in bytes; 0 = unbounded.
+  uint64_t cacheMaxBytes() const { return CacheMaxBytes; }
 
 private:
   /// Result of producing one shared object, off or on the pool.
@@ -120,6 +124,10 @@ private:
                    double &Seconds);
   std::string cacheKey(const std::string &CSource,
                        const std::string &ExtraFlags);
+  /// Evicts least-recently-used .so entries (by mtime; hits refresh it)
+  /// until the cache is within TERRACPP_CACHE_MAX_MB. \p Protect is the
+  /// just-published entry, never evicted.
+  void enforceCacheLimit(const std::string &Protect);
   const std::string &compilerIdentity();
   ThreadPool &pool();
   void noteDiag(DiagKind Kind, const std::string &Message);
@@ -129,6 +137,7 @@ private:
   std::string OptFlags = "-O3 -march=native -fno-math-errno "
                          "-fno-semantic-interposition";
   std::string CacheDir;  ///< Empty => caching disabled.
+  uint64_t CacheMaxBytes = 0; ///< 0 => unbounded.
   unsigned Jobs = 1;
   std::vector<void *> Handles;
   std::string LastSource;

@@ -1,0 +1,142 @@
+#include "server/Client.h"
+
+#include "server/Protocol.h"
+
+#include <unistd.h>
+
+using namespace terracpp;
+using namespace terracpp::server;
+using terracpp::json::Value;
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string &SocketPath) {
+  close();
+  Fd = connectUnix(SocketPath, LastError);
+  return Fd >= 0;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Value Client::request(const Value &Request, int TimeoutMs) {
+  if (Fd < 0) {
+    LastError = "not connected";
+    return Value();
+  }
+  if (!writeMessage(Fd, Request)) {
+    LastError = "send failed";
+    close();
+    return Value();
+  }
+  Value Response;
+  std::string Err;
+  FrameStatus St = readMessage(Fd, Response, Err, TimeoutMs);
+  if (St != FrameStatus::OK) {
+    switch (St) {
+    case FrameStatus::Closed:
+      LastError = "server closed the connection";
+      break;
+    case FrameStatus::Timeout:
+      LastError = "timed out waiting for response";
+      break;
+    default:
+      LastError = Err.empty() ? "receive failed" : Err;
+    }
+    close();
+    return Value();
+  }
+  return Response;
+}
+
+Client::CompileResult Client::compile(const std::string &Source,
+                                      const std::string &Name,
+                                      int TimeoutMs) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("compile"));
+  Req.set("source", Value::string(Source));
+  if (!Name.empty())
+    Req.set("name", Value::string(Name));
+
+  CompileResult R;
+  Value Resp = request(Req, TimeoutMs);
+  if (Resp.isNull()) {
+    R.Error = LastError;
+    return R;
+  }
+  R.OK = Resp.getBool("ok");
+  if (!R.OK) {
+    R.Error = Resp.getString("error", "compile failed");
+    R.Diagnostics = Resp.getString("diagnostics");
+    return R;
+  }
+  R.Handle = Resp.getString("handle");
+  R.Warm = Resp.getBool("warm");
+  R.Seconds = Resp.getNumber("seconds");
+  if (const Value *Fns = Resp.get("functions"))
+    for (const Value &F : Fns->elements())
+      R.Functions.push_back(F.asString());
+  return R;
+}
+
+Client::CallResult Client::call(const std::string &Handle,
+                                const std::string &Fn,
+                                const std::vector<Value> &Args,
+                                int TimeoutMs) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("call"));
+  Req.set("handle", Value::string(Handle));
+  Req.set("fn", Value::string(Fn));
+  Value ArgArr = Value::array();
+  for (const Value &A : Args)
+    ArgArr.push(A);
+  Req.set("args", std::move(ArgArr));
+
+  CallResult R;
+  Value Resp = request(Req, TimeoutMs);
+  if (Resp.isNull()) {
+    R.Error = LastError;
+    return R;
+  }
+  R.OK = Resp.getBool("ok");
+  if (!R.OK) {
+    R.Error = Resp.getString("error", "call failed");
+    R.Diagnostics = Resp.getString("diagnostics");
+    return R;
+  }
+  if (const Value *Res = Resp.get("result"))
+    R.Result = *Res;
+  return R;
+}
+
+Value Client::stats(int TimeoutMs) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("stats"));
+  return request(Req, TimeoutMs);
+}
+
+bool Client::ping(int DelayMs, int TimeoutMs) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  if (DelayMs > 0)
+    Req.set("delay_ms", Value::number(DelayMs));
+  Value Resp = request(Req, TimeoutMs);
+  if (Resp.isNull())
+    return false;
+  if (!Resp.getBool("ok")) {
+    LastError = Resp.getString("error", "ping failed");
+    return false;
+  }
+  return true;
+}
+
+bool Client::shutdownServer() {
+  Value Req = Value::object();
+  Req.set("op", Value::string("shutdown"));
+  Value Resp = request(Req);
+  return !Resp.isNull() && Resp.getBool("ok");
+}

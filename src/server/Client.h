@@ -1,0 +1,85 @@
+//===- Client.h - Blocking client for the terrad service --------*- C++ -*-===//
+//
+// A thin synchronous client for the terrad protocol (Protocol.h): connect
+// to the daemon's Unix-domain socket, submit scripts, invoke compiled
+// functions by handle, and read server statistics. One Client owns one
+// connection and is not thread-safe; concurrent callers should each open
+// their own (connections are cheap, and the server multiplexes).
+//
+// Used by `terracpp --connect`, bench_server, and tests/test_server.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SERVER_CLIENT_H
+#define TERRACPP_SERVER_CLIENT_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace terracpp {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&O) noexcept : Fd(O.Fd), LastError(std::move(O.LastError)) {
+    O.Fd = -1;
+  }
+
+  /// Connects to the daemon at \p SocketPath. False on failure (error()).
+  bool connect(const std::string &SocketPath);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one request and waits for its response. A default-constructed
+  /// (null) return value means transport failure (see error()); protocol-
+  /// level failures come back as {"ok":false,...} objects.
+  json::Value request(const json::Value &Request, int TimeoutMs = -1);
+
+  struct CompileResult {
+    bool OK = false;
+    std::string Handle;               ///< Content hash; stable across runs.
+    bool Warm = false;                ///< Served by an already-live engine.
+    double Seconds = 0;               ///< Server-side compile wall time.
+    std::vector<std::string> Functions;
+    std::string Error;
+    std::string Diagnostics;
+  };
+  CompileResult compile(const std::string &Source,
+                        const std::string &Name = "", int TimeoutMs = -1);
+
+  struct CallResult {
+    bool OK = false;
+    json::Value Result; ///< Scalar (number/bool/string) or null.
+    std::string Error;
+    std::string Diagnostics;
+  };
+  CallResult call(const std::string &Handle, const std::string &Fn,
+                  const std::vector<json::Value> &Args, int TimeoutMs = -1);
+
+  /// {"op":"stats"} — null value on transport failure.
+  json::Value stats(int TimeoutMs = -1);
+
+  /// {"op":"ping"}; DelayMs asks the server to hold the request that long
+  /// inside a worker (load-testing / drain-testing aid).
+  bool ping(int DelayMs = 0, int TimeoutMs = -1);
+
+  /// Asks the server to drain and exit.
+  bool shutdownServer();
+
+  const std::string &error() const { return LastError; }
+
+private:
+  int Fd = -1;
+  std::string LastError;
+};
+
+} // namespace server
+} // namespace terracpp
+
+#endif // TERRACPP_SERVER_CLIENT_H

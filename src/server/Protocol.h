@@ -1,0 +1,81 @@
+//===- Protocol.h - terrad wire protocol ------------------------*- C++ -*-===//
+//
+// The terrad daemon (DESIGN.md §7) speaks a length-prefixed framed protocol
+// over a Unix-domain stream socket. Every frame is
+//
+//   [u32 payload length, big endian][payload bytes]
+//
+// where the payload is one JSON value (support/Json.h). Requests are
+// objects with an "op" member:
+//
+//   {"op":"compile","source":"terra f(...) ... end","name":"script"}
+//     -> {"ok":true,"handle":"<16 hex>","functions":["f",...],
+//         "warm":false,"seconds":0.31,"diagnostics":""}
+//   {"op":"call","handle":"<16 hex>","fn":"f","args":[1,2.5,"s",true]}
+//     -> {"ok":true,"result":3.5}
+//   {"op":"stats"}     -> {"ok":true, ...counters...}
+//   {"op":"ping","delay_ms":0}  -> {"ok":true}   (delay_ms: debug latency)
+//   {"op":"shutdown"}  -> {"ok":true,"draining":true}; server drains + exits
+//
+// Failures are {"ok":false,"error":"...","diagnostics":"..."}. The same
+// framing runs in both directions; exactly one response per request, in
+// request order per connection.
+//
+// This header also carries the blocking socket helpers shared by the
+// server, the client library, and the tests: full-frame reads/writes that
+// handle partial transfers, EINTR, and an optional receive deadline.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SERVER_PROTOCOL_H
+#define TERRACPP_SERVER_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <string>
+
+namespace terracpp {
+namespace server {
+
+/// Frames larger than this are protocol errors (protects both sides from
+/// allocating garbage lengths sent by a confused peer).
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+enum class FrameStatus {
+  OK,
+  Closed,   ///< Orderly EOF before any byte of the frame.
+  Timeout,  ///< Receive deadline expired.
+  Error,    ///< I/O failure or malformed length.
+};
+
+/// Writes one [length][payload] frame; retries partial writes. False on any
+/// write failure (the connection should be dropped).
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one full frame into \p Payload. \p TimeoutMs < 0 blocks forever;
+/// otherwise the whole frame must arrive within the deadline.
+FrameStatus readFrame(int Fd, std::string &Payload, int TimeoutMs = -1);
+
+/// writeFrame(dump) convenience.
+bool writeMessage(int Fd, const json::Value &V);
+
+/// readFrame + parse. On FrameStatus::Error, \p Err distinguishes I/O from
+/// JSON problems.
+FrameStatus readMessage(int Fd, json::Value &Out, std::string &Err,
+                        int TimeoutMs = -1);
+
+/// Builds the canonical error response.
+json::Value errorResponse(const std::string &Message,
+                          const std::string &Diagnostics = "");
+
+/// Connects to a Unix-domain socket path; -1 on failure (\p Err set).
+int connectUnix(const std::string &Path, std::string &Err);
+
+/// Creates, binds, and listens on a Unix-domain socket path, unlinking any
+/// stale socket file first; -1 on failure (\p Err set).
+int listenUnix(const std::string &Path, int Backlog, std::string &Err);
+
+} // namespace server
+} // namespace terracpp
+
+#endif // TERRACPP_SERVER_PROTOCOL_H

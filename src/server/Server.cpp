@@ -1,0 +1,715 @@
+#include "server/Server.h"
+
+#include "core/Engine.h"
+#include "server/Protocol.h"
+#include "support/ContentHash.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace terracpp;
+using namespace terracpp::server;
+
+//===----------------------------------------------------------------------===//
+// Config
+//===----------------------------------------------------------------------===//
+
+static unsigned envUnsigned(const char *Name, unsigned Fallback, unsigned Lo,
+                            unsigned Hi) {
+  const char *V = getenv(Name);
+  if (!V)
+    return Fallback;
+  long N = strtol(V, nullptr, 10);
+  if (N < static_cast<long>(Lo) || N > static_cast<long>(Hi))
+    return Fallback;
+  return static_cast<unsigned>(N);
+}
+
+void ServerConfig::resolveFromEnv() {
+  if (Workers == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Workers = envUnsigned("TERRAD_WORKERS", HW > 2 ? HW : 2, 1, 128);
+  }
+  QueueCapacity = envUnsigned("TERRAD_QUEUE", QueueCapacity, 1, 1u << 16);
+  MaxEngines = envUnsigned("TERRAD_MAX_ENGINES", MaxEngines, 1, 1024);
+  RequestTimeoutMs = static_cast<int>(
+      envUnsigned("TERRAD_TIMEOUT_MS", static_cast<unsigned>(RequestTimeoutMs),
+                  1, 3600000));
+  if (SocketPath.empty()) {
+    if (const char *P = getenv("TERRAD_SOCKET"))
+      SocketPath = P;
+    else
+      SocketPath = "/tmp/terrad-" + std::to_string(::getuid()) + ".sock";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Internal types
+//===----------------------------------------------------------------------===//
+
+/// One queued request. The reader thread that produced it waits on CV; a
+/// worker fills Response and flips Done. If the reader's deadline fires
+/// first it marks the job Abandoned and answers the client itself; the
+/// worker then skips (or finishes silently) and nobody touches the fd.
+struct Server::Job {
+  json::Value Request;
+  json::Value Response;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  bool Abandoned = false;
+};
+
+/// One client connection: its socket and the reader thread serving it.
+struct Server::Conn {
+  int Fd = -1;
+  std::thread Reader;
+  std::atomic<bool> Finished{false};
+};
+
+/// One live script universe. Ready/Failed are written under ExecMutex; the
+/// entry is published in the LRU map before the engine is constructed, so
+/// concurrent compiles of the same script converge on one engine (the
+/// second locks ExecMutex, then observes Ready).
+struct Server::EngineEntry {
+  std::string Hash;
+  std::mutex ExecMutex;       ///< Engines are single-threaded; serializes use.
+  std::unique_ptr<Engine> E;  ///< Null until first compile completes.
+  bool Ready = false;
+  bool Failed = false;
+  std::string FailDiagnostics;
+  std::vector<std::string> Functions;
+  double CompileSeconds = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Signal plumbing
+//===----------------------------------------------------------------------===//
+
+// Lock-free atomic rather than volatile sig_atomic_t: the flag is written
+// by a signal handler on one thread and read/cleared by the accept loop on
+// another, which needs real inter-thread ordering (lock-free atomics are
+// async-signal-safe).
+static std::atomic<int> GSignalFlag{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+static void terradSignalHandler(int) {
+  GSignalFlag.store(1, std::memory_order_relaxed);
+}
+
+void Server::installSignalHandlers() {
+  struct sigaction SA;
+  memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = terradSignalHandler;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+}
+
+bool Server::signalReceived() {
+  return GSignalFlag.load(std::memory_order_relaxed) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerConfig C) : Config(std::move(C)) {
+  Config.resolveFromEnv();
+}
+
+Server::~Server() {
+  requestShutdown();
+  wait();
+}
+
+bool Server::start(std::string &Err) {
+  if (Started) {
+    Err = "server already started";
+    return false;
+  }
+  ListenFd = listenUnix(Config.SocketPath, Config.Backlog, Err);
+  if (ListenFd < 0)
+    return false;
+
+  Workers = std::make_unique<ThreadPool>(Config.Workers);
+  for (unsigned I = 0; I != Config.Workers; ++I)
+    Workers->enqueue([this] { workerLoop(); });
+  Acceptor = std::thread([this] { acceptLoop(); });
+  Started = true;
+  return true;
+}
+
+void Server::requestShutdown() {
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return;
+  // The accept loop notices Draining within one poll interval and runs the
+  // drain sequence on its own thread; if the server never started there is
+  // nothing to drain.
+  if (!Started)
+    ShutdownComplete = true;
+}
+
+void Server::wait() {
+  if (!Started)
+    return;
+  std::unique_lock<std::mutex> Lock(ShutdownMutex);
+  ShutdownCV.wait(Lock, [&] { return ShutdownComplete.load(); });
+  if (Acceptor.joinable())
+    Acceptor.join();
+}
+
+void Server::acceptLoop() {
+  while (!Draining) {
+    if (signalReceived()) {
+      // Consume the signal so a later server in the same process (tests,
+      // embedding) does not observe a stale flag and drain on startup.
+      GSignalFlag.store(0, std::memory_order_relaxed);
+      requestShutdown();
+    }
+    if (Draining)
+      break;
+    struct pollfd PFd = {ListenFd, POLLIN, 0};
+    int PR = ::poll(&PFd, 1, 100);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      requestShutdown();
+      break;
+    }
+    if (PR == 0 || !(PFd.revents & POLLIN))
+      continue;
+    reapConnections(/*Join=*/false);
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.ConnectionsAccepted;
+    }
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    Conn *CP = C.get();
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Conns.push_back(std::move(C));
+    CP->Reader = std::thread([this, CP] { connectionLoop(CP); });
+  }
+  beginDrain();
+}
+
+void Server::reapConnections(bool Join) {
+  // Move the threads to join out of the lock: a reader being joined must be
+  // able to run to completion without needing ConnMutex (it does not — it
+  // only flips its Finished flag).
+  std::vector<std::unique_ptr<Conn>> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    auto Keep = Conns.begin();
+    for (auto &C : Conns) {
+      if (Join || C->Finished)
+        Dead.push_back(std::move(C));
+      else
+        *Keep++ = std::move(C);
+    }
+    Conns.erase(Keep, Conns.end());
+  }
+  for (auto &C : Dead)
+    if (C->Reader.joinable())
+      C->Reader.join();
+}
+
+void Server::beginDrain() {
+  // 1. Stop feeding the queue (pushJob refuses while Draining) and wait for
+  //    queued + in-flight work to complete. Reader threads flush those
+  //    responses themselves.
+  {
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    QueueCV.wait(Lock, [&] { return Queue.empty() && InFlight == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Counters.DrainedClean = true;
+  }
+  // 2. Wake the workers so the pool can join.
+  QueueCV.notify_all();
+  Workers.reset();
+  // 3. Half-close every connection: pending response writes still succeed,
+  //    blocked readers see EOF and exit.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (auto &C : Conns)
+      ::shutdown(C->Fd, SHUT_RD);
+  }
+  reapConnections(/*Join=*/true);
+  finishShutdown();
+}
+
+void Server::finishShutdown() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Config.SocketPath.c_str());
+  {
+    std::lock_guard<std::mutex> Lock(ShutdownMutex);
+    ShutdownComplete = true;
+  }
+  ShutdownCV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Connection handling
+//===----------------------------------------------------------------------===//
+
+bool Server::pushJob(const std::shared_ptr<Job> &J) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining || Queue.size() >= Config.QueueCapacity)
+      return false;
+    Queue.push_back(J);
+    uint64_t Depth = Queue.size() + InFlight;
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    if (Depth > Counters.QueueDepthHWM)
+      Counters.QueueDepthHWM = Depth;
+  }
+  QueueCV.notify_one();
+  return true;
+}
+
+std::shared_ptr<Server::Job> Server::popJob() {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  QueueCV.wait(Lock, [&] { return !Queue.empty() || Draining; });
+  if (Queue.empty())
+    return nullptr;
+  std::shared_ptr<Job> J = Queue.front();
+  Queue.pop_front();
+  ++InFlight;
+  return J;
+}
+
+void Server::workerLoop() {
+  while (std::shared_ptr<Job> J = popJob()) {
+    bool Execute;
+    {
+      std::lock_guard<std::mutex> Lock(J->M);
+      Execute = !J->Abandoned;
+    }
+    json::Value Response;
+    if (Execute)
+      Response = dispatch(J->Request);
+    {
+      std::lock_guard<std::mutex> Lock(J->M);
+      J->Response = std::move(Response);
+      J->Done = true;
+    }
+    J->CV.notify_all();
+    // beginDrain waits on (queue empty && InFlight == 0); decrement under
+    // QueueMutex so the state change cannot slip between its predicate
+    // check and its sleep.
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --InFlight;
+    }
+    QueueCV.notify_all();
+  }
+}
+
+void Server::connectionLoop(Conn *C) {
+  int Fd = C->Fd;
+  while (true) {
+    json::Value Request;
+    std::string Err;
+    FrameStatus St = readMessage(Fd, Request, Err);
+    if (St == FrameStatus::Closed || St == FrameStatus::Timeout)
+      break;
+    if (St == FrameStatus::Error) {
+      // Malformed JSON gets a reply; a broken frame/socket does not.
+      if (!Err.empty() && Err != "frame read failed")
+        writeMessage(Fd, errorResponse("bad request: " + Err));
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.RequestsReceived;
+    }
+
+    std::string Op = Request.getString("op");
+    // Control-plane ops skip the queue: stats must observe a saturated
+    // server, and shutdown must work when the queue is wedged.
+    if (Op == "stats") {
+      if (!writeMessage(Fd, statsJson()))
+        break;
+      continue;
+    }
+    if (Op == "shutdown") {
+      json::Value R = json::Value::object();
+      R.set("ok", json::Value::boolean(true));
+      R.set("draining", json::Value::boolean(true));
+      writeMessage(Fd, R);
+      requestShutdown();
+      continue; // Reader exits when drain half-closes the socket.
+    }
+
+    auto J = std::make_shared<Job>();
+    J->Request = Request;
+    if (!pushJob(J)) {
+      const char *Why = Draining ? "server shutting down"
+                                 : "server overloaded: request queue full";
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Counters.RequestsRejected;
+      }
+      if (!writeMessage(Fd, errorResponse(Why)))
+        break;
+      continue;
+    }
+
+    int TimeoutMs = Config.RequestTimeoutMs;
+    if (const json::Value *T = Request.get("timeout_ms"))
+      if (T->isNumber() && T->asNumber() >= 1)
+        TimeoutMs = static_cast<int>(T->asNumber());
+
+    json::Value Response;
+    bool TimedOut = false;
+    {
+      std::unique_lock<std::mutex> Lock(J->M);
+      if (!J->CV.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                          [&] { return J->Done; })) {
+        J->Abandoned = true;
+        TimedOut = true;
+      } else {
+        Response = std::move(J->Response);
+      }
+    }
+    if (TimedOut) {
+      Response = errorResponse("request timed out after " +
+                               std::to_string(TimeoutMs) + " ms");
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.RequestsTimedOut;
+    } else {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.RequestsCompleted;
+      if (!Response.getBool("ok"))
+        ++Counters.RequestsFailed;
+    }
+    if (!writeMessage(Fd, Response))
+      break;
+  }
+  ::close(Fd);
+  C->Finished = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request execution (worker threads)
+//===----------------------------------------------------------------------===//
+
+json::Value Server::dispatch(const json::Value &Request) {
+  if (!Request.isObject())
+    return errorResponse("request must be a JSON object");
+  std::string Op = Request.getString("op");
+  if (Op == "compile")
+    return handleCompile(Request);
+  if (Op == "call")
+    return handleCall(Request);
+  if (Op == "ping")
+    return handlePing(Request);
+  return errorResponse("unknown op '" + Op + "'");
+}
+
+json::Value Server::handlePing(const json::Value &Request) {
+  double DelayMs = Request.getNumber("delay_ms", 0);
+  if (DelayMs > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(DelayMs)));
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  return R;
+}
+
+void Server::touchEntry(const std::string &Hash) {
+  // Caller holds EnginesMutex.
+  LruOrder.remove(Hash);
+  LruOrder.push_front(Hash);
+}
+
+void Server::evictIfNeeded() {
+  // Caller holds EnginesMutex. In-flight users hold a shared_ptr, so the
+  // engine is destroyed only when the last request using it finishes.
+  while (Engines.size() > Config.MaxEngines && !LruOrder.empty()) {
+    std::string Victim = LruOrder.back();
+    LruOrder.pop_back();
+    Engines.erase(Victim);
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.EnginesEvicted;
+  }
+}
+
+std::shared_ptr<Server::EngineEntry>
+Server::obtainEngine(const std::string &Hash, const std::string &Source,
+                     const std::string &Name, bool &Warm, std::string &Error) {
+  std::shared_ptr<EngineEntry> Entry;
+  bool Created = false;
+  {
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    auto It = Engines.find(Hash);
+    if (It != Engines.end()) {
+      Entry = It->second;
+      touchEntry(Hash);
+    } else {
+      if (Source.empty()) {
+        Error = "unknown handle " + Hash;
+        return nullptr;
+      }
+      Entry = std::make_shared<EngineEntry>();
+      Entry->Hash = Hash;
+      Engines.emplace(Hash, Entry);
+      LruOrder.push_front(Hash);
+      Sources.emplace(Hash, Source);
+      Created = true;
+      evictIfNeeded();
+    }
+  }
+
+  // Run (or wait for) the script under the entry's execution lock. The
+  // engine's own JIT consults the persistent on-disk cache, so a recreated
+  // entry re-links cached .so files instead of re-invoking cc.
+  std::lock_guard<std::mutex> ExecLock(Entry->ExecMutex);
+  if (Entry->Failed) {
+    Error = Entry->FailDiagnostics.empty() ? "script previously failed"
+                                           : Entry->FailDiagnostics;
+    return nullptr;
+  }
+  if (Entry->Ready) {
+    Warm = !Created;
+    return Entry;
+  }
+
+  Timer T;
+  auto E = std::make_unique<Engine>();
+  bool OK = E->run(Source, Name.empty() ? std::string("<terrad>") : Name);
+  std::string Diagnostics = E->errors();
+  if (!OK) {
+    Entry->Failed = true;
+    Entry->FailDiagnostics = Diagnostics;
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    // Drop the failed entry so a corrected resubmission recompiles.
+    Engines.erase(Hash);
+    LruOrder.remove(Hash);
+    Sources.erase(Hash);
+    Error = Diagnostics.empty() ? "script evaluation failed" : Diagnostics;
+    return nullptr;
+  }
+  Entry->Functions = E->terraFunctionNames();
+  // Compile every terra function now (batched, through the content-
+  // addressed cache) so the handle returned to the client is ready to call
+  // at socket-round-trip latency: the service's contract is that `compile`
+  // pays the backend cost, not the first `call`.
+  std::vector<TerraFunction *> Fns;
+  for (const std::string &FnName : Entry->Functions)
+    if (TerraFunction *F = E->terraFunction(FnName))
+      Fns.push_back(F);
+  if (!Fns.empty() && !E->compileAll(Fns)) {
+    Diagnostics = E->errors();
+    Entry->Failed = true;
+    Entry->FailDiagnostics = Diagnostics;
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    Engines.erase(Hash);
+    LruOrder.remove(Hash);
+    Sources.erase(Hash);
+    Error = Diagnostics.empty() ? "native compilation failed" : Diagnostics;
+    return nullptr;
+  }
+  Entry->E = std::move(E);
+  Entry->CompileSeconds = T.seconds();
+  Entry->Ready = true;
+  Warm = false;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.EnginesCreated;
+  }
+  return Entry;
+}
+
+json::Value Server::handleCompile(const json::Value &Request) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.CompileRequests;
+  }
+  const json::Value *Source = Request.get("source");
+  if (!Source || !Source->isString())
+    return errorResponse("compile: missing string member 'source'");
+  std::string Name = Request.getString("name", "<terrad>");
+
+  ContentHash H;
+  H.updateField(Source->asString());
+  std::string Hash = H.hex();
+
+  bool Warm = false;
+  std::string Error;
+  std::shared_ptr<EngineEntry> Entry =
+      obtainEngine(Hash, Source->asString(), Name, Warm, Error);
+  if (!Entry)
+    return errorResponse("compile failed", Error);
+  if (Warm) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.EngineWarmHits;
+  }
+
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  R.set("handle", json::Value::string(Hash));
+  R.set("warm", json::Value::boolean(Warm));
+  R.set("seconds", json::Value::number(Entry->CompileSeconds));
+  json::Value Fns = json::Value::array();
+  for (const std::string &F : Entry->Functions)
+    Fns.push(json::Value::string(F));
+  R.set("functions", std::move(Fns));
+  return R;
+}
+
+json::Value Server::handleCall(const json::Value &Request) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.CallRequests;
+  }
+  std::string Hash = Request.getString("handle");
+  std::string FnName = Request.getString("fn");
+  if (Hash.empty() || FnName.empty())
+    return errorResponse("call: need string members 'handle' and 'fn'");
+
+  // A handle whose engine was evicted is transparently rebuilt from the
+  // retained source; the on-disk .so cache makes that a re-link, not a
+  // recompile.
+  std::string Source;
+  {
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    auto It = Sources.find(Hash);
+    if (It != Sources.end())
+      Source = It->second;
+    bool Live = Engines.count(Hash) != 0;
+    if (!Live && !Source.empty()) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.EngineRecreated;
+    }
+  }
+
+  bool Warm = false;
+  std::string Error;
+  std::shared_ptr<EngineEntry> Entry =
+      obtainEngine(Hash, Source, "<terrad>", Warm, Error);
+  if (!Entry)
+    return errorResponse("call: " + Error);
+  if (Warm) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.EngineWarmHits;
+  }
+
+  std::lock_guard<std::mutex> ExecLock(Entry->ExecMutex);
+  Engine &E = *Entry->E;
+  size_t DiagCheckpoint = E.diags().checkpoint();
+
+  lua::Value Callee = E.global(FnName);
+  if (Callee.isNil())
+    return errorResponse("call: no global named '" + FnName + "'");
+
+  std::vector<lua::Value> Args;
+  if (const json::Value *A = Request.get("args")) {
+    if (!A->isArray())
+      return errorResponse("call: 'args' must be an array of scalars");
+    for (const json::Value &Arg : A->elements()) {
+      switch (Arg.kind()) {
+      case json::Value::K_Number:
+        Args.push_back(lua::Value::number(Arg.asNumber()));
+        break;
+      case json::Value::K_Bool:
+        Args.push_back(lua::Value::boolean(Arg.asBool()));
+        break;
+      case json::Value::K_String:
+        Args.push_back(lua::Value::string(Arg.asString()));
+        break;
+      case json::Value::K_Null:
+        Args.push_back(lua::Value::nil());
+        break;
+      default:
+        return errorResponse("call: argument " +
+                             std::to_string(Args.size()) +
+                             " is not a scalar");
+      }
+    }
+  }
+
+  std::vector<lua::Value> Results;
+  bool OK = E.call(Callee, std::move(Args), Results);
+  if (!OK) {
+    std::string Diagnostics = E.errors();
+    E.diags().rollback(DiagCheckpoint); // Keep the engine reusable.
+    return errorResponse("call to '" + FnName + "' failed", Diagnostics);
+  }
+
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  if (!Results.empty()) {
+    const lua::Value &V = Results.front();
+    if (V.isNumber())
+      R.set("result", json::Value::number(V.asNumber()));
+    else if (V.isBool())
+      R.set("result", json::Value::boolean(V.asBool()));
+    else if (V.isString())
+      R.set("result", json::Value::string(V.asString()));
+    else
+      R.set("result", json::Value::null());
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+Server::Stats Server::stats() const {
+  Stats S;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    S = Counters;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    S.EnginesLive = Engines.size();
+  }
+  return S;
+}
+
+json::Value Server::statsJson() {
+  Stats S = stats();
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  auto N = [](uint64_t V) { return json::Value::number(static_cast<double>(V)); };
+  R.set("connections_accepted", N(S.ConnectionsAccepted));
+  R.set("requests_received", N(S.RequestsReceived));
+  R.set("requests_completed", N(S.RequestsCompleted));
+  R.set("requests_rejected", N(S.RequestsRejected));
+  R.set("requests_timed_out", N(S.RequestsTimedOut));
+  R.set("requests_failed", N(S.RequestsFailed));
+  R.set("compile_requests", N(S.CompileRequests));
+  R.set("call_requests", N(S.CallRequests));
+  R.set("engines_created", N(S.EnginesCreated));
+  R.set("engines_evicted", N(S.EnginesEvicted));
+  R.set("engines_recreated", N(S.EngineRecreated));
+  R.set("engine_warm_hits", N(S.EngineWarmHits));
+  R.set("engines_live", N(S.EnginesLive));
+  R.set("queue_depth_hwm", N(S.QueueDepthHWM));
+  R.set("workers", json::Value::number(Config.Workers));
+  R.set("queue_capacity", json::Value::number(Config.QueueCapacity));
+  R.set("max_engines", json::Value::number(Config.MaxEngines));
+  return R;
+}

@@ -1,0 +1,185 @@
+//===- Server.h - terrad: concurrent kernel-compilation service -*- C++ -*-===//
+//
+// The paper's claim that compiled Terra code "executes separately from the
+// Lua runtime" makes it natural to host compilation behind a long-running
+// service: clients submit Lua/Terra scripts, get back a content-hash
+// handle, and invoke compiled functions by handle — repeatedly, from many
+// concurrent connections — while the server amortizes staging, typechecking
+// and backend compilation across all of them.
+//
+// Architecture (DESIGN.md §7):
+//
+//   accept loop ─▶ one reader thread per connection
+//                     │  readFrame / parse / validate
+//                     ▼
+//               bounded request queue          (backpressure: reject when
+//                     │                         full, never block readers)
+//                     ▼
+//               worker pool (support/ThreadPool) executes compile/call
+//                     │
+//               engine LRU: ContentHash(script) -> live Engine
+//                     │  miss falls through to the PR 1 on-disk .so cache,
+//                     ▼  so re-creating an evicted engine re-links instead
+//               response frame written by the reader thread  of re-compiling
+//
+// Each Engine is single-threaded, so one mutex per LRU entry serializes
+// calls into the same script while different scripts execute in parallel.
+// Shutdown (SIGTERM, SIGINT, or a "shutdown" request) drains: the queue
+// stops accepting, in-flight work completes and responses are flushed,
+// then connections are closed and the socket file removed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SERVER_SERVER_H
+#define TERRACPP_SERVER_SERVER_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace terracpp {
+
+class Engine;
+class ThreadPool;
+
+namespace server {
+
+struct ServerConfig {
+  std::string SocketPath;
+  unsigned Workers = 0;          ///< 0 => hardware concurrency (min 2).
+  unsigned QueueCapacity = 64;   ///< Bounded request queue (backpressure).
+  unsigned MaxEngines = 8;       ///< Live-Engine LRU capacity.
+  int RequestTimeoutMs = 30000;  ///< Per-request deadline (queue + execute).
+  int Backlog = 64;
+
+  /// Fills unset fields from TERRAD_WORKERS / TERRAD_QUEUE /
+  /// TERRAD_MAX_ENGINES / TERRAD_TIMEOUT_MS and clamps to sane ranges.
+  void resolveFromEnv();
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig Config);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and starts the accept loop and worker pool. False on
+  /// failure (\p Err set). Non-blocking; pair with wait().
+  bool start(std::string &Err);
+
+  /// Blocks until the server has fully shut down (signal, shutdown request,
+  /// or requestShutdown()) and every in-flight request has drained.
+  void wait();
+
+  /// Initiates a drain from any thread (idempotent, async-signal unsafe —
+  /// signal handlers should use installSignalHandlers() instead, which the
+  /// accept loop polls).
+  void requestShutdown();
+
+  bool running() const { return Started && !ShutdownComplete; }
+  const ServerConfig &config() const { return Config; }
+
+  /// Installs SIGTERM/SIGINT handlers that set a process-global flag; every
+  /// running Server's accept loop polls it and drains. Call once from main.
+  static void installSignalHandlers();
+  static bool signalReceived();
+
+  /// Monotonic counters, readable concurrently (also served as {"op":"stats"}).
+  struct Stats {
+    uint64_t ConnectionsAccepted = 0;
+    uint64_t RequestsReceived = 0;
+    uint64_t RequestsCompleted = 0;
+    uint64_t RequestsRejected = 0;  ///< Bounded queue full.
+    uint64_t RequestsTimedOut = 0;
+    uint64_t RequestsFailed = 0;    ///< Completed with ok=false.
+    uint64_t CompileRequests = 0;
+    uint64_t CallRequests = 0;
+    uint64_t EnginesCreated = 0;
+    uint64_t EnginesEvicted = 0;
+    uint64_t EngineWarmHits = 0;    ///< compile/call served by a live engine.
+    uint64_t EngineRecreated = 0;   ///< call on an evicted handle re-linked.
+    uint64_t QueueDepthHWM = 0;
+    uint64_t EnginesLive = 0;
+    bool DrainedClean = false;      ///< Set once shutdown drained in-flight work.
+  };
+  Stats stats() const;
+
+private:
+  struct Job;
+  struct EngineEntry;
+  struct Conn;
+
+  void acceptLoop();
+  void connectionLoop(Conn *C);
+  void workerLoop();
+  void beginDrain();
+  void finishShutdown();
+
+  json::Value dispatch(const json::Value &Request);
+  json::Value handleCompile(const json::Value &Request);
+  json::Value handleCall(const json::Value &Request);
+  json::Value handlePing(const json::Value &Request);
+  json::Value statsJson();
+
+  /// Returns the ready entry for \p Hash, creating and running the engine
+  /// if needed (\p Source may be empty only when the entry must already
+  /// exist). Null + \p Error on failure.
+  std::shared_ptr<EngineEntry> obtainEngine(const std::string &Hash,
+                                            const std::string &Source,
+                                            const std::string &Name,
+                                            bool &Warm, std::string &Error);
+  void touchEntry(const std::string &Hash);
+  void evictIfNeeded();
+
+  bool pushJob(const std::shared_ptr<Job> &J);
+  std::shared_ptr<Job> popJob();
+
+  ServerConfig Config;
+  int ListenFd = -1;
+  bool Started = false;
+
+  std::thread Acceptor;
+  std::unique_ptr<ThreadPool> Workers;
+
+  // Connection registry: fds are shut down on drain to wake reader threads;
+  // finished readers are reaped by the accept loop so a long-running server
+  // does not accumulate dead threads.
+  std::mutex ConnMutex;
+  std::vector<std::unique_ptr<Conn>> Conns;
+  void reapConnections(bool Join);
+
+  // Bounded request queue.
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<std::shared_ptr<Job>> Queue;
+  std::atomic<unsigned> InFlight{0}; ///< Popped but not yet completed.
+
+  // Engine LRU (most recent at front of LruOrder).
+  mutable std::mutex EnginesMutex;
+  std::unordered_map<std::string, std::shared_ptr<EngineEntry>> Engines;
+  std::list<std::string> LruOrder;
+  std::unordered_map<std::string, std::string> Sources; ///< hash -> script.
+
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> ShutdownComplete{false};
+  std::mutex ShutdownMutex;
+  std::condition_variable ShutdownCV;
+
+  mutable std::mutex StatsMutex;
+  Stats Counters;
+};
+
+} // namespace server
+} // namespace terracpp
+
+#endif // TERRACPP_SERVER_SERVER_H

@@ -1,0 +1,410 @@
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace terracpp;
+using namespace terracpp::json;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+static void dumpNumber(double N, std::string &Out) {
+  // JSON has no NaN/Inf; emit null like most serializers.
+  if (std::isnan(N) || std::isinf(N)) {
+    Out += "null";
+    return;
+  }
+  // Integers up to 2^53 print exactly, without a trailing ".000000".
+  if (N == std::floor(N) && std::fabs(N) < 9007199254740992.0) {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%.0f", N);
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  snprintf(Buf, sizeof(Buf), "%.17g", N);
+  Out += Buf;
+}
+
+static void dumpValue(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::K_Null:
+    Out += "null";
+    break;
+  case Value::K_Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Value::K_Number:
+    dumpNumber(V.asNumber(), Out);
+    break;
+  case Value::K_String:
+    Out += '"';
+    Out += escape(V.asString());
+    Out += '"';
+    break;
+  case Value::K_Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.elements()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpValue(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Value::K_Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &M : V.members()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += escape(M.first);
+      Out += "\":";
+      dumpValue(M.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string Value::dump() const {
+  std::string Out;
+  dumpValue(*this, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Err) : Text(Text), Err(Err) {}
+
+  bool run(Value &Out) {
+    skipWS();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWS();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWS() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = strlen(Lit);
+    if (Text.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      Out = Value::null();
+      return literal("null");
+    case 't':
+      Out = Value::boolean(true);
+      return literal("true");
+    case 'f':
+      Out = Value::boolean(false);
+      return literal("false");
+    case '"':
+      return parseString(Out);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if ((C >= '0' && C <= '9') || C == '.' || C == 'e' || C == 'E' ||
+          C == '+' || C == '-')
+        ++Pos;
+      else
+        break;
+    }
+    if (Pos == Start)
+      return fail("invalid value");
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double D = strtod(Num.c_str(), &End);
+    if (!End || *End != '\0') {
+      Pos = Start;
+      return fail("invalid number");
+    }
+    Out = Value::number(D);
+    return true;
+  }
+
+  /// Appends \p Code as UTF-8.
+  static void appendCodepoint(std::string &S, unsigned Code) {
+    if (Code < 0x80) {
+      S += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      S += static_cast<char>(0xC0 | (Code >> 6));
+      S += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      S += static_cast<char>(0xE0 | (Code >> 12));
+      S += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      S += static_cast<char>(0xF0 | (Code >> 18));
+      S += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      S += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("invalid \\u escape");
+    }
+    return true;
+  }
+
+  bool parseString(Value &Out) {
+    std::string S;
+    if (!parseRawString(S))
+      return false;
+    Out = Value::string(std::move(S));
+    return true;
+  }
+
+  bool parseRawString(std::string &S) {
+    ++Pos; // Opening quote.
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          S += '"';
+          break;
+        case '\\':
+          S += '\\';
+          break;
+        case '/':
+          S += '/';
+          break;
+        case 'b':
+          S += '\b';
+          break;
+        case 'f':
+          S += '\f';
+          break;
+        case 'n':
+          S += '\n';
+          break;
+        case 'r':
+          S += '\r';
+          break;
+        case 't':
+          S += '\t';
+          break;
+        case 'u': {
+          unsigned Code;
+          if (!parseHex4(Code))
+            return false;
+          // Surrogate pair.
+          if (Code >= 0xD800 && Code <= 0xDBFF &&
+              Text.compare(Pos, 2, "\\u") == 0) {
+            size_t Save = Pos;
+            Pos += 2;
+            unsigned Low;
+            if (!parseHex4(Low))
+              return false;
+            if (Low >= 0xDC00 && Low <= 0xDFFF)
+              Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+            else
+              Pos = Save; // Unpaired; emit the high surrogate as-is.
+          }
+          appendCodepoint(S, Code);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+        }
+      } else {
+        S += C;
+        ++Pos;
+      }
+    }
+  }
+
+  bool parseArray(Value &Out, int Depth) {
+    ++Pos; // '['.
+    Out = Value::array();
+    skipWS();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Value Elem;
+      skipWS();
+      if (!parseValue(Elem, Depth + 1))
+        return false;
+      Out.push(std::move(Elem));
+      skipWS();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      char C = Text[Pos++];
+      if (C == ']')
+        return true;
+      if (C != ',') {
+        --Pos;
+        return fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  bool parseObject(Value &Out, int Depth) {
+    ++Pos; // '{'.
+    Out = Value::object();
+    skipWS();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWS();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseRawString(Key))
+        return false;
+      skipWS();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWS();
+      Value Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.set(std::move(Key), std::move(Member));
+      skipWS();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      char C = Text[Pos++];
+      if (C == '}')
+        return true;
+      if (C != ',') {
+        --Pos;
+        return fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string &Text;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string &Err) {
+  Parser P(Text, Err);
+  return P.run(Out);
+}

@@ -1,0 +1,154 @@
+//===- Json.h - Minimal JSON value, parser, and writer ----------*- C++ -*-===//
+//
+// JSON support for the terrad wire protocol (src/server): a small immutable
+// value tree, a recursive-descent parser, and a writer with full string
+// escaping. Exception-free (the project builds with -fno-exceptions):
+// parsing reports failure through a bool + error string, and accessors
+// return fallback values on kind mismatch.
+//
+// Deliberately scoped to protocol needs: UTF-8 passes through verbatim
+// (\uXXXX escapes decode to UTF-8), numbers are doubles, and object keys
+// keep insertion order.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_JSON_H
+#define TERRACPP_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace terracpp {
+namespace json {
+
+class Value {
+public:
+  enum Kind { K_Null, K_Bool, K_Number, K_String, K_Array, K_Object };
+
+  Value() : K(K_Null) {}
+
+  static Value null() { return Value(); }
+  static Value boolean(bool B) {
+    Value V;
+    V.K = K_Bool;
+    V.Bool = B;
+    return V;
+  }
+  static Value number(double N) {
+    Value V;
+    V.K = K_Number;
+    V.Num = N;
+    return V;
+  }
+  static Value string(std::string S) {
+    Value V;
+    V.K = K_String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value array() {
+    Value V;
+    V.K = K_Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = K_Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == K_Null; }
+  bool isBool() const { return K == K_Bool; }
+  bool isNumber() const { return K == K_Number; }
+  bool isString() const { return K == K_String; }
+  bool isArray() const { return K == K_Array; }
+  bool isObject() const { return K == K_Object; }
+
+  bool asBool(bool Fallback = false) const { return isBool() ? Bool : Fallback; }
+  double asNumber(double Fallback = 0) const { return isNumber() ? Num : Fallback; }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return isString() ? Str : Empty;
+  }
+
+  /// Array element access; null value reference when out of range.
+  size_t size() const { return isArray() ? Arr.size() : 0; }
+  const Value &at(size_t I) const {
+    static const Value Null;
+    return (isArray() && I < Arr.size()) ? Arr[I] : Null;
+  }
+  const std::vector<Value> &elements() const { return Arr; }
+
+  /// Object member lookup; null pointer when absent or not an object.
+  const Value *get(const std::string &Key) const {
+    if (isObject())
+      for (const auto &M : Members)
+        if (M.first == Key)
+          return &M.second;
+    return nullptr;
+  }
+  /// Typed member shortcuts used all over the protocol code.
+  std::string getString(const std::string &Key,
+                        const std::string &Fallback = "") const {
+    const Value *V = get(Key);
+    return V && V->isString() ? V->Str : Fallback;
+  }
+  double getNumber(const std::string &Key, double Fallback = 0) const {
+    const Value *V = get(Key);
+    return V && V->isNumber() ? V->Num : Fallback;
+  }
+  bool getBool(const std::string &Key, bool Fallback = false) const {
+    const Value *V = get(Key);
+    return V && V->isBool() ? V->Bool : Fallback;
+  }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Builder mutators (no-ops on the wrong kind).
+  Value &push(Value V) {
+    if (isArray())
+      Arr.push_back(std::move(V));
+    return *this;
+  }
+  Value &set(std::string Key, Value V) {
+    if (isObject()) {
+      for (auto &M : Members)
+        if (M.first == Key) {
+          M.second = std::move(V);
+          return *this;
+        }
+      Members.emplace_back(std::move(Key), std::move(V));
+    }
+    return *this;
+  }
+
+  /// Serializes compactly (no whitespace). Strings are escaped per RFC 8259.
+  std::string dump() const;
+
+private:
+  Kind K;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text into \p Out. On failure returns false and describes the
+/// problem (with a byte offset) in \p Err. Trailing non-whitespace after the
+/// top-level value is an error. Nesting is capped to keep recursion bounded
+/// on adversarial input.
+bool parse(const std::string &Text, Value &Out, std::string &Err);
+
+/// Escapes \p S as the *contents* of a JSON string literal (no quotes).
+std::string escape(const std::string &S);
+
+} // namespace json
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_JSON_H

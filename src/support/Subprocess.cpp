@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <fcntl.h>
 #include <fstream>
@@ -21,6 +22,26 @@ std::vector<std::string> terracpp::splitCommandFlags(const std::string &Flags) {
   while (SS >> Tok)
     Out.push_back(Tok);
   return Out;
+}
+
+std::string SpawnResult::describe(const std::string &Command) const {
+  if (!Spawned) {
+    std::string Out = "could not start '" + Command + "'";
+    if (SpawnErrno != 0) {
+      Out += ": ";
+      Out += strerror(SpawnErrno);
+      if (SpawnErrno == ENOENT)
+        Out += " (is it installed and on PATH?)";
+    }
+    return Out;
+  }
+  if (TermSignal != 0)
+    return "'" + Command + "' was killed by signal " +
+           std::to_string(TermSignal) +
+           (TermSignal == SIGSEGV ? " (segmentation fault)" : "");
+  if (ExitCode != 0)
+    return "'" + Command + "' exited with status " + std::to_string(ExitCode);
+  return "'" + Command + "' succeeded";
 }
 
 static std::string slurpAndRemove(const std::string &Path) {
@@ -75,8 +96,8 @@ SpawnResult terracpp::runCommand(const std::vector<std::string> &Argv,
                         environ);
   posix_spawn_file_actions_destroy(&Actions);
   if (RC != 0) {
-    R.Error = std::string("posix_spawnp failed for '") + Argv[0] +
-              "': " + strerror(RC);
+    R.SpawnErrno = RC;
+    R.Error = R.describe(Argv[0]);
     if (!CaptureDir.empty()) {
       ::unlink(OutPath.c_str());
       ::unlink(ErrPath.c_str());
@@ -90,10 +111,13 @@ SpawnResult terracpp::runCommand(const std::vector<std::string> &Argv,
   do {
     Waited = ::waitpid(Pid, &Status, 0);
   } while (Waited < 0 && errno == EINTR);
-  if (Waited == Pid && WIFEXITED(Status))
+  if (Waited == Pid && WIFEXITED(Status)) {
     R.ExitCode = WEXITSTATUS(Status);
-  else
+  } else {
     R.ExitCode = -1; // Signal or wait failure.
+    if (Waited == Pid && WIFSIGNALED(Status))
+      R.TermSignal = WTERMSIG(Status);
+  }
 
   if (!CaptureDir.empty()) {
     R.Stdout = slurpAndRemove(OutPath);

@@ -19,11 +19,22 @@ namespace terracpp {
 struct SpawnResult {
   bool Spawned = false; ///< False if the process could not be started.
   int ExitCode = -1;    ///< Exit status; -1 if killed by a signal.
+  int TermSignal = 0;   ///< Terminating signal number, if any.
+  int SpawnErrno = 0;   ///< errno from posix_spawnp when !Spawned.
   std::string Stdout;   ///< Captured stdout (empty unless requested).
   std::string Stderr;   ///< Captured stderr (empty unless requested).
   std::string Error;    ///< Spawn-level failure description.
 
   bool ok() const { return Spawned && ExitCode == 0; }
+
+  /// True when the command itself could not be started (e.g. the binary is
+  /// not installed), as opposed to it running and failing.
+  bool spawnFailed() const { return !Spawned; }
+
+  /// One-line structured description of what went wrong, suitable for a
+  /// diagnostic: distinguishes "could not start <cmd>" (with errno text and
+  /// an install hint for ENOENT) from nonzero exits and signal deaths.
+  std::string describe(const std::string &Command) const;
 };
 
 /// Runs Argv[0] (searched on PATH) with the given arguments. When

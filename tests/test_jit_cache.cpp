@@ -8,7 +8,10 @@
 //     and rebuilt from source;
 //   * thread-safety — many threads pushing modules through one JITEngine,
 //     and independent Engines compiling concurrently in one process;
-//   * the batch compileAll API.
+//   * the batch compileAll API;
+//   * the TERRACPP_CACHE_MAX_MB size bound — LRU eviction by mtime, with
+//     hits refreshing recency — and cross-process cache sharing (two
+//     processes, one TERRACPP_CACHE_DIR, no corruption or double-publish).
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,8 +21,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -284,6 +290,143 @@ TEST(JITCache, CompileAllUsesWorkerPool) {
     EXPECT_GE(S.MaxQueueDepth, 2u); // Jobs genuinely overlapped in flight.
   }
   unsetenv("TERRACPP_COMPILE_JOBS");
+}
+
+/// Sets one environment variable for the current scope.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
+    const char *Old = getenv(Name);
+    if (Old)
+      Saved = Old;
+    HadOld = Old != nullptr;
+    setenv(Name, Value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool HadOld = false;
+};
+
+static uint64_t fileSize(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? uint64_t(St.st_size) : 0;
+}
+
+// TERRACPP_CACHE_MAX_MB bounds the on-disk cache; the just-published entry
+// is never evicted, older entries go first.
+TEST(JITCache, CacheSizeBoundEvictsOldEntries) {
+  ScopedCacheDir Cache;
+  // 0.001 MB is smaller than any .so: every publish evicts everything else.
+  ScopedEnv Bound("TERRACPP_CACHE_MAX_MB", "0.001");
+
+  const char *SrcA = "int terracpp_bound_a(void) { return 1; }\n";
+  const char *SrcB = "int terracpp_bound_b(void) { return 2; }\n";
+
+  DiagnosticEngine D1;
+  JITEngine J1(D1);
+  EXPECT_GT(J1.cacheMaxBytes(), 0u);
+  ASSERT_TRUE(J1.addModule(SrcA, {}));
+  // The sole entry is the protected just-published one; nothing to evict.
+  EXPECT_EQ(J1.stats().CacheEvicted, 0u);
+  EXPECT_EQ(Cache.entries().size(), 1u);
+
+  DiagnosticEngine D2;
+  JITEngine J2(D2);
+  ASSERT_TRUE(J2.addModule(SrcB, {}));
+  EXPECT_GE(J2.stats().CacheEvicted, 1u); // A's entry was evicted...
+  EXPECT_EQ(Cache.entries().size(), 1u);
+
+  DiagnosticEngine D3;
+  JITEngine J3(D3);
+  ASSERT_TRUE(J3.addModule(SrcA, {})); // ...so A recompiles from scratch.
+  EXPECT_EQ(J3.stats().CacheMisses, 1u);
+  EXPECT_EQ(J3.stats().CacheHits, 0u);
+}
+
+// A cache hit refreshes the entry's mtime, so eviction is LRU rather than
+// oldest-created.
+TEST(JITCache, CacheHitRefreshesLruOrder) {
+  ScopedCacheDir Cache;
+  const char *SrcA = "int terracpp_lru_a(void) { return 1; }\n";
+  const char *SrcB = "int terracpp_lru_b(void) { return 2; }\n";
+  const char *SrcC = "int terracpp_lru_c(void) { return 3; }\n";
+
+  DiagnosticEngine D1;
+  JITEngine J1(D1);
+  ASSERT_TRUE(J1.addModule(SrcA, {}));
+  std::vector<std::string> AfterA = Cache.entries();
+  ASSERT_EQ(AfterA.size(), 1u);
+  std::string EntryA = AfterA[0];
+  ASSERT_TRUE(J1.addModule(SrcB, {}));
+  ASSERT_EQ(Cache.entries().size(), 2u);
+
+  // Touch A (cache hit from a fresh engine): A becomes most-recently-used.
+  DiagnosticEngine D2;
+  JITEngine J2(D2);
+  ASSERT_TRUE(J2.addModule(SrcA, {}));
+  ASSERT_EQ(J2.stats().CacheHits, 1u);
+
+  // Bound the cache to ~2.2 entries and publish C: B (the LRU entry) must
+  // be the one evicted; A survives despite being created first.
+  uint64_t EntryBytes = fileSize(Cache.path() + "/" + EntryA);
+  ASSERT_GT(EntryBytes, 0u);
+  char Mb[32];
+  snprintf(Mb, sizeof(Mb), "%.6f", 2.2 * EntryBytes / (1024.0 * 1024.0));
+  ScopedEnv Bound("TERRACPP_CACHE_MAX_MB", Mb);
+
+  DiagnosticEngine D3;
+  JITEngine J3(D3);
+  ASSERT_TRUE(J3.addModule(SrcC, {}));
+  EXPECT_GE(J3.stats().CacheEvicted, 1u);
+  std::vector<std::string> Left = Cache.entries();
+  EXPECT_EQ(Left.size(), 2u);
+  bool AAlive = false;
+  for (const std::string &E : Left)
+    AAlive |= E == EntryA;
+  EXPECT_TRUE(AAlive) << "LRU eviction removed the recently-hit entry";
+}
+
+// Two processes sharing one TERRACPP_CACHE_DIR must not corrupt it or
+// double-publish: concurrent compiles of the same source converge on one
+// entry that later engines load with zero compiler launches.
+TEST(JITCache, CrossProcessCacheSharing) {
+  ScopedCacheDir Cache;
+  const char *Shared = "int terracpp_xproc_probe(void) { return 7; }\n";
+
+  pid_t Kids[2];
+  for (pid_t &Kid : Kids) {
+    Kid = fork();
+    ASSERT_GE(Kid, 0);
+    if (Kid == 0) {
+      // Child: compile the shared source and report success via exit code.
+      DiagnosticEngine D;
+      JITEngine J(D);
+      bool OK = J.addModule(Shared, {});
+      _exit(OK ? 0 : 1);
+    }
+  }
+  for (pid_t Kid : Kids) {
+    int Status = 0;
+    ASSERT_EQ(::waitpid(Kid, &Status, 0), Kid);
+    EXPECT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+        << "child compile failed";
+  }
+
+  // Exactly one entry, and it is loadable without launching the compiler.
+  EXPECT_EQ(Cache.entries().size(), 1u);
+  DiagnosticEngine D;
+  JITEngine J(D);
+  ASSERT_TRUE(J.addModule(Shared, {}));
+  EXPECT_EQ(J.stats().CacheHits, 1u);
+  EXPECT_EQ(J.stats().CompilerLaunches, 0u);
 }
 
 TEST(JITCache, CompileAllSharedCalleeAcrossRoots) {

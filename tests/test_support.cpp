@@ -3,10 +3,15 @@
 #include "support/Arena.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/SourceLoc.h"
 #include "support/StringInterner.h"
+#include "support/Subprocess.h"
 
 #include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
 
 using namespace terracpp;
 
@@ -110,6 +115,105 @@ struct B : Base {
   static bool classof(const Base *X) { return X->K == K_B; }
 };
 } // namespace hierarchy
+
+TEST(Subprocess, SpawnFailureIsStructured) {
+  // A binary that cannot exist: the failure must be reported as "could not
+  // start", with errno detail, not as the command running and failing.
+  SpawnResult R =
+      runCommand({"/nonexistent/terracpp-no-such-binary"}, /*CaptureDir=*/"");
+  EXPECT_TRUE(R.spawnFailed());
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.SpawnErrno, ENOENT);
+  EXPECT_NE(R.Error.find("terracpp-no-such-binary"), std::string::npos);
+
+  std::string D = R.describe("cc");
+  EXPECT_NE(D.find("could not start 'cc'"), std::string::npos);
+  EXPECT_NE(D.find("installed"), std::string::npos); // ENOENT install hint.
+}
+
+TEST(Subprocess, DescribeDistinguishesExitAndSignal) {
+  SpawnResult Exit;
+  Exit.Spawned = true;
+  Exit.ExitCode = 3;
+  EXPECT_NE(Exit.describe("cc").find("exited with status 3"),
+            std::string::npos);
+
+  SpawnResult Sig;
+  Sig.Spawned = true;
+  Sig.ExitCode = -1;
+  Sig.TermSignal = SIGSEGV;
+  std::string D = Sig.describe("cc");
+  EXPECT_NE(D.find("signal"), std::string::npos);
+  EXPECT_NE(D.find(std::to_string(SIGSEGV)), std::string::npos);
+}
+
+TEST(Subprocess, SuccessfulRunIsNotASpawnFailure) {
+  SpawnResult R = runCommand({"true"}, /*CaptureDir=*/"");
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(R.spawnFailed());
+  EXPECT_EQ(R.SpawnErrno, 0);
+}
+
+TEST(Json, ParseRoundTrip) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(
+      "{\"op\":\"compile\",\"n\":-1.5e2,\"flag\":true,\"none\":null,"
+      "\"args\":[1,\"two\",false]}",
+      V, Err))
+      << Err;
+  EXPECT_EQ(V.getString("op"), "compile");
+  EXPECT_EQ(V.getNumber("n"), -150.0);
+  EXPECT_TRUE(V.getBool("flag"));
+  ASSERT_NE(V.get("none"), nullptr);
+  EXPECT_TRUE(V.get("none")->isNull());
+  const json::Value *Args = V.get("args");
+  ASSERT_NE(Args, nullptr);
+  ASSERT_EQ(Args->elements().size(), 3u);
+  EXPECT_EQ(Args->at(1).asString(), "two");
+
+  // dump() output parses back to the same structure.
+  json::Value V2;
+  ASSERT_TRUE(json::parse(V.dump(), V2, Err)) << Err;
+  EXPECT_EQ(V2.dump(), V.dump());
+}
+
+TEST(Json, StringEscapesAndUnicode) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse("\"a\\n\\t\\\"b\\\\\\u0041\\u00e9\"", V, Err))
+      << Err;
+  EXPECT_EQ(V.asString(), "a\n\t\"b\\A\xc3\xa9");
+
+  // Escaping survives a round trip (control chars, quotes, backslashes).
+  json::Value S = json::Value::string("line1\nline2\t\"q\"\\x");
+  json::Value Back;
+  ASSERT_TRUE(json::parse(S.dump(), Back, Err)) << Err;
+  EXPECT_EQ(Back.asString(), S.asString());
+}
+
+TEST(Json, ParseErrorsAreReported) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse("{\"a\":}", V, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(json::parse("[1,2", V, Err));
+  EXPECT_FALSE(json::parse("", V, Err));
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", V, Err));
+
+  // Depth bomb must fail cleanly, not overflow the stack.
+  std::string Deep(200, '[');
+  EXPECT_FALSE(json::parse(Deep, V, Err));
+}
+
+TEST(Json, MissingAccessorsAreSafeDefaults) {
+  json::Value V = json::Value::object();
+  EXPECT_EQ(V.getString("absent"), "");
+  EXPECT_EQ(V.getNumber("absent"), 0.0);
+  EXPECT_FALSE(V.getBool("absent"));
+  EXPECT_EQ(V.get("absent"), nullptr);
+  EXPECT_TRUE(V.at(99).isNull());
+}
 
 TEST(Casting, IsaDynCast) {
   using namespace hierarchy;

@@ -11,6 +11,14 @@
 //   terracpp --emit-c NAME prog.t      print the generated C for NAME's
 //                                      connected component
 //
+// Client mode for the terrad daemon (tools/terrad.cpp):
+//
+//   terracpp --connect SOCK prog.t          compile remotely, print handle
+//   terracpp --connect SOCK prog.t --call 'f(1,2)'   ...then invoke f
+//   terracpp --connect SOCK --handle H --call 'f(3)' invoke via known handle
+//   terracpp --connect SOCK --remote-stats           server counters
+//   terracpp --connect SOCK --remote-shutdown        drain and stop terrad
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/CBackend.h"
@@ -18,9 +26,12 @@
 #include "core/TerraPasses.h"
 #include "core/TerraPrint.h"
 #include "orion/OrionHosted.h"
+#include "server/Client.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,7 +45,121 @@ void usage() {
           "  -e CHUNK           run CHUNK\n"
           "  --backend=interp   use the tree-walking Terra evaluator\n"
           "  --dump-fn NAME     pretty-print terra function NAME\n"
-          "  --emit-c NAME      print generated C for NAME\n");
+          "  --emit-c NAME      print generated C for NAME\n"
+          "remote mode (against a running terrad):\n"
+          "  --connect SOCK     compile the script/chunks on the daemon\n"
+          "  --handle H         reuse a previous compile handle\n"
+          "  --call 'f(a,...)'  invoke a compiled function (scalar args)\n"
+          "  --remote-stats     print server counters\n"
+          "  --remote-shutdown  drain the server and exit it\n");
+}
+
+/// Parses "name(1,2.5,true,\"s\")" into a function name + scalar JSON args.
+bool parseCallSpec(const std::string &Spec, std::string &Fn,
+                   std::vector<json::Value> &Args) {
+  size_t Open = Spec.find('(');
+  if (Open == std::string::npos) {
+    Fn = Spec; // Bare name: zero-argument call.
+    return !Fn.empty();
+  }
+  Fn = Spec.substr(0, Open);
+  size_t Close = Spec.rfind(')');
+  if (Fn.empty() || Close == std::string::npos || Close < Open)
+    return false;
+  std::string Inner = Spec.substr(Open + 1, Close - Open - 1);
+  std::string Tok;
+  std::istringstream SS(Inner);
+  while (std::getline(SS, Tok, ',')) {
+    // Trim blanks.
+    size_t B = Tok.find_first_not_of(" \t");
+    size_t E = Tok.find_last_not_of(" \t");
+    if (B == std::string::npos)
+      return false;
+    Tok = Tok.substr(B, E - B + 1);
+    json::Value V;
+    std::string Err;
+    if (!json::parse(Tok, V, Err))
+      return false;
+    Args.push_back(std::move(V));
+  }
+  return true;
+}
+
+int runRemote(const std::string &Socket, const std::string &ScriptPath,
+              const std::vector<std::string> &Chunks, std::string Handle,
+              const std::string &CallSpec, bool WantStats, bool WantShutdown) {
+  server::Client C;
+  if (!C.connect(Socket)) {
+    fprintf(stderr, "terracpp: %s\n", C.error().c_str());
+    return 1;
+  }
+
+  std::string Source;
+  for (const std::string &Chunk : Chunks)
+    Source += Chunk + "\n";
+  if (!ScriptPath.empty()) {
+    std::ifstream In(ScriptPath);
+    if (!In) {
+      fprintf(stderr, "terracpp: cannot open %s\n", ScriptPath.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source += SS.str();
+  }
+
+  if (!Source.empty()) {
+    server::Client::CompileResult R = C.compile(
+        Source, ScriptPath.empty() ? "<command line>" : ScriptPath);
+    if (!R.OK) {
+      fprintf(stderr, "remote compile failed: %s\n%s", R.Error.c_str(),
+              R.Diagnostics.c_str());
+      return 1;
+    }
+    Handle = R.Handle;
+    printf("handle: %s (%s, %.3fs)\n", R.Handle.c_str(),
+           R.Warm ? "warm" : "cold", R.Seconds);
+    for (const std::string &F : R.Functions)
+      printf("  terra %s\n", F.c_str());
+  }
+
+  if (!CallSpec.empty()) {
+    if (Handle.empty()) {
+      fprintf(stderr, "terracpp: --call needs a script or --handle\n");
+      return 2;
+    }
+    std::string Fn;
+    std::vector<json::Value> Args;
+    if (!parseCallSpec(CallSpec, Fn, Args)) {
+      fprintf(stderr, "terracpp: malformed --call spec '%s'\n",
+              CallSpec.c_str());
+      return 2;
+    }
+    server::Client::CallResult R = C.call(Handle, Fn, Args);
+    if (!R.OK) {
+      fprintf(stderr, "remote call failed: %s\n%s", R.Error.c_str(),
+              R.Diagnostics.c_str());
+      return 1;
+    }
+    printf("%s\n", R.Result.dump().c_str());
+  }
+
+  if (WantStats) {
+    json::Value S = C.stats();
+    if (S.isNull()) {
+      fprintf(stderr, "terracpp: %s\n", C.error().c_str());
+      return 1;
+    }
+    printf("%s\n", S.dump().c_str());
+  }
+  if (WantShutdown) {
+    if (!C.shutdownServer()) {
+      fprintf(stderr, "terracpp: shutdown failed: %s\n", C.error().c_str());
+      return 1;
+    }
+    printf("server draining\n");
+  }
+  return 0;
 }
 
 } // namespace
@@ -44,6 +169,8 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> Chunks;
   std::string ScriptPath;
   std::string DumpFn, EmitC;
+  std::string ConnectSocket, RemoteHandle, CallSpec;
+  bool RemoteStats = false, RemoteShutdown = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -57,6 +184,16 @@ int main(int Argc, char **Argv) {
       DumpFn = Argv[++I];
     } else if (Arg == "--emit-c" && I + 1 < Argc) {
       EmitC = Argv[++I];
+    } else if (Arg == "--connect" && I + 1 < Argc) {
+      ConnectSocket = Argv[++I];
+    } else if (Arg == "--handle" && I + 1 < Argc) {
+      RemoteHandle = Argv[++I];
+    } else if (Arg == "--call" && I + 1 < Argc) {
+      CallSpec = Argv[++I];
+    } else if (Arg == "--remote-stats") {
+      RemoteStats = true;
+    } else if (Arg == "--remote-shutdown") {
+      RemoteShutdown = true;
     } else if (Arg == "-h" || Arg == "--help") {
       usage();
       return 0;
@@ -68,6 +205,9 @@ int main(int Argc, char **Argv) {
       ScriptPath = Arg;
     }
   }
+  if (!ConnectSocket.empty())
+    return runRemote(ConnectSocket, ScriptPath, Chunks, RemoteHandle, CallSpec,
+                     RemoteStats, RemoteShutdown);
   if (Chunks.empty() && ScriptPath.empty()) {
     usage();
     return 2;
