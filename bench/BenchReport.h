@@ -45,6 +45,11 @@ public:
       S += (I ? ", " : "") + Arr[I].str();
     return raw(Key, S + "]");
   }
+  /// Splices \p RawJson in verbatim — for values already serialized by a
+  /// real JSON emitter (e.g. a telemetry registry snapshot's dump()).
+  Json &putRaw(const std::string &Key, const std::string &RawJson) {
+    return raw(Key, RawJson);
+  }
 
   std::string str() const {
     std::string S = "{";

@@ -24,6 +24,7 @@
 
 #include "core/Engine.h"
 #include "core/TerraType.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include "BenchReport.h"
@@ -281,6 +282,10 @@ benchreport::Json measurePipeline() {
 
 int main(int argc, char **argv) {
   benchreport::Json Report = measurePipeline();
+  // Process-wide telemetry snapshot (frontend phase latencies, thread-pool
+  // queue waits) so a trajectory regression can be localized to a phase.
+  Report.putRaw("telemetry",
+                terracpp::telemetry::Registry::global().toJson().dump());
   Report.writeTo("BENCH_compile.json");
   fprintf(stderr, "BENCH_compile.json: %s\n", Report.str().c_str());
 

@@ -18,6 +18,7 @@
 #include "autotuner/Gemm.h"
 #include "core/Engine.h"
 #include "core/TerraType.h"
+#include "support/Telemetry.h"
 
 #include "BenchReport.h"
 
@@ -257,6 +258,10 @@ void writeReport() {
            ParallelWall > 0 ? SerialWall / ParallelWall : 0.0)
       .put("autotune_warm_cache_wall_seconds", WarmWall)
       .put("runs", Entries);
+  // Process-wide telemetry snapshot (frontend phases, autotuner variant
+  // runs, thread-pool queue waits).
+  Report.putRaw("telemetry",
+                terracpp::telemetry::Registry::global().toJson().dump());
   Report.writeTo("BENCH_gemm.json");
   fprintf(stderr, "BENCH_gemm.json: %s\n", Report.str().c_str());
 }

@@ -262,6 +262,11 @@ int main(int argc, char **argv) {
   S.requestShutdown();
   S.wait();
   Report.put("drained_clean", S.stats().DrainedClean);
+  // Full server telemetry (per-op latency histograms, queue waits) plus the
+  // process-wide registry; the registries outlive the drain.
+  Report.putRaw("telemetry", S.metrics().toJson().dump());
+  Report.putRaw("process_telemetry",
+                terracpp::telemetry::Registry::global().toJson().dump());
 
   if (!Report.writeTo("BENCH_server.json"))
     fprintf(stderr, "cannot write BENCH_server.json\n");

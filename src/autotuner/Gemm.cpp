@@ -2,7 +2,9 @@
 
 #include "core/StagingAPI.h"
 #include "core/TerraType.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cstring>
 #include <vector>
@@ -270,7 +272,13 @@ TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
   for (const Candidate &C : Candidates)
     Roots.push_back(C.Fn);
   Timer CompileT;
-  E.compileAll(Roots);
+  {
+    trace::TraceSpan Span("compile_batch", "autotune");
+    Span.arg("variants", std::to_string(Candidates.size()));
+    telemetry::ScopedTimerUs BatchT(
+        telemetry::Registry::global().histogram("autotune.compile_batch_us"));
+    E.compileAll(Roots);
+  }
   Result.CompileWallSeconds = CompileT.seconds();
   JITEngine::Stats After = JIT.stats();
   Result.CompileCpuSeconds = After.CompilerSeconds - Before.CompilerSeconds;
@@ -280,9 +288,17 @@ TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
 
   // Stage 3: time each compiled variant serially — timing shares the
   // machine, so it stays single-threaded for stable measurements.
+  telemetry::Histogram &VariantRunUs =
+      telemetry::Registry::global().histogram("autotune.variant_run_us");
   for (const Candidate &C : Candidates) {
     if (!C.Fn->RawPtr)
       continue;
+    trace::TraceSpan Span("variant_run", "autotune");
+    Span.arg("params", "NB=" + std::to_string(C.P.NB) +
+                           " RM=" + std::to_string(C.P.RM) +
+                           " RN=" + std::to_string(C.P.RN) +
+                           " V=" + std::to_string(C.P.V));
+    telemetry::ScopedTimerUs RunT(VariantRunUs);
     double GF = IsFloat ? timeGemm(C.Fn->RawPtr, TestN, Af, Bf, Cf)
                         : timeGemm(C.Fn->RawPtr, TestN, Ad, Bd, Cd);
     Result.Trials.emplace_back(C.P, GF);

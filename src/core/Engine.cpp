@@ -2,6 +2,8 @@
 
 #include "core/LuaStdlib.h"
 #include "core/Parser.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -38,10 +40,19 @@ Engine::~Engine() = default;
 
 bool Engine::run(const std::string &Source, const std::string &Name) {
   uint32_t BufferId = SM.addBuffer(Name, Source);
-  Parser P(*TCtx, SM.bufferContents(BufferId), BufferId, Diags);
-  const Block *Chunk = P.parseChunk();
+  const Block *Chunk;
+  {
+    trace::TraceSpan Span("parse", "frontend");
+    Span.arg("chunk", Name);
+    telemetry::ScopedTimerUs T(
+        telemetry::Registry::global().histogram("frontend.parse_us"));
+    Parser P(*TCtx, SM.bufferContents(BufferId), BufferId, Diags);
+    Chunk = P.parseChunk();
+  }
   if (!Chunk || Diags.hasErrors())
     return false;
+  trace::TraceSpan Span("run_chunk", "frontend");
+  Span.arg("chunk", Name);
   return I->runChunk(Chunk);
 }
 

@@ -5,7 +5,9 @@
 #include "core/TerraInterpBackend.h"
 #include "core/TerraPasses.h"
 #include "core/TerraType.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cstring>
 #include <set>
@@ -90,7 +92,14 @@ bool TerraCompiler::ensureCompiled(TerraFunction *F) {
 
   Timer T;
   CBackend CB(Ctx);
-  std::string Source = CB.emitModule(Component, this);
+  std::string Source;
+  {
+    trace::TraceSpan Span("codegen", "backend");
+    Span.arg("fn", F->Name);
+    telemetry::ScopedTimerUs CodegenT(
+        telemetry::Registry::global().histogram("frontend.codegen_us"));
+    Source = CB.emitModule(Component, this);
+  }
   if (Source.empty())
     return false;
   bool OK = JIT.addModule(Source, Component, !CB.lastModuleBakedAddresses());
@@ -162,7 +171,14 @@ bool TerraCompiler::compileAll(const std::vector<TerraFunction *> &Roots) {
 
     Timer T;
     CBackend CB(Ctx);
-    std::string Source = CB.emitModule(Component, this);
+    std::string Source;
+    {
+      trace::TraceSpan Span("codegen", "backend");
+      Span.arg("fn", F->Name);
+      telemetry::ScopedTimerUs CodegenT(
+          telemetry::Registry::global().histogram("frontend.codegen_us"));
+      Source = CB.emitModule(Component, this);
+    }
     Timing.CodegenSeconds += T.seconds();
     if (Source.empty()) {
       AllOK = false;

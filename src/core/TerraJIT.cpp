@@ -4,6 +4,7 @@
 #include "support/Subprocess.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -116,7 +117,16 @@ static unsigned resolveCompileJobs() {
 // JITEngine
 //===----------------------------------------------------------------------===//
 
-JITEngine::JITEngine(DiagnosticEngine &Diags) : Diags(Diags) {
+JITEngine::JITEngine(DiagnosticEngine &Diags)
+    : Diags(Diags), MModulesLoaded(Reg.counter("jit.modules_loaded")),
+      MCompilerLaunches(Reg.counter("jit.compiler_launches")),
+      MCacheHits(Reg.counter("jit.cache.hits")),
+      MCacheMisses(Reg.counter("jit.cache.misses")),
+      MCacheBypassed(Reg.counter("jit.cache.bypassed")),
+      MCacheEvicted(Reg.counter("jit.cache.evicted")),
+      MQueueDepthHwm(Reg.gauge("jit.queue_depth_hwm")),
+      MCcUs(Reg.histogram("jit.cc_us")), MLinkUs(Reg.histogram("jit.link_us")),
+      MBatchWallUs(Reg.histogram("jit.batch_wall_us")) {
   // A per-engine scratch directory keeps concurrent engines (even in one
   // process) from clobbering each other's generated files.
   char Template[] = "/tmp/terracpp-XXXXXX";
@@ -185,9 +195,13 @@ bool JITEngine::runCompiler(const std::string &SrcPath,
   Argv.push_back("-o");
   Argv.push_back(OutPath);
 
+  trace::TraceSpan Span("cc", "backend");
+  Span.arg("out", OutPath);
+  MCompilerLaunches.inc();
   Timer T;
   SpawnResult R = runCommand(Argv, TempDir);
   Seconds = T.seconds();
+  MCcUs.record(static_cast<uint64_t>(Seconds * 1e6));
   if (R.spawnFailed()) {
     // The compiler could not even start (e.g. no `cc` installed): report
     // the structured description rather than an empty stderr, and point at
@@ -212,6 +226,7 @@ JITEngine::compileSource(const std::string &CSource, bool Cacheable,
   std::string CachePath;
 
   if (UseCache) {
+    trace::TraceSpan Probe("cache_probe", "backend");
     CachePath = CacheDir + "/" + cacheKey(CSource, ExtraFlags) + ".so";
     if (!SkipCacheLookup && ::access(CachePath.c_str(), R_OK) == 0) {
       // Refresh the entry's mtime so the size bound evicts by actual
@@ -220,10 +235,11 @@ JITEngine::compileSource(const std::string &CSource, bool Cacheable,
       Out.OK = true;
       Out.FromCache = true;
       Out.SoPath = CachePath;
-      std::lock_guard<std::mutex> Lock(Mutex);
-      ++Counters.CacheHits;
+      MCacheHits.inc();
+      Probe.arg("result", "hit");
       return Out;
     }
+    Probe.arg("result", SkipCacheLookup ? "skipped" : "miss");
   }
 
   unsigned Id = ModuleCounter++;
@@ -238,15 +254,10 @@ JITEngine::compileSource(const std::string &CSource, bool Cacheable,
   std::string Err;
   double Seconds = 0;
   bool OK = runCompiler(SrcPath, SoPath, ExtraFlags, Err, Seconds);
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.CompilerLaunches;
-    Counters.CompilerSeconds += Seconds;
-    if (UseCache)
-      ++Counters.CacheMisses;
-    else if (!Cacheable)
-      ++Counters.CacheBypassed;
-  }
+  if (UseCache)
+    MCacheMisses.inc();
+  else if (!Cacheable)
+    MCacheBypassed.inc();
   if (!OK) {
     Out.Message = Err;
     return Out;
@@ -318,13 +329,14 @@ void JITEngine::enforceCacheLimit(const std::string &Protect) {
       ++Evicted;
     }
   }
-  if (Evicted) {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Counters.CacheEvicted += Evicted;
-  }
+  if (Evicted)
+    MCacheEvicted.inc(Evicted);
 }
 
 bool JITEngine::loadModule(const ModuleJob &Job, CompileOutcome &Outcome) {
+  trace::TraceSpan Span("link", "backend");
+  Span.arg("so", Outcome.SoPath);
+  telemetry::ScopedTimerUs LinkT(MLinkUs);
   if (!Outcome.Message.empty())
     noteDiag(DiagKind::Warning,
              "C compiler diagnostics for generated module:\n" +
@@ -359,8 +371,8 @@ bool JITEngine::loadModule(const ModuleJob &Job, CompileOutcome &Outcome) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Handles.push_back(Handle);
-    ++Counters.ModulesLoaded;
   }
+  MModulesLoaded.inc();
 
   for (TerraFunction *F : Job.Fns) {
     std::string Name = F->mangledName();
@@ -417,11 +429,7 @@ bool JITEngine::addModules(std::vector<ModuleJob> Jobs_) {
     Latch Done(Jobs_.size());
     for (size_t I = 0; I != Jobs_.size(); ++I) {
       unsigned Depth = ++InFlight;
-      {
-        std::lock_guard<std::mutex> Lock(Mutex);
-        if (Depth > Counters.MaxQueueDepth)
-          Counters.MaxQueueDepth = Depth;
-      }
+      MQueueDepthHwm.max(Depth);
       P.enqueue([this, &Jobs_, &Outcomes, &Done, I] {
         Outcomes[I] = compileSource(Jobs_[I].CSource, Jobs_[I].Cacheable,
                                     /*SkipCacheLookup=*/false);
@@ -447,10 +455,7 @@ bool JITEngine::addModules(std::vector<ModuleJob> Jobs_) {
       AllOK = false;
   }
 
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Counters.BatchWallSeconds += Batch.seconds();
-  }
+  MBatchWallUs.record(static_cast<uint64_t>(Batch.seconds() * 1e6));
   return AllOK;
 }
 
@@ -462,8 +467,17 @@ ThreadPool &JITEngine::pool() {
 }
 
 JITEngine::Stats JITEngine::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Counters;
+  Stats S;
+  S.ModulesLoaded = static_cast<unsigned>(MModulesLoaded.value());
+  S.CompilerLaunches = static_cast<unsigned>(MCompilerLaunches.value());
+  S.CacheHits = static_cast<unsigned>(MCacheHits.value());
+  S.CacheMisses = static_cast<unsigned>(MCacheMisses.value());
+  S.CacheBypassed = static_cast<unsigned>(MCacheBypassed.value());
+  S.CacheEvicted = static_cast<unsigned>(MCacheEvicted.value());
+  S.MaxQueueDepth = static_cast<unsigned>(MQueueDepthHwm.value());
+  S.CompilerSeconds = static_cast<double>(MCcUs.snapshot().Sum) / 1e6;
+  S.BatchWallSeconds = static_cast<double>(MBatchWallUs.snapshot().Sum) / 1e6;
+  return S;
 }
 
 bool JITEngine::saveObject(const std::string &Path,
@@ -498,11 +512,6 @@ bool JITEngine::saveObject(const std::string &Path,
   std::string Err;
   double Seconds = 0;
   bool OK = runCompiler(SrcPath, Path, ExtraFlags, Err, Seconds);
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counters.CompilerLaunches;
-    Counters.CompilerSeconds += Seconds;
-  }
   if (!OK) {
     noteDiag(DiagKind::Error,
              "C compiler failed for saved object " + Path + ":\n" + Err);

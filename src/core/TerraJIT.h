@@ -29,6 +29,7 @@
 
 #include "core/TerraAST.h"
 #include "support/Diagnostics.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <memory>
@@ -77,7 +78,9 @@ public:
   /// The source of the most recently added module (for tests/debugging).
   const std::string &lastModuleSource() const { return LastSource; }
 
-  /// Pipeline counters (for bench_compile / bench_gemm reporting).
+  /// Pipeline counters (for bench_compile / bench_gemm reporting). This is
+  /// a point-in-time snapshot assembled from the engine's telemetry
+  /// registry; the registry itself (see metrics()) is the source of truth.
   struct Stats {
     unsigned ModulesLoaded = 0;     ///< Successful addModule(s) loads.
     unsigned CompilerLaunches = 0;  ///< Actual cc invocations.
@@ -90,6 +93,13 @@ public:
     double BatchWallSeconds = 0;    ///< Wall time blocked in addModules.
   };
   Stats stats() const;
+
+  /// The engine's private metrics registry. Per-instance (not global) so
+  /// concurrent engines in one process keep independent counts; includes
+  /// latency histograms (jit.cc_us, jit.link_us, jit.batch_wall_us) beyond
+  /// what the Stats snapshot exposes.
+  telemetry::Registry &metrics() { return Reg; }
+  const telemetry::Registry &metrics() const { return Reg; }
 
   /// Summed compiler wall time so far (kept for existing callers).
   double compilerSeconds() const { return stats().CompilerSeconds; }
@@ -146,8 +156,22 @@ private:
   std::unique_ptr<ThreadPool> Pool; ///< Lazily created on first batch.
   std::atomic<unsigned> ModuleCounter{0};
   std::atomic<unsigned> InFlight{0};
-  mutable std::mutex Mutex; ///< Guards Handles, Diags, Counters, Pool init.
-  Stats Counters;
+  mutable std::mutex Mutex; ///< Guards Handles, Diags, Pool init, LastSource.
+
+  /// Per-engine metrics. Declared before the metric references below so the
+  /// references can bind in the constructor initializer list. Updates are
+  /// lock-free; stats() snapshots them.
+  telemetry::Registry Reg;
+  telemetry::Counter &MModulesLoaded;
+  telemetry::Counter &MCompilerLaunches;
+  telemetry::Counter &MCacheHits;
+  telemetry::Counter &MCacheMisses;
+  telemetry::Counter &MCacheBypassed;
+  telemetry::Counter &MCacheEvicted;
+  telemetry::Gauge &MQueueDepthHwm;
+  telemetry::Histogram &MCcUs;
+  telemetry::Histogram &MLinkUs;
+  telemetry::Histogram &MBatchWallUs;
 };
 
 } // namespace terracpp

@@ -2,6 +2,8 @@
 
 #include "core/LuaInterp.h"
 #include "core/TerraType.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <cmath>
 
@@ -1010,6 +1012,17 @@ TerraFunction *Specializer::specializeFunction(const lua::TerraFuncExpr *Fn,
                                                EnvPtr Environment,
                                                TerraFunction *Target,
                                                StructType *SelfType) {
+  // Specialization is eager — it happens the moment the host interpreter
+  // evaluates the `terra` definition (paper Fig. 4) — so this span marks
+  // the first stage boundary of every function's pipeline.
+  trace::TraceSpan Span("specialize", "frontend");
+  Span.arg("fn", Target           ? Target->Name
+               : Fn->DebugName    ? *Fn->DebugName
+                                  : std::string("anon"));
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  Reg.counter("frontend.specializations").inc();
+  telemetry::ScopedTimerUs Timer(Reg.histogram("frontend.specialize_us"));
+
   SpecState S(Ctx, I, std::move(Environment));
   TerraFunction *F =
       Target ? Target

@@ -2,6 +2,8 @@
 
 #include "core/LuaInterp.h"
 #include "core/TerraType.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -1072,6 +1074,13 @@ bool Typechecker::check(TerraFunction *F) {
     F->State = TerraFunction::SK_Checked;
     return true;
   }
+  // Typechecking is lazy — deferred to the first call (paper Fig. 4) — and
+  // covers the root's whole connected component in one pass.
+  trace::TraceSpan Span("typecheck", "frontend");
+  Span.arg("fn", F->Name);
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  Reg.counter("frontend.typechecks").inc();
+  telemetry::ScopedTimerUs Timer(Reg.histogram("frontend.typecheck_us"));
   CheckState S(Ctx, I);
   if (!S.checkFunction(F))
     return false;

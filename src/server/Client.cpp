@@ -119,6 +119,12 @@ Value Client::stats(int TimeoutMs) {
   return request(Req, TimeoutMs);
 }
 
+Value Client::metrics(int TimeoutMs) {
+  Value Req = Value::object();
+  Req.set("op", Value::string("metrics"));
+  return request(Req, TimeoutMs);
+}
+
 bool Client::ping(int DelayMs, int TimeoutMs) {
   Value Req = Value::object();
   Req.set("op", Value::string("ping"));

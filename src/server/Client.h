@@ -65,6 +65,10 @@ public:
   /// {"op":"stats"} — null value on transport failure.
   json::Value stats(int TimeoutMs = -1);
 
+  /// {"op":"metrics"} — the server's full telemetry registries (counters,
+  /// gauges, per-op latency histograms). Null value on transport failure.
+  json::Value metrics(int TimeoutMs = -1);
+
   /// {"op":"ping"}; DelayMs asks the server to hold the request that long
   /// inside a worker (load-testing / drain-testing aid).
   bool ping(int DelayMs = 0, int TimeoutMs = -1);

@@ -3,8 +3,10 @@
 #include "core/Engine.h"
 #include "server/Protocol.h"
 #include "support/ContentHash.h"
+#include "support/Log.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -63,6 +65,9 @@ void ServerConfig::resolveFromEnv() {
 struct Server::Job {
   json::Value Request;
   json::Value Response;
+  std::string Op;          ///< Request op, for per-op latency series.
+  std::string TraceId;     ///< Echoed in the response; spans are tagged.
+  uint64_t EnqueuedUs = 0; ///< For the queue-wait histogram.
   std::mutex M;
   std::condition_variable CV;
   bool Done = false;
@@ -84,7 +89,10 @@ struct Server::EngineEntry {
   std::string Hash;
   std::mutex ExecMutex;       ///< Engines are single-threaded; serializes use.
   std::unique_ptr<Engine> E;  ///< Null until first compile completes.
-  bool Ready = false;
+  /// Atomic (not ExecMutex-guarded) so the metrics op can poll readiness
+  /// without blocking behind an in-flight call; flips false->true once,
+  /// after E is assigned.
+  std::atomic<bool> Ready{false};
   bool Failed = false;
   std::string FailDiagnostics;
   std::vector<std::string> Functions;
@@ -123,8 +131,41 @@ bool Server::signalReceived() {
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
-Server::Server(ServerConfig C) : Config(std::move(C)) {
+Server::Server(ServerConfig C)
+    : Config(std::move(C)),
+      MConnectionsAccepted(Reg.counter("server.connections_accepted")),
+      MRequestsReceived(Reg.counter("server.requests_received")),
+      MRequestsCompleted(Reg.counter("server.requests_completed")),
+      MRequestsRejected(Reg.counter("server.requests_rejected")),
+      MRequestsTimedOut(Reg.counter("server.requests_timed_out")),
+      MRequestsFailed(Reg.counter("server.requests_failed")),
+      MCompileRequests(Reg.counter("server.compile_requests")),
+      MCallRequests(Reg.counter("server.call_requests")),
+      MEnginesCreated(Reg.counter("server.engines_created")),
+      MEnginesEvicted(Reg.counter("server.engines_evicted")),
+      MEngineWarmHits(Reg.counter("server.engine_warm_hits")),
+      MEngineRecreated(Reg.counter("server.engines_recreated")),
+      MQueueDepthHwm(Reg.gauge("server.queue_depth_hwm")),
+      MDrainedClean(Reg.gauge("server.drained_clean")),
+      MQueueWaitUs(Reg.histogram("server.queue_wait_us")),
+      MCompileLatencyUs(Reg.histogram("server.op.compile.latency_us")),
+      MCallLatencyUs(Reg.histogram("server.op.call.latency_us")),
+      MPingLatencyUs(Reg.histogram("server.op.ping.latency_us")),
+      MOtherLatencyUs(Reg.histogram("server.op.other.latency_us")) {
   Config.resolveFromEnv();
+}
+
+telemetry::Histogram &Server::opLatencyHistogram(const std::string &Op) {
+  // Pre-resolved references: no registry lock or allocation per request.
+  // Unknown ops fold into "other" so client-controlled names cannot grow
+  // the registry.
+  if (Op == "call")
+    return MCallLatencyUs;
+  if (Op == "compile")
+    return MCompileLatencyUs;
+  if (Op == "ping")
+    return MPingLatencyUs;
+  return MOtherLatencyUs;
 }
 
 Server::~Server() {
@@ -145,7 +186,12 @@ bool Server::start(std::string &Err) {
   for (unsigned I = 0; I != Config.Workers; ++I)
     Workers->enqueue([this] { workerLoop(); });
   Acceptor = std::thread([this] { acceptLoop(); });
+  StartTime = std::chrono::steady_clock::now();
   Started = true;
+  logging::emit(logging::Level::Info, "server.start",
+                {{"socket", Config.SocketPath},
+                 {"workers", std::to_string(Config.Workers)},
+                 {"queue_capacity", std::to_string(Config.QueueCapacity)}});
   return true;
 }
 
@@ -193,10 +239,9 @@ void Server::acceptLoop() {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Counters.ConnectionsAccepted;
-    }
+    MConnectionsAccepted.inc();
+    logging::emit(logging::Level::Debug, "server.accept",
+                  {{"fd", std::to_string(Fd)}});
     auto C = std::make_unique<Conn>();
     C->Fd = Fd;
     Conn *CP = C.get();
@@ -236,10 +281,10 @@ void Server::beginDrain() {
     std::unique_lock<std::mutex> Lock(QueueMutex);
     QueueCV.wait(Lock, [&] { return Queue.empty() && InFlight == 0; });
   }
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    Counters.DrainedClean = true;
-  }
+  MDrainedClean.set(1);
+  logging::emit(logging::Level::Info, "server.drain",
+                {{"requests_completed",
+                  std::to_string(MRequestsCompleted.value())}});
   // 2. Wake the workers so the pool can join.
   QueueCV.notify_all();
   Workers.reset();
@@ -272,16 +317,16 @@ void Server::finishShutdown() {
 //===----------------------------------------------------------------------===//
 
 bool Server::pushJob(const std::shared_ptr<Job> &J) {
+  J->EnqueuedUs = telemetry::nowMicros();
+  uint64_t Depth;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     if (Draining || Queue.size() >= Config.QueueCapacity)
       return false;
     Queue.push_back(J);
-    uint64_t Depth = Queue.size() + InFlight;
-    std::lock_guard<std::mutex> SLock(StatsMutex);
-    if (Depth > Counters.QueueDepthHWM)
-      Counters.QueueDepthHWM = Depth;
+    Depth = Queue.size() + InFlight;
   }
+  MQueueDepthHwm.max(static_cast<int64_t>(Depth));
   QueueCV.notify_one();
   return true;
 }
@@ -299,14 +344,20 @@ std::shared_ptr<Server::Job> Server::popJob() {
 
 void Server::workerLoop() {
   while (std::shared_ptr<Job> J = popJob()) {
+    MQueueWaitUs.record(telemetry::nowMicros() - J->EnqueuedUs);
     bool Execute;
     {
       std::lock_guard<std::mutex> Lock(J->M);
       Execute = !J->Abandoned;
     }
     json::Value Response;
-    if (Execute)
+    if (Execute) {
+      trace::TraceSpan Span("request", "server");
+      Span.arg("op", J->Op);
+      Span.arg("trace_id", J->TraceId);
+      telemetry::ScopedTimerUs Latency(opLatencyHistogram(J->Op));
       Response = dispatch(J->Request);
+    }
     {
       std::lock_guard<std::mutex> Lock(J->M);
       J->Response = std::move(Response);
@@ -338,16 +389,33 @@ void Server::connectionLoop(Conn *C) {
         writeMessage(Fd, errorResponse("bad request: " + Err));
       break;
     }
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Counters.RequestsReceived;
-    }
+    MRequestsReceived.inc();
 
     std::string Op = Request.getString("op");
-    // Control-plane ops skip the queue: stats must observe a saturated
-    // server, and shutdown must work when the queue is wedged.
+    // Every response carries the request's trace_id (client-supplied, or
+    // generated here) so clients can correlate replies and server-side
+    // spans with their own traces.
+    std::string TraceId = Request.getString("trace_id");
+    if (TraceId.empty()) {
+      // One process-wide prefix; a getpid() syscall per request would be
+      // measurable against the ~15us warm-call round trip.
+      static const std::string PidPrefix = std::to_string(::getpid()) + "-";
+      TraceId = PidPrefix + std::to_string(NextTraceId.fetch_add(1));
+    }
+
+    // Control-plane ops skip the queue: stats/metrics must observe a
+    // saturated server, and shutdown must work when the queue is wedged.
     if (Op == "stats") {
-      if (!writeMessage(Fd, statsJson()))
+      json::Value R = statsJson();
+      R.set("trace_id", json::Value::string(TraceId));
+      if (!writeMessage(Fd, R))
+        break;
+      continue;
+    }
+    if (Op == "metrics") {
+      json::Value R = metricsJson();
+      R.set("trace_id", json::Value::string(TraceId));
+      if (!writeMessage(Fd, R))
         break;
       continue;
     }
@@ -355,6 +423,7 @@ void Server::connectionLoop(Conn *C) {
       json::Value R = json::Value::object();
       R.set("ok", json::Value::boolean(true));
       R.set("draining", json::Value::boolean(true));
+      R.set("trace_id", json::Value::string(TraceId));
       writeMessage(Fd, R);
       requestShutdown();
       continue; // Reader exits when drain half-closes the socket.
@@ -362,14 +431,17 @@ void Server::connectionLoop(Conn *C) {
 
     auto J = std::make_shared<Job>();
     J->Request = Request;
+    J->Op = Op;
+    J->TraceId = TraceId;
     if (!pushJob(J)) {
       const char *Why = Draining ? "server shutting down"
                                  : "server overloaded: request queue full";
-      {
-        std::lock_guard<std::mutex> Lock(StatsMutex);
-        ++Counters.RequestsRejected;
-      }
-      if (!writeMessage(Fd, errorResponse(Why)))
+      MRequestsRejected.inc();
+      logging::emit(logging::Level::Warn, "server.reject",
+                    {{"op", Op}, {"trace_id", TraceId}, {"why", Why}});
+      json::Value R = errorResponse(Why);
+      R.set("trace_id", json::Value::string(TraceId));
+      if (!writeMessage(Fd, R))
         break;
       continue;
     }
@@ -394,14 +466,17 @@ void Server::connectionLoop(Conn *C) {
     if (TimedOut) {
       Response = errorResponse("request timed out after " +
                                std::to_string(TimeoutMs) + " ms");
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Counters.RequestsTimedOut;
+      MRequestsTimedOut.inc();
+      logging::emit(logging::Level::Warn, "server.timeout",
+                    {{"op", Op},
+                     {"trace_id", TraceId},
+                     {"timeout_ms", std::to_string(TimeoutMs)}});
     } else {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Counters.RequestsCompleted;
+      MRequestsCompleted.inc();
       if (!Response.getBool("ok"))
-        ++Counters.RequestsFailed;
+        MRequestsFailed.inc();
     }
+    Response.set("trace_id", json::Value::string(TraceId));
     if (!writeMessage(Fd, Response))
       break;
   }
@@ -449,8 +524,9 @@ void Server::evictIfNeeded() {
     std::string Victim = LruOrder.back();
     LruOrder.pop_back();
     Engines.erase(Victim);
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.EnginesEvicted;
+    MEnginesEvicted.inc();
+    logging::emit(logging::Level::Debug, "server.engine_evict",
+                  {{"handle", Victim}});
   }
 }
 
@@ -531,20 +607,18 @@ Server::obtainEngine(const std::string &Hash, const std::string &Source,
   }
   Entry->E = std::move(E);
   Entry->CompileSeconds = T.seconds();
-  Entry->Ready = true;
+  Entry->Ready.store(true, std::memory_order_release);
   Warm = false;
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.EnginesCreated;
-  }
+  MEnginesCreated.inc();
+  logging::emit(logging::Level::Info, "server.engine_create",
+                {{"handle", Hash},
+                 {"functions", std::to_string(Entry->Functions.size())},
+                 {"seconds", std::to_string(Entry->CompileSeconds)}});
   return Entry;
 }
 
 json::Value Server::handleCompile(const json::Value &Request) {
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.CompileRequests;
-  }
+  MCompileRequests.inc();
   const json::Value *Source = Request.get("source");
   if (!Source || !Source->isString())
     return errorResponse("compile: missing string member 'source'");
@@ -560,10 +634,8 @@ json::Value Server::handleCompile(const json::Value &Request) {
       obtainEngine(Hash, Source->asString(), Name, Warm, Error);
   if (!Entry)
     return errorResponse("compile failed", Error);
-  if (Warm) {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.EngineWarmHits;
-  }
+  if (Warm)
+    MEngineWarmHits.inc();
 
   json::Value R = json::Value::object();
   R.set("ok", json::Value::boolean(true));
@@ -578,10 +650,7 @@ json::Value Server::handleCompile(const json::Value &Request) {
 }
 
 json::Value Server::handleCall(const json::Value &Request) {
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.CallRequests;
-  }
+  MCallRequests.inc();
   std::string Hash = Request.getString("handle");
   std::string FnName = Request.getString("fn");
   if (Hash.empty() || FnName.empty())
@@ -597,10 +666,8 @@ json::Value Server::handleCall(const json::Value &Request) {
     if (It != Sources.end())
       Source = It->second;
     bool Live = Engines.count(Hash) != 0;
-    if (!Live && !Source.empty()) {
-      std::lock_guard<std::mutex> SLock(StatsMutex);
-      ++Counters.EngineRecreated;
-    }
+    if (!Live && !Source.empty())
+      MEngineRecreated.inc();
   }
 
   bool Warm = false;
@@ -609,10 +676,8 @@ json::Value Server::handleCall(const json::Value &Request) {
       obtainEngine(Hash, Source, "<terrad>", Warm, Error);
   if (!Entry)
     return errorResponse("call: " + Error);
-  if (Warm) {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Counters.EngineWarmHits;
-  }
+  if (Warm)
+    MEngineWarmHits.inc();
 
   std::lock_guard<std::mutex> ExecLock(Entry->ExecMutex);
   Engine &E = *Entry->E;
@@ -678,10 +743,24 @@ json::Value Server::handleCall(const json::Value &Request) {
 
 Server::Stats Server::stats() const {
   Stats S;
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    S = Counters;
-  }
+  S.ConnectionsAccepted = MConnectionsAccepted.value();
+  S.RequestsReceived = MRequestsReceived.value();
+  S.RequestsCompleted = MRequestsCompleted.value();
+  S.RequestsRejected = MRequestsRejected.value();
+  S.RequestsTimedOut = MRequestsTimedOut.value();
+  S.RequestsFailed = MRequestsFailed.value();
+  S.CompileRequests = MCompileRequests.value();
+  S.CallRequests = MCallRequests.value();
+  S.EnginesCreated = MEnginesCreated.value();
+  S.EnginesEvicted = MEnginesEvicted.value();
+  S.EngineWarmHits = MEngineWarmHits.value();
+  S.EngineRecreated = MEngineRecreated.value();
+  S.QueueDepthHWM = static_cast<uint64_t>(MQueueDepthHwm.value());
+  S.DrainedClean = MDrainedClean.value() != 0;
+  if (Started)
+    S.UptimeSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - StartTime)
+                          .count();
   {
     std::lock_guard<std::mutex> Lock(EnginesMutex);
     S.EnginesLive = Engines.size();
@@ -708,8 +787,47 @@ json::Value Server::statsJson() {
   R.set("engine_warm_hits", N(S.EngineWarmHits));
   R.set("engines_live", N(S.EnginesLive));
   R.set("queue_depth_hwm", N(S.QueueDepthHWM));
+  R.set("uptime_seconds", json::Value::number(S.UptimeSeconds));
   R.set("workers", json::Value::number(Config.Workers));
   R.set("queue_capacity", json::Value::number(Config.QueueCapacity));
   R.set("max_engines", json::Value::number(Config.MaxEngines));
+  // Per-op latency snapshots ride along so `stats` alone is enough for a
+  // quick health check; the `metrics` op returns the full registries.
+  json::Value Ops = json::Value::object();
+  Reg.forEachHistogram([&](const std::string &Name,
+                           const telemetry::Histogram &H) {
+    const std::string Prefix = "server.op.";
+    const std::string Suffix = ".latency_us";
+    if (Name.size() > Prefix.size() + Suffix.size() &&
+        Name.compare(0, Prefix.size(), Prefix) == 0 &&
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
+      Ops.set(Name.substr(Prefix.size(),
+                          Name.size() - Prefix.size() - Suffix.size()),
+              H.snapshot().toJson());
+  });
+  R.set("op_latency_us", std::move(Ops));
+  return R;
+}
+
+json::Value Server::metricsJson() {
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  R.set("uptime_seconds", json::Value::number(stats().UptimeSeconds));
+  R.set("server", Reg.toJson());
+  R.set("process", telemetry::Registry::global().toJson());
+  // Each ready engine's JIT registry, keyed by script handle. ExecMutex is
+  // not needed: registries are internally thread-safe, and Ready entries
+  // never lose their engine while we hold the shared_ptr.
+  std::vector<std::pair<std::string, std::shared_ptr<EngineEntry>>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    for (const auto &E : Engines)
+      Live.emplace_back(E.first, E.second);
+  }
+  json::Value Jit = json::Value::object();
+  for (const auto &E : Live)
+    if (E.second->Ready.load(std::memory_order_acquire))
+      Jit.set(E.first, E.second->E->compiler().jit().metrics().toJson());
+  R.set("engines", std::move(Jit));
   return R;
 }

@@ -34,8 +34,10 @@
 #define TERRACPP_SERVER_SERVER_H
 
 #include "support/Json.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <list>
@@ -95,6 +97,8 @@ public:
   static bool signalReceived();
 
   /// Monotonic counters, readable concurrently (also served as {"op":"stats"}).
+  /// A point-in-time snapshot assembled from the server's telemetry registry
+  /// (see metrics()), which is the source of truth.
   struct Stats {
     uint64_t ConnectionsAccepted = 0;
     uint64_t RequestsReceived = 0;
@@ -110,9 +114,20 @@ public:
     uint64_t EngineRecreated = 0;   ///< call on an evicted handle re-linked.
     uint64_t QueueDepthHWM = 0;
     uint64_t EnginesLive = 0;
+    double UptimeSeconds = 0;       ///< Since start(); 0 before.
     bool DrainedClean = false;      ///< Set once shutdown drained in-flight work.
   };
   Stats stats() const;
+
+  /// The server's private metrics registry: every Stats counter plus
+  /// latency histograms (server.queue_wait_us, server.op.<op>.latency_us).
+  /// Per-instance so concurrent servers in one process stay independent.
+  telemetry::Registry &metrics() { return Reg; }
+
+  /// The {"op":"metrics"} response body: the full server registry, the
+  /// process-wide registry (frontend phases, thread pools), and each live
+  /// engine's JIT registry keyed by script handle.
+  json::Value metricsJson();
 
 private:
   struct Job;
@@ -130,6 +145,11 @@ private:
   json::Value handleCall(const json::Value &Request);
   json::Value handlePing(const json::Value &Request);
   json::Value statsJson();
+
+  /// Latency histogram for \p Op. Known ops get their own series; anything
+  /// else buckets into server.op.other.latency_us so client-controlled op
+  /// strings cannot grow the registry without bound.
+  telemetry::Histogram &opLatencyHistogram(const std::string &Op);
 
   /// Returns the ready entry for \p Hash, creating and running the engine
   /// if needed (\p Source may be empty only when the entry must already
@@ -175,8 +195,33 @@ private:
   std::mutex ShutdownMutex;
   std::condition_variable ShutdownCV;
 
-  mutable std::mutex StatsMutex;
-  Stats Counters;
+  std::chrono::steady_clock::time_point StartTime{};
+  std::atomic<uint64_t> NextTraceId{1}; ///< For requests without a trace_id.
+
+  /// Per-server metrics. Declared before the metric references below so the
+  /// references can bind in the constructor initializer list.
+  telemetry::Registry Reg;
+  telemetry::Counter &MConnectionsAccepted;
+  telemetry::Counter &MRequestsReceived;
+  telemetry::Counter &MRequestsCompleted;
+  telemetry::Counter &MRequestsRejected;
+  telemetry::Counter &MRequestsTimedOut;
+  telemetry::Counter &MRequestsFailed;
+  telemetry::Counter &MCompileRequests;
+  telemetry::Counter &MCallRequests;
+  telemetry::Counter &MEnginesCreated;
+  telemetry::Counter &MEnginesEvicted;
+  telemetry::Counter &MEngineWarmHits;
+  telemetry::Counter &MEngineRecreated;
+  telemetry::Gauge &MQueueDepthHwm;
+  telemetry::Gauge &MDrainedClean;
+  telemetry::Histogram &MQueueWaitUs;
+  /// Per-op latency, pre-resolved so the request hot path never touches
+  /// the registry lock (see opLatencyHistogram).
+  telemetry::Histogram &MCompileLatencyUs;
+  telemetry::Histogram &MCallLatencyUs;
+  telemetry::Histogram &MPingLatencyUs;
+  telemetry::Histogram &MOtherLatencyUs;
 };
 
 } // namespace server

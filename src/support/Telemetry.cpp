@@ -1,0 +1,168 @@
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace terracpp;
+using namespace terracpp::telemetry;
+
+uint64_t telemetry::nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketIndex(uint64_t Value) {
+  if (Value < 4)
+    return static_cast<unsigned>(Value);
+  // Most significant bit position (>= 2 here), then the next two bits pick
+  // one of four sub-buckets inside the octave.
+  unsigned Msb = 63u - static_cast<unsigned>(__builtin_clzll(Value));
+  unsigned Sub = static_cast<unsigned>((Value >> (Msb - 2)) & 3);
+  return 4 + (Msb - 2) * 4 + Sub;
+}
+
+uint64_t Histogram::bucketLowerBound(unsigned Index) {
+  if (Index < 4)
+    return Index;
+  unsigned Msb = 2 + (Index - 4) / 4;
+  unsigned Sub = (Index - 4) % 4;
+  return (uint64_t(1) << (Msb - 2)) * (4 + Sub);
+}
+
+void Histogram::record(uint64_t Value) {
+  Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Cur = MinV.load(std::memory_order_relaxed);
+  while (Value < Cur &&
+         !MinV.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+  Cur = MaxV.load(std::memory_order_relaxed);
+  while (Value > Cur &&
+         !MaxV.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  uint64_t Counts[NumBuckets];
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    Counts[I] = Buckets[I].load(std::memory_order_relaxed);
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  uint64_t Mn = MinV.load(std::memory_order_relaxed);
+  S.Min = Mn == UINT64_MAX ? 0 : Mn;
+  S.Max = MaxV.load(std::memory_order_relaxed);
+  if (S.Count == 0)
+    return S;
+  S.Mean = static_cast<double>(S.Sum) / static_cast<double>(S.Count);
+
+  // Derive each quantile by walking the buckets to the target rank and
+  // interpolating linearly inside the landing bucket. Clamp to the
+  // observed min/max so degenerate single-bucket distributions report
+  // exact values.
+  auto Quantile = [&](double Q) {
+    // Nearest-rank: the smallest value with at least ceil(Q*Count) samples
+    // at or below it, so e.g. p95 of 4 samples is the 4th, not the 3rd.
+    uint64_t Rank = static_cast<uint64_t>(
+        std::ceil(Q * static_cast<double>(S.Count)));
+    Rank = std::min(std::max<uint64_t>(Rank, 1), S.Count);
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I != NumBuckets; ++I) {
+      if (Counts[I] == 0)
+        continue;
+      if (Cum + Counts[I] >= Rank) {
+        uint64_t Lo = bucketLowerBound(I);
+        uint64_t Hi = I + 1 < NumBuckets ? bucketLowerBound(I + 1) : UINT64_MAX;
+        double Frac = static_cast<double>(Rank - Cum) /
+                      static_cast<double>(Counts[I]);
+        double V = static_cast<double>(Lo) +
+                   Frac * static_cast<double>(Hi - Lo);
+        V = std::max(V, static_cast<double>(S.Min));
+        V = std::min(V, static_cast<double>(S.Max));
+        return V;
+      }
+      Cum += Counts[I];
+    }
+    return static_cast<double>(S.Max);
+  };
+  S.P50 = Quantile(0.50);
+  S.P90 = Quantile(0.90);
+  S.P95 = Quantile(0.95);
+  S.P99 = Quantile(0.99);
+  return S;
+}
+
+json::Value Histogram::Snapshot::toJson() const {
+  json::Value V = json::Value::object();
+  auto N = [](double X) { return json::Value::number(X); };
+  V.set("count", N(static_cast<double>(Count)));
+  V.set("sum", N(static_cast<double>(Sum)));
+  V.set("min", N(static_cast<double>(Min)));
+  V.set("max", N(static_cast<double>(Max)));
+  V.set("mean", N(Mean));
+  V.set("p50", N(P50));
+  V.set("p90", N(P90));
+  V.set("p95", N(P95));
+  V.set("p99", N(P99));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Counter> &C = Counters[Name];
+  if (!C)
+    C = std::make_unique<Counter>();
+  return *C;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Gauge> &G = Gauges[Name];
+  if (!G)
+    G = std::make_unique<Gauge>();
+  return *G;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Histogram> &H = Histograms[Name];
+  if (!H)
+    H = std::make_unique<Histogram>();
+  return *H;
+}
+
+json::Value Registry::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  json::Value Root = json::Value::object();
+  json::Value Cs = json::Value::object();
+  for (const auto &E : Counters)
+    Cs.set(E.first,
+           json::Value::number(static_cast<double>(E.second->value())));
+  json::Value Gs = json::Value::object();
+  for (const auto &E : Gauges)
+    Gs.set(E.first,
+           json::Value::number(static_cast<double>(E.second->value())));
+  json::Value Hs = json::Value::object();
+  for (const auto &E : Histograms)
+    Hs.set(E.first, E.second->snapshot().toJson());
+  Root.set("counters", std::move(Cs));
+  Root.set("gauges", std::move(Gs));
+  Root.set("histograms", std::move(Hs));
+  return Root;
+}
+
+Registry &Registry::global() {
+  static Registry G;
+  return G;
+}

@@ -1,5 +1,7 @@
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 using namespace terracpp;
 
 ThreadPool::ThreadPool(unsigned Threads) {
@@ -23,7 +25,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> Lock(M);
-    Queue.push_back(std::move(Task));
+    Queue.push_back({std::move(Task), telemetry::nowMicros()});
   }
   CV.notify_one();
 }
@@ -34,8 +36,12 @@ size_t ThreadPool::queuedTasks() {
 }
 
 void ThreadPool::workerLoop() {
+  // Resolve the histograms once per worker; record() is lock-free.
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  telemetry::Histogram &QueueWait = Reg.histogram("threadpool.queue_wait_us");
+  telemetry::Histogram &TaskRun = Reg.histogram("threadpool.task_run_us");
   for (;;) {
-    std::function<void()> Task;
+    QueuedTask Task;
     {
       std::unique_lock<std::mutex> Lock(M);
       CV.wait(Lock, [&] { return Stop || !Queue.empty(); });
@@ -44,6 +50,9 @@ void ThreadPool::workerLoop() {
       Task = std::move(Queue.front());
       Queue.pop_front();
     }
-    Task();
+    uint64_t StartUs = telemetry::nowMicros();
+    QueueWait.record(StartUs - Task.EnqueuedUs);
+    Task.Fn();
+    TaskRun.record(telemetry::nowMicros() - StartUs);
   }
 }

@@ -13,6 +13,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -47,7 +48,9 @@ private:
 
 class ThreadPool {
 public:
-  /// Spawns \p Threads workers (at least one).
+  /// Spawns \p Threads workers (at least one). Every task's queue-wait and
+  /// run time land in the global telemetry registry
+  /// (threadpool.queue_wait_us / threadpool.task_run_us).
   explicit ThreadPool(unsigned Threads);
 
   /// Signals shutdown and joins the workers. Queued-but-unstarted tasks are
@@ -68,9 +71,14 @@ public:
 private:
   void workerLoop();
 
+  struct QueuedTask {
+    std::function<void()> Fn;
+    uint64_t EnqueuedUs; ///< telemetry::nowMicros() at enqueue.
+  };
+
   std::mutex M;
   std::condition_variable CV;
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueuedTask> Queue;
   bool Stop = false;
   std::vector<std::thread> Workers;
 };

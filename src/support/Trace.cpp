@@ -1,0 +1,112 @@
+#include "support/Trace.h"
+
+#include "support/Telemetry.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <unistd.h>
+
+using namespace terracpp;
+using namespace terracpp::trace;
+
+/// Chrome's tid field is a plain integer; fold the opaque std::thread::id
+/// into one. Collisions would merely merge two flame rows.
+static uint32_t currentTid() {
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffff);
+}
+
+static void flushGlobalAtExit() { Recorder::global().flush(); }
+
+Recorder::Recorder() : BaseUs(telemetry::nowMicros()) {}
+
+void Recorder::enable(std::string Path) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    OutPath = std::move(Path);
+  }
+  Enabled.store(true, std::memory_order_release);
+}
+
+uint64_t Recorder::nowUs() const {
+  return telemetry::nowMicros() - BaseUs;
+}
+
+void Recorder::add(Event E) {
+  E.Tid = currentTid();
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(std::move(E));
+}
+
+void Recorder::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Events.clear();
+}
+
+size_t Recorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+json::Value Recorder::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  json::Value Root = json::Value::object();
+  json::Value Arr = json::Value::array();
+  double Pid = static_cast<double>(::getpid());
+  for (const Event &E : Events) {
+    json::Value V = json::Value::object();
+    V.set("name", json::Value::string(E.Name));
+    V.set("cat", json::Value::string(E.Category.empty() ? "terracpp"
+                                                        : E.Category));
+    V.set("ph", json::Value::string("X"));
+    V.set("ts", json::Value::number(static_cast<double>(E.StartUs)));
+    V.set("dur", json::Value::number(static_cast<double>(E.DurUs)));
+    V.set("pid", json::Value::number(Pid));
+    V.set("tid", json::Value::number(static_cast<double>(E.Tid)));
+    if (!E.Args.empty()) {
+      json::Value Args = json::Value::object();
+      for (const auto &A : E.Args)
+        Args.set(A.first, json::Value::string(A.second));
+      V.set("args", std::move(Args));
+    }
+    Arr.push(std::move(V));
+  }
+  Root.set("traceEvents", std::move(Arr));
+  Root.set("displayTimeUnit", json::Value::string("ms"));
+  return Root;
+}
+
+bool Recorder::write(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << toJson().dump() << "\n";
+  return static_cast<bool>(Out);
+}
+
+bool Recorder::flush() const {
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Path = OutPath;
+  }
+  if (Path.empty())
+    return false;
+  return write(Path);
+}
+
+Recorder &Recorder::global() {
+  static Recorder *G = [] {
+    auto *R = new Recorder();
+    if (const char *Env = getenv("TERRACPP_TRACE")) {
+      if (*Env) {
+        R->enable(Env);
+        ::atexit(flushGlobalAtExit);
+      }
+    }
+    return R;
+  }();
+  return *G;
+}

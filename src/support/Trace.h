@@ -1,0 +1,119 @@
+//===- Trace.h - Hierarchical phase tracing (Chrome trace format) -*- C++ -*-===//
+//
+// A thread-safe span recorder for the staged-compilation pipeline
+// (DESIGN.md §8). Every stage boundary — parse, specialize, typecheck,
+// codegen, the cc subprocess, dlopen/link, terrad request execution —
+// opens an RAII TraceSpan; completed spans become Chrome trace-event
+// "X" (complete) events, so the emitted JSON loads directly in
+// chrome://tracing or Perfetto. Nesting is implicit: events on the same
+// thread whose intervals contain each other render as a flame graph.
+//
+// Recording is off by default and costs one relaxed atomic load per span
+// when disabled. Enable programmatically (terracpp --trace=out.json), or
+// with the TERRACPP_TRACE environment variable, which also registers an
+// at-exit flush so any process in the tree (tests, benches, terrad) can
+// be traced without code changes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_TRACE_H
+#define TERRACPP_SUPPORT_TRACE_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace terracpp {
+namespace trace {
+
+class Recorder {
+public:
+  Recorder();
+
+  struct Event {
+    std::string Name;
+    std::string Category;
+    uint64_t StartUs = 0; ///< Relative to the recorder's time base.
+    uint64_t DurUs = 0;
+    uint32_t Tid = 0;
+    std::vector<std::pair<std::string, std::string>> Args;
+  };
+
+  /// Starts recording. \p OutPath may be empty (in-memory only, written by
+  /// an explicit write() call); when set, flush() and the process-exit
+  /// hook write there.
+  void enable(std::string OutPath);
+  void disable() { Enabled.store(false, std::memory_order_release); }
+  bool enabled() const { return Enabled.load(std::memory_order_acquire); }
+
+  /// Microseconds since the recorder's time base (process start).
+  uint64_t nowUs() const;
+
+  void add(Event E);
+  void clear();
+  size_t eventCount() const;
+
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,...}]}
+  json::Value toJson() const;
+
+  /// Serializes to \p Path; false on I/O failure.
+  bool write(const std::string &Path) const;
+
+  /// write() to the enable()-time path, if any. Safe to call repeatedly.
+  bool flush() const;
+
+  const std::string &outPath() const { return OutPath; }
+
+  /// The process-wide recorder. Its first use honours TERRACPP_TRACE.
+  static Recorder &global();
+
+private:
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex M;
+  std::vector<Event> Events;
+  std::string OutPath;
+  uint64_t BaseUs; ///< Fixed at construction; nowUs() reads it lock-free.
+};
+
+/// RAII span: captures the interval from construction to destruction and
+/// records it on the global recorder. Near-free when tracing is off.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name, const char *Category = "terracpp")
+      : Active(Recorder::global().enabled()) {
+    if (Active) {
+      E.Name = Name;
+      E.Category = Category;
+      E.StartUs = Recorder::global().nowUs();
+    }
+  }
+  ~TraceSpan() {
+    if (Active) {
+      E.DurUs = Recorder::global().nowUs() - E.StartUs;
+      Recorder::global().add(std::move(E));
+    }
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a key/value argument (shown in the trace viewer's detail
+  /// pane). No-op when tracing is off.
+  void arg(const char *Key, std::string Value) {
+    if (Active)
+      E.Args.emplace_back(Key, std::move(Value));
+  }
+
+private:
+  bool Active;
+  Recorder::Event E;
+};
+
+} // namespace trace
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_TRACE_H

@@ -345,4 +345,104 @@ TEST(Terrad, MalformedJsonGetsErrorResponse) {
   ::close(Fd);
 }
 
+TEST(Terrad, MetricsOpReportsPerOpLatency) {
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  Client::CompileResult R = C.compile(AddScript);
+  ASSERT_TRUE(R.OK) << R.Error;
+  Client::CallResult Call =
+      C.call(R.Handle, "add", {Value::number(2), Value::number(3)});
+  ASSERT_TRUE(Call.OK) << Call.Error;
+
+  Value M = C.metrics();
+  ASSERT_FALSE(M.isNull()) << C.error();
+  EXPECT_TRUE(M.getBool("ok"));
+  EXPECT_GT(M.getNumber("uptime_seconds"), 0.0);
+
+  // The server registry: per-op latency histograms with real samples.
+  const Value *Srv = M.get("server");
+  ASSERT_TRUE(Srv && Srv->isObject());
+  const Value *Hists = Srv->get("histograms");
+  ASSERT_TRUE(Hists && Hists->isObject());
+  for (const char *Name :
+       {"server.op.compile.latency_us", "server.op.call.latency_us"}) {
+    const Value *H = Hists->get(Name);
+    ASSERT_TRUE(H && H->isObject()) << Name;
+    EXPECT_GE(H->getNumber("count"), 1.0) << Name;
+    EXPECT_GT(H->getNumber("p50"), 0.0) << Name; // Warm call: non-zero p50.
+  }
+  const Value *Counters = Srv->get("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  EXPECT_GE(Counters->getNumber("server.requests_completed"), 2.0);
+
+  // Per-engine JIT registries, keyed by content-hash handle.
+  const Value *Engines = M.get("engines");
+  ASSERT_TRUE(Engines && Engines->isObject());
+  const Value *Jit = Engines->get(R.Handle);
+  ASSERT_TRUE(Jit && Jit->isObject());
+
+  // The process-wide registry rides along (frontend phases, thread pool).
+  const Value *Proc = M.get("process");
+  ASSERT_TRUE(Proc && Proc->isObject());
+}
+
+TEST(Terrad, TraceIdEchoedOnEveryResponse) {
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  // Client-supplied trace_id comes back verbatim on a queued op...
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  Req.set("trace_id", Value::string("client-trace-42"));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  EXPECT_TRUE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getString("trace_id"), "client-trace-42");
+
+  // ...and on a control-plane op that never enters the queue.
+  Value StatsReq = Value::object();
+  StatsReq.set("op", Value::string("stats"));
+  StatsReq.set("trace_id", Value::string("stats-trace"));
+  Value StatsResp = C.request(StatsReq);
+  ASSERT_FALSE(StatsResp.isNull()) << C.error();
+  EXPECT_EQ(StatsResp.getString("trace_id"), "stats-trace");
+
+  // Without one, the server assigns a unique id per request.
+  Value Bare = Value::object();
+  Bare.set("op", Value::string("ping"));
+  std::string First = C.request(Bare).getString("trace_id");
+  std::string Second = C.request(Bare).getString("trace_id");
+  EXPECT_FALSE(First.empty());
+  EXPECT_FALSE(Second.empty());
+  EXPECT_NE(First, Second);
+}
+
+TEST(Terrad, StatsReportUptimeQueueHwmAndOpLatency) {
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+  ASSERT_TRUE(C.ping());
+
+  Value S = C.stats();
+  ASSERT_FALSE(S.isNull()) << C.error();
+  EXPECT_TRUE(S.getBool("ok"));
+  EXPECT_GT(S.getNumber("uptime_seconds"), 0.0);
+  EXPECT_GE(S.getNumber("queue_depth_hwm"), 1.0); // The ping was queued.
+
+  // Per-op latency summary: op name -> snapshot, stripped of the registry
+  // prefix so clients need not know the metric naming scheme.
+  const Value *Ops = S.get("op_latency_us");
+  ASSERT_TRUE(Ops && Ops->isObject());
+  const Value *Ping = Ops->get("ping");
+  ASSERT_TRUE(Ping && Ping->isObject());
+  EXPECT_GE(Ping->getNumber("count"), 1.0);
+
+  Server::Stats Raw = F.server().stats();
+  EXPECT_GT(Raw.UptimeSeconds, 0.0);
+  EXPECT_GE(Raw.QueueDepthHWM, 1u);
+}
+
 } // namespace

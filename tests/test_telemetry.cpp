@@ -1,0 +1,398 @@
+//===- test_telemetry.cpp - Metrics registry and phase tracing ------------===//
+//
+// Covers the observability layer (src/support/Telemetry, Trace, Log):
+//   * counter/gauge semantics, including the high-water-mark combinator;
+//   * log-bucketed histogram: exact small values, bucket boundaries, the
+//     <= 25% relative quantile error bound on a uniform distribution;
+//   * registry JSON snapshots round-trip through support/Json;
+//   * concurrent recording from many threads (run under TSan in CI via the
+//     *Threaded* filter);
+//   * the span recorder: nesting on one thread, spans from many threads,
+//     Chrome trace-event JSON shape, and file flushing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace terracpp;
+using namespace terracpp::telemetry;
+using terracpp::json::Value;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Counters and gauges
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, CounterBasics) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+}
+
+TEST(Telemetry, GaugeSetAddMax) {
+  Gauge G;
+  G.set(10);
+  EXPECT_EQ(G.value(), 10);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 7);
+  G.max(5); // Lower: no effect.
+  EXPECT_EQ(G.value(), 7);
+  G.max(100);
+  EXPECT_EQ(G.value(), 100);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, HistogramEmptySnapshot) {
+  Histogram H;
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0u);
+  EXPECT_EQ(S.Min, 0u);
+  EXPECT_EQ(S.Max, 0u);
+  EXPECT_EQ(S.P50, 0.0);
+}
+
+TEST(Telemetry, HistogramExactSmallValues) {
+  // Values 0..3 land in exact one-value buckets.
+  Histogram H;
+  for (uint64_t V : {0u, 1u, 2u, 3u, 2u})
+    H.record(V);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 8u);
+  EXPECT_EQ(S.Min, 0u);
+  EXPECT_EQ(S.Max, 3u);
+  EXPECT_DOUBLE_EQ(S.Mean, 1.6);
+  // Rank 3 of 5 lands in the exact bucket for value 2; the in-bucket
+  // interpolation keeps the estimate inside [2, 3).
+  EXPECT_GE(S.P50, 2.0);
+  EXPECT_LT(S.P50, 3.0);
+}
+
+TEST(Telemetry, HistogramSingleValueIsExact) {
+  // All mass in one bucket: min/max clamping must make every quantile the
+  // recorded value even though the bucket spans a range.
+  Histogram H;
+  for (int I = 0; I != 100; ++I)
+    H.record(1000);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_DOUBLE_EQ(S.P50, 1000.0);
+  EXPECT_DOUBLE_EQ(S.P99, 1000.0);
+  EXPECT_EQ(S.Min, 1000u);
+  EXPECT_EQ(S.Max, 1000u);
+}
+
+TEST(Telemetry, BucketBoundariesAreConsistent) {
+  // Every value maps to a bucket whose [lower, next-lower) range contains
+  // it, and the index is monotone in the value.
+  uint64_t Probes[] = {0,  1,  2,   3,    4,    5,     7,     8,    15,
+                       16, 63, 100, 1000, 4096, 65535, 1u << 20, 1u << 30};
+  unsigned PrevIdx = 0;
+  for (uint64_t V : Probes) {
+    unsigned Idx = Histogram::bucketIndex(V);
+    ASSERT_LT(Idx, Histogram::NumBuckets);
+    EXPECT_LE(Histogram::bucketLowerBound(Idx), V) << "value " << V;
+    if (Idx + 1 < Histogram::NumBuckets)
+      EXPECT_GT(Histogram::bucketLowerBound(Idx + 1), V) << "value " << V;
+    EXPECT_GE(Idx, PrevIdx);
+    PrevIdx = Idx;
+  }
+  // The bucket width bounds the relative quantile error by 25%.
+  for (uint64_t V : Probes) {
+    if (V < 4)
+      continue;
+    unsigned Idx = Histogram::bucketIndex(V);
+    uint64_t Lo = Histogram::bucketLowerBound(Idx);
+    uint64_t Hi = Histogram::bucketLowerBound(Idx + 1);
+    EXPECT_LE(static_cast<double>(Hi - Lo), 0.25 * static_cast<double>(Lo) + 1)
+        << "value " << V;
+  }
+}
+
+TEST(Telemetry, HistogramQuantilesOnUniformDistribution) {
+  Histogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 1000u);
+  EXPECT_EQ(S.Sum, 500500u);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 1000u);
+  EXPECT_DOUBLE_EQ(S.Mean, 500.5);
+  // True quantiles are 500 / 900 / 950 / 990; bucketed estimates must land
+  // within the 25% relative error bound.
+  EXPECT_NEAR(S.P50, 500.0, 125.0);
+  EXPECT_NEAR(S.P90, 900.0, 225.0);
+  EXPECT_NEAR(S.P95, 950.0, 240.0);
+  EXPECT_NEAR(S.P99, 990.0, 250.0);
+  // Quantiles are monotone and within the observed range.
+  EXPECT_LE(S.P50, S.P90);
+  EXPECT_LE(S.P90, S.P95);
+  EXPECT_LE(S.P95, S.P99);
+  EXPECT_LE(S.P99, static_cast<double>(S.Max));
+}
+
+TEST(Telemetry, ScopedTimerRecordsOnce) {
+  Histogram H;
+  { ScopedTimerUs T(H); }
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, RegistryInternsByName) {
+  Registry R;
+  Counter &A = R.counter("x");
+  Counter &B = R.counter("x");
+  EXPECT_EQ(&A, &B);
+  EXPECT_NE(&A, &R.counter("y"));
+  // Counters, gauges and histograms have independent namespaces.
+  R.gauge("x").set(7);
+  R.histogram("x").record(3);
+  A.inc(2);
+  EXPECT_EQ(R.counter("x").value(), 2u);
+  EXPECT_EQ(R.gauge("x").value(), 7);
+  EXPECT_EQ(R.histogram("x").snapshot().Count, 1u);
+}
+
+TEST(Telemetry, RegistryJsonRoundTrip) {
+  Registry R;
+  R.counter("reqs").inc(5);
+  R.gauge("depth").set(3);
+  for (uint64_t V = 1; V <= 10; ++V)
+    R.histogram("lat_us").record(V * 100);
+
+  std::string Dumped = R.toJson().dump();
+  Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Dumped, Parsed, Err)) << Err;
+
+  const Value *Counters = Parsed.get("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  EXPECT_EQ(Counters->getNumber("reqs"), 5.0);
+  const Value *Gauges = Parsed.get("gauges");
+  ASSERT_TRUE(Gauges && Gauges->isObject());
+  EXPECT_EQ(Gauges->getNumber("depth"), 3.0);
+  const Value *Hists = Parsed.get("histograms");
+  ASSERT_TRUE(Hists && Hists->isObject());
+  const Value *Lat = Hists->get("lat_us");
+  ASSERT_TRUE(Lat && Lat->isObject());
+  EXPECT_EQ(Lat->getNumber("count"), 10.0);
+  EXPECT_EQ(Lat->getNumber("sum"), 5500.0);
+  EXPECT_EQ(Lat->getNumber("min"), 100.0);
+  EXPECT_EQ(Lat->getNumber("max"), 1000.0);
+  EXPECT_GT(Lat->getNumber("p50"), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent recording (run under TSan in CI)
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryThreaded, ConcurrentHistogramAndCounter) {
+  Registry R;
+  Counter &C = R.counter("n");
+  Histogram &H = R.histogram("h");
+  Gauge &G = R.gauge("hwm");
+  constexpr int Threads = 4, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I) {
+        C.inc();
+        H.record(static_cast<uint64_t>(I));
+        G.max(T * PerThread + I);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads * PerThread));
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, static_cast<uint64_t>(Threads * PerThread));
+  EXPECT_EQ(S.Max, static_cast<uint64_t>(PerThread - 1));
+  EXPECT_EQ(G.value(), Threads * PerThread - 1);
+}
+
+TEST(TelemetryThreaded, ConcurrentRegistryLookups) {
+  // Interning the same names from many threads must yield one metric each.
+  Registry R;
+  constexpr int Threads = 8, PerThread = 1000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != Threads; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I != PerThread; ++I)
+        R.counter("shared").inc();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(R.counter("shared").value(),
+            static_cast<uint64_t>(Threads * PerThread));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder
+//===----------------------------------------------------------------------===//
+
+/// Enables the global recorder for one test and restores the disabled,
+/// empty state afterwards so other tests (and other suites sharing the
+/// process under the TSan filter) are unaffected.
+class TraceScope {
+public:
+  explicit TraceScope(std::string Path = "") {
+    trace::Recorder::global().clear();
+    trace::Recorder::global().enable(std::move(Path));
+  }
+  ~TraceScope() {
+    trace::Recorder::global().disable();
+    trace::Recorder::global().clear();
+  }
+};
+
+const trace::Recorder::Event *findEvent(const std::vector<trace::Recorder::Event> &Events,
+                                        const std::string &Name) {
+  for (const trace::Recorder::Event &E : Events)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::vector<trace::Recorder::Event> drainEvents() {
+  // toJson() is the public read surface; re-derive events from it so the
+  // test also exercises the serialization.
+  std::vector<trace::Recorder::Event> Out;
+  Value V = trace::Recorder::global().toJson();
+  const Value *Arr = V.get("traceEvents");
+  if (!Arr || !Arr->isArray())
+    return Out;
+  for (const Value &E : Arr->elements()) {
+    trace::Recorder::Event Ev;
+    Ev.Name = E.getString("name");
+    Ev.Category = E.getString("cat");
+    Ev.StartUs = static_cast<uint64_t>(E.getNumber("ts"));
+    Ev.DurUs = static_cast<uint64_t>(E.getNumber("dur"));
+    Ev.Tid = static_cast<uint32_t>(E.getNumber("tid"));
+    Out.push_back(std::move(Ev));
+  }
+  return Out;
+}
+
+TEST(Trace, DisabledByDefaultAndSpansAreFree) {
+  if (getenv("TERRACPP_TRACE"))
+    GTEST_SKIP() << "TERRACPP_TRACE overrides the default";
+  ASSERT_FALSE(trace::Recorder::global().enabled());
+  {
+    trace::TraceSpan Span("ignored", "test");
+    Span.arg("k", "v");
+  }
+  EXPECT_EQ(trace::Recorder::global().eventCount(), 0u);
+}
+
+TEST(Trace, ChromeTraceJsonShape) {
+  TraceScope Scope;
+  {
+    trace::TraceSpan Span("phase_a", "test");
+    Span.arg("detail", "forty two");
+  }
+  std::string Dumped = trace::Recorder::global().toJson().dump();
+  Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Dumped, Parsed, Err)) << Err;
+  const Value *Events = Parsed.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->elements().size(), 1u);
+  const Value &E = Events->elements()[0];
+  EXPECT_EQ(E.getString("name"), "phase_a");
+  EXPECT_EQ(E.getString("cat"), "test");
+  EXPECT_EQ(E.getString("ph"), "X");
+  EXPECT_GE(E.getNumber("ts"), 0.0);
+  EXPECT_GE(E.getNumber("dur"), 0.0);
+  EXPECT_GT(E.getNumber("pid"), 0.0);
+  const Value *Args = E.get("args");
+  ASSERT_TRUE(Args && Args->isObject());
+  EXPECT_EQ(Args->getString("detail"), "forty two");
+}
+
+TEST(Trace, NestedSpansShareThreadAndNestByInterval) {
+  TraceScope Scope;
+  {
+    trace::TraceSpan Outer("outer", "test");
+    trace::TraceSpan Inner("inner", "test");
+  }
+  std::vector<trace::Recorder::Event> Events = drainEvents();
+  ASSERT_EQ(Events.size(), 2u);
+  const trace::Recorder::Event *Outer = findEvent(Events, "outer");
+  const trace::Recorder::Event *Inner = findEvent(Events, "inner");
+  ASSERT_TRUE(Outer && Inner);
+  EXPECT_EQ(Outer->Tid, Inner->Tid);
+  // Chrome nests by interval containment on one tid.
+  EXPECT_LE(Outer->StartUs, Inner->StartUs);
+  EXPECT_GE(Outer->StartUs + Outer->DurUs, Inner->StartUs + Inner->DurUs);
+}
+
+TEST(TraceThreaded, SpansFromManyThreads) {
+  TraceScope Scope;
+  constexpr int Threads = 4, PerThread = 50;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != Threads; ++T)
+    Ts.emplace_back([T] {
+      for (int I = 0; I != PerThread; ++I) {
+        trace::TraceSpan Span("worker_span", "test");
+        Span.arg("thread", std::to_string(T));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  std::vector<trace::Recorder::Event> Events = drainEvents();
+  size_t WorkerSpans = 0;
+  for (const trace::Recorder::Event &E : Events)
+    if (E.Name == "worker_span")
+      ++WorkerSpans;
+  EXPECT_EQ(WorkerSpans, static_cast<size_t>(Threads * PerThread));
+}
+
+TEST(Trace, WriteAndFlushToFile) {
+  std::string Path =
+      "/tmp/terracpp-trace-test-" + std::to_string(::getpid()) + ".json";
+  {
+    TraceScope Scope(Path);
+    { trace::TraceSpan Span("flushed_phase", "test"); }
+    EXPECT_TRUE(trace::Recorder::global().flush());
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_TRUE(F != nullptr);
+  std::string Contents;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Contents.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+
+  Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Contents, Parsed, Err)) << Err;
+  const Value *Events = Parsed.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  EXPECT_EQ(Events->elements().size(), 1u);
+  EXPECT_EQ(Events->elements()[0].getString("name"), "flushed_phase");
+}
+
+} // namespace

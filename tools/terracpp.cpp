@@ -27,6 +27,8 @@
 #include "core/TerraPrint.h"
 #include "orion/OrionHosted.h"
 #include "server/Client.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -46,6 +48,9 @@ void usage() {
           "  --backend=interp   use the tree-walking Terra evaluator\n"
           "  --dump-fn NAME     pretty-print terra function NAME\n"
           "  --emit-c NAME      print generated C for NAME\n"
+          "  --trace=OUT.json   record a Chrome trace of every compile phase\n"
+          "                     (also via the TERRACPP_TRACE env variable)\n"
+          "  --time-report      print a per-phase latency summary on exit\n"
           "remote mode (against a running terrad):\n"
           "  --connect SOCK     compile the script/chunks on the daemon\n"
           "  --handle H         reuse a previous compile handle\n"
@@ -162,6 +167,38 @@ int runRemote(const std::string &Socket, const std::string &ScriptPath,
   return 0;
 }
 
+/// Flushes the trace recorder on every exit path from main (including
+/// early error returns) once --trace has enabled it.
+struct TraceFlusher {
+  ~TraceFlusher() {
+    trace::Recorder &R = trace::Recorder::global();
+    if (R.enabled() && !R.outPath().empty() && R.flush())
+      fprintf(stderr, "terracpp: trace written to %s (%zu events)\n",
+              R.outPath().c_str(), R.eventCount());
+  }
+};
+
+void printHistogramRow(const std::string &Name,
+                       const telemetry::Histogram &H) {
+  telemetry::Histogram::Snapshot S = H.snapshot();
+  if (S.Count == 0)
+    return;
+  fprintf(stderr, "  %-32s %8llu %12.3f %10.1f %10.1f %10.1f\n", Name.c_str(),
+          static_cast<unsigned long long>(S.Count),
+          static_cast<double>(S.Sum) / 1000.0, S.Mean, S.P50, S.P95);
+}
+
+/// The --time-report table: every latency histogram with data, from the
+/// process-wide registry (frontend phases, thread pool) and the engine's
+/// JIT registry (cc, link, cache).
+void printTimeReport(Engine &E) {
+  fprintf(stderr, "== terracpp time report ==\n");
+  fprintf(stderr, "  %-32s %8s %12s %10s %10s %10s\n", "phase", "count",
+          "total_ms", "mean_us", "p50_us", "p95_us");
+  telemetry::Registry::global().forEachHistogram(printHistogramRow);
+  E.compiler().jit().metrics().forEachHistogram(printHistogramRow);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -170,12 +207,17 @@ int main(int Argc, char **Argv) {
   std::string ScriptPath;
   std::string DumpFn, EmitC;
   std::string ConnectSocket, RemoteHandle, CallSpec;
-  bool RemoteStats = false, RemoteShutdown = false;
+  std::string TracePath;
+  bool RemoteStats = false, RemoteShutdown = false, TimeReport = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "-e" && I + 1 < Argc) {
       Chunks.push_back(Argv[++I]);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(strlen("--trace="));
+    } else if (Arg == "--time-report") {
+      TimeReport = true;
     } else if (Arg == "--backend=interp") {
       Backend = BackendKind::Interp;
     } else if (Arg == "--backend=native") {
@@ -212,6 +254,13 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
+
+  // Enable tracing before the Engine exists so engine construction and the
+  // very first parse are covered; TraceFlusher writes the file on every
+  // exit path below.
+  if (!TracePath.empty())
+    trace::Recorder::global().enable(TracePath);
+  TraceFlusher FlushOnExit;
 
   Engine E(Backend);
   orion::installHostedOrion(E); // DSL-in-host demo library (paper §6.2/§8).
@@ -251,5 +300,7 @@ int main(int Argc, char **Argv) {
         Fns.push_back(Callee);
     printf("%s", CB.emitModule(Fns, &E.compiler()).c_str());
   }
+  if (TimeReport)
+    printTimeReport(E);
   return 0;
 }

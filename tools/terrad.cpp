@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "server/Server.h"
+#include "support/Log.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,9 @@ void usage() {
           "  --queue N          bounded request-queue capacity (default 64)\n"
           "  --max-engines N    live compiled-script LRU capacity (default 8)\n"
           "  --timeout-ms N     per-request deadline (default 30000)\n"
+          "  --log-level LEVEL  debug|info|warn|error|off\n"
+          "                     (default $TERRAD_LOG_LEVEL or info)\n"
+          "  --log-json         structured JSON log records on stderr\n"
           "  --quiet            no startup banner\n");
 }
 
@@ -51,6 +55,7 @@ bool parseUnsigned(const char *S, unsigned &Out) {
 int main(int Argc, char **Argv) {
   ServerConfig Config;
   bool Quiet = false;
+  logging::configureFromEnv(); // TERRAD_LOG_{LEVEL,JSON}; flags override.
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     unsigned N = 0;
@@ -66,6 +71,16 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--timeout-ms" && I + 1 < Argc &&
                parseUnsigned(Argv[++I], N)) {
       Config.RequestTimeoutMs = static_cast<int>(N);
+    } else if (Arg == "--log-level" && I + 1 < Argc) {
+      logging::Level L;
+      if (!logging::parseLevel(Argv[++I], L)) {
+        fprintf(stderr, "bad --log-level '%s'\n", Argv[I]);
+        usage();
+        return 2;
+      }
+      logging::setLevel(L);
+    } else if (Arg == "--log-json") {
+      logging::setJsonOutput(true);
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "-h" || Arg == "--help") {
