@@ -1,0 +1,61 @@
+#include "analysis/Analysis.h"
+
+#include "support/Diagnostics.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace terracpp;
+using namespace terracpp::analysis;
+
+bool AnalyzeOptions::lintsEnabledFromEnv() {
+  const char *V = std::getenv("TERRACPP_ANALYZE");
+  if (!V)
+    return true;
+  return !(std::strcmp(V, "0") == 0 || std::strcmp(V, "off") == 0 ||
+           std::strcmp(V, "false") == 0);
+}
+
+std::vector<Finding>
+terracpp::analysis::analyzeFunction(const TerraFunction *F,
+                                    const AnalyzeOptions &Opts) {
+  std::vector<Finding> Out;
+  std::unique_ptr<CFG> G = CFG::build(F);
+  if (!G)
+    return Out;
+  checkMissingReturn(F, *G, Out);
+  if (Opts.Lints) {
+    checkDefiniteInit(F, *G, Out);
+    checkHeapSafety(F, *G, Out);
+  }
+  return Out;
+}
+
+AnalysisReport terracpp::analysis::analyzeAndReport(DiagnosticEngine &Diags,
+                                                    const TerraFunction *F,
+                                                    const AnalyzeOptions &Opts) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  trace::TraceSpan Span("analyze", "frontend");
+  Span.arg("fn", F->Name);
+
+  std::vector<Finding> Findings;
+  {
+    telemetry::ScopedTimerUs Timer(Reg.histogram("frontend.analyze_us"));
+    Findings = analyzeFunction(F, Opts);
+  }
+
+  AnalysisReport R;
+  R.NumFindings = (unsigned)Findings.size();
+  for (const Finding &Fi : Findings) {
+    Reg.counter(std::string("analysis.findings.") + Fi.Code).inc();
+    if (Fi.MandatoryError || Opts.Werror) {
+      Diags.error(Fi.Code, Fi.Loc, Fi.Message);
+      R.Failed = true;
+    } else {
+      Diags.warning(Fi.Code, Fi.Loc, Fi.Message);
+    }
+  }
+  return R;
+}

@@ -1,0 +1,64 @@
+//===- Analysis.h - terracheck driver ---------------------------*- C++ -*-===//
+//
+// Entry points for the static-analysis subsystem. The compile pipeline runs
+// analyzeAndReport on every function of a connected component after
+// typechecking and before the midend:
+//
+//   * TA002 (missing return) always runs — it is the return-coverage rule
+//     the backends rely on, and it reports as an error.
+//   * The lint checkers (TA001/TA003/TA004) run by default and can be
+//     disabled with TERRACPP_ANALYZE=0 (or off/false); findings report as
+//     warnings, or as errors under --analyze-werror.
+//
+// Telemetry: each analyzed function records into the process-global
+// `frontend.analyze_us` histogram and bumps `analysis.findings.TA00x`
+// counters, so findings show up in --time-report and the terrad `metrics`
+// op alongside the other frontend phases.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ANALYSIS_ANALYSIS_H
+#define TERRACPP_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Checkers.h"
+
+#include <vector>
+
+namespace terracpp {
+
+class DiagnosticEngine;
+
+namespace analysis {
+
+struct AnalyzeOptions {
+  /// Run the lint checkers (TA001/TA003/TA004). TA002 is not optional.
+  bool Lints = true;
+  /// Report lint findings as errors instead of warnings.
+  bool Werror = false;
+
+  /// Lints default on; TERRACPP_ANALYZE=0|off|false disables them.
+  static bool lintsEnabledFromEnv();
+};
+
+/// Runs all applicable checkers over one defined function. Returns the raw
+/// findings without reporting them.
+std::vector<Finding> analyzeFunction(const TerraFunction *F,
+                                     const AnalyzeOptions &Opts);
+
+struct AnalysisReport {
+  unsigned NumFindings = 0;
+  /// True when a mandatory (TA002) finding — or any finding under Werror —
+  /// was reported as an error, i.e. the compile must fail.
+  bool Failed = false;
+};
+
+/// Runs analyzeFunction, routes findings through \p Diags with their stable
+/// codes, and records telemetry.
+AnalysisReport analyzeAndReport(DiagnosticEngine &Diags,
+                                const TerraFunction *F,
+                                const AnalyzeOptions &Opts);
+
+} // namespace analysis
+} // namespace terracpp
+
+#endif // TERRACPP_ANALYSIS_ANALYSIS_H

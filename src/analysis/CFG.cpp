@@ -1,0 +1,294 @@
+#include "analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace terracpp;
+using namespace terracpp::analysis;
+
+namespace {
+
+/// Constant-condition classification for staging residue (`if [cond] then`
+/// where the host expression evaluated to a boolean literal).
+enum class CondConst { Unknown, True, False };
+
+CondConst classifyCond(const TerraExpr *E) {
+  if (const auto *L = dyn_cast<LitExpr>(E))
+    if (L->LK == LitExpr::LK_Bool)
+      return L->BoolVal ? CondConst::True : CondConst::False;
+  return CondConst::Unknown;
+}
+
+} // namespace
+
+namespace terracpp {
+namespace analysis {
+
+class CFGBuilder {
+public:
+  explicit CFGBuilder(CFG &G) : G(G) {}
+
+  void run(const TerraFunction *F) {
+    G.Entry = G.newBlock();
+    G.Exit = G.newBlock();
+    Cur = G.Entry;
+    visitBlock(F->Body);
+    // Fall off the end of the body: an implicit void return.
+    link(Cur, G.Exit);
+    Cur->FallsToExit = true;
+  }
+
+private:
+  void link(CFGBlock *From, CFGBlock *To) {
+    From->Succs.push_back(To);
+    To->Preds.push_back(From);
+  }
+
+  void append(const TerraStmt *S) { Cur->Elems.push_back({S, nullptr}); }
+  void appendCond(const TerraExpr *E) { Cur->Elems.push_back({nullptr, E}); }
+
+  void visitBlock(const BlockStmt *B) {
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      visitStmt(B->Stmts[I]);
+  }
+
+  void visitStmt(const TerraStmt *S) {
+    switch (S->kind()) {
+    case TerraNode::NK_Block:
+      visitBlock(cast<BlockStmt>(S));
+      return;
+    case TerraNode::NK_Return:
+      append(S);
+      link(Cur, G.Exit);
+      // Anything after the return in this statement list is unreachable;
+      // park it in a fresh block with no predecessors.
+      Cur = G.newBlock();
+      return;
+    case TerraNode::NK_Break:
+      append(S);
+      link(Cur, BreakTarget ? BreakTarget : G.Exit);
+      Cur = G.newBlock();
+      return;
+    case TerraNode::NK_If:
+      visitIf(cast<IfStmt>(S));
+      return;
+    case TerraNode::NK_While:
+      visitWhile(cast<WhileStmt>(S));
+      return;
+    case TerraNode::NK_ForNum:
+      visitForNum(cast<ForNumStmt>(S));
+      return;
+    default:
+      // VarDecl, Assign, ExprStmt, EscapeStmt (pre-verifier trees).
+      append(S);
+      return;
+    }
+  }
+
+  void visitIf(const IfStmt *S) {
+    CFGBlock *Join = G.newBlock();
+    for (unsigned K = 0; K != S->NumClauses; ++K) {
+      appendCond(S->Conds[K]);
+      CondConst CC = classifyCond(S->Conds[K]);
+      CFGBlock *CondB = Cur;
+      CFGBlock *Then = G.newBlock();
+      if (CC != CondConst::False)
+        link(CondB, Then);
+      Cur = Then;
+      visitBlock(S->Blocks[K]);
+      link(Cur, Join);
+      // The last clause of an if without an else falls through straight
+      // to the join — no block is needed for the false edge. This is the
+      // dominant shape in unrolled staged code (compare-exchange chains),
+      // where the extra empty block per `if` measurably slows analysis.
+      if (K + 1 == S->NumClauses && !S->ElseBlock) {
+        if (CC != CondConst::True)
+          link(CondB, Join);
+        Cur = Join;
+        return;
+      }
+      // The next clause's condition (or the else branch) evaluates only
+      // when this condition was false.
+      CFGBlock *Next = G.newBlock();
+      if (CC != CondConst::True)
+        link(CondB, Next);
+      Cur = Next;
+    }
+    if (S->ElseBlock)
+      visitBlock(S->ElseBlock);
+    link(Cur, Join);
+    Cur = Join;
+  }
+
+  void visitWhile(const WhileStmt *S) {
+    CFGBlock *CondB = G.newBlock();
+    link(Cur, CondB);
+    Cur = CondB;
+    appendCond(S->Cond);
+    CondConst CC = classifyCond(S->Cond);
+
+    CFGBlock *Body = G.newBlock();
+    CFGBlock *After = G.newBlock();
+    if (CC != CondConst::False)
+      link(CondB, Body);
+    if (CC != CondConst::True)
+      link(CondB, After);
+
+    CFGBlock *SavedBreak = BreakTarget;
+    BreakTarget = After;
+    Cur = Body;
+    visitBlock(S->Body);
+    link(Cur, CondB); // Back edge.
+    BreakTarget = SavedBreak;
+    Cur = After;
+  }
+
+  void visitForNum(const ForNumStmt *S) {
+    // The header element models the one-time evaluation of lo/hi/step and
+    // the definition of the loop variable.
+    append(S);
+    CFGBlock *CondB = G.newBlock();
+    link(Cur, CondB);
+
+    CFGBlock *Body = G.newBlock();
+    CFGBlock *After = G.newBlock();
+    // The trip count is dynamic (possibly zero), so both edges exist.
+    link(CondB, Body);
+    link(CondB, After);
+
+    CFGBlock *SavedBreak = BreakTarget;
+    BreakTarget = After;
+    Cur = Body;
+    visitBlock(S->Body);
+    link(Cur, CondB); // Back edge (increment then retest).
+    BreakTarget = SavedBreak;
+    Cur = After;
+  }
+
+  CFG &G;
+  CFGBlock *Cur = nullptr;
+  CFGBlock *BreakTarget = nullptr;
+};
+
+} // namespace analysis
+} // namespace terracpp
+
+CFGBlock *CFG::newBlock() {
+  // The capacity reserved in build() is an upper bound on the blocks the
+  // builder can create, so this never reallocates (block addresses must
+  // stay stable — edges hold raw pointers).
+  assert(Blocks.size() < Blocks.capacity() && "CFG block bound violated");
+  Blocks.emplace_back();
+  Blocks.back().Id = static_cast<unsigned>(Blocks.size() - 1);
+  return &Blocks.back();
+}
+
+namespace {
+
+/// Upper bound on the blocks CFGBuilder creates for a statement subtree,
+/// mirroring the builder case by case: an if makes one join plus at most
+/// two blocks per clause, loops make three, return/break park one.
+size_t blockBound(const TerraStmt *S) {
+  if (!S)
+    return 0;
+  switch (S->kind()) {
+  case TerraNode::NK_Block: {
+    const auto *B = cast<BlockStmt>(S);
+    size_t N = 0;
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      N += blockBound(B->Stmts[I]);
+    return N;
+  }
+  case TerraNode::NK_If: {
+    const auto *I = cast<IfStmt>(S);
+    size_t N = 1 + 2 * (size_t)I->NumClauses;
+    for (unsigned K = 0; K != I->NumClauses; ++K)
+      N += blockBound(I->Blocks[K]);
+    N += blockBound(I->ElseBlock);
+    return N;
+  }
+  case TerraNode::NK_While:
+    return 3 + blockBound(cast<WhileStmt>(S)->Body);
+  case TerraNode::NK_ForNum:
+    return 3 + blockBound(cast<ForNumStmt>(S)->Body);
+  case TerraNode::NK_Return:
+  case TerraNode::NK_Break:
+    return 1;
+  default:
+    return 0;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<CFG> CFG::build(const TerraFunction *F) {
+  if (!F || !F->Body)
+    return nullptr;
+  auto G = std::make_unique<CFG>();
+  G->Blocks.reserve(2 + blockBound(F->Body));
+  CFGBuilder B(*G);
+  B.run(F);
+  return G;
+}
+
+const std::vector<bool> &CFG::reachableFromEntry() const {
+  if (!ReachCache.empty())
+    return ReachCache;
+  std::vector<bool> Seen(Blocks.size(), false);
+  std::vector<const CFGBlock *> Stack = {Entry};
+  Seen[Entry->Id] = true;
+  while (!Stack.empty()) {
+    const CFGBlock *B = Stack.back();
+    Stack.pop_back();
+    for (const CFGBlock *S : B->Succs)
+      if (!Seen[S->Id]) {
+        Seen[S->Id] = true;
+        Stack.push_back(S);
+      }
+  }
+  ReachCache = std::move(Seen);
+  return ReachCache;
+}
+
+const std::vector<const CFGBlock *> &CFG::reversePostOrder() const {
+  if (!RPOCache.empty())
+    return RPOCache;
+  std::vector<const CFGBlock *> Post;
+  std::vector<bool> Seen(Blocks.size(), false);
+  // Iterative DFS with an explicit successor cursor.
+  std::vector<std::pair<const CFGBlock *, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  Seen[Entry->Id] = true;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    if (Next < B->Succs.size()) {
+      const CFGBlock *S = B->Succs[Next++];
+      if (!Seen[S->Id]) {
+        Seen[S->Id] = true;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Post.begin(), Post.end());
+  // Unreachable blocks still get a slot (after all reachable ones).
+  for (const CFGBlock &B : Blocks)
+    if (!Seen[B.Id])
+      Post.push_back(&B);
+  RPOCache = std::move(Post);
+  return RPOCache;
+}
+
+bool CFG::fallOffReachable() const {
+  const std::vector<bool> &Reach = reachableFromEntry();
+  for (const CFGBlock &B : Blocks)
+    if (B.FallsToExit && Reach[B.Id])
+      return true;
+  return false;
+}
+
+bool terracpp::analysis::fallsOffEnd(const TerraFunction *F) {
+  std::unique_ptr<CFG> G = CFG::build(F);
+  return G && G->fallOffReachable();
+}

@@ -1,0 +1,173 @@
+//===- CFG.h - Control-flow graph over typed Terra trees --------*- C++ -*-===//
+//
+// Builds a basic-block control-flow graph from a specialized (and normally
+// typechecked) TerraFunction body. The structured statement forms map onto
+// blocks and edges as follows:
+//
+//   * if/elseif/else — one condition block per clause (the condition
+//     expression is the block's terminator element), with edges to the
+//     clause body and to the next clause / else / join;
+//   * while — a dedicated condition block with a back edge from the body
+//     and an exit edge to the after-loop block;
+//   * for — the bounds evaluate once in the predecessor, then a condition
+//     block models the per-iteration test;
+//   * break — an edge to the innermost loop's after block;
+//   * return — an edge to the unique exit block.
+//
+// Literal `true`/`false` conditions (staging residue: `if [cond] then` where
+// the host expression evaluated to a constant) produce only the feasible
+// edge, so code made unreachable by specialization is recognized as such.
+//
+// A block whose control reaches the exit by *falling off the end of the
+// function body* (rather than via an explicit return) is flagged
+// FallsToExit; the missing-return checker and the typecheck-time
+// return-coverage rule are both defined in terms of that flag.
+//
+// The CFG holds pointers into the function's arena-allocated AST; it is
+// valid as long as the owning TerraContext is.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ANALYSIS_CFG_H
+#define TERRACPP_ANALYSIS_CFG_H
+
+#include "core/TerraAST.h"
+
+#include <memory>
+#include <vector>
+
+namespace terracpp {
+namespace analysis {
+
+/// One entry of a basic block, in evaluation order. Exactly one of the two
+/// pointers is set: a straight-line statement (VarDecl, Assign, ExprStmt,
+/// Return, Break, ForNum header) or a branch condition expression.
+struct CFGElement {
+  const TerraStmt *Stmt = nullptr;
+  const TerraExpr *Cond = nullptr;
+
+  SourceLoc loc() const { return Stmt ? Stmt->loc() : Cond->loc(); }
+};
+
+class CFGBlock;
+
+/// Edge list with two inline slots. A block has at most two successors
+/// (branch) and usually at most two predecessors; only join blocks spill
+/// to the heap. Large straight-line functions (unrolled staged kernels)
+/// produce hundreds of blocks, so per-block heap traffic is what bounds
+/// analyzer cost against the typechecker.
+class EdgeList {
+public:
+  void push_back(CFGBlock *B) {
+    if (!spilled()) {
+      if (N < Cap) {
+        Buf[N++] = B;
+        return;
+      }
+      Vec.assign(Buf, Buf + N);
+    }
+    Vec.push_back(B);
+  }
+  size_t size() const { return spilled() ? Vec.size() : N; }
+  CFGBlock *operator[](size_t I) const { return begin()[I]; }
+  CFGBlock *const *begin() const { return spilled() ? Vec.data() : Buf; }
+  CFGBlock *const *end() const { return begin() + size(); }
+
+private:
+  bool spilled() const { return !Vec.empty(); }
+  static constexpr unsigned Cap = 2;
+  CFGBlock *Buf[Cap] = {nullptr, nullptr};
+  unsigned N = 0;
+  std::vector<CFGBlock *> Vec;
+};
+
+/// Element list with four inline slots — compare-exchange bodies and
+/// condition blocks fit without touching the heap.
+class ElemList {
+public:
+  void push_back(const CFGElement &E) {
+    if (!spilled()) {
+      if (N < Cap) {
+        Buf[N++] = E;
+        return;
+      }
+      Vec.assign(Buf, Buf + N);
+    }
+    Vec.push_back(E);
+  }
+  size_t size() const { return spilled() ? Vec.size() : N; }
+  bool empty() const { return size() == 0; }
+  const CFGElement &front() const { return *begin(); }
+  const CFGElement *begin() const { return spilled() ? Vec.data() : Buf; }
+  const CFGElement *end() const { return begin() + size(); }
+
+private:
+  bool spilled() const { return !Vec.empty(); }
+  static constexpr unsigned Cap = 4;
+  CFGElement Buf[Cap];
+  unsigned N = 0;
+  std::vector<CFGElement> Vec;
+};
+
+class CFGBlock {
+public:
+  unsigned Id = 0;
+  ElemList Elems;
+  EdgeList Succs;
+  EdgeList Preds;
+  /// True when this block's edge to the exit represents falling off the end
+  /// of the function body without a return statement.
+  bool FallsToExit = false;
+
+  bool empty() const { return Elems.empty(); }
+};
+
+class CFG {
+public:
+  /// Builds the CFG for a defined function. Requires a specialized body
+  /// (no escapes); types are not required, so the typechecker itself can
+  /// use the graph. Never returns null for a function with a body.
+  static std::unique_ptr<CFG> build(const TerraFunction *F);
+
+  CFGBlock &entry() const { return *Entry; }
+  CFGBlock &exit() const { return *Exit; }
+  /// Contiguous storage reserved up-front from a statement-count bound
+  /// (see build()); addresses are stable because the capacity is never
+  /// exceeded.
+  const std::vector<CFGBlock> &blocks() const { return Blocks; }
+  size_t size() const { return Blocks.size(); }
+
+  /// Blocks indexed by Id: true when reachable from the entry block.
+  /// Computed once and cached — every checker needs it (TA002 directly,
+  /// the dataflow solver for its live set), and the graph is immutable
+  /// after build().
+  const std::vector<bool> &reachableFromEntry() const;
+
+  /// Reverse post-order from the entry (unreachable blocks appended at the
+  /// end so dataflow still assigns them a state). Cached like
+  /// reachableFromEntry().
+  const std::vector<const CFGBlock *> &reversePostOrder() const;
+
+  /// True when a reachable block falls off the end of the function body
+  /// (the "control can reach the end" condition for non-void functions).
+  bool fallOffReachable() const;
+
+private:
+  friend class CFGBuilder;
+  CFGBlock *newBlock();
+
+  std::vector<CFGBlock> Blocks;
+  CFGBlock *Entry = nullptr;
+  CFGBlock *Exit = nullptr;
+  mutable std::vector<bool> ReachCache;
+  mutable std::vector<const CFGBlock *> RPOCache;
+};
+
+/// Convenience for the typechecker's return-coverage rule: true when \p F
+/// has a body whose end is reachable without an explicit return.
+bool fallsOffEnd(const TerraFunction *F);
+
+} // namespace analysis
+} // namespace terracpp
+
+#endif // TERRACPP_ANALYSIS_CFG_H

@@ -1,0 +1,52 @@
+//===- Checkers.h - Dataflow checkers over the Terra CFG --------*- C++ -*-===//
+//
+// The four terracheck analyses (DESIGN.md §9). Every checker is
+// intraprocedural, runs on the typechecked tree between typechecking and
+// the midend, and is tuned for zero false positives: whenever a pointer
+// escapes the function's view (passed to an unknown call, stored, aliased,
+// address-taken, returned), the heap checkers assume the escapee takes over
+// the obligation and stop tracking.
+//
+//   TA001  definite-initialization  use of a local that no path assigned
+//   TA002  missing-return           non-void function whose body end is
+//                                   reachable (mandatory: backend invariant)
+//   TA003  use-after-free /        deref/index of a maybe-freed pointer;
+//          double-free              free of a maybe-freed pointer
+//   TA004  leak-on-all-paths        a malloc'd local that every terminating
+//                                   path leaves unfreed
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ANALYSIS_CHECKERS_H
+#define TERRACPP_ANALYSIS_CHECKERS_H
+
+#include "analysis/CFG.h"
+
+#include <string>
+#include <vector>
+
+namespace terracpp {
+namespace analysis {
+
+struct Finding {
+  const char *Code;    ///< Stable diagnostic code ("TA001".."TA004").
+  SourceLoc Loc;
+  std::string Message;
+  /// Mandatory findings are backend invariants (TA002): always reported as
+  /// errors and never disabled by TERRACPP_ANALYZE.
+  bool MandatoryError = false;
+};
+
+void checkDefiniteInit(const TerraFunction *F, const CFG &G,
+                       std::vector<Finding> &Out);
+void checkMissingReturn(const TerraFunction *F, const CFG &G,
+                        std::vector<Finding> &Out);
+/// TA003 (use-after-free / double-free) and TA004 (leak-on-all-paths):
+/// both share the malloc/free call classification and the escape pre-pass.
+void checkHeapSafety(const TerraFunction *F, const CFG &G,
+                     std::vector<Finding> &Out);
+
+} // namespace analysis
+} // namespace terracpp
+
+#endif // TERRACPP_ANALYSIS_CHECKERS_H

@@ -1,0 +1,92 @@
+#include "analysis/Dataflow.h"
+
+using namespace terracpp;
+using namespace terracpp::analysis;
+
+DataflowResult terracpp::analysis::solveDataflow(const CFG &G,
+                                                 const DataflowProblem &P) {
+  const bool Forward = P.direction() == DataflowProblem::Direction::Forward;
+  const bool Intersect = P.meet() == DataflowProblem::Meet::Intersect;
+  const size_t N = G.size();
+
+  DataflowResult R;
+  R.In.assign(N, BitVector(P.numBits(), Intersect));
+  R.Out.assign(N, BitVector(P.numBits(), Intersect));
+
+  const CFGBlock *Boundary = Forward ? &G.entry() : &G.exit();
+
+  // Blocks not reachable from the boundary (in the direction of the
+  // analysis) are excluded from meets and never iterated: dead code —
+  // including branches killed by constant staged conditions — must not
+  // contribute state to live joins. Forward problems reuse the CFG's
+  // cached entry-reachability set; backward ones compute from the exit.
+  std::vector<bool> Live;
+  if (Forward) {
+    Live = G.reachableFromEntry();
+  } else {
+    Live.assign(N, false);
+    std::vector<const CFGBlock *> Stack = {Boundary};
+    Live[Boundary->Id] = true;
+    while (!Stack.empty()) {
+      const CFGBlock *B = Stack.back();
+      Stack.pop_back();
+      for (const CFGBlock *S : B->Preds)
+        if (!Live[S->Id]) {
+          Live[S->Id] = true;
+          Stack.push_back(S);
+        }
+    }
+  }
+
+  P.initBoundary(R.In[Boundary->Id]);
+  {
+    BitVector Tmp = R.In[Boundary->Id];
+    P.transfer(*Boundary, Tmp);
+    R.Out[Boundary->Id] = std::move(Tmp);
+  }
+
+  // Iterate in (reverse) post-order until nothing changes. The order only
+  // affects convergence speed, not the fixpoint. Forward problems borrow
+  // the CFG's cached order; backward ones take a reversed copy.
+  const std::vector<const CFGBlock *> &RPO = G.reversePostOrder();
+  std::vector<const CFGBlock *> Reversed;
+  if (!Forward)
+    Reversed.assign(RPO.rbegin(), RPO.rend());
+  const std::vector<const CFGBlock *> &Order = Forward ? RPO : Reversed;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const CFGBlock *B : Order) {
+      if (B == Boundary || !Live[B->Id])
+        continue;
+      const EdgeList &Ins = Forward ? B->Preds : B->Succs;
+      BitVector NewIn(P.numBits(), Intersect);
+      bool First = true;
+      for (const CFGBlock *Pred : Ins) {
+        if (!Live[Pred->Id])
+          continue;
+        if (First) {
+          NewIn = R.Out[Pred->Id];
+          First = false;
+        } else if (Intersect) {
+          NewIn.intersectWith(R.Out[Pred->Id]);
+        } else {
+          NewIn.unionWith(R.Out[Pred->Id]);
+        }
+      }
+      // A live block always has at least one live input; keep top/bottom
+      // otherwise (defensive).
+      if (NewIn != R.In[B->Id]) {
+        R.In[B->Id] = NewIn;
+        Changed = true;
+      }
+      P.transfer(*B, NewIn);
+      if (NewIn != R.Out[B->Id]) {
+        R.Out[B->Id] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+  return R;
+}

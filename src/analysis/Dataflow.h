@@ -1,0 +1,134 @@
+//===- Dataflow.h - Generic bitvector dataflow over the CFG -----*- C++ -*-===//
+//
+// A small forward/backward dataflow engine: a checker describes its problem
+// as a bit domain plus a per-block transfer function, and the solver
+// iterates block states to a fixpoint over the CFG.
+//
+//   * Direction — Forward propagates along edges from the entry; Backward
+//     against them from the exit.
+//   * Meet — Union for may-analyses (e.g. "maybe freed on some path"),
+//     Intersect for must-analyses (e.g. "owns the allocation on all
+//     paths"). Intersect problems initialize non-boundary states to
+//     all-ones (top), Union problems to all-zeros.
+//
+// Transfer functions receive the whole block and update the state in
+// evaluation order; checkers re-walk the same elements afterwards against
+// the solved In[] states to attach warnings to precise locations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ANALYSIS_DATAFLOW_H
+#define TERRACPP_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace terracpp {
+namespace analysis {
+
+/// Dense bit set sized to the problem's variable universe.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned N, bool Value = false) { resize(N, Value); }
+
+  void resize(unsigned N, bool Value = false) {
+    NumBits = N;
+    Words.assign((N + 63) / 64, Value ? ~uint64_t(0) : 0);
+    clearPadding();
+  }
+  unsigned size() const { return NumBits; }
+
+  bool test(unsigned I) const {
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  void set(unsigned I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
+  void reset(unsigned I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    clearPadding();
+  }
+  void clearAll() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= O; returns true when any bit changed.
+  bool unionWith(const BitVector &O) {
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] | O.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+  /// this &= O; returns true when any bit changed.
+  bool intersectWith(const BitVector &O) {
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] & O.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  bool operator==(const BitVector &O) const { return Words == O.Words; }
+  bool operator!=(const BitVector &O) const { return !(*this == O); }
+
+private:
+  void clearPadding() {
+    if (NumBits % 64 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  std::vector<uint64_t> Words;
+  unsigned NumBits = 0;
+};
+
+class DataflowProblem {
+public:
+  enum class Direction { Forward, Backward };
+  enum class Meet { Union, Intersect };
+
+  DataflowProblem(Direction Dir, Meet M, unsigned NumBits)
+      : Dir(Dir), MeetOp(M), NumBits(NumBits) {}
+  virtual ~DataflowProblem() = default;
+
+  Direction direction() const { return Dir; }
+  Meet meet() const { return MeetOp; }
+  unsigned numBits() const { return NumBits; }
+
+  /// State at the boundary block (entry for forward, exit for backward).
+  /// Defaults to all-zeros.
+  virtual void initBoundary(BitVector &BV) const { BV.clearAll(); }
+
+  /// Applies the block's effect to \p State in place, in evaluation order
+  /// (reverse order for backward problems).
+  virtual void transfer(const CFGBlock &B, BitVector &State) const = 0;
+
+private:
+  Direction Dir;
+  Meet MeetOp;
+  unsigned NumBits;
+};
+
+/// Solved states per block, indexed by CFGBlock::Id. In[] is the state at
+/// block entry in the direction of the analysis; Out[] after its transfer.
+struct DataflowResult {
+  std::vector<BitVector> In;
+  std::vector<BitVector> Out;
+};
+
+/// Round-robin worklist solver; terminates because transfer functions are
+/// monotone over a finite bit domain.
+DataflowResult solveDataflow(const CFG &G, const DataflowProblem &P);
+
+} // namespace analysis
+} // namespace terracpp
+
+#endif // TERRACPP_ANALYSIS_DATAFLOW_H

@@ -1,5 +1,6 @@
 #include "core/Engine.h"
 
+#include "analysis/Analysis.h"
 #include "core/LuaStdlib.h"
 #include "core/Parser.h"
 #include "support/Telemetry.h"
@@ -114,4 +115,28 @@ bool Engine::compileAll(const std::vector<TerraFunction *> &Fns) {
 bool Engine::call(const Value &Fn, std::vector<Value> Args,
                   std::vector<Value> &Results) {
   return I->call(Fn, std::move(Args), Results, SourceLoc());
+}
+
+unsigned Engine::analyzeAll() {
+  analysis::AnalyzeOptions Opts;
+  Opts.Lints = Comp->analyzeLints();
+  Opts.Werror = Comp->analyzeWerror();
+
+  unsigned Findings = 0;
+  for (const auto &FPtr : TCtx->functions()) {
+    TerraFunction *F = FPtr.get();
+    if (F->IsExtern || F->HostClosure || !F->Body || F->AnalysisDone ||
+        F->State == TerraFunction::SK_Declared)
+      continue;
+    // Typecheck errors keep their own diagnostics; the checkers need a
+    // typed tree, so such functions are skipped.
+    if (!Comp->typechecker().check(F))
+      continue;
+    F->AnalysisDone = true;
+    analysis::AnalysisReport R = analysis::analyzeAndReport(Diags, F, Opts);
+    if (R.Failed)
+      F->State = TerraFunction::SK_Error;
+    Findings += R.NumFindings;
+  }
+  return Findings;
 }

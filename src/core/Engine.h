@@ -67,6 +67,12 @@ public:
   bool call(const lua::Value &Fn, std::vector<lua::Value> Args,
             std::vector<lua::Value> &Results);
 
+  /// Typechecks and statically analyzes every defined Terra function
+  /// (terracpp --analyze) without generating code. Returns the number of
+  /// analysis findings reported; functions that fail to typecheck are
+  /// skipped after their type errors are reported.
+  unsigned analyzeAll();
+
   DiagnosticEngine &diags() { return Diags; }
   TerraContext &context() { return *TCtx; }
   lua::Interp &interp() { return *I; }

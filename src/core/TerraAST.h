@@ -541,6 +541,11 @@ public:
   void *RawPtr = nullptr;
   EntryThunk Entry;
 
+  /// Static analysis (terracheck) has run over the typechecked body; the
+  /// compile pipeline analyzes each function once even when it is reachable
+  /// from several compilation roots.
+  bool AnalysisDone = false;
+
   bool isDefined() const { return State != SK_Declared; }
   bool isCompiled() const { return RawPtr != nullptr || Entry != nullptr; }
   std::string mangledName() const { return Name + "_" + std::to_string(Id); }

@@ -1,5 +1,6 @@
 #include "core/TerraCompiler.h"
 
+#include "analysis/Analysis.h"
 #include "core/CBackend.h"
 #include "core/LuaInterp.h"
 #include "core/TerraInterpBackend.h"
@@ -34,9 +35,30 @@ extern "C" void terracpp_hostcall_trampoline(void *Ctx, uint64_t ClosureId,
 //===----------------------------------------------------------------------===//
 
 TerraCompiler::TerraCompiler(TerraContext &Ctx, Interp &I, BackendKind Backend)
-    : Ctx(Ctx), I(I), Backend(Backend), TC(Ctx, I), JIT(Ctx.diags()) {
+    : Ctx(Ctx), I(I), Backend(Backend), TC(Ctx, I), JIT(Ctx.diags()),
+      AnalyzeLints(analysis::AnalyzeOptions::lintsEnabledFromEnv()) {
   if (Backend == BackendKind::Interp)
     InterpBackend = std::make_unique<TerraInterpBackend>(Ctx, *this);
+}
+
+bool TerraCompiler::analyzeComponent(
+    const std::vector<TerraFunction *> &Component) {
+  bool OK = true;
+  for (TerraFunction *Fn : Component) {
+    if (Fn->AnalysisDone || Fn->HostClosure || Fn->IsExtern || !Fn->Body)
+      continue;
+    Fn->AnalysisDone = true;
+    analysis::AnalyzeOptions Opts;
+    Opts.Lints = AnalyzeLints;
+    Opts.Werror = AnalyzeWerror;
+    analysis::AnalysisReport R =
+        analysis::analyzeAndReport(Ctx.diags(), Fn, Opts);
+    if (R.Failed) {
+      Fn->State = TerraFunction::SK_Error;
+      OK = false;
+    }
+  }
+  return OK;
 }
 
 TerraCompiler::~TerraCompiler() = default;
@@ -74,6 +96,8 @@ bool TerraCompiler::ensureCompiled(TerraFunction *F) {
 
   std::vector<TerraFunction *> Component;
   collectComponent(F, Component);
+  if (!analyzeComponent(Component))
+    return false;
   for (TerraFunction *Fn : Component) {
     if (Fn->HostClosure)
       continue;
@@ -153,6 +177,10 @@ bool TerraCompiler::compileAll(const std::vector<TerraFunction *> &Roots) {
     collectComponent(F, Component);
     if (Component.empty())
       continue;
+    if (!analyzeComponent(Component)) {
+      AllOK = false;
+      continue;
+    }
 
     bool ComponentOK = true;
     for (TerraFunction *Fn : Component) {
@@ -547,6 +575,8 @@ bool TerraCompiler::saveObject(
     collectForSave(F, Component);
     ExportNames[F] = E.first;
   }
+  if (!analyzeComponent(Component))
+    return false;
   for (TerraFunction *Fn : Component) {
     if (Fn->HostClosure)
       continue; // emitModule reports the error with context.

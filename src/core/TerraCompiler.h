@@ -40,6 +40,14 @@ public:
   JITEngine &jit() { return JIT; }
   BackendKind backend() const { return Backend; }
 
+  /// Static-analysis policy for the compile pipeline. Lints default to the
+  /// TERRACPP_ANALYZE environment setting; the missing-return check always
+  /// runs (it is a backend invariant).
+  void setAnalyzeLints(bool On) { AnalyzeLints = On; }
+  bool analyzeLints() const { return AnalyzeLints; }
+  void setAnalyzeWerror(bool On) { AnalyzeWerror = On; }
+  bool analyzeWerror() const { return AnalyzeWerror; }
+
   /// Typechecks, optimizes, and compiles F (and its connected component).
   /// Idempotent; false on failure.
   bool ensureCompiled(TerraFunction *F);
@@ -93,6 +101,12 @@ public:
   const Stats &stats() const { return Timing; }
   double backendCompilerSeconds() const { return JIT.compilerSeconds(); }
 
+  /// Runs terracheck over every not-yet-analyzed function of a typechecked
+  /// component (between typechecking and the midend). Returns false when a
+  /// mandatory finding — or any finding under Werror — failed the compile;
+  /// the offending functions are marked SK_Error.
+  bool analyzeComponent(const std::vector<TerraFunction *> &Component);
+
 private:
   /// Collects the not-yet-compiled connected component rooted at F.
   void collectComponent(TerraFunction *F,
@@ -112,6 +126,8 @@ private:
   std::map<uint64_t, HostClosureInfo> HostClosures;
   uint64_t NextHostClosureId = 1;
   Stats Timing;
+  bool AnalyzeLints;
+  bool AnalyzeWerror = false;
 };
 
 } // namespace terracpp

@@ -1,5 +1,6 @@
 #include "core/TerraPasses.h"
 
+#include "analysis/CFG.h"
 #include "core/TerraType.h"
 
 #include <cmath>
@@ -7,6 +8,77 @@
 using namespace terracpp;
 
 namespace {
+
+bool isBoolLit(const TerraExpr *E, bool &Out) {
+  const auto *L = dyn_cast<LitExpr>(E);
+  if (!L || L->LK != LitExpr::LK_Bool)
+    return false;
+  Out = L->BoolVal;
+  return true;
+}
+
+/// True when \p S contains a break that would bind to an enclosing loop
+/// (does not descend into nested loops, whose breaks bind there).
+bool containsLoopBreak(const TerraStmt *S) {
+  if (!S)
+    return false;
+  switch (S->kind()) {
+  case TerraNode::NK_Break:
+    return true;
+  case TerraNode::NK_Block: {
+    const auto *B = cast<BlockStmt>(S);
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      if (containsLoopBreak(B->Stmts[I]))
+        return true;
+    return false;
+  }
+  case TerraNode::NK_If: {
+    const auto *I = cast<IfStmt>(S);
+    for (unsigned K = 0; K != I->NumClauses; ++K)
+      if (containsLoopBreak(I->Blocks[K]))
+        return true;
+    return containsLoopBreak(I->ElseBlock);
+  }
+  default:
+    return false;
+  }
+}
+
+/// True when control cannot flow past \p S: a return/break, a block
+/// containing one, an if whose every branch (including a required else)
+/// terminates, or a `while true` with no break. Statements after a
+/// terminating one are unreachable and dropped by the folder, which keeps
+/// the verifier's unreachable-code check from firing on folded trees.
+bool stmtTerminates(const TerraStmt *S) {
+  switch (S->kind()) {
+  case TerraNode::NK_Return:
+  case TerraNode::NK_Break:
+    return true;
+  case TerraNode::NK_Block: {
+    const auto *B = cast<BlockStmt>(S);
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      if (stmtTerminates(B->Stmts[I]))
+        return true;
+    return false;
+  }
+  case TerraNode::NK_If: {
+    const auto *I = cast<IfStmt>(S);
+    if (!I->ElseBlock)
+      return false;
+    for (unsigned K = 0; K != I->NumClauses; ++K)
+      if (!stmtTerminates(I->Blocks[K]))
+        return false;
+    return stmtTerminates(I->ElseBlock);
+  }
+  case TerraNode::NK_While: {
+    const auto *W = cast<WhileStmt>(S);
+    bool C;
+    return isBoolLit(W->Cond, C) && C && !containsLoopBreak(W->Body);
+  }
+  default:
+    return false;
+  }
+}
 
 //===----------------------------------------------------------------------===//
 // Constant folding
@@ -223,8 +295,8 @@ void Folder::foldExpr(TerraExpr *&E) {
 }
 
 void Folder::foldBlock(BlockStmt *B) {
-  // Fold each statement, drop everything after a return/break, and resolve
-  // constant conditionals.
+  // Fold each statement, drop everything after a terminating statement, and
+  // resolve constant conditionals.
   std::vector<TerraStmt *> Out;
   for (unsigned I = 0; I != B->NumStmts; ++I) {
     TerraStmt *S = B->Stmts[I];
@@ -232,7 +304,7 @@ void Folder::foldBlock(BlockStmt *B) {
     if (!S)
       continue;
     Out.push_back(S);
-    if (isa<ReturnStmt>(S) || isa<BreakStmt>(S))
+    if (stmtTerminates(S))
       break; // Unreachable code after terminator.
   }
   if (Out.size() != B->NumStmts) {
@@ -271,17 +343,36 @@ void Folder::foldStmt(TerraStmt *&S) {
     }
     if (I2->ElseBlock)
       foldBlock(I2->ElseBlock);
-    // Dead-branch elimination for a single constant-condition clause.
-    if (I2->NumClauses == 1) {
-      if (const auto *L = dyn_cast<LitExpr>(I2->Conds[0]);
-          L && L->LK == LitExpr::LK_Bool) {
-        if (L->BoolVal) {
-          S = I2->Blocks[0];
-        } else if (I2->ElseBlock) {
-          S = I2->ElseBlock;
-        } else {
-          S = nullptr;
-        }
+    // Dead-branch elimination for constant conditions (staging residue): a
+    // false clause disappears, a true clause becomes the else of everything
+    // before it. Nothing structurally unreachable survives, which the
+    // verifier's CFG check relies on.
+    std::vector<TerraExpr *> Conds;
+    std::vector<BlockStmt *> Blocks;
+    BlockStmt *Else = I2->ElseBlock;
+    bool ChangedClauses = false;
+    for (unsigned K = 0; K != I2->NumClauses; ++K) {
+      bool C;
+      if (!isBoolLit(I2->Conds[K], C)) {
+        Conds.push_back(I2->Conds[K]);
+        Blocks.push_back(I2->Blocks[K]);
+        continue;
+      }
+      ChangedClauses = true;
+      if (C) {
+        Else = I2->Blocks[K]; // Later clauses and the old else are dead.
+        break;
+      }
+      // False clause: drop it.
+    }
+    if (ChangedClauses) {
+      if (Conds.empty()) {
+        S = Else; // May be null: `if false then ... end` vanishes.
+      } else {
+        I2->Conds = Ctx.copyArray(Conds);
+        I2->Blocks = Ctx.copyArray(Blocks);
+        I2->NumClauses = (unsigned)Conds.size();
+        I2->ElseBlock = Else;
       }
     }
     return;
@@ -290,6 +381,10 @@ void Folder::foldStmt(TerraStmt *&S) {
     auto *W = cast<WhileStmt>(S);
     foldExpr(W->Cond);
     foldBlock(W->Body);
+    // `while false` (staging residue) never runs.
+    bool C;
+    if (isBoolLit(W->Cond, C) && !C)
+      S = nullptr;
     return;
   }
   case TerraNode::NK_ForNum: {
@@ -469,5 +564,19 @@ bool terracpp::verifyFunction(DiagnosticEngine &Diags, TerraFunction *F) {
     return true; // Extern / host wrapper.
   Verifier V(Diags);
   V.visitStmt(F->Body);
+
+  // After midend cleanup no nonempty block may be unreachable: the folder
+  // removes statements after terminators and resolves constant branches, so
+  // anything left unreachable indicates a pass bug that would confuse the
+  // backends (and the dataflow solver, which ignores dead blocks).
+  if (V.OK) {
+    if (std::unique_ptr<analysis::CFG> G = analysis::CFG::build(F)) {
+      const std::vector<bool> &Reach = G->reachableFromEntry();
+      for (const analysis::CFGBlock &B : G->blocks())
+        if (!B.empty() && !Reach[B.Id])
+          V.require(false, B.Elems.front().loc(),
+                    "unreachable code survived midend cleanup");
+    }
+  }
   return V.OK;
 }

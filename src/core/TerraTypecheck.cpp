@@ -52,7 +52,6 @@ public:
   bool referenceFunction(TerraFunction *Callee, SourceLoc Loc,
                          FunctionType *&FnTy);
 
-  bool stmtAlwaysReturns(const TerraStmt *S);
 };
 
 //===----------------------------------------------------------------------===//
@@ -954,31 +953,6 @@ bool CheckState::checkStmt(TerraStmt *S) {
   }
 }
 
-bool CheckState::stmtAlwaysReturns(const TerraStmt *S) {
-  switch (S->kind()) {
-  case TerraNode::NK_Return:
-    return true;
-  case TerraNode::NK_Block: {
-    const auto *B = cast<BlockStmt>(S);
-    for (unsigned I2 = 0; I2 != B->NumStmts; ++I2)
-      if (stmtAlwaysReturns(B->Stmts[I2]))
-        return true;
-    return false;
-  }
-  case TerraNode::NK_If: {
-    const auto *I2 = cast<IfStmt>(S);
-    if (!I2->ElseBlock)
-      return false;
-    for (unsigned K = 0; K != I2->NumClauses; ++K)
-      if (!stmtAlwaysReturns(I2->Blocks[K]))
-        return false;
-    return stmtAlwaysReturns(I2->ElseBlock);
-  }
-  default:
-    return false;
-  }
-}
-
 //===----------------------------------------------------------------------===//
 // Function checking
 //===----------------------------------------------------------------------===//
@@ -1027,11 +1001,9 @@ bool CheckState::checkFunction(TerraFunction *F) {
   if (OK && !F->RetTy.Resolved)
     F->RetTy = TypeRef::fromType(Ctx.types().voidType());
 
-  if (OK && !F->RetTy.Resolved->isVoid() && !stmtAlwaysReturns(F->Body))
-    OK = fail(F->Body->loc(), "function '" + F->Name + "' returns " +
-                                  F->RetTy.Resolved->str() +
-                                  " but control can reach the end of the "
-                                  "body");
+  // Return coverage ("control can reach the end of the body") is checked
+  // CFG-precisely by the analysis layer's TA002, which the compile pipeline
+  // runs unconditionally after typechecking.
 
   if (OK && !F->FnTy) {
     std::vector<Type *> Params;

@@ -80,6 +80,9 @@ Client::CompileResult Client::compile(const std::string &Source,
   if (const Value *Fns = Resp.get("functions"))
     for (const Value &F : Fns->elements())
       R.Functions.push_back(F.asString());
+  if (const Value *Warns = Resp.get("warnings"))
+    for (const Value &W : Warns->elements())
+      R.Warnings.push_back(W.getString("rendered"));
   return R;
 }
 

@@ -47,6 +47,7 @@ public:
     bool Warm = false;                ///< Served by an already-live engine.
     double Seconds = 0;               ///< Server-side compile wall time.
     std::vector<std::string> Functions;
+    std::vector<std::string> Warnings; ///< Rendered analysis warnings.
     std::string Error;
     std::string Diagnostics;
   };

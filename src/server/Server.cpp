@@ -96,6 +96,9 @@ struct Server::EngineEntry {
   bool Failed = false;
   std::string FailDiagnostics;
   std::vector<std::string> Functions;
+  /// Static-analysis warnings (terracheck), one JSON object per finding
+  /// with code/message/line/col/rendered; returned verbatim by `compile`.
+  json::Value Warnings = json::Value::array();
   double CompileSeconds = 0;
 };
 
@@ -605,6 +608,19 @@ Server::obtainEngine(const std::string &Hash, const std::string &Source,
     Error = Diagnostics.empty() ? "native compilation failed" : Diagnostics;
     return nullptr;
   }
+  // Surface static-analysis warnings (the pipeline ran terracheck during
+  // compileAll) so clients see lint findings for warm and cold hits alike.
+  for (const Diagnostic &D : E->diags().diagnostics()) {
+    if (D.Kind != DiagKind::Warning)
+      continue;
+    json::Value W = json::Value::object();
+    W.set("code", json::Value::string(D.Code));
+    W.set("message", json::Value::string(D.Message));
+    W.set("line", json::Value::number(D.Loc.Line));
+    W.set("col", json::Value::number(D.Loc.Column));
+    W.set("rendered", json::Value::string(E->diags().render(D)));
+    Entry->Warnings.push(std::move(W));
+  }
   Entry->E = std::move(E);
   Entry->CompileSeconds = T.seconds();
   Entry->Ready.store(true, std::memory_order_release);
@@ -646,6 +662,7 @@ json::Value Server::handleCompile(const json::Value &Request) {
   for (const std::string &F : Entry->Functions)
     Fns.push(json::Value::string(F));
   R.set("functions", std::move(Fns));
+  R.set("warnings", Entry->Warnings);
   return R;
 }
 

@@ -17,11 +17,58 @@ void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
   report(DiagKind::Note, Loc, std::move(Message));
 }
 
+void DiagnosticEngine::error(const char *Code, SourceLoc Loc,
+                             std::string Message) {
+  report(DiagKind::Error, Loc, std::move(Message), Code);
+}
+
+void DiagnosticEngine::warning(const char *Code, SourceLoc Loc,
+                               std::string Message) {
+  report(DiagKind::Warning, Loc, std::move(Message), Code);
+}
+
+std::string DiagnosticEngine::dedupKey(const std::string &Code,
+                                       SourceLoc Loc) {
+  return Code + "@" + std::to_string(Loc.BufferId) + ":" +
+         std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column);
+}
+
 void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
-                              std::string Message) {
-  Diags.push_back({Kind, Loc, std::move(Message)});
-  if (Kind == DiagKind::Error)
+                              std::string Message, const char *Code) {
+  if (Code && !SeenCoded.insert(dedupKey(Code, Loc)).second)
+    return; // Same coded finding at the same location was already reported.
+
+  if (Kind == DiagKind::Error) {
     ++NumErrors;
+    if (MaxErrors && NumErrors > MaxErrors) {
+      if (!ErrorLimitNoted) {
+        ErrorLimitNoted = true;
+        Diags.push_back({DiagKind::Note, SourceLoc(),
+                         "too many errors emitted; further errors "
+                         "suppressed",
+                         ""});
+      }
+      if (Code)
+        SeenCoded.erase(dedupKey(Code, Loc));
+      return;
+    }
+  } else if (Kind == DiagKind::Warning) {
+    ++NumWarnings;
+    if (MaxWarnings && NumWarnings > MaxWarnings) {
+      if (!WarningLimitNoted) {
+        WarningLimitNoted = true;
+        Diags.push_back({DiagKind::Note, SourceLoc(),
+                         "too many warnings emitted; further warnings "
+                         "suppressed",
+                         ""});
+      }
+      if (Code)
+        SeenCoded.erase(dedupKey(Code, Loc));
+      return;
+    }
+  }
+
+  Diags.push_back({Kind, Loc, std::move(Message), Code ? Code : ""});
   if (PrintToStderr)
     fprintf(stderr, "%s\n", render(Diags.back()).c_str());
 }
@@ -47,6 +94,8 @@ std::string DiagnosticEngine::render(const Diagnostic &D) const {
     break;
   }
   OS << D.Message;
+  if (!D.Code.empty())
+    OS << " [" << D.Code << "]";
   if (D.Loc.isValid() && SM) {
     std::string Line = SM->lineText(D.Loc.BufferId, D.Loc.Line);
     if (!Line.empty()) {

@@ -12,6 +12,7 @@
 
 #include "support/SourceLoc.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@ struct Diagnostic {
   DiagKind Kind;
   SourceLoc Loc;
   std::string Message;
+  /// Stable diagnostic code ("TA003"); empty for uncoded diagnostics.
+  std::string Code;
 };
 
 /// Accumulates diagnostics for one compilation context.
@@ -35,15 +38,33 @@ public:
   void warning(SourceLoc Loc, std::string Message);
   void note(SourceLoc Loc, std::string Message);
 
+  /// Coded variants. A coded diagnostic is deduplicated: reporting the same
+  /// (code, location) pair twice keeps only the first instance — the
+  /// compile pipeline may analyze a function once per entry point it is
+  /// reachable from.
+  void error(const char *Code, SourceLoc Loc, std::string Message);
+  void warning(const char *Code, SourceLoc Loc, std::string Message);
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Caps on *stored* diagnostics of each kind; once a cap is hit a single
+  /// "too many ..." note is emitted and further diagnostics of that kind are
+  /// counted but dropped. 0 means unlimited.
+  void setMaxErrors(unsigned N) { MaxErrors = N; }
+  void setMaxWarnings(unsigned N) { MaxWarnings = N; }
 
   /// Drops all accumulated diagnostics (used between REPL-style statements
   /// and by tests).
   void clear() {
     Diags.clear();
+    SeenCoded.clear();
     NumErrors = 0;
+    NumWarnings = 0;
+    ErrorLimitNoted = false;
+    WarningLimitNoted = false;
   }
 
   /// Checkpoint/rollback support for speculative operations (e.g. trying
@@ -51,8 +72,13 @@ public:
   size_t checkpoint() const { return Diags.size(); }
   void rollback(size_t Checkpoint) {
     while (Diags.size() > Checkpoint) {
-      if (Diags.back().Kind == DiagKind::Error)
+      const Diagnostic &D = Diags.back();
+      if (D.Kind == DiagKind::Error)
         --NumErrors;
+      else if (D.Kind == DiagKind::Warning)
+        --NumWarnings;
+      if (!D.Code.empty())
+        SeenCoded.erase(dedupKey(D.Code, D.Loc));
       Diags.pop_back();
     }
   }
@@ -68,11 +94,19 @@ public:
   void setPrintToStderr(bool Print) { PrintToStderr = Print; }
 
 private:
-  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message,
+              const char *Code = nullptr);
+  static std::string dedupKey(const std::string &Code, SourceLoc Loc);
 
   const SourceManager *SM;
   std::vector<Diagnostic> Diags;
+  std::set<std::string> SeenCoded;
   unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+  unsigned MaxErrors = 0;
+  unsigned MaxWarnings = 0;
+  bool ErrorLimitNoted = false;
+  bool WarningLimitNoted = false;
   bool PrintToStderr = false;
 };
 

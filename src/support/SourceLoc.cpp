@@ -9,13 +9,20 @@ uint32_t SourceManager::addBuffer(std::string Name, std::string Contents) {
   return static_cast<uint32_t>(Buffers.size());
 }
 
+// Diagnostics can carry a line/column without a registered buffer (e.g.
+// synthesized locations); answer those with a placeholder rather than
+// indexing out of bounds.
 const std::string &SourceManager::bufferName(uint32_t Id) const {
-  assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+  static const std::string Unknown = "<unknown>";
+  if (Id < 1 || Id > Buffers.size())
+    return Unknown;
   return Buffers[Id - 1].Name;
 }
 
 const std::string &SourceManager::bufferContents(uint32_t Id) const {
-  assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+  static const std::string Empty;
+  if (Id < 1 || Id > Buffers.size())
+    return Empty;
   return Buffers[Id - 1].Contents;
 }
 

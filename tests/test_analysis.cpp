@@ -1,0 +1,358 @@
+//===- test_analysis.cpp - terracheck CFG/dataflow analysis ---------------===//
+//
+// Seeded-bug coverage for the four terracheck checkers (TA001 definite-init,
+// TA002 missing-return, TA003 use/double-free, TA004 leak-on-all-paths),
+// the escape-analysis suppressions that keep them quiet on real code, the
+// DiagnosticEngine dedup/cap machinery they report through, and a
+// no-false-positive sweep over the shipped example scripts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "orion/OrionHosted.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace terracpp;
+
+namespace {
+
+/// Runs the chunk and statically analyzes every Terra function in it with
+/// lints force-enabled (independent of TERRACPP_ANALYZE). Returns the
+/// number of findings.
+unsigned analyzeChunk(Engine &E, const std::string &Src, bool Werror = false) {
+  E.compiler().setAnalyzeLints(true);
+  E.compiler().setAnalyzeWerror(Werror);
+  EXPECT_TRUE(E.run(Src)) << E.errors();
+  return E.analyzeAll();
+}
+
+/// Expects the analyzer to report at least one finding whose rendering
+/// contains both the stable code and the message fragment.
+void expectFinding(const std::string &Src, const std::string &Code,
+                   const std::string &Needle) {
+  Engine E;
+  unsigned N = analyzeChunk(E, Src);
+  EXPECT_GT(N, 0u) << "expected a " << Code << " finding; none reported";
+  std::string Rendered = E.errors();
+  EXPECT_NE(Rendered.find("[" + Code + "]"), std::string::npos) << Rendered;
+  EXPECT_NE(Rendered.find(Needle), std::string::npos) << Rendered;
+}
+
+/// Expects the analyzer to stay completely silent on the chunk.
+void expectClean(const std::string &Src) {
+  Engine E;
+  unsigned N = analyzeChunk(E, Src);
+  EXPECT_EQ(N, 0u) << E.errors();
+  EXPECT_FALSE(E.diags().hasErrors()) << E.errors();
+  EXPECT_EQ(E.diags().warningCount(), 0u) << E.errors();
+}
+
+constexpr const char *Stdlib = "std = terralib.includec('stdlib.h')\n";
+
+//===----------------------------------------------------------------------===//
+// TA001: definite initialization
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA001UseBeforeAnyAssignment) {
+  expectFinding("terra f(): int\n"
+                "  var x: int\n"
+                "  return x\n"
+                "end",
+                "TA001", "used before any assignment");
+}
+
+TEST(Analysis, TA001UseInConditionBeforeAssignment) {
+  expectFinding("terra f(c: bool): int\n"
+                "  var x: int\n"
+                "  if x > 0 then return 1 end\n"
+                "  x = 2\n"
+                "  return x\n"
+                "end",
+                "TA001", "used before any assignment");
+}
+
+TEST(Analysis, TA001AssignedOnSomePathIsQuiet) {
+  // May-analysis by design: warn only when NO path assigns, so a
+  // single-branch assignment suppresses the lint (zero false positives
+  // beats catching the maybe-case).
+  expectClean("terra f(c: bool): int\n"
+              "  var x: int\n"
+              "  if c then x = 1 end\n"
+              "  return x\n"
+              "end");
+}
+
+TEST(Analysis, TA001AddressTakenCountsAsAssignment) {
+  // &x handed to a callee is assumed to initialize x.
+  expectClean("terra init(p: &int): int @p = 7 return 0 end\n"
+              "terra f(): int\n"
+              "  var x: int\n"
+              "  init(&x)\n"
+              "  return x\n"
+              "end");
+}
+
+TEST(Analysis, TA001LoopBackEdgeAssignmentIsQuiet) {
+  // The back edge carries the body's assignment into the loop header, so
+  // a use in iteration N>1 style code stays quiet under may-analysis.
+  expectClean("terra f(n: int): int\n"
+              "  var last: int\n"
+              "  var i = 0\n"
+              "  while i < n do\n"
+              "    last = i\n"
+              "    i = i + 1\n"
+              "  end\n"
+              "  return i\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// TA002: missing return (CFG-precise, mandatory)
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA002EmptyNonVoidBody) {
+  expectFinding("terra f(): int end", "TA002", "control can reach the end");
+}
+
+TEST(Analysis, TA002ReturnOnOneBranchOnly) {
+  expectFinding("terra f(c: bool): int\n"
+                "  if c then return 1 end\n"
+                "end",
+                "TA002", "control can reach the end");
+}
+
+TEST(Analysis, TA002IsMandatoryError) {
+  Engine E;
+  unsigned N = analyzeChunk(E, "terra f(): int end");
+  EXPECT_GT(N, 0u);
+  EXPECT_TRUE(E.diags().hasErrors()) << "TA002 must be an error, not a lint";
+}
+
+TEST(Analysis, TA002AllBranchesReturnIsQuiet) {
+  expectClean("terra f(c: bool): int\n"
+              "  if c then return 1 else return 2 end\n"
+              "end");
+}
+
+TEST(Analysis, TA002InfiniteLoopIsQuiet) {
+  // `while true` without break makes the fall-off edge unreachable; the
+  // CFG knows that even though no return statement exists.
+  expectClean("terra f(): int\n"
+              "  var i = 0\n"
+              "  while true do i = i + 1 end\n"
+              "end");
+}
+
+TEST(Analysis, TA002ConstantConditionPrunesEdges) {
+  // Staged residue: `if true` only has a then-edge, so returning inside
+  // it covers every path.
+  expectClean("terra f(): int\n"
+              "  if true then return 1 end\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// TA003: use-after-free / double-free
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA003DoubleFree) {
+  expectFinding(std::string(Stdlib) +
+                    "terra f(): int\n"
+                    "  var p = [&int](std.malloc(8))\n"
+                    "  std.free([&opaque](p))\n"
+                    "  std.free([&opaque](p))\n"
+                    "  return 0\n"
+                    "end",
+                "TA003", "may already have been freed");
+}
+
+TEST(Analysis, TA003UseAfterFree) {
+  expectFinding(std::string(Stdlib) +
+                    "terra f(): int\n"
+                    "  var p = [&int](std.malloc(8))\n"
+                    "  p[0] = 1\n"
+                    "  std.free([&opaque](p))\n"
+                    "  return p[0]\n"
+                    "end",
+                "TA003", "may be used after free");
+}
+
+TEST(Analysis, TA003FreeOnOneBranchThenUse) {
+  // Maybe-freed is a may-analysis: freeing on one path taints the join.
+  expectFinding(std::string(Stdlib) +
+                    "terra f(c: bool): int\n"
+                    "  var p = [&int](std.malloc(8))\n"
+                    "  p[0] = 1\n"
+                    "  if c then std.free([&opaque](p)) end\n"
+                    "  return p[0]\n"
+                    "end",
+                "TA003", "may be used after free");
+}
+
+TEST(Analysis, TA003ReassignmentClearsFreedState) {
+  expectClean(std::string(Stdlib) +
+              "terra f(): int\n"
+              "  var p = [&int](std.malloc(8))\n"
+              "  std.free([&opaque](p))\n"
+              "  p = [&int](std.malloc(8))\n"
+              "  p[0] = 2\n"
+              "  std.free([&opaque](p))\n"
+              "  return 0\n"
+              "end");
+}
+
+TEST(Analysis, TA003EscapedPointerIsUntracked) {
+  // Passing p to an arbitrary callee forfeits tracking: the callee may
+  // free or keep it, so later uses must stay quiet.
+  expectClean(std::string(Stdlib) +
+              "terra sink(q: &int): int return q[0] end\n"
+              "terra f(): int\n"
+              "  var p = [&int](std.malloc(8))\n"
+              "  p[0] = 3\n"
+              "  sink(p)\n"
+              "  return p[0]\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// TA004: leak on all paths
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA004StraightLineLeak) {
+  expectFinding(std::string(Stdlib) +
+                    "terra f(): int\n"
+                    "  var p = [&int](std.malloc(8))\n"
+                    "  p[0] = 1\n"
+                    "  return p[0]\n"
+                    "end",
+                "TA004", "leaks on every path");
+}
+
+TEST(Analysis, TA004LeakPastEveryReturn) {
+  expectFinding(std::string(Stdlib) +
+                    "terra f(c: bool): int\n"
+                    "  var p = [&int](std.malloc(8))\n"
+                    "  p[0] = 1\n"
+                    "  if c then return 1 end\n"
+                    "  return p[0]\n"
+                    "end",
+                "TA004", "leaks on every path");
+}
+
+TEST(Analysis, TA004FreedOnOnePathIsQuiet) {
+  // Must-analysis: leak only when NO path frees. A single freeing path
+  // (even a conditional one) suppresses the report.
+  expectClean(std::string(Stdlib) +
+              "terra f(c: bool): int\n"
+              "  var p = [&int](std.malloc(8))\n"
+              "  p[0] = 1\n"
+              "  if c then std.free([&opaque](p)) end\n"
+              "  return 0\n"
+              "end");
+}
+
+TEST(Analysis, TA004ReturnedPointerIsNotALeak) {
+  expectClean(std::string(Stdlib) +
+              "terra f(): &int\n"
+              "  var p = [&int](std.malloc(8))\n"
+              "  p[0] = 1\n"
+              "  return p\n"
+              "end");
+}
+
+TEST(Analysis, TA004FreeingAParameterIsQuiet) {
+  // Parameters were allocated by the caller; freeing (or not freeing)
+  // them is never a leak finding here.
+  expectClean(std::string(Stdlib) +
+              "terra f(p: &int): int\n"
+              "  std.free([&opaque](p))\n"
+              "  return 0\n"
+              "end\n"
+              "terra g(p: &int): int\n"
+              "  return p[0]\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticEngine: dedup and caps
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, DiagnosticsDedupByCodeAndLocation) {
+  SourceManager SM;
+  DiagnosticEngine D(&SM);
+  SourceLoc L;
+  L.Line = 3;
+  L.Column = 7;
+  D.warning("TA001", L, "variable 'x' is used before any assignment");
+  D.warning("TA001", L, "variable 'x' is used before any assignment");
+  EXPECT_EQ(D.diagnostics().size(), 1u);
+  // Same location, different code: not a duplicate.
+  D.warning("TA003", L, "pointer 'x' may be used after free");
+  EXPECT_EQ(D.diagnostics().size(), 2u);
+}
+
+TEST(Analysis, DiagnosticsMaxErrorsCap) {
+  SourceManager SM;
+  DiagnosticEngine D(&SM);
+  D.setMaxErrors(2);
+  for (unsigned I = 1; I <= 5; ++I) {
+    SourceLoc L;
+    L.Line = I;
+    D.error("TA002", L, "boom");
+  }
+  // Two real errors plus the one-time "suppressed" note.
+  unsigned Errors = 0, Notes = 0;
+  for (const Diagnostic &Diag : D.diagnostics()) {
+    if (Diag.Kind == DiagKind::Error)
+      ++Errors;
+    else
+      ++Notes;
+  }
+  EXPECT_EQ(Errors, 2u);
+  EXPECT_EQ(Notes, 1u);
+  EXPECT_NE(D.renderAll().find("further errors suppressed"),
+            std::string::npos);
+}
+
+TEST(Analysis, WerrorPromotesLintsToErrors) {
+  Engine E;
+  unsigned N = analyzeChunk(E,
+                            "terra f(): int\n"
+                            "  var x: int\n"
+                            "  return x\n"
+                            "end",
+                            /*Werror=*/true);
+  EXPECT_GT(N, 0u);
+  EXPECT_TRUE(E.diags().hasErrors()) << E.errors();
+}
+
+//===----------------------------------------------------------------------===//
+// No-false-positive sweep over the shipped example scripts
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, ExampleScriptsAreFindingFree) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(TERRACPP_SOURCE_DIR) / "examples" / "scripts";
+  ASSERT_TRUE(fs::exists(Dir));
+  unsigned Swept = 0;
+  for (const auto &Entry : fs::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".t")
+      continue;
+    Engine E;
+    orion::installHostedOrion(E); // hosted_orion.t needs the DSL library.
+    E.compiler().setAnalyzeLints(true);
+    ASSERT_TRUE(E.runFile(Entry.path().string())) << E.errors();
+    EXPECT_EQ(E.analyzeAll(), 0u)
+        << Entry.path() << " produced findings:\n"
+        << E.errors();
+    EXPECT_EQ(E.diags().warningCount(), 0u) << E.errors();
+    ++Swept;
+  }
+  EXPECT_GE(Swept, 3u) << "example corpus went missing";
+}
+
+} // namespace

@@ -48,6 +48,9 @@ void usage() {
           "  --backend=interp   use the tree-walking Terra evaluator\n"
           "  --dump-fn NAME     pretty-print terra function NAME\n"
           "  --emit-c NAME      print generated C for NAME\n"
+          "  --analyze          run the terracheck lints (TA001..TA004) over\n"
+          "                     every terra function after the script runs\n"
+          "  --analyze-werror   treat analysis findings as errors (exit 1)\n"
           "  --trace=OUT.json   record a Chrome trace of every compile phase\n"
           "                     (also via the TERRACPP_TRACE env variable)\n"
           "  --time-report      print a per-phase latency summary on exit\n"
@@ -126,6 +129,8 @@ int runRemote(const std::string &Socket, const std::string &ScriptPath,
            R.Warm ? "warm" : "cold", R.Seconds);
     for (const std::string &F : R.Functions)
       printf("  terra %s\n", F.c_str());
+    for (const std::string &W : R.Warnings)
+      fprintf(stderr, "%s", W.c_str());
   }
 
   if (!CallSpec.empty()) {
@@ -209,6 +214,7 @@ int main(int Argc, char **Argv) {
   std::string ConnectSocket, RemoteHandle, CallSpec;
   std::string TracePath;
   bool RemoteStats = false, RemoteShutdown = false, TimeReport = false;
+  bool Analyze = false, AnalyzeWerror = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -222,6 +228,11 @@ int main(int Argc, char **Argv) {
       Backend = BackendKind::Interp;
     } else if (Arg == "--backend=native") {
       Backend = BackendKind::Native;
+    } else if (Arg == "--analyze") {
+      Analyze = true;
+    } else if (Arg == "--analyze-werror") {
+      Analyze = true;
+      AnalyzeWerror = true;
     } else if (Arg == "--dump-fn" && I + 1 < Argc) {
       DumpFn = Argv[++I];
     } else if (Arg == "--emit-c" && I + 1 < Argc) {
@@ -263,6 +274,7 @@ int main(int Argc, char **Argv) {
   TraceFlusher FlushOnExit;
 
   Engine E(Backend);
+  E.compiler().setAnalyzeWerror(AnalyzeWerror);
   orion::installHostedOrion(E); // DSL-in-host demo library (paper §6.2/§8).
   for (const std::string &C : Chunks)
     if (!E.run(C, "<command line>")) {
@@ -272,6 +284,21 @@ int main(int Argc, char **Argv) {
   if (!ScriptPath.empty() && !E.runFile(ScriptPath)) {
     fprintf(stderr, "%s", E.errors().c_str());
     return 1;
+  }
+
+  if (Analyze) {
+    // Sweep every terra function the script defined, including ones the
+    // script never called (the pipeline only analyzes what it compiles).
+    unsigned Findings = E.analyzeAll();
+    fprintf(stderr, "%s", E.errors().c_str());
+    fprintf(stderr, "terracheck: %u finding%s\n", Findings,
+            Findings == 1 ? "" : "s");
+    if (E.diags().hasErrors() || (AnalyzeWerror && Findings != 0))
+      return 1;
+  } else if (E.diags().warningCount() != 0) {
+    // Pipeline-produced analysis warnings (compiles triggered while the
+    // script ran) would otherwise be silently dropped on success.
+    fprintf(stderr, "%s", E.errors().c_str());
   }
 
   if (!DumpFn.empty()) {
