@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace benchreport {
@@ -73,6 +74,19 @@ private:
   }
   std::vector<std::string> Fields;
 };
+
+/// Stamps every report with the host's parallelism so trajectory numbers
+/// are never compared across incomparable machines unknowingly: a "parallel
+/// speedup" of 1.0 on a single-core CI runner is expected, not a
+/// regression. \p PoolSize is the worker-pool size the benchmark actually
+/// used (0 = no pool involved).
+inline Json &addHostInfo(Json &Report, unsigned PoolSize = 0) {
+  unsigned HW = std::thread::hardware_concurrency();
+  Report.put("hardware_concurrency", HW);
+  Report.put("pool_size", PoolSize);
+  Report.put("single_core_host", HW <= 1);
+  return Report;
+}
 
 } // namespace benchreport
 

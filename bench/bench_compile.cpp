@@ -247,6 +247,7 @@ benchreport::Json measurePipeline() {
       E.compileAll(Fns);
       BatchSeconds = T.seconds();
       Report.put("compile_jobs", E.compiler().jit().compileJobs());
+      benchreport::addHostInfo(Report, E.compiler().jit().compileJobs());
     }
   }
   Report.put("serial_cold_seconds", SerialSeconds);

@@ -242,16 +242,19 @@ void measureAutotunePipeline() {
 void writeReport() {
   benchreport::Json Report;
   double SerialWall = 0, ParallelWall = 0, WarmWall = 0;
+  unsigned PoolSize = 0;
   std::vector<benchreport::Json> Entries;
   for (const auto &[Label, R] : tuneLog()) {
     Entries.push_back(tuneEntry(Label, R));
     if (Label == "dgemm_serial_baseline")
       SerialWall = R.SearchSeconds;
-    else if (Label == "dgemm_parallel")
+    else if (Label == "dgemm_parallel") {
       ParallelWall = R.SearchSeconds;
-    else if (Label == "dgemm_warm_cache")
+      PoolSize = R.CompileJobs;
+    } else if (Label == "dgemm_warm_cache")
       WarmWall = R.SearchSeconds;
   }
+  benchreport::addHostInfo(Report, PoolSize);
   Report.put("autotune_serial_wall_seconds", SerialWall)
       .put("autotune_parallel_wall_seconds", ParallelWall)
       .put("autotune_speedup_vs_serial",

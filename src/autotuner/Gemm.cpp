@@ -291,7 +291,11 @@ TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
   telemetry::Histogram &VariantRunUs =
       telemetry::Registry::global().histogram("autotune.variant_run_us");
   for (const Candidate &C : Candidates) {
-    if (!C.Fn->RawPtr)
+    // Under tiered execution compileAll leaves RawPtr null (functions start
+    // on the tier-0 VM); rawPointer forces native promotion, and is a no-op
+    // when the batch pipeline already produced machine code.
+    void *Raw = E.rawPointer(C.Fn);
+    if (!Raw)
       continue;
     trace::TraceSpan Span("variant_run", "autotune");
     Span.arg("params", "NB=" + std::to_string(C.P.NB) +
@@ -299,14 +303,14 @@ TuneResult autotuner::tuneGemm(Engine &E, Type *ElemTy, int64_t TestN,
                            " RN=" + std::to_string(C.P.RN) +
                            " V=" + std::to_string(C.P.V));
     telemetry::ScopedTimerUs RunT(VariantRunUs);
-    double GF = IsFloat ? timeGemm(C.Fn->RawPtr, TestN, Af, Bf, Cf)
-                        : timeGemm(C.Fn->RawPtr, TestN, Ad, Bd, Cd);
+    double GF = IsFloat ? timeGemm(Raw, TestN, Af, Bf, Cf)
+                        : timeGemm(Raw, TestN, Ad, Bd, Cd);
     Result.Trials.emplace_back(C.P, GF);
     if (GF > Result.BestGFlops) {
       Result.BestGFlops = GF;
       Result.Best = C.P;
       Result.Fn = C.Fn;
-      Result.RawFn = C.Fn->RawPtr;
+      Result.RawFn = Raw;
     }
   }
   Result.SearchSeconds = SearchT.seconds();

@@ -331,9 +331,12 @@ static bool codeAddressOf(Engine &E, TerraFunction *Fn, void *&Out) {
     Out = Fn;
     return true;
   }
-  if (!E.compiler().ensureCompiled(Fn) || !Fn->RawPtr)
+  // vtable slots hold machine addresses that generated code calls through,
+  // so under tiered execution this forces native promotion.
+  void *Raw = E.compiler().nativePointer(Fn);
+  if (!Raw)
     return false;
-  Out = Fn->RawPtr;
+  Out = Raw;
   return true;
 }
 

@@ -18,13 +18,20 @@ BackendKind Engine::defaultBackend() {
   const char *Env = getenv("TERRACPP_BACKEND");
   if (Env && std::string(Env) == "interp")
     return BackendKind::Interp;
+  // TERRACPP_JIT_TIER=0 pins execution to tier 0 (bytecode VM, tree-walker
+  // fallback); "auto" resolves to Native + TierPolicy::Auto in the
+  // constructor via tierPolicyFromEnv().
+  const char *TierEnv = getenv("TERRACPP_JIT_TIER");
+  if (TierEnv && std::string(TierEnv) == "0")
+    return BackendKind::Interp;
   return BackendKind::Native;
 }
 
 Engine::Engine(BackendKind Backend) : Diags(&SM) {
   TCtx = std::make_unique<TerraContext>(Diags);
   I = std::make_unique<Interp>(*TCtx, Diags);
-  Comp = std::make_unique<TerraCompiler>(*TCtx, *I, Backend);
+  Comp = std::make_unique<TerraCompiler>(*TCtx, *I, Backend,
+                                         tierPolicyFromEnv());
   // Wire the interpreter to the compiler.
   TerraCompiler *CompP = Comp.get();
   I->hooks().Typecheck = [CompP](TerraFunction *F) {
@@ -103,9 +110,10 @@ void *Engine::rawPointer(const std::string &GlobalName) {
 }
 
 void *Engine::rawPointer(TerraFunction *F) {
-  if (!Comp->ensureCompiled(F))
-    return nullptr;
-  return F->RawPtr;
+  // Under tiered execution this forces promotion to native code: a raw
+  // pointer handed to the host must be a machine address, never a tier-0
+  // handle.
+  return Comp->nativePointer(F);
 }
 
 bool Engine::compileAll(const std::vector<TerraFunction *> &Fns) {

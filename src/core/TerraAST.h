@@ -490,6 +490,14 @@ public:
 /// result slot (ignored for void).
 using EntryThunk = std::function<void(void **Args, void *Ret)>;
 
+namespace bytecode {
+struct Function;
+} // namespace bytecode
+
+/// Per-function tiered-execution profile (TerraTier.h). Present only when
+/// the compiler runs with TierPolicy::Auto.
+struct TierState;
+
 /// A Terra function: declaration, definition, typechecking state, and
 /// compiled artifacts. Matches the paper's tdecl/ter split — a function can
 /// be declared (undefined) and defined exactly once later, which is what
@@ -540,6 +548,13 @@ public:
   // Compiled artifacts (either backend).
   void *RawPtr = nullptr;
   EntryThunk Entry;
+
+  /// Tier-0 bytecode (TerraBytecode.h); null when the function uses a
+  /// construct the bytecode compiler does not model. Immutable once set.
+  std::shared_ptr<const bytecode::Function> Bytecode;
+  /// Tiered-execution state: call/back-edge counters and the atomically
+  /// patched native entry. Null outside TierPolicy::Auto.
+  std::shared_ptr<TierState> Tier;
 
   /// Static analysis (terracheck) has run over the typechecked body; the
   /// compile pipeline analyzes each function once even when it is reachable

@@ -3,6 +3,7 @@
 #include "analysis/Analysis.h"
 #include "core/CBackend.h"
 #include "core/LuaInterp.h"
+#include "core/TerraBytecode.h"
 #include "core/TerraInterpBackend.h"
 #include "core/TerraPasses.h"
 #include "core/TerraType.h"
@@ -34,10 +35,14 @@ extern "C" void terracpp_hostcall_trampoline(void *Ctx, uint64_t ClosureId,
 // TerraCompiler
 //===----------------------------------------------------------------------===//
 
-TerraCompiler::TerraCompiler(TerraContext &Ctx, Interp &I, BackendKind Backend)
-    : Ctx(Ctx), I(I), Backend(Backend), TC(Ctx, I), JIT(Ctx.diags()),
+TerraCompiler::TerraCompiler(TerraContext &Ctx, Interp &I, BackendKind Backend,
+                             TierPolicy Tier)
+    : Ctx(Ctx), I(I), Backend(Backend), Tier(Tier), TC(Ctx, I),
+      JIT(Ctx.diags()),
       AnalyzeLints(analysis::AnalyzeOptions::lintsEnabledFromEnv()) {
-  if (Backend == BackendKind::Interp)
+  if (Backend == BackendKind::Native && Tier == TierPolicy::Auto)
+    Tiers = std::make_unique<TierManager>(JIT);
+  if (Backend == BackendKind::Interp || Tiers)
     InterpBackend = std::make_unique<TerraInterpBackend>(Ctx, *this);
 }
 
@@ -65,7 +70,11 @@ TerraCompiler::~TerraCompiler() = default;
 
 void TerraCompiler::collectComponent(TerraFunction *F,
                                      std::vector<TerraFunction *> &Component) {
-  if (F->isCompiled())
+  // Under Auto, a tier-0 function (Entry installed, no native address yet)
+  // must be re-emitted into dependent modules; only a real RawPtr can be
+  // baked as a callee address.
+  bool AlreadyUsable = Tiers ? F->RawPtr != nullptr : F->isCompiled();
+  if (AlreadyUsable)
     return;
   if (std::find(Component.begin(), Component.end(), F) != Component.end())
     return;
@@ -126,6 +135,16 @@ bool TerraCompiler::ensureCompiled(TerraFunction *F) {
   }
   if (Source.empty())
     return false;
+  if (Tiers) {
+    // Tiered execution: no C compiler on the critical path. Park the
+    // generated module for background promotion and start on the VM now.
+    installTier0(std::move(Source), !CB.lastModuleBakedAddresses(),
+                 Component);
+    Timing.CodegenSeconds += T.seconds();
+    ++Timing.ModulesCompiled;
+    Timing.FunctionsCompiled += Component.size();
+    return true;
+  }
   bool OK = JIT.addModule(Source, Component, !CB.lastModuleBakedAddresses());
   Timing.CodegenSeconds += T.seconds();
   if (OK) {
@@ -135,11 +154,88 @@ bool TerraCompiler::ensureCompiled(TerraFunction *F) {
   return OK;
 }
 
+void TerraCompiler::installTier0(std::string Source, bool Cacheable,
+                                 const std::vector<TerraFunction *> &Component) {
+  Tiers->registerComponent(std::move(Source), Cacheable, Component);
+  for (TerraFunction *Fn : Component) {
+    if (!Fn->Bytecode && !Fn->HostClosure)
+      Fn->Bytecode = bytecode::compile(Ctx, Fn);
+    if (Fn->Entry || !Fn->Tier)
+      continue; // dispatcher already installed, or pre-tiering native code
+    std::shared_ptr<TierState> TS = Fn->Tier;
+    TerraCompiler *Self = this;
+    TerraFunction *FnP = Fn;
+    Fn->Entry = [Self, FnP, TS](void **Args, void *Ret) {
+      // Acquire pairs with the promotion job's release store: a non-null
+      // entry implies the dlopen'd code behind it is fully visible.
+      if (void *NE = TS->NativeEntry.load(std::memory_order_acquire)) {
+        Self->LastCallTier.store(1, std::memory_order_relaxed);
+        Self->Tiers->noteTier1Call();
+        reinterpret_cast<void (*)(void **, void *)>(NE)(Args, Ret);
+        return;
+      }
+      Self->LastCallTier.store(0, std::memory_order_relaxed);
+      Self->Tiers->noteTier0Call(*TS);
+      uint64_t BackEdges = 0;
+      Self->InterpBackend->execute(FnP, Args, Ret, &BackEdges);
+      Self->Tiers->noteBackEdges(*TS, BackEdges);
+    };
+  }
+}
+
+void *TerraCompiler::nativePointer(TerraFunction *F) {
+  if (F->RawPtr)
+    return F->RawPtr;
+  if (!ensureCompiled(F))
+    return nullptr;
+  if (F->RawPtr || !Tiers || !F->Tier)
+    return F->RawPtr;
+  // Tier-0 handle: force native code. The background job may already have
+  // landed it (or be mid-flight, in which case forceNative waits).
+  if (void *Raw = F->Tier->NativeRaw.load(std::memory_order_acquire)) {
+    F->RawPtr = Raw;
+    RawToFn[Raw] = F;
+    return Raw;
+  }
+  std::shared_ptr<PendingComponent> C = std::atomic_load(&F->Tier->Component);
+  if (!C)
+    return nullptr;
+  if (!Tiers->forceNative(*C)) {
+    std::string Err;
+    {
+      std::lock_guard<std::mutex> Lock(C->M);
+      Err = C->Error;
+    }
+    Ctx.diags().error(SourceLoc(),
+                      Err.empty() ? "tier promotion failed for function '" +
+                                        F->Name + "'"
+                                  : Err);
+    return nullptr;
+  }
+  // Publish RawPtr for everything that landed with this component (main
+  // thread only; background jobs never write RawPtr).
+  for (const PendingComponent::Slot &S : C->Slots) {
+    if (!S.Fn->RawPtr)
+      S.Fn->RawPtr = S.TS->NativeRaw.load(std::memory_order_acquire);
+    if (S.Fn->RawPtr)
+      RawToFn[S.Fn->RawPtr] = S.Fn;
+  }
+  if (!F->RawPtr)
+    F->RawPtr = F->Tier->NativeRaw.load(std::memory_order_acquire);
+  if (F->RawPtr)
+    RawToFn[F->RawPtr] = F;
+  return F->RawPtr;
+}
+
 bool TerraCompiler::compileAll(const std::vector<TerraFunction *> &Roots) {
-  if (Backend == BackendKind::Interp) {
+  if (Backend == BackendKind::Interp || Tiers) {
+    // Interp: nothing to batch. Auto: ensureCompiled is already cheap (no
+    // C compiler on the critical path); promotion parallelism happens in
+    // the background worker instead of an addModules batch.
     bool AllOK = true;
     for (TerraFunction *F : Roots)
-      AllOK &= ensureCompiled(F);
+      if (F)
+        AllOK &= ensureCompiled(F);
     return AllOK;
   }
 
@@ -322,9 +418,12 @@ bool TerraCompiler::marshalValue(const Value &V, Type *Ty, void *Dst,
     }
     if (V.isTerraFn() && PT->pointee()->isFunction()) {
       TerraFunction *Fn = V.asTerraFn();
-      if (!ensureCompiled(Fn) || !Fn->RawPtr)
+      // Native code receives a machine address; under tiering this forces
+      // promotion (a tier-0 handle must never escape as a pointer).
+      void *Raw = nativePointer(Fn);
+      if (!Raw)
         return false;
-      *static_cast<void **>(Dst) = Fn->RawPtr;
+      *static_cast<void **>(Dst) = Raw;
       return true;
     }
     return Err(std::string("cannot convert ") + V.typeName() + " to " +
@@ -334,9 +433,10 @@ bool TerraCompiler::marshalValue(const Value &V, Type *Ty, void *Dst,
   if (Ty->isFunction()) {
     if (V.isTerraFn()) {
       TerraFunction *Fn = V.asTerraFn();
-      if (!ensureCompiled(Fn) || !Fn->RawPtr)
+      void *Raw = nativePointer(Fn);
+      if (!Raw)
         return false;
-      *static_cast<void **>(Dst) = Fn->RawPtr;
+      *static_cast<void **>(Dst) = Raw;
       return true;
     }
     return Err("expected a terra function");
@@ -477,7 +577,17 @@ bool TerraCompiler::callFromHost(TerraFunction *F, std::vector<Value> &Args,
   uintptr_t RP = reinterpret_cast<uintptr_t>(RetSlot.data());
   void *Ret = reinterpret_cast<void *>((RP + 31) & ~static_cast<uintptr_t>(31));
 
+  // Under Auto the tiered dispatcher overwrites this with the tier it
+  // actually took; otherwise the backend choice is the tier.
+  LastCallTier.store(Backend == BackendKind::Interp ? 0 : 1,
+                     std::memory_order_relaxed);
+  // A runtime trap on the interpreted tiers (division by zero, nil deref)
+  // surfaces as a new diagnostic rather than a return code — the entry
+  // thunk signature is shared with native code, which has none.
+  unsigned ErrsBefore = Ctx.diags().errorCount();
   F->Entry(ArgPtrs.data(), Ret);
+  if (Ctx.diags().errorCount() != ErrsBefore)
+    return false;
 
   if (!R->isVoid())
     Results.push_back(unmarshalValue(R, Ret));

@@ -15,8 +15,10 @@
 #include "core/LuaValue.h"
 #include "core/TerraAST.h"
 #include "core/TerraJIT.h"
+#include "core/TerraTier.h"
 #include "core/TerraTypecheck.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 
@@ -33,12 +35,25 @@ enum class BackendKind {
 class TerraCompiler {
 public:
   TerraCompiler(TerraContext &Ctx, lua::Interp &I,
-                BackendKind Backend = BackendKind::Native);
+                BackendKind Backend = BackendKind::Native,
+                TierPolicy Tier = TierPolicy::Tier1);
   ~TerraCompiler();
 
   Typechecker &typechecker() { return TC; }
   JITEngine &jit() { return JIT; }
   BackendKind backend() const { return Backend; }
+  TierPolicy tierPolicy() const { return Tier; }
+
+  /// The tier-promotion manager; null unless running under
+  /// TierPolicy::Auto with the native backend.
+  TierManager *tierManager() { return Tiers.get(); }
+
+  /// The tier (0 = interpreted/VM, 1 = native) that executed the most
+  /// recent host-initiated call; -1 before any call. Monitoring only
+  /// (terrad echoes it in call responses); approximate under concurrency.
+  int lastCallTier() const {
+    return LastCallTier.load(std::memory_order_relaxed);
+  }
 
   /// Static-analysis policy for the compile pipeline. Lints default to the
   /// TERRACPP_ANALYZE environment setting; the missing-return check always
@@ -49,8 +64,28 @@ public:
   bool analyzeWerror() const { return AnalyzeWerror; }
 
   /// Typechecks, optimizes, and compiles F (and its connected component).
-  /// Idempotent; false on failure.
+  /// Under TierPolicy::Auto "compiled" means runnable: the function gets a
+  /// tier-0 dispatcher entry immediately and native code arrives in the
+  /// background. Idempotent; false on failure.
   bool ensureCompiled(TerraFunction *F);
+
+  /// Returns \p F's native machine-code address, compiling synchronously if
+  /// needed (under TierPolicy::Auto this forces promotion of the
+  /// function's component, waiting for an in-flight background job). Null
+  /// on failure. This is what function-pointer marshalling and
+  /// Engine::rawPointer use — native code must never receive a tier-0
+  /// handle as a function pointer.
+  void *nativePointer(TerraFunction *F);
+
+  /// Reverse of nativePointer: maps a machine address it returned back to
+  /// the function; null for unknown addresses. Under TierPolicy::Auto
+  /// materialized function values are machine addresses everywhere (so
+  /// native code can call the same bits), and the tier-0 engines use this
+  /// to dispatch indirect calls through them.
+  TerraFunction *functionForRawPtr(const void *P) const {
+    auto It = RawToFn.find(P);
+    return It == RawToFn.end() ? nullptr : It->second;
+  }
 
   /// Batch variant of ensureCompiled: typechecks and generates code for
   /// every root's connected component serially (the frontend is
@@ -108,16 +143,32 @@ public:
   bool analyzeComponent(const std::vector<TerraFunction *> &Component);
 
 private:
-  /// Collects the not-yet-compiled connected component rooted at F.
+  /// Collects the not-yet-compiled connected component rooted at F. Under
+  /// TierPolicy::Auto membership is keyed on RawPtr rather than
+  /// isCompiled(): a tier-0 function has an Entry but no native address, so
+  /// dependent modules must re-emit its definition (benign under
+  /// RTLD_LOCAL) instead of baking an address that does not exist.
   void collectComponent(TerraFunction *F,
                         std::vector<TerraFunction *> &Component);
+
+  /// Tier-0 installation for a freshly generated component: parks the C
+  /// source with the TierManager, compiles each function to bytecode, and
+  /// installs the tiered dispatcher Entry.
+  void installTier0(std::string Source, bool Cacheable,
+                    const std::vector<TerraFunction *> &Component);
 
   TerraContext &Ctx;
   lua::Interp &I;
   BackendKind Backend;
+  TierPolicy Tier;
   Typechecker TC;
   JITEngine JIT;
+  /// Declared after JIT: destroyed first, joining the promotion worker
+  /// while the JIT it uses is still alive.
+  std::unique_ptr<TierManager> Tiers;
   std::unique_ptr<TerraInterpBackend> InterpBackend;
+  std::atomic<int> LastCallTier{-1};
+  std::map<const void *, TerraFunction *> RawToFn;
 
   struct HostClosureInfo {
     std::shared_ptr<lua::Closure> Closure;

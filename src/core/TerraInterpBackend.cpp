@@ -1,9 +1,13 @@
 #include "core/TerraInterpBackend.h"
 
 #include "core/TerraCompiler.h"
+#include "core/TerraExternDispatch.h"
+#include "core/TerraJIT.h"
 #include "core/TerraType.h"
+#include "core/TerraVM.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -13,147 +17,16 @@ using namespace terracpp;
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Scalar helpers
+// Scalar helpers (shared with the tier-0 VM; see TerraExternDispatch.h)
 //===----------------------------------------------------------------------===//
 
-/// Reads a scalar of prim kind PK from memory as the widest compatible
-/// representation.
-double loadAsDouble(PrimType::PrimKind PK, const void *P) {
-  switch (PK) {
-  case PrimType::Bool:
-    return *static_cast<const uint8_t *>(P) ? 1 : 0;
-  case PrimType::Int8:
-    return *static_cast<const int8_t *>(P);
-  case PrimType::Int16:
-    return *static_cast<const int16_t *>(P);
-  case PrimType::Int32:
-    return *static_cast<const int32_t *>(P);
-  case PrimType::Int64:
-    return static_cast<double>(*static_cast<const int64_t *>(P));
-  case PrimType::UInt8:
-    return *static_cast<const uint8_t *>(P);
-  case PrimType::UInt16:
-    return *static_cast<const uint16_t *>(P);
-  case PrimType::UInt32:
-    return *static_cast<const uint32_t *>(P);
-  case PrimType::UInt64:
-    return static_cast<double>(*static_cast<const uint64_t *>(P));
-  case PrimType::Float32:
-    return *static_cast<const float *>(P);
-  case PrimType::Float64:
-    return *static_cast<const double *>(P);
-  case PrimType::Void:
-    return 0;
-  }
-  return 0;
-}
-
-int64_t loadAsInt(PrimType::PrimKind PK, const void *P) {
-  switch (PK) {
-  case PrimType::Bool:
-    return *static_cast<const uint8_t *>(P) ? 1 : 0;
-  case PrimType::Int8:
-    return *static_cast<const int8_t *>(P);
-  case PrimType::Int16:
-    return *static_cast<const int16_t *>(P);
-  case PrimType::Int32:
-    return *static_cast<const int32_t *>(P);
-  case PrimType::Int64:
-    return *static_cast<const int64_t *>(P);
-  case PrimType::UInt8:
-    return *static_cast<const uint8_t *>(P);
-  case PrimType::UInt16:
-    return *static_cast<const uint16_t *>(P);
-  case PrimType::UInt32:
-    return *static_cast<const uint32_t *>(P);
-  case PrimType::UInt64:
-    return static_cast<int64_t>(*static_cast<const uint64_t *>(P));
-  case PrimType::Float32:
-    return static_cast<int64_t>(*static_cast<const float *>(P));
-  case PrimType::Float64:
-    return static_cast<int64_t>(*static_cast<const double *>(P));
-  case PrimType::Void:
-    return 0;
-  }
-  return 0;
-}
-
-void storeFromDouble(PrimType::PrimKind PK, void *P, double V) {
-  switch (PK) {
-  case PrimType::Bool:
-    *static_cast<uint8_t *>(P) = V != 0;
-    return;
-  case PrimType::Int8:
-    *static_cast<int8_t *>(P) = static_cast<int8_t>(V);
-    return;
-  case PrimType::Int16:
-    *static_cast<int16_t *>(P) = static_cast<int16_t>(V);
-    return;
-  case PrimType::Int32:
-    *static_cast<int32_t *>(P) = static_cast<int32_t>(V);
-    return;
-  case PrimType::Int64:
-    *static_cast<int64_t *>(P) = static_cast<int64_t>(V);
-    return;
-  case PrimType::UInt8:
-    *static_cast<uint8_t *>(P) = static_cast<uint8_t>(V);
-    return;
-  case PrimType::UInt16:
-    *static_cast<uint16_t *>(P) = static_cast<uint16_t>(V);
-    return;
-  case PrimType::UInt32:
-    *static_cast<uint32_t *>(P) = static_cast<uint32_t>(V);
-    return;
-  case PrimType::UInt64:
-    *static_cast<uint64_t *>(P) = static_cast<uint64_t>(V);
-    return;
-  case PrimType::Float32:
-    *static_cast<float *>(P) = static_cast<float>(V);
-    return;
-  case PrimType::Float64:
-    *static_cast<double *>(P) = V;
-    return;
-  case PrimType::Void:
-    return;
-  }
-}
+using interpruntime::loadAsDouble;
+using interpruntime::loadAsInt;
+using interpruntime::storeFromDouble;
+using interpruntime::storeFromInt;
 
 size_t PrimSizeOf(PrimType::PrimKind PK) {
-  switch (PK) {
-  case PrimType::Bool:
-  case PrimType::Int8:
-  case PrimType::UInt8:
-    return 1;
-  case PrimType::Int16:
-  case PrimType::UInt16:
-    return 2;
-  case PrimType::Int32:
-  case PrimType::UInt32:
-  case PrimType::Float32:
-    return 4;
-  default:
-    return 8;
-  }
-}
-
-void storeFromInt(PrimType::PrimKind PK, void *P, int64_t V) {
-  switch (PK) {
-  case PrimType::Float32:
-    *static_cast<float *>(P) = static_cast<float>(V);
-    return;
-  case PrimType::Float64:
-    *static_cast<double *>(P) = static_cast<double>(V);
-    return;
-  default:
-    storeFromDouble(PK, P, static_cast<double>(V));
-    // Integer stores through double would lose precision for wide ints:
-    // handle 64-bit kinds exactly.
-    if (PK == PrimType::Int64)
-      *static_cast<int64_t *>(P) = V;
-    else if (PK == PrimType::UInt64)
-      *static_cast<uint64_t *>(P) = static_cast<uint64_t>(V);
-    return;
-  }
+  return interpruntime::primSizeOf(PK);
 }
 
 //===----------------------------------------------------------------------===//
@@ -718,6 +591,17 @@ bool TEval::evalExpr(const TerraExpr *E, void *Dst) {
   }
   case TerraNode::NK_FuncLit: {
     const TerraFunction *F = cast<FuncLitExpr>(E)->Fn;
+    if (Comp.tierManager()) {
+      // Tiered execution: materialized function values are machine
+      // addresses everywhere (native code may call through the same bits),
+      // so taking a function's value promotes it.
+      void *P = Comp.nativePointer(const_cast<TerraFunction *>(F));
+      if (!P)
+        return fail(E->loc(),
+                    "cannot take the address of function '" + F->Name + "'");
+      memcpy(Dst, &P, sizeof(void *));
+      return true;
+    }
     memcpy(Dst, &F, sizeof(void *));
     return true;
   }
@@ -906,6 +790,15 @@ bool TEval::evalExpr(const TerraExpr *E, void *Dst) {
       memcpy(&F, P, sizeof(void *));
       if (!F)
         return fail(E->loc(), "null function pointer call");
+      if (Comp.tierManager()) {
+        // Under tiered execution the value is a machine address; map it
+        // back to the function so the call dispatches through its entry.
+        const TerraFunction *MF = Comp.functionForRawPtr(F);
+        if (!MF)
+          return fail(E->loc(),
+                      "call through unknown function pointer in interpreter");
+        F = MF;
+      }
     }
     return callFunction(F, A, Dst);
   }
@@ -997,184 +890,10 @@ bool TEval::callFunction(const TerraFunction *F, const ApplyExpr *A,
 bool TEval::dispatchExtern(const TerraFunction *F, void **Args,
                            const std::vector<Type *> &ArgTypes, void *Ret,
                            SourceLoc Loc) {
-  const std::string &N = F->ExternName;
-  auto P = [&](unsigned I) {
-    void *V;
-    memcpy(&V, Args[I], 8);
-    return V;
-  };
-  auto I64 = [&](unsigned I) {
-    int64_t V;
-    memcpy(&V, Args[I], 8);
-    return V;
-  };
-  auto I32 = [&](unsigned I) {
-    int32_t V;
-    memcpy(&V, Args[I], 4);
-    return V;
-  };
-  auto F64 = [&](unsigned I) {
-    double V;
-    memcpy(&V, Args[I], 8);
-    return V;
-  };
-  auto F32 = [&](unsigned I) {
-    float V;
-    memcpy(&V, Args[I], 4);
-    return V;
-  };
-  auto RetP = [&](void *V) { memcpy(Ret, &V, 8); };
-  auto RetF64 = [&](double V) { memcpy(Ret, &V, 8); };
-  auto RetF32 = [&](float V) { memcpy(Ret, &V, 4); };
-  auto RetI32 = [&](int32_t V) { memcpy(Ret, &V, 4); };
-
-  if (N == "malloc") {
-    RetP(malloc(static_cast<size_t>(I64(0))));
+  std::string Err;
+  if (interpruntime::dispatchExtern(F, Args, ArgTypes, Ret, Err))
     return true;
-  }
-  if (N == "calloc") {
-    RetP(calloc(static_cast<size_t>(I64(0)), static_cast<size_t>(I64(1))));
-    return true;
-  }
-  if (N == "realloc") {
-    RetP(realloc(P(0), static_cast<size_t>(I64(1))));
-    return true;
-  }
-  if (N == "free") {
-    free(P(0));
-    return true;
-  }
-  if (N == "memcpy") {
-    RetP(memcpy(P(0), P(1), static_cast<size_t>(I64(2))));
-    return true;
-  }
-  if (N == "memset") {
-    RetP(memset(P(0), I32(1), static_cast<size_t>(I64(2))));
-    return true;
-  }
-  if (N == "strlen") {
-    int64_t L = static_cast<int64_t>(strlen(static_cast<const char *>(P(0))));
-    memcpy(Ret, &L, 8);
-    return true;
-  }
-  if (N == "puts") {
-    RetI32(puts(static_cast<const char *>(P(0))));
-    return true;
-  }
-  if (N == "putchar") {
-    RetI32(putchar(I32(0)));
-    return true;
-  }
-  if (N == "sqrt") {
-    RetF64(sqrt(F64(0)));
-    return true;
-  }
-  if (N == "sqrtf") {
-    RetF32(sqrtf(F32(0)));
-    return true;
-  }
-  if (N == "sin") {
-    RetF64(sin(F64(0)));
-    return true;
-  }
-  if (N == "cos") {
-    RetF64(cos(F64(0)));
-    return true;
-  }
-  if (N == "exp") {
-    RetF64(exp(F64(0)));
-    return true;
-  }
-  if (N == "log") {
-    RetF64(log(F64(0)));
-    return true;
-  }
-  if (N == "pow") {
-    RetF64(pow(F64(0), F64(1)));
-    return true;
-  }
-  if (N == "fabs") {
-    RetF64(fabs(F64(0)));
-    return true;
-  }
-  if (N == "floor") {
-    RetF64(floor(F64(0)));
-    return true;
-  }
-  if (N == "ceil") {
-    RetF64(ceil(F64(0)));
-    return true;
-  }
-  if (N == "fmod") {
-    RetF64(fmod(F64(0), F64(1)));
-    return true;
-  }
-  if (N == "printf") {
-    // Minimal printf: interpret %d %lld %f %g %s %c %% with the declared
-    // argument types (the registry types printf as a fixed signature).
-    const char *Fmt = static_cast<const char *>(P(0));
-    std::string Out;
-    unsigned ArgI = 1;
-    unsigned NumArgs = ArgTypes.size();
-    for (const char *C = Fmt; *C; ++C) {
-      if (*C != '%') {
-        Out += *C;
-        continue;
-      }
-      ++C;
-      if (*C == '%') {
-        Out += '%';
-        continue;
-      }
-      std::string Spec = "%";
-      while (*C && !strchr("diufgesc", *C)) {
-        Spec += *C;
-        ++C;
-      }
-      if (!*C)
-        break;
-      Spec += *C;
-      char Buf[128];
-      if (ArgI >= NumArgs) {
-        Out += Spec;
-        continue;
-      }
-      Type *AT = ArgTypes[ArgI];
-      switch (*C) {
-      case 'd':
-      case 'i':
-      case 'u':
-        snprintf(Buf, sizeof(Buf), "%lld",
-                 static_cast<long long>(
-                     loadAsInt(cast<PrimType>(AT)->primKind(), Args[ArgI])));
-        Out += Buf;
-        break;
-      case 'f':
-      case 'g':
-      case 'e':
-        snprintf(Buf, sizeof(Buf), Spec.c_str(),
-                 loadAsDouble(cast<PrimType>(AT)->primKind(), Args[ArgI]));
-        Out += Buf;
-        break;
-      case 's': {
-        void *SP;
-        memcpy(&SP, Args[ArgI], 8);
-        Out += SP ? static_cast<const char *>(SP) : "(null)";
-        break;
-      }
-      case 'c':
-        Out += static_cast<char>(
-            loadAsInt(cast<PrimType>(AT)->primKind(), Args[ArgI]));
-        break;
-      }
-      ++ArgI;
-    }
-    fputs(Out.c_str(), stdout);
-    RetI32(static_cast<int32_t>(Out.size()));
-    return true;
-  }
-  return fail(Loc, "extern function '" + N +
-                       "' is not available in the interpreter backend");
+  return fail(Loc, Err);
 }
 
 } // namespace
@@ -1185,16 +904,45 @@ bool TEval::dispatchExtern(const TerraFunction *F, void **Args,
 
 TerraInterpBackend::TerraInterpBackend(TerraContext &Ctx,
                                        TerraCompiler &Compiler)
-    : Ctx(Ctx), Compiler(Compiler) {}
+    : Ctx(Ctx), Compiler(Compiler),
+      MDispatchUs(Compiler.jit().metrics().histogram("vm.dispatch_us")),
+      MBackEdges(Compiler.jit().metrics().counter("vm.backedges")) {
+  const char *E = std::getenv("TERRACPP_INTERP");
+  ForceTree = E && std::string(E) == "tree";
+}
+
+bool TerraInterpBackend::execute(const TerraFunction *F, void **Args,
+                                 void *Ret, uint64_t *BackEdges) {
+  if (BackEdges)
+    *BackEdges = 0;
+  // Host closures carry no Body; the engines below would have nothing to
+  // run. (Reached when a closure lands in a tiered component.)
+  if (F->HostClosure)
+    return Compiler.invokeHostClosure(F->HostClosureId, Args, Ret);
+  if (!ForceTree && F->Bytecode) {
+    vm::ExecEnv Env(Ctx, Compiler);
+    bool OK;
+    {
+      telemetry::ScopedTimerUs T(MDispatchUs);
+      OK = vm::run(*F->Bytecode, Args, Ret, Env);
+    }
+    if (Env.BackEdges) {
+      MBackEdges.inc(Env.BackEdges);
+      if (BackEdges)
+        *BackEdges = Env.BackEdges;
+    }
+    return OK;
+  }
+  TEval Eval(Ctx, Compiler);
+  return Eval.runFunction(F, Args, Ret);
+}
 
 bool TerraInterpBackend::prepare(TerraFunction *F) {
+  if (!F->Bytecode)
+    F->Bytecode = bytecode::compile(Ctx, F);
   if (F->Entry)
     return true;
-  TerraContext *CtxP = &Ctx;
-  TerraCompiler *CompP = &Compiler;
-  F->Entry = [CtxP, CompP, F](void **Args, void *Ret) {
-    TEval Eval(*CtxP, *CompP);
-    Eval.runFunction(F, Args, Ret);
-  };
+  TerraInterpBackend *Self = this;
+  F->Entry = [Self, F](void **Args, void *Ret) { Self->execute(F, Args, Ret); };
   return true;
 }

@@ -409,6 +409,57 @@ bool JITEngine::addModule(const std::string &CSource,
   return loadModule(Job, Outcome);
 }
 
+bool JITEngine::compileAndResolve(const std::string &CSource, bool Cacheable,
+                                  const std::vector<std::string> &Syms,
+                                  std::vector<ResolvedFn> &Out,
+                                  std::string &Err) {
+  trace::TraceSpan Span("compileAndResolve", "backend");
+  CompileOutcome Outcome =
+      compileSource(CSource, Cacheable, /*SkipCacheLookup=*/false);
+  if (!Outcome.OK) {
+    Err = "C compiler failed for generated module:\n" + Outcome.Message;
+    return false;
+  }
+
+  void *Handle = dlopen(Outcome.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle && Outcome.FromCache) {
+    // Same corrupted-cache-entry recovery as loadModule: evict and rebuild.
+    ::unlink(Outcome.SoPath.c_str());
+    Outcome = compileSource(CSource, Cacheable, /*SkipCacheLookup=*/true);
+    if (!Outcome.OK) {
+      Err = "C compiler failed for generated module:\n" + Outcome.Message;
+      return false;
+    }
+    Handle = dlopen(Outcome.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  }
+  if (!Handle) {
+    const char *DLErr = dlerror();
+    Err = std::string("dlopen failed for generated module: ") +
+          (DLErr ? DLErr : "unknown error");
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Handles.push_back(Handle);
+  }
+  MModulesLoaded.inc();
+
+  Out.clear();
+  Out.reserve(Syms.size());
+  for (const std::string &Name : Syms) {
+    ResolvedFn R;
+    R.Raw = dlsym(Handle, Name.c_str());
+    R.Entry = dlsym(Handle, (Name + "_entry").c_str());
+    if (!R.Raw || !R.Entry) {
+      Err = "dlsym failed for '" + Name + "' in generated module";
+      return false;
+    }
+    Out.push_back(R);
+  }
+  return true;
+}
+
 bool JITEngine::addModules(std::vector<ModuleJob> Jobs_) {
   if (Jobs_.empty())
     return true;

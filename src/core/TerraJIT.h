@@ -70,6 +70,23 @@ public:
   /// Jobs fail independently; returns true only if all succeeded.
   bool addModules(std::vector<ModuleJob> Jobs);
 
+  /// One symbol pair resolved by compileAndResolve: the raw function
+  /// pointer and its FFI entry thunk (symbol + "_entry",
+  /// void(*)(void **Args, void *Ret)).
+  struct ResolvedFn {
+    void *Raw = nullptr;
+    void *Entry = nullptr;
+  };
+
+  /// Compiles \p CSource and resolves each mangled symbol in \p Syms to its
+  /// raw/entry pointer pair, without touching any TerraFunction. Unlike
+  /// addModule this never reports through the DiagnosticEngine — failures
+  /// land in \p Err — so it is safe from the tier-promotion worker while
+  /// the main thread runs user code. Thread-safe.
+  bool compileAndResolve(const std::string &CSource, bool Cacheable,
+                         const std::vector<std::string> &Syms,
+                         std::vector<ResolvedFn> &Out, std::string &Err);
+
   /// Writes \p CSource to \p Path as C (ext .c), a relocatable object
   /// (.o), or a shared library (.so), chosen by extension — the saveobj
   /// feature (paper §2).

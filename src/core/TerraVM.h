@@ -1,0 +1,58 @@
+//===- TerraVM.h - Tier-0 register bytecode interpreter ---------*- C++ -*-===//
+//
+// Executes bytecode::Function programs (TerraBytecode.h) with a
+// computed-goto dispatch loop. This is the tier-0 engine of the tiered
+// execution pipeline: it runs immediately after codegen with no C compiler
+// on the critical path, while profile counters (call counts here at the
+// dispatcher, back edges accumulated in ExecEnv) drive background promotion
+// to native code.
+//
+// Semantics are the tree-walking evaluator's, bit for bit: same canonical
+// widening, same trap messages ("terra interpreter: ..." diagnostics), same
+// extern registry (TerraExternDispatch), same depth limit. The differential
+// tests in test_backends/test_fuzz pin this equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_CORE_TERRAVM_H
+#define TERRACPP_CORE_TERRAVM_H
+
+#include "core/TerraBytecode.h"
+
+#include <cstdint>
+
+namespace terracpp {
+
+class TerraContext;
+class TerraCompiler;
+
+namespace vm {
+
+/// Per-invocation execution context. One ExecEnv spans an outermost entry
+/// and all bytecode-to-bytecode recursion under it; calls that leave the VM
+/// (externs, host closures, Entry thunks) get fresh state on re-entry, as
+/// the tree-walker's nested TEval instances do.
+struct ExecEnv {
+  ExecEnv(TerraContext &Ctx, TerraCompiler &Comp) : Ctx(Ctx), Comp(Comp) {}
+
+  TerraContext &Ctx;
+  TerraCompiler &Comp;
+  /// Loop latch executions observed during this invocation; the caller
+  /// flushes them into the function's TierState / telemetry.
+  uint64_t BackEdges = 0;
+  /// Set once a trap or callee failure aborted execution (the diagnostic,
+  /// if any, has already been reported).
+  bool Failed = false;
+};
+
+/// Runs \p F over FFI-convention arguments: Args[i] points at the i-th
+/// value with C layout, Ret at the result buffer (null for void). Returns
+/// false when execution aborted (Env.Failed set; at most one "terra
+/// interpreter: ..." diagnostic reported).
+bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env,
+         unsigned Depth = 0);
+
+} // namespace vm
+} // namespace terracpp
+
+#endif // TERRACPP_CORE_TERRAVM_H

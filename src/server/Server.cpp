@@ -1,6 +1,7 @@
 #include "server/Server.h"
 
 #include "core/Engine.h"
+#include "core/TerraTier.h"
 #include "server/Protocol.h"
 #include "support/ContentHash.h"
 #include "support/Log.h"
@@ -740,6 +741,10 @@ json::Value Server::handleCall(const json::Value &Request) {
 
   json::Value R = json::Value::object();
   R.set("ok", json::Value::boolean(true));
+  // Which execution tier served the call: 0 = bytecode VM, 1 = native.
+  // Absent when the call never went through an entry thunk (pure Lua).
+  if (int Tier = E.compiler().lastCallTier(); Tier >= 0)
+    R.set("tier", json::Value::number(Tier));
   if (!Results.empty()) {
     const lua::Value &V = Results.front();
     if (V.isNumber())
@@ -823,6 +828,29 @@ json::Value Server::statsJson() {
               H.snapshot().toJson());
   });
   R.set("op_latency_us", std::move(Ops));
+  // Tiered-execution state summed across live, ready engines: how many
+  // functions are still on the tier-0 VM, how many were promoted to
+  // native, and how many promotions are queued behind the compile worker.
+  uint64_t Tier0 = 0, Promoted = 0, Backlog = 0;
+  {
+    std::vector<std::shared_ptr<EngineEntry>> Live;
+    {
+      std::lock_guard<std::mutex> Lock(EnginesMutex);
+      for (const auto &E : Engines)
+        Live.push_back(E.second);
+    }
+    for (const auto &Entry : Live)
+      if (Entry->Ready.load(std::memory_order_acquire))
+        if (TierManager *TM = Entry->E->compiler().tierManager()) {
+          TierManager::Snapshot Snap = TM->snapshot();
+          Tier0 += Snap.Tier0Functions;
+          Promoted += Snap.PromotedFunctions;
+          Backlog += Snap.PromotionBacklog;
+        }
+  }
+  R.set("tier0_functions", N(Tier0));
+  R.set("promoted_functions", N(Promoted));
+  R.set("promotion_backlog", N(Backlog));
   return R;
 }
 
@@ -843,8 +871,28 @@ json::Value Server::metricsJson() {
   }
   json::Value Jit = json::Value::object();
   for (const auto &E : Live)
-    if (E.second->Ready.load(std::memory_order_acquire))
-      Jit.set(E.first, E.second->E->compiler().jit().metrics().toJson());
+    if (E.second->Ready.load(std::memory_order_acquire)) {
+      json::Value EngineJson =
+          E.second->E->compiler().jit().metrics().toJson();
+      // Tiered-execution snapshot for this engine (only present when the
+      // engine runs the auto tier policy).
+      if (TierManager *TM = E.second->E->compiler().tierManager()) {
+        TierManager::Snapshot Snap = TM->snapshot();
+        json::Value Tier = json::Value::object();
+        auto N = [](uint64_t V) {
+          return json::Value::number(static_cast<double>(V));
+        };
+        Tier.set("tier0_functions", N(Snap.Tier0Functions));
+        Tier.set("promoted_functions", N(Snap.PromotedFunctions));
+        Tier.set("promotion_backlog", N(Snap.PromotionBacklog));
+        Tier.set("promotions", N(Snap.Promotions));
+        Tier.set("promotion_failures", N(Snap.PromotionFailures));
+        Tier.set("tier0_calls", N(Snap.Tier0Calls));
+        Tier.set("tier1_calls", N(Snap.Tier1Calls));
+        EngineJson.set("tier", std::move(Tier));
+      }
+      Jit.set(E.first, std::move(EngineJson));
+    }
   R.set("engines", std::move(Jit));
   return R;
 }

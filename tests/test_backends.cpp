@@ -1,9 +1,11 @@
-//===- test_backends.cpp - Native vs interpreter differential tests -------===//
+//===- test_backends.cpp - Cross-engine differential tests ----------------===//
 //
-// Runs a corpus of programs on both execution engines — the native C
-// backend (the LLVM substitute) and the tree-walking Terra evaluator — and
-// requires identical results. This is the main defense against codegen
-// bugs: the two backends share only the typed AST.
+// Runs a corpus of programs on all three execution engines — the native C
+// backend (the LLVM substitute), the tier-0 register-bytecode VM (what the
+// Interp backend runs by default; see DESIGN.md §10), and the tree-walking
+// evaluator (retained as the VM's bailout path and as a reference
+// implementation) — and requires identical results. This is the main
+// defense against codegen bugs: the engines share only the typed AST.
 //
 //===----------------------------------------------------------------------===//
 
@@ -11,7 +13,11 @@
 #include "core/StagingAPI.h"
 #include "core/TerraType.h"
 
+#include "ScopedEnv.h"
+
 #include <gtest/gtest.h>
+
+#include <optional>
 
 using namespace terracpp;
 using lua::Value;
@@ -160,16 +166,25 @@ const Program Corpus[] = {
      0, 2},
 };
 
+/// The three execution engines under differential test. VM and Tree both
+/// construct the Interp backend; the env knob picks which interpreter it
+/// actually runs (programs outside the bytecode subset — e.g. the vector
+/// corpus entry — fall back from the VM to the tree-walker transparently).
+enum class Exec { Native, VM, Tree };
+
 class BackendDiffTest
-    : public ::testing::TestWithParam<std::tuple<BackendKind, size_t>> {};
+    : public ::testing::TestWithParam<std::tuple<Exec, size_t>> {};
 
 TEST_P(BackendDiffTest, SameResult) {
-  auto [Backend, Idx] = GetParam();
-  if (Backend == BackendKind::Native &&
+  auto [Mode, Idx] = GetParam();
+  if (Mode == Exec::Native &&
       Engine::defaultBackend() != BackendKind::Native)
     GTEST_SKIP();
   const Program &P = Corpus[Idx];
-  Engine E(Backend);
+  std::optional<ScopedEnv> Force;
+  if (Mode != Exec::Native)
+    Force.emplace("TERRACPP_INTERP", Mode == Exec::Tree ? "tree" : "vm");
+  Engine E(Mode == Exec::Native ? BackendKind::Native : BackendKind::Interp);
   ASSERT_TRUE(E.run(P.Src, P.Name)) << E.errors();
   std::vector<Value> Results;
   ASSERT_TRUE(E.call(E.global("f"), {Value::number(P.Arg)}, Results))
@@ -180,13 +195,13 @@ TEST_P(BackendDiffTest, SameResult) {
 
 INSTANTIATE_TEST_SUITE_P(
     Corpus, BackendDiffTest,
-    ::testing::Combine(::testing::Values(BackendKind::Native,
-                                         BackendKind::Interp),
+    ::testing::Combine(::testing::Values(Exec::Native, Exec::VM, Exec::Tree),
                        ::testing::Range<size_t>(0, std::size(Corpus))),
     [](const ::testing::TestParamInfo<BackendDiffTest::ParamType> &Info) {
-      return std::string(std::get<0>(Info.param) == BackendKind::Native
-                             ? "native_"
-                             : "interp_") +
+      Exec Mode = std::get<0>(Info.param);
+      return std::string(Mode == Exec::Native ? "native_"
+                         : Mode == Exec::VM   ? "vm_"
+                                              : "tree_") +
              Corpus[std::get<1>(Info.param)].Name;
     });
 

@@ -1,14 +1,16 @@
 //===- test_fuzz.cpp - Randomized differential backend testing ------------===//
 //
-// Property: for any well-typed Terra program, the native C backend and the
-// tree-walking evaluator compute the same result. This suite generates
+// Property: for any well-typed Terra program, every execution engine — the
+// native C backend, the tier-0 register-bytecode VM, and the tree-walking
+// evaluator — computes the bit-identical result. This suite generates
 // random (seeded, reproducible) programs — double arithmetic, comparisons,
-// branches, bounded loops, assignments — runs them on both engines, and
-// compares. Doubles are used for arithmetic so no C undefined behavior
+// branches, bounded loops, assignments — runs them on all three engines,
+// and compares. Doubles are used for arithmetic so no C undefined behavior
 // (signed overflow) can make "disagreement" ambiguous.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ScopedEnv.h"
 #include "core/Engine.h"
 
 #include <gtest/gtest.h>
@@ -129,30 +131,53 @@ private:
 
 class FuzzDiffTest : public ::testing::TestWithParam<uint64_t> {};
 
+/// The three execution engines under differential test.
+struct EngineConfig {
+  const char *Name;
+  BackendKind Backend;
+  const char *InterpMode; ///< TERRACPP_INTERP for the run; null = default.
+};
+
+const EngineConfig Engines[] = {
+    {"native", BackendKind::Native, nullptr},
+    {"vm", BackendKind::Interp, "vm"},
+    {"tree", BackendKind::Interp, "tree"},
+};
+
 TEST_P(FuzzDiffTest, BackendsAgree) {
-  if (Engine::defaultBackend() != BackendKind::Native)
-    GTEST_SKIP();
+  bool Native = Engine::defaultBackend() == BackendKind::Native;
   uint64_t Seed = GetParam();
   ProgramGen G(Seed);
   std::string Src = G.generate();
 
-  double Results[2] = {0, 0};
-  int Idx = 0;
-  for (BackendKind BK : {BackendKind::Native, BackendKind::Interp}) {
-    Engine E(BK);
+  double Results[3] = {0, 0, 0};
+  bool Have[3] = {false, false, false};
+  for (int I = 0; I != 3; ++I) {
+    const EngineConfig &C = Engines[I];
+    if (C.Backend == BackendKind::Native && !Native)
+      continue; // No C compiler: VM vs tree-walker still differential.
+    ScopedEnv Force("TERRACPP_INTERP", C.InterpMode ? C.InterpMode : "");
+    Engine E(C.Backend);
     ASSERT_TRUE(E.run(Src, "fuzz")) << "seed " << Seed << "\n"
                                     << Src << "\n"
                                     << E.errors();
     std::vector<Value> R;
     ASSERT_TRUE(E.call(E.global("f"), {Value::number(1.5)}, R))
-        << "seed " << Seed << "\n"
+        << "seed " << Seed << " engine " << C.Name << "\n"
         << Src << "\n"
         << E.errors();
     ASSERT_TRUE(R[0].isNumber());
-    Results[Idx++] = R[0].asNumber();
+    Results[I] = R[0].asNumber();
+    Have[I] = true;
   }
-  ASSERT_FALSE(std::isnan(Results[0])) << Src;
-  EXPECT_EQ(Results[0], Results[1]) << "seed " << Seed << "\n" << Src;
+  ASSERT_TRUE(Have[1] && Have[2]);
+  ASSERT_FALSE(std::isnan(Results[1])) << Src;
+  // Bit-identical across every engine pair that ran.
+  EXPECT_EQ(Results[1], Results[2])
+      << "vm vs tree, seed " << Seed << "\n" << Src;
+  if (Have[0])
+    EXPECT_EQ(Results[0], Results[1])
+        << "native vs vm, seed " << Seed << "\n" << Src;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDiffTest,

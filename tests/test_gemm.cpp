@@ -65,9 +65,10 @@ TEST_P(GemmParamTest, MatchesNaiveDouble) {
   Engine E;
   TerraFunction *Fn = generateGemm(E, E.context().types().float64(), P);
   ASSERT_TRUE(E.compiler().ensureCompiled(Fn)) << E.errors();
+  // rawPointer forces native promotion under tiered execution.
   auto *G = reinterpret_cast<void (*)(const double *, const double *,
-                                      double *, int64_t)>(Fn->RawPtr);
-  ASSERT_NE(G, nullptr);
+                                      double *, int64_t)>(E.rawPointer(Fn));
+  ASSERT_NE(G, nullptr) << E.errors();
 
   int64_t N = 2 * NB;
   std::vector<double> A, B, C, Ref;
@@ -98,7 +99,8 @@ TEST(Gemm, SinglePrecisionKernel) {
   TerraFunction *Fn = generateGemm(E, E.context().types().float32(), P);
   ASSERT_TRUE(E.compiler().ensureCompiled(Fn)) << E.errors();
   auto *G = reinterpret_cast<void (*)(const float *, const float *, float *,
-                                      int64_t)>(Fn->RawPtr);
+                                      int64_t)>(E.rawPointer(Fn));
+  ASSERT_NE(G, nullptr) << E.errors();
   int64_t N = 64;
   std::vector<float> A, B, C, Ref;
   fillMatrices(N, A, B, C);

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ScopedEnv.h"
 #include "core/Engine.h"
 #include "core/TerraJIT.h"
 
@@ -206,6 +207,9 @@ TEST(JITCache, ThreadedAddModuleStress) {
 
 TEST(JITCache, ConcurrentEnginesCompileIndependently) {
   ScopedCacheDir Cache;
+  // These tests exercise the tier-1 native batch pipeline specifically;
+  // pin the tier so they keep doing so under TERRACPP_JIT_TIER=0/auto runs.
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "1");
   std::atomic<int> Failures{0};
   std::vector<std::thread> Workers;
   for (int T = 0; T != 2; ++T)
@@ -229,6 +233,7 @@ TEST(JITCache, ConcurrentEnginesCompileIndependently) {
 
 TEST(JITCache, CompileAllBatchesAFamily) {
   ScopedCacheDir Cache;
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "1");
   Engine E;
   constexpr int N = 8;
   std::string Src;
@@ -265,6 +270,7 @@ TEST(JITCache, CompileAllUsesWorkerPool) {
   // On single-core machines the default job count is 1 and addModules
   // stays serial; force a pool so the parallel path is always exercised.
   ScopedCacheDir Cache;
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "1");
   setenv("TERRACPP_COMPILE_JOBS", "4", 1);
   {
     Engine E;
@@ -291,29 +297,6 @@ TEST(JITCache, CompileAllUsesWorkerPool) {
   }
   unsetenv("TERRACPP_COMPILE_JOBS");
 }
-
-/// Sets one environment variable for the current scope.
-class ScopedEnv {
-public:
-  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
-    const char *Old = getenv(Name);
-    if (Old)
-      Saved = Old;
-    HadOld = Old != nullptr;
-    setenv(Name, Value.c_str(), 1);
-  }
-  ~ScopedEnv() {
-    if (HadOld)
-      setenv(Name, Saved.c_str(), 1);
-    else
-      unsetenv(Name);
-  }
-
-private:
-  const char *Name;
-  std::string Saved;
-  bool HadOld = false;
-};
 
 static uint64_t fileSize(const std::string &Path) {
   struct stat St;
@@ -431,6 +414,7 @@ TEST(JITCache, CrossProcessCacheSharing) {
 
 TEST(JITCache, CompileAllSharedCalleeAcrossRoots) {
   ScopedCacheDir Cache;
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "1");
   Engine E;
   ASSERT_TRUE(E.run("terra shared(x: int): int return x * 3 end\n"
                     "terra rootA(x: int): int return shared(x) + 1 end\n"

@@ -14,9 +14,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Engine.h"
 #include "server/Client.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
+
+#include "ScopedEnv.h"
 
 #include <gtest/gtest.h>
 
@@ -386,6 +389,57 @@ TEST(Terrad, MetricsOpReportsPerOpLatency) {
   // The process-wide registry rides along (frontend phases, thread pool).
   const Value *Proc = M.get("process");
   ASSERT_TRUE(Proc && Proc->isObject());
+}
+
+TEST(Terrad, TieredExecutionSurfacesInCallStatsAndMetrics) {
+  if (Engine::defaultBackend() != BackendKind::Native)
+    GTEST_SKIP() << "tier auto needs the native backend";
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  // Thresholds far beyond what this test generates: every function stays
+  // on the tier-0 VM, so the observable state is deterministic.
+  ScopedEnv Calls("TERRACPP_TIER_CALL_THRESHOLD", "1000000");
+  ScopedEnv Back("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  Client::CompileResult R = C.compile(AddScript);
+  ASSERT_TRUE(R.OK) << R.Error << "\n" << R.Diagnostics;
+
+  // The call response echoes the executing tier (0 = bytecode VM).
+  Value Req = Value::object();
+  Req.set("op", Value::string("call"));
+  Req.set("handle", Value::string(R.Handle));
+  Req.set("fn", Value::string("add"));
+  Value Args = Value::array();
+  Args.push(Value::number(2));
+  Args.push(Value::number(3));
+  Req.set("args", std::move(Args));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  EXPECT_TRUE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getNumber("result"), 5.0);
+  EXPECT_EQ(Resp.getNumber("tier", -1), 0.0);
+
+  // stats aggregates tier state across live engines.
+  Value S = C.stats();
+  ASSERT_FALSE(S.isNull()) << C.error();
+  EXPECT_GE(S.getNumber("tier0_functions"), 2.0); // add + mul
+  EXPECT_EQ(S.getNumber("promoted_functions"), 0.0);
+  EXPECT_EQ(S.getNumber("promotion_backlog"), 0.0);
+
+  // metrics attaches the per-engine tier snapshot to its JIT registry.
+  Value M = C.metrics();
+  ASSERT_FALSE(M.isNull()) << C.error();
+  const Value *Engines = M.get("engines");
+  ASSERT_TRUE(Engines && Engines->isObject());
+  const Value *Jit = Engines->get(R.Handle);
+  ASSERT_TRUE(Jit && Jit->isObject());
+  const Value *T = Jit->get("tier");
+  ASSERT_TRUE(T && T->isObject());
+  EXPECT_GE(T->getNumber("tier0_functions"), 2.0);
+  EXPECT_GE(T->getNumber("tier0_calls"), 1.0);
+  EXPECT_EQ(T->getNumber("promotion_failures"), 0.0);
 }
 
 TEST(Terrad, TraceIdEchoedOnEveryResponse) {

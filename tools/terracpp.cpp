@@ -31,6 +31,7 @@
 #include "support/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -46,6 +47,10 @@ void usage() {
           "usage: terracpp [options] [script.t]\n"
           "  -e CHUNK           run CHUNK\n"
           "  --backend=interp   use the tree-walking Terra evaluator\n"
+          "  --tier={0,1,auto}  execution tier: 0 = bytecode VM only, 1 =\n"
+          "                     native only (default), auto = start on the\n"
+          "                     VM and promote hot functions to native in\n"
+          "                     the background (TERRACPP_JIT_TIER)\n"
           "  --dump-fn NAME     pretty-print terra function NAME\n"
           "  --emit-c NAME      print generated C for NAME\n"
           "  --analyze          run the terracheck lints (TA001..TA004) over\n"
@@ -228,6 +233,16 @@ int main(int Argc, char **Argv) {
       Backend = BackendKind::Interp;
     } else if (Arg == "--backend=native") {
       Backend = BackendKind::Native;
+    } else if (Arg.rfind("--tier=", 0) == 0) {
+      std::string Tier = Arg.substr(strlen("--tier="));
+      if (Tier != "0" && Tier != "1" && Tier != "auto") {
+        fprintf(stderr, "terracpp: --tier must be 0, 1, or auto\n");
+        return 2;
+      }
+      // The Engine reads the tier at construction from the environment
+      // (shared with TERRACPP_JIT_TIER); the flag simply sets it first.
+      setenv("TERRACPP_JIT_TIER", Tier.c_str(), 1);
+      Backend = Engine::defaultBackend();
     } else if (Arg == "--analyze") {
       Analyze = true;
     } else if (Arg == "--analyze-werror") {
