@@ -111,7 +111,7 @@ void measureEngineTiers(benchreport::Json &Report) {
   constexpr int Iters = 30;
   benchreport::Json Tiers;
 
-  double TreeSec = 0, VMSec = 0;
+  double TreeSec = 0, VMSec = 0, BaseSec = 0, BaseEmitUs = 0;
   {
     ScopedEnv Force("TERRACPP_INTERP", "tree");
     Engine E(BackendKind::Interp);
@@ -121,15 +121,40 @@ void measureEngineTiers(benchreport::Json &Report) {
     TreeSec = timePerCall(F, N, std::max(Iters / 10, 3));
   }
   {
+    // Pin to the VM: with the baseline JIT enabled by default, an
+    // unconstrained Interp engine would measure tier 0.5, not tier 0.
+    ScopedEnv Force("TERRACPP_INTERP", "vm");
     Engine E(BackendKind::Interp);
     E.run(kernelSource("kern", 1));
     TerraFunction *F = E.terraFunction("kern");
     E.compiler().ensureCompiled(F);
     VMSec = timePerCall(F, N, Iters);
   }
+  {
+    // Baseline JIT (tier 0.5): direct x86-64 emission from the bytecode.
+    ScopedEnv Force("TERRACPP_INTERP", nullptr);
+    ScopedEnv On("TERRACPP_JIT_BASELINE", "1");
+    Engine E(BackendKind::Interp);
+    E.run(kernelSource("kern", 1));
+    TerraFunction *F = E.terraFunction("kern");
+    E.compiler().ensureCompiled(F);
+    BaseSec = timePerCall(F, N, Iters * 10);
+    // Emission latency (the "promotion to baseline" cost) from telemetry.
+    BaseEmitUs = E.compiler()
+                     .jit()
+                     .metrics()
+                     .histogram("jit.baseline_emit_us")
+                     .snapshot()
+                     .Mean;
+  }
   Tiers.put("tree_walk_us_per_call", TreeSec * 1e6);
   Tiers.put("tier0_vm_us_per_call", VMSec * 1e6);
   Tiers.put("vm_speedup_vs_tree", VMSec > 0 ? TreeSec / VMSec : 0.0);
+  if (BaseSec > 0) {
+    Tiers.put("baseline_us_per_call", BaseSec * 1e6);
+    Tiers.put("baseline_speedup_vs_vm", VMSec / BaseSec);
+    Tiers.put("baseline_emit_us", BaseEmitUs);
+  }
   if (nativeAvailable()) {
     Engine E;
     E.run(kernelSource("kern", 1));
@@ -138,6 +163,8 @@ void measureEngineTiers(benchreport::Json &Report) {
     double NativeSec = timePerCall(F, N, Iters * 10);
     Tiers.put("native_us_per_call", NativeSec * 1e6);
     Tiers.put("native_speedup_vs_vm", NativeSec > 0 ? VMSec / NativeSec : 0.0);
+    if (NativeSec > 0 && BaseSec > 0)
+      Tiers.put("baseline_slowdown_vs_native", BaseSec / NativeSec);
   }
   Report.put("engine_tiers", Tiers);
 }
@@ -282,6 +309,15 @@ void BM_Tier0VM(benchmark::State &State) {
   runTierBenchmark(State, "vm", BackendKind::Interp);
 }
 BENCHMARK(BM_Tier0VM)->Arg(1000)->Arg(20000)->Unit(benchmark::kMicrosecond);
+
+void BM_BaselineJIT(benchmark::State &State) {
+  ScopedEnv On("TERRACPP_JIT_BASELINE", "1");
+  runTierBenchmark(State, nullptr, BackendKind::Interp);
+}
+BENCHMARK(BM_BaselineJIT)
+    ->Arg(1000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_Native(benchmark::State &State) {
   runTierBenchmark(State, nullptr, BackendKind::Native);

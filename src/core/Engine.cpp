@@ -10,19 +10,54 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 using namespace terracpp;
 using namespace terracpp::lua;
+
+/// True when a `cc` binary exists somewhere on PATH. Cached: the PATH scan
+/// happens once per process, and the answer feeds only the *default*
+/// backend choice (TERRACPP_BACKEND overrides it either way).
+static bool ccOnPath() {
+  static const bool Found = [] {
+    const char *Path = getenv("PATH");
+    if (!Path || !*Path)
+      return false;
+    std::string P(Path);
+    size_t I = 0;
+    while (I <= P.size()) {
+      size_t Next = P.find(':', I);
+      std::string Dir =
+          P.substr(I, Next == std::string::npos ? P.size() - I : Next - I);
+      if (Dir.empty())
+        Dir = ".";
+      std::string Cand = Dir + "/cc";
+      if (::access(Cand.c_str(), X_OK) == 0)
+        return true;
+      if (Next == std::string::npos)
+        break;
+      I = Next + 1;
+    }
+    return false;
+  }();
+  return Found;
+}
 
 BackendKind Engine::defaultBackend() {
   const char *Env = getenv("TERRACPP_BACKEND");
   if (Env && std::string(Env) == "interp")
     return BackendKind::Interp;
+  if (Env && std::string(Env) == "native")
+    return BackendKind::Native;
   // TERRACPP_JIT_TIER=0 pins execution to tier 0 (bytecode VM, tree-walker
   // fallback); "auto" resolves to Native + TierPolicy::Auto in the
   // constructor via tierPolicyFromEnv().
   const char *TierEnv = getenv("TERRACPP_JIT_TIER");
   if (TierEnv && std::string(TierEnv) == "0")
+    return BackendKind::Interp;
+  // No C compiler installed: run on the compiler-free tiers (baseline JIT
+  // over the bytecode VM) instead of failing every first call.
+  if (!ccOnPath())
     return BackendKind::Interp;
   return BackendKind::Native;
 }

@@ -32,6 +32,7 @@
 #include "support/Diagnostics.h"
 #include "support/StringInterner.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -552,6 +553,10 @@ public:
   /// Tier-0 bytecode (TerraBytecode.h); null when the function uses a
   /// construct the bytecode compiler does not model. Immutable once set.
   std::shared_ptr<const bytecode::Function> Bytecode;
+  /// Baseline-JIT machine entry (TerraBaselineJIT.h). Null until the first
+  /// emission attempt; the failed-sentinel (void *)1 after a bailout; a
+  /// callable address otherwise. CAS-published — immutable once non-null.
+  std::atomic<void *> BaselineEntry{nullptr};
   /// Tiered-execution state: call/back-edge counters and the atomically
   /// patched native entry. Null outside TierPolicy::Auto.
   std::shared_ptr<TierState> Tier;

@@ -3,8 +3,10 @@
 #include "analysis/Analysis.h"
 #include "core/CBackend.h"
 #include "core/LuaInterp.h"
+#include "core/TerraBaselineJIT.h"
 #include "core/TerraBytecode.h"
 #include "core/TerraInterpBackend.h"
+#include "core/TerraVM.h"
 #include "core/TerraPasses.h"
 #include "core/TerraType.h"
 #include "support/Telemetry.h"
@@ -44,6 +46,19 @@ TerraCompiler::TerraCompiler(TerraContext &Ctx, Interp &I, BackendKind Backend,
     Tiers = std::make_unique<TierManager>(JIT);
   if (Backend == BackendKind::Interp || Tiers)
     InterpBackend = std::make_unique<TerraInterpBackend>(Ctx, *this);
+  // Baseline JIT (tier 0.5): on by default wherever bytecode runs, off when
+  // the user forces a specific interpreter engine (TERRACPP_INTERP=vm/tree),
+  // pins tier 0 (TERRACPP_JIT_TIER=0), or disables it outright.
+  if (InterpBackend && BaselineJIT::supported() &&
+      BaselineJIT::enabledFromEnv()) {
+    const char *IM = std::getenv("TERRACPP_INTERP");
+    const char *JT = std::getenv("TERRACPP_JIT_TIER");
+    bool ForcedInterp =
+        IM && *IM && (std::string(IM) == "vm" || std::string(IM) == "tree");
+    bool PinnedTier0 = JT && std::string(JT) == "0";
+    if (!ForcedInterp && !PinnedTier0)
+      Baseline = std::make_unique<BaselineJIT>(JIT.metrics());
+  }
 }
 
 bool TerraCompiler::analyzeComponent(
@@ -173,6 +188,18 @@ void TerraCompiler::installTier0(std::string Source, bool Cacheable,
         Self->Tiers->noteTier1Call();
         reinterpret_cast<void (*)(void **, void *)>(NE)(Args, Ret);
         return;
+      }
+      // Tier 0.5: baseline machine code from the first dispatch on. Still
+      // counts as a pre-native call so promotion thresholds keep firing.
+      if (Self->Baseline) {
+        if (BaselineJIT::Fn BE = Self->Baseline->entryFor(FnP)) {
+          Self->LastCallTier.store(2, std::memory_order_relaxed);
+          Self->Tiers->noteBaselineCall(*TS);
+          vm::ExecEnv Env(Self->Ctx, *Self);
+          uint64_t Edges = BE(Args, Ret, &Env);
+          Self->Tiers->noteBackEdges(*TS, Edges + Env.BackEdges);
+          return;
+        }
       }
       Self->LastCallTier.store(0, std::memory_order_relaxed);
       Self->Tiers->noteTier0Call(*TS);

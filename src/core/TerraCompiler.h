@@ -25,6 +25,7 @@
 namespace terracpp {
 
 class TerraInterpBackend;
+class BaselineJIT;
 
 /// Which execution engine runs compiled Terra code.
 enum class BackendKind {
@@ -48,11 +49,23 @@ public:
   /// TierPolicy::Auto with the native backend.
   TierManager *tierManager() { return Tiers.get(); }
 
-  /// The tier (0 = interpreted/VM, 1 = native) that executed the most
-  /// recent host-initiated call; -1 before any call. Monitoring only
-  /// (terrad echoes it in call responses); approximate under concurrency.
+  /// The baseline JIT (tier 0.5); null when disabled
+  /// (TERRACPP_JIT_BASELINE=0, TERRACPP_INTERP forced to vm/tree,
+  /// TERRACPP_JIT_TIER=0, unsupported architecture, or pure-native mode).
+  BaselineJIT *baseline() { return Baseline.get(); }
+
+  /// The tier (0 = interpreted/VM, 2 = baseline JIT, 1 = cc-native) that
+  /// executed the most recent host-initiated call; -1 before any call.
+  /// Monitoring only (terrad echoes it in call responses); approximate
+  /// under concurrency.
   int lastCallTier() const {
     return LastCallTier.load(std::memory_order_relaxed);
+  }
+
+  /// Records which tier ran a dispatch (TerraInterpBackend uses this when
+  /// it routes through the baseline JIT outside tiered mode).
+  void noteLastCallTier(int T) {
+    LastCallTier.store(T, std::memory_order_relaxed);
   }
 
   /// Static-analysis policy for the compile pipeline. Lints default to the
@@ -167,6 +180,7 @@ private:
   /// while the JIT it uses is still alive.
   std::unique_ptr<TierManager> Tiers;
   std::unique_ptr<TerraInterpBackend> InterpBackend;
+  std::unique_ptr<BaselineJIT> Baseline;
   std::atomic<int> LastCallTier{-1};
   std::map<const void *, TerraFunction *> RawToFn;
 

@@ -1,5 +1,6 @@
 #include "core/TerraInterpBackend.h"
 
+#include "core/TerraBaselineJIT.h"
 #include "core/TerraCompiler.h"
 #include "core/TerraExternDispatch.h"
 #include "core/TerraJIT.h"
@@ -920,6 +921,26 @@ bool TerraInterpBackend::execute(const TerraFunction *F, void **Args,
   if (F->HostClosure)
     return Compiler.invokeHostClosure(F->HostClosureId, Args, Ret);
   if (!ForceTree && F->Bytecode) {
+    // Tier 0.5: baseline machine code when available; same ExecEnv
+    // contract, same telemetry stream as the VM.
+    if (BaselineJIT *BJ = Compiler.baseline()) {
+      if (BaselineJIT::Fn Entry = BJ->entryFor(const_cast<TerraFunction *>(F))) {
+        vm::ExecEnv Env(Ctx, Compiler);
+        uint64_t Edges;
+        {
+          telemetry::ScopedTimerUs T(MDispatchUs);
+          Edges = Entry(Args, Ret, &Env);
+        }
+        Edges += Env.BackEdges;
+        if (Edges) {
+          MBackEdges.inc(Edges);
+          if (BackEdges)
+            *BackEdges = Edges;
+        }
+        Compiler.noteLastCallTier(2);
+        return !Env.Failed;
+      }
+    }
     vm::ExecEnv Env(Ctx, Compiler);
     bool OK;
     {

@@ -1,6 +1,7 @@
 #include "core/TerraJIT.h"
 
 #include "support/ContentHash.h"
+#include "support/EnvParse.h"
 #include "support/Subprocess.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -104,13 +105,10 @@ static uint64_t resolveCacheMaxBytes() {
 }
 
 static unsigned resolveCompileJobs() {
-  if (const char *Env = getenv("TERRACPP_COMPILE_JOBS")) {
-    long N = strtol(Env, nullptr, 10);
-    if (N >= 1 && N <= 256)
-      return static_cast<unsigned>(N);
-  }
   unsigned HW = std::thread::hardware_concurrency();
-  return HW ? HW : 1;
+  unsigned Default = HW ? HW : 1;
+  return static_cast<unsigned>(
+      envcfg::parseUInt("TERRACPP_COMPILE_JOBS", Default, 1, 256));
 }
 
 //===----------------------------------------------------------------------===//
@@ -205,7 +203,9 @@ bool JITEngine::runCompiler(const std::string &SrcPath,
   if (R.spawnFailed()) {
     // The compiler could not even start (e.g. no `cc` installed): report
     // the structured description rather than an empty stderr, and point at
-    // the interp backend as the compiler-free fallback.
+    // the compiler-free tiers as the fallback.
+    if (R.SpawnErrno == ENOENT)
+      CcMissing.store(true, std::memory_order_relaxed);
     ErrOut = R.describe("cc") +
              "; the native backend needs a C compiler "
              "(set TERRACPP_BACKEND=interp to run without one)";

@@ -127,6 +127,13 @@ public:
   /// Resolved TERRACPP_COMPILE_JOBS (>= 1).
   unsigned compileJobs() const { return Jobs; }
 
+  /// True once a compiler spawn failed with ENOENT (the cc binary does not
+  /// exist). The TierManager uses this to pin functions at the baseline
+  /// tier instead of retrying a compiler that is not installed.
+  bool ccUnavailable() const {
+    return CcMissing.load(std::memory_order_relaxed);
+  }
+
   /// Resolved cache directory; empty when caching is disabled.
   const std::string &cacheDir() const { return CacheDir; }
 
@@ -173,6 +180,7 @@ private:
   std::unique_ptr<ThreadPool> Pool; ///< Lazily created on first batch.
   std::atomic<unsigned> ModuleCounter{0};
   std::atomic<unsigned> InFlight{0};
+  std::atomic<bool> CcMissing{false}; ///< cc spawn hit ENOENT.
   mutable std::mutex Mutex; ///< Guards Handles, Diags, Pool init, LastSource.
 
   /// Per-engine metrics. Declared before the metric references below so the

@@ -3,6 +3,8 @@
 #include "core/TerraTier.h"
 
 #include "core/TerraJIT.h"
+#include "support/EnvParse.h"
+#include "support/Log.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -18,29 +20,20 @@ TierPolicy tierPolicyFromEnv() {
   return TierPolicy::Tier1;
 }
 
-static uint64_t envThreshold(const char *Name, uint64_t Default) {
-  const char *E = std::getenv(Name);
-  if (!E || !*E)
-    return Default;
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(E, &End, 10);
-  if (End == E || *End)
-    return Default;
-  return static_cast<uint64_t>(V);
-}
-
 TierManager::TierManager(JITEngine &JIT)
     : JIT(JIT),
-      CallThreshold(envThreshold("TERRACPP_TIER_CALL_THRESHOLD", 8)),
+      CallThreshold(envcfg::parseUInt("TERRACPP_TIER_CALL_THRESHOLD", 8)),
       BackEdgeThreshold(
-          envThreshold("TERRACPP_TIER_BACKEDGE_THRESHOLD", 4096)),
+          envcfg::parseUInt("TERRACPP_TIER_BACKEDGE_THRESHOLD", 4096)),
       MPromotions(JIT.metrics().counter("tier.promotions")),
       MPromotionFailures(JIT.metrics().counter("tier.promotion_failures")),
       MTier0Calls(JIT.metrics().counter("tier.0.calls")),
       MTier1Calls(JIT.metrics().counter("tier.1.calls")),
+      MBaselineCalls(JIT.metrics().counter("tier.baseline.calls")),
       MBacklog(JIT.metrics().gauge("tier.promotion_backlog")),
       MTier0Fns(JIT.metrics().gauge("tier.functions.tier0")),
-      MPromotedFns(JIT.metrics().gauge("tier.functions.promoted")) {}
+      MPromotedFns(JIT.metrics().gauge("tier.functions.promoted")),
+      MCcUnavailable(JIT.metrics().gauge("tier.cc_unavailable")) {}
 
 TierManager::~TierManager() = default;
 
@@ -90,6 +83,13 @@ void TierManager::noteTier0Call(TierState &TS) {
     tryQueue(TS);
 }
 
+void TierManager::noteBaselineCall(TierState &TS) {
+  MBaselineCalls.inc();
+  uint64_t Prev = TS.Calls.fetch_add(1, std::memory_order_relaxed);
+  if (Prev + 1 >= CallThreshold)
+    tryQueue(TS);
+}
+
 void TierManager::noteBackEdges(TierState &TS, uint64_t N) {
   if (!N)
     return;
@@ -99,6 +99,8 @@ void TierManager::noteBackEdges(TierState &TS, uint64_t N) {
 }
 
 void TierManager::tryQueue(TierState &TS) {
+  if (CcPinned.load(std::memory_order_relaxed))
+    return; // No C compiler: stay at the current tier, don't retry.
   std::shared_ptr<PendingComponent> C = std::atomic_load(&TS.Component);
   if (!C)
     return;
@@ -155,14 +157,30 @@ void TierManager::runJob(std::shared_ptr<PendingComponent> C) {
   trace::TraceSpan Span("tier.promote", "tier");
   Span.arg("functions", std::to_string(C->Slots.size()));
 
-  std::vector<std::string> Syms;
-  Syms.reserve(C->Slots.size());
-  for (const PendingComponent::Slot &S : C->Slots)
-    Syms.push_back(S.Symbol);
-
   std::vector<JITEngine::ResolvedFn> Out;
   std::string Err;
-  bool OK = JIT.compileAndResolve(C->CSource, C->Cacheable, Syms, Out, Err);
+  bool OK = false;
+  if (CcPinned.load(std::memory_order_relaxed)) {
+    // The compiler binary is known to be missing; skip the spawn entirely.
+    Err = "C compiler unavailable; function pinned at baseline tier";
+  } else {
+    std::vector<std::string> Syms;
+    Syms.reserve(C->Slots.size());
+    for (const PendingComponent::Slot &S : C->Slots)
+      Syms.push_back(S.Symbol);
+    OK = JIT.compileAndResolve(C->CSource, C->Cacheable, Syms, Out, Err);
+    if (!OK && JIT.ccUnavailable()) {
+      bool Expected = false;
+      if (CcPinned.compare_exchange_strong(Expected, true,
+                                           std::memory_order_relaxed)) {
+        MCcUnavailable.set(1);
+        logging::emit(logging::Level::Warn, "tier.cc_unavailable",
+                      {{"detail", Err},
+                       {"action", "pinning functions at baseline tier; "
+                                  "background promotion disabled"}});
+      }
+    }
+  }
 
   if (OK) {
     int64_t Promoted = 0;
@@ -213,6 +231,8 @@ TierManager::Snapshot TierManager::snapshot() const {
   S.PromotionFailures = MPromotionFailures.value();
   S.Tier0Calls = MTier0Calls.value();
   S.Tier1Calls = MTier1Calls.value();
+  S.BaselineCalls = MBaselineCalls.value();
+  S.CcUnavailable = CcPinned.load(std::memory_order_relaxed) ? 1 : 0;
   return S;
 }
 

@@ -108,6 +108,10 @@ public:
   /// Counts one tier-0 dispatch; queues the component when the call
   /// threshold is reached.
   void noteTier0Call(TierState &TS);
+  /// Counts one baseline-JIT dispatch (tier 0.5); contributes to the same
+  /// call threshold as tier-0 calls so baseline-hot functions still promote
+  /// to cc-native code in the background.
+  void noteBaselineCall(TierState &TS);
   /// Counts one native dispatch (telemetry only).
   void noteTier1Call() { MTier1Calls.inc(); }
   /// Accumulates VM back edges; queues the component when the back-edge
@@ -127,8 +131,15 @@ public:
     uint64_t PromotionFailures = 0;
     uint64_t Tier0Calls = 0;
     uint64_t Tier1Calls = 0;
+    uint64_t BaselineCalls = 0;
+    uint64_t CcUnavailable = 0; ///< 1 once cc ENOENT pinned us at baseline.
   };
   Snapshot snapshot() const;
+
+  /// True once a promotion job failed because the C compiler binary does
+  /// not exist; further promotion attempts are suppressed and functions
+  /// stay pinned at the baseline tier.
+  bool ccPinned() const { return CcPinned.load(std::memory_order_relaxed); }
 
   uint64_t callThreshold() const { return CallThreshold; }
   uint64_t backEdgeThreshold() const { return BackEdgeThreshold; }
@@ -151,9 +162,16 @@ private:
   telemetry::Counter &MPromotionFailures;
   telemetry::Counter &MTier0Calls;
   telemetry::Counter &MTier1Calls;
+  telemetry::Counter &MBaselineCalls;
   telemetry::Gauge &MBacklog;
   telemetry::Gauge &MTier0Fns;
   telemetry::Gauge &MPromotedFns;
+  telemetry::Gauge &MCcUnavailable;
+
+  /// Set (once) when a compile job discovers the C compiler binary is
+  /// missing (ENOENT). Pins every function at its current tier: tryQueue
+  /// becomes a no-op, so baseline code keeps running with no retry storm.
+  std::atomic<bool> CcPinned{false};
 
   /// Last member: destroyed first, joining any in-flight promotion before
   /// the state above goes away.

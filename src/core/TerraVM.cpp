@@ -624,5 +624,33 @@ bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env,
   return runOne(F, Args, Ret, Env, Depth);
 }
 
+bool execCallSite(const bytecode::Function &F, uint64_t Idx,
+                  bytecode::Slot *R, uint8_t *Frame, ExecEnv &Env) {
+  return doCall(F.Calls[static_cast<size_t>(Idx)], R, Frame, Env, 0);
+}
+
+void execTrap(const bytecode::Function &F, uint64_t Idx, ExecEnv &Env) {
+  const auto &T = F.Traps[static_cast<size_t>(Idx)];
+  fail(Env, T.second, T.first);
+}
+
+bool execFnLit(TerraFunction *Fn, bytecode::Slot &Dst, ExecEnv &Env) {
+  if (Env.Comp.tierManager()) {
+    void *P = Env.Comp.nativePointer(Fn);
+    if (!P)
+      return fail(Env, SourceLoc(),
+                  "cannot take the address of function '" + Fn->Name + "'");
+    Dst.P = P;
+  } else {
+    Dst.P = Fn;
+  }
+  return true;
+}
+
+void loadCallResult(bytecode::Slot &Dst, bytecode::RetKind K,
+                    const void *Src) {
+  loadRet(Dst, K, Src);
+}
+
 } // namespace vm
 } // namespace terracpp

@@ -52,6 +52,27 @@ struct ExecEnv {
 bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env,
          unsigned Depth = 0);
 
+// Out-of-line services for the baseline JIT (TerraBaselineJIT.cpp). The
+// emitted machine code calls these for everything that is not straight-line
+// arithmetic, so call dispatch, trap messages, and function-literal
+// semantics stay byte-identical across the VM and baseline tiers.
+
+/// Executes call site \p Idx of \p F over the register file / frame of a
+/// running activation. False when the callee failed (Env.Failed set).
+bool execCallSite(const bytecode::Function &F, uint64_t Idx,
+                  bytecode::Slot *R, uint8_t *Frame, ExecEnv &Env);
+
+/// Reports trap \p Idx of \p F (diagnostic with its source location).
+void execTrap(const bytecode::Function &F, uint64_t Idx, ExecEnv &Env);
+
+/// Materializes the value of function \p Fn into \p Dst (machine address
+/// under tiered execution, the TerraFunction otherwise). False on failure.
+bool execFnLit(TerraFunction *Fn, bytecode::Slot &Dst, ExecEnv &Env);
+
+/// Canonicalizes a staged call result into a register slot (VM loadRet).
+void loadCallResult(bytecode::Slot &Dst, bytecode::RetKind K,
+                    const void *Src);
+
 } // namespace vm
 } // namespace terracpp
 

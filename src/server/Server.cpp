@@ -741,7 +741,8 @@ json::Value Server::handleCall(const json::Value &Request) {
 
   json::Value R = json::Value::object();
   R.set("ok", json::Value::boolean(true));
-  // Which execution tier served the call: 0 = bytecode VM, 1 = native.
+  // Which execution tier served the call: 0 = bytecode VM, 1 = native,
+  // 2 = baseline JIT.
   // Absent when the call never went through an entry thunk (pure Lua).
   if (int Tier = E.compiler().lastCallTier(); Tier >= 0)
     R.set("tier", json::Value::number(Tier));
@@ -889,6 +890,8 @@ json::Value Server::metricsJson() {
         Tier.set("promotion_failures", N(Snap.PromotionFailures));
         Tier.set("tier0_calls", N(Snap.Tier0Calls));
         Tier.set("tier1_calls", N(Snap.Tier1Calls));
+        Tier.set("baseline_calls", N(Snap.BaselineCalls));
+        Tier.set("cc_unavailable", N(Snap.CcUnavailable));
         EngineJson.set("tier", std::move(Tier));
       }
       Jit.set(E.first, std::move(EngineJson));

@@ -1,0 +1,84 @@
+//===- CodeBuffer.cpp - W^X executable code memory ------------------------===//
+
+#include "support/CodeBuffer.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define TERRACPP_HAVE_MMAP 1
+#endif
+
+using namespace terracpp;
+
+namespace {
+
+size_t pageSize() {
+#if TERRACPP_HAVE_MMAP
+  static const size_t PS = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return PS;
+#else
+  return 4096;
+#endif
+}
+
+size_t roundUp(size_t N, size_t Align) { return (N + Align - 1) & ~(Align - 1); }
+
+} // namespace
+
+CodeBuffer::~CodeBuffer() {
+#if TERRACPP_HAVE_MMAP
+  for (Region &R : Regions)
+    if (R.Base)
+      munmap(R.Base, R.Size);
+#endif
+}
+
+CodeBuffer::Region *CodeBuffer::regionFor(size_t Size) {
+#if TERRACPP_HAVE_MMAP
+  for (Region &R : Regions)
+    if (R.Size - R.Used >= Size)
+      return &R;
+  // 1 MiB regions amortize mmap calls; oversized functions get their own.
+  size_t MapSize = roundUp(Size < (1u << 20) ? (1u << 20) : Size, pageSize());
+  void *P = mmap(nullptr, MapSize, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+  Regions.push_back(Region{static_cast<uint8_t *>(P), MapSize, 0});
+  return &Regions.back();
+#else
+  (void)Size;
+  return nullptr;
+#endif
+}
+
+void *CodeBuffer::publish(const uint8_t *Code, size_t Size) {
+#if TERRACPP_HAVE_MMAP
+  if (!Size)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Region *R = regionFor(roundUp(Size, pageSize()));
+  if (!R)
+    return nullptr;
+  uint8_t *Dst = R->Base + R->Used;
+  std::memcpy(Dst, Code, Size);
+  // Bump to the next page boundary: the tail of this function's last page is
+  // dead, so the next publish opens a page that was never executable.
+  R->Used += roundUp(Size, pageSize());
+  if (mprotect(Dst, roundUp(Size, pageSize()), PROT_READ | PROT_EXEC) != 0)
+    return nullptr; // Pages stay RW but unreferenced; caller interprets.
+  Published += Size;
+  return Dst;
+#else
+  (void)Code;
+  (void)Size;
+  return nullptr;
+#endif
+}
+
+size_t CodeBuffer::bytesPublished() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Published;
+}

@@ -1,0 +1,59 @@
+//===- CodeBuffer.h - W^X executable code memory --------------------------===//
+//
+// Owns the executable memory backing the baseline JIT. Pages are mapped
+// read-write, filled exactly once, then flipped to read-execute; no page is
+// ever writable and executable at the same time, and no page ever goes back
+// from RX to RW. Each published function starts on a fresh page so a later
+// publish never needs to re-open an already-executable page.
+//
+// Publication order (the memory-ordering half of the tier-switch argument,
+// DESIGN.md §11): publish() completes the mprotect(PROT_READ|PROT_EXEC)
+// syscall — a full barrier on every architecture we target — before the
+// caller release-stores the entry pointer. A thread that acquire-loads the
+// entry therefore observes fully written, executable code.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_CODEBUFFER_H
+#define TERRACPP_SUPPORT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace terracpp {
+
+/// Bump allocator over mmap'd regions with a strict W^X lifecycle.
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Copies \p Code into fresh pages and makes them executable. Returns the
+  /// entry address, or null if mapping/protecting failed (caller falls back
+  /// to the interpreter). Thread-safe.
+  void *publish(const uint8_t *Code, size_t Size);
+
+  /// Total bytes of machine code published (live gauge for telemetry).
+  size_t bytesPublished() const;
+
+private:
+  struct Region {
+    uint8_t *Base = nullptr;
+    size_t Size = 0;   ///< Mapped bytes.
+    size_t Used = 0;   ///< Bump offset; page-aligned after every publish.
+  };
+
+  Region *regionFor(size_t Size); ///< Requires Mutex held.
+
+  mutable std::mutex Mutex;
+  std::vector<Region> Regions;
+  size_t Published = 0;
+};
+
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_CODEBUFFER_H

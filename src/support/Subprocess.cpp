@@ -31,7 +31,8 @@ std::string SpawnResult::describe(const std::string &Command) const {
       Out += ": ";
       Out += strerror(SpawnErrno);
       if (SpawnErrno == ENOENT)
-        Out += " (is it installed and on PATH?)";
+        Out += " (is it installed and on PATH? terracpp keeps running on "
+               "the baseline JIT / interpreter tiers without it)";
     }
     return Out;
   }

@@ -40,6 +40,31 @@ private:
   bool HadOld = false;
 };
 
+/// Removes one environment variable for the current scope (so a test can
+/// exercise the documented default even when the outer environment sets
+/// the knob).
+class ScopedUnsetEnv {
+public:
+  explicit ScopedUnsetEnv(const char *Name) : Name(Name) {
+    const char *Old = getenv(Name);
+    if (Old)
+      Saved = Old;
+    HadOld = Old != nullptr;
+    unsetenv(Name);
+  }
+  ~ScopedUnsetEnv() {
+    if (HadOld)
+      setenv(Name, Saved.c_str(), 1);
+  }
+  ScopedUnsetEnv(const ScopedUnsetEnv &) = delete;
+  ScopedUnsetEnv &operator=(const ScopedUnsetEnv &) = delete;
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool HadOld = false;
+};
+
 } // namespace terracpp
 
 #endif // TERRACPP_TESTS_SCOPEDENV_H

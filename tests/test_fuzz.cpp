@@ -131,18 +131,21 @@ private:
 
 class FuzzDiffTest : public ::testing::TestWithParam<uint64_t> {};
 
-/// The three execution engines under differential test.
+/// The four execution engines under differential test.
 struct EngineConfig {
   const char *Name;
   BackendKind Backend;
   const char *InterpMode; ///< TERRACPP_INTERP for the run; null = default.
+  bool Baseline;          ///< Route through the baseline JIT (tier 0.5).
 };
 
 const EngineConfig Engines[] = {
-    {"native", BackendKind::Native, nullptr},
-    {"vm", BackendKind::Interp, "vm"},
-    {"tree", BackendKind::Interp, "tree"},
+    {"native", BackendKind::Native, nullptr, false},
+    {"baseline", BackendKind::Interp, nullptr, true},
+    {"vm", BackendKind::Interp, "vm", false},
+    {"tree", BackendKind::Interp, "tree", false},
 };
+constexpr int NumEngines = static_cast<int>(std::size(Engines));
 
 TEST_P(FuzzDiffTest, BackendsAgree) {
   bool Native = Engine::defaultBackend() == BackendKind::Native;
@@ -150,13 +153,14 @@ TEST_P(FuzzDiffTest, BackendsAgree) {
   ProgramGen G(Seed);
   std::string Src = G.generate();
 
-  double Results[3] = {0, 0, 0};
-  bool Have[3] = {false, false, false};
-  for (int I = 0; I != 3; ++I) {
+  double Results[NumEngines] = {0};
+  bool Have[NumEngines] = {false};
+  for (int I = 0; I != NumEngines; ++I) {
     const EngineConfig &C = Engines[I];
     if (C.Backend == BackendKind::Native && !Native)
-      continue; // No C compiler: VM vs tree-walker still differential.
+      continue; // No C compiler: the interpreter tiers still differential.
     ScopedEnv Force("TERRACPP_INTERP", C.InterpMode ? C.InterpMode : "");
+    ScopedEnv Base("TERRACPP_JIT_BASELINE", C.Baseline ? "1" : "0");
     Engine E(C.Backend);
     ASSERT_TRUE(E.run(Src, "fuzz")) << "seed " << Seed << "\n"
                                     << Src << "\n"
@@ -170,13 +174,16 @@ TEST_P(FuzzDiffTest, BackendsAgree) {
     Results[I] = R[0].asNumber();
     Have[I] = true;
   }
-  ASSERT_TRUE(Have[1] && Have[2]);
-  ASSERT_FALSE(std::isnan(Results[1])) << Src;
+  // The interpreter tiers always run.
+  ASSERT_TRUE(Have[1] && Have[2] && Have[3]);
+  ASSERT_FALSE(std::isnan(Results[2])) << Src;
   // Bit-identical across every engine pair that ran.
-  EXPECT_EQ(Results[1], Results[2])
+  EXPECT_EQ(Results[2], Results[3])
       << "vm vs tree, seed " << Seed << "\n" << Src;
+  EXPECT_EQ(Results[1], Results[2])
+      << "baseline vs vm, seed " << Seed << "\n" << Src;
   if (Have[0])
-    EXPECT_EQ(Results[0], Results[1])
+    EXPECT_EQ(Results[0], Results[2])
         << "native vs vm, seed " << Seed << "\n" << Src;
 }
 

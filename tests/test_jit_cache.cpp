@@ -36,6 +36,13 @@ using namespace terracpp;
 
 namespace {
 
+/// Every test here drives the real cc pipeline; skip the whole battery
+/// when no C compiler is installed (the baseline/interp tiers cover that
+/// configuration elsewhere).
+#define REQUIRE_CC()                                                           \
+  if (Engine::defaultBackend() != BackendKind::Native)                         \
+  GTEST_SKIP() << "no C compiler on PATH"
+
 /// Points TERRACPP_CACHE_DIR at a fresh private directory for one test and
 /// restores the previous environment afterwards. Keeps concurrently
 /// running test processes from sharing cache state.
@@ -84,6 +91,7 @@ private:
 const char *ProbeSource = "int terracpp_cache_probe(void) { return 42; }\n";
 
 TEST(JITCache, SameSourceAndFlagsHitsCache) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   DiagnosticEngine D1;
   JITEngine J1(D1);
@@ -106,6 +114,7 @@ TEST(JITCache, SameSourceAndFlagsHitsCache) {
 }
 
 TEST(JITCache, DifferentFlagsMiss) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   DiagnosticEngine D1;
   JITEngine J1(D1);
@@ -129,6 +138,7 @@ TEST(JITCache, DifferentFlagsMiss) {
 }
 
 TEST(JITCache, UncacheableModuleBypassesCache) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   DiagnosticEngine D;
   JITEngine J(D);
@@ -140,6 +150,7 @@ TEST(JITCache, UncacheableModuleBypassesCache) {
 }
 
 TEST(JITCache, CorruptedEntryIsEvictedAndRebuilt) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   {
     DiagnosticEngine D;
@@ -170,6 +181,7 @@ TEST(JITCache, CorruptedEntryIsEvictedAndRebuilt) {
 }
 
 TEST(JITCache, CompileErrorAttachesCompilerStderr) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   DiagnosticEngine D;
   JITEngine J(D);
@@ -180,6 +192,7 @@ TEST(JITCache, CompileErrorAttachesCompilerStderr) {
 }
 
 TEST(JITCache, ThreadedAddModuleStress) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   DiagnosticEngine D;
   JITEngine J(D);
@@ -206,6 +219,7 @@ TEST(JITCache, ThreadedAddModuleStress) {
 }
 
 TEST(JITCache, ConcurrentEnginesCompileIndependently) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   // These tests exercise the tier-1 native batch pipeline specifically;
   // pin the tier so they keep doing so under TERRACPP_JIT_TIER=0/auto runs.
@@ -232,6 +246,7 @@ TEST(JITCache, ConcurrentEnginesCompileIndependently) {
 }
 
 TEST(JITCache, CompileAllBatchesAFamily) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   ScopedEnv Tier("TERRACPP_JIT_TIER", "1");
   Engine E;
@@ -267,6 +282,7 @@ TEST(JITCache, CompileAllBatchesAFamily) {
 }
 
 TEST(JITCache, CompileAllUsesWorkerPool) {
+  REQUIRE_CC();
   // On single-core machines the default job count is 1 and addModules
   // stays serial; force a pool so the parallel path is always exercised.
   ScopedCacheDir Cache;
@@ -306,6 +322,7 @@ static uint64_t fileSize(const std::string &Path) {
 // TERRACPP_CACHE_MAX_MB bounds the on-disk cache; the just-published entry
 // is never evicted, older entries go first.
 TEST(JITCache, CacheSizeBoundEvictsOldEntries) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   // 0.001 MB is smaller than any .so: every publish evicts everything else.
   ScopedEnv Bound("TERRACPP_CACHE_MAX_MB", "0.001");
@@ -337,6 +354,7 @@ TEST(JITCache, CacheSizeBoundEvictsOldEntries) {
 // A cache hit refreshes the entry's mtime, so eviction is LRU rather than
 // oldest-created.
 TEST(JITCache, CacheHitRefreshesLruOrder) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   const char *SrcA = "int terracpp_lru_a(void) { return 1; }\n";
   const char *SrcB = "int terracpp_lru_b(void) { return 2; }\n";
@@ -381,6 +399,7 @@ TEST(JITCache, CacheHitRefreshesLruOrder) {
 // double-publish: concurrent compiles of the same source converge on one
 // entry that later engines load with zero compiler launches.
 TEST(JITCache, CrossProcessCacheSharing) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   const char *Shared = "int terracpp_xproc_probe(void) { return 7; }\n";
 
@@ -413,6 +432,7 @@ TEST(JITCache, CrossProcessCacheSharing) {
 }
 
 TEST(JITCache, CompileAllSharedCalleeAcrossRoots) {
+  REQUIRE_CC();
   ScopedCacheDir Cache;
   ScopedEnv Tier("TERRACPP_JIT_TIER", "1");
   Engine E;

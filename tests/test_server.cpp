@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Engine.h"
+#include "core/TerraBaselineJIT.h"
 #include "server/Client.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
@@ -395,8 +396,10 @@ TEST(Terrad, TieredExecutionSurfacesInCallStatsAndMetrics) {
   if (Engine::defaultBackend() != BackendKind::Native)
     GTEST_SKIP() << "tier auto needs the native backend";
   ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
-  // Thresholds far beyond what this test generates: every function stays
-  // on the tier-0 VM, so the observable state is deterministic.
+  // Thresholds far beyond what this test generates, and the baseline JIT
+  // pinned off: every function stays on the tier-0 VM, so the observable
+  // state is deterministic (the baseline tier echo has its own test below).
+  ScopedEnv NoBase("TERRACPP_JIT_BASELINE", "0");
   ScopedEnv Calls("TERRACPP_TIER_CALL_THRESHOLD", "1000000");
   ScopedEnv Back("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
   ServerFixture F;
@@ -440,6 +443,49 @@ TEST(Terrad, TieredExecutionSurfacesInCallStatsAndMetrics) {
   EXPECT_GE(T->getNumber("tier0_functions"), 2.0);
   EXPECT_GE(T->getNumber("tier0_calls"), 1.0);
   EXPECT_EQ(T->getNumber("promotion_failures"), 0.0);
+}
+
+TEST(Terrad, BaselineTierEchoedAndCountedInMetrics) {
+  if (Engine::defaultBackend() != BackendKind::Native)
+    GTEST_SKIP() << "tier auto needs the native backend";
+  if (!BaselineJIT::supported())
+    GTEST_SKIP() << "baseline JIT not supported on this architecture";
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  // Promotion thresholds out of reach: calls stay on the baseline JIT.
+  ScopedEnv Calls("TERRACPP_TIER_CALL_THRESHOLD", "1000000");
+  ScopedEnv Back("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  Client::CompileResult R = C.compile(AddScript);
+  ASSERT_TRUE(R.OK) << R.Error << "\n" << R.Diagnostics;
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("call"));
+  Req.set("handle", Value::string(R.Handle));
+  Req.set("fn", Value::string("add"));
+  Value Args = Value::array();
+  Args.push(Value::number(2));
+  Args.push(Value::number(3));
+  Req.set("args", std::move(Args));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  EXPECT_TRUE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getNumber("result"), 5.0);
+  // 2 = baseline JIT served the call.
+  EXPECT_EQ(Resp.getNumber("tier", -1), 2.0);
+
+  Value M = C.metrics();
+  ASSERT_FALSE(M.isNull()) << C.error();
+  const Value *Engines = M.get("engines");
+  ASSERT_TRUE(Engines && Engines->isObject());
+  const Value *Jit = Engines->get(R.Handle);
+  ASSERT_TRUE(Jit && Jit->isObject());
+  const Value *T = Jit->get("tier");
+  ASSERT_TRUE(T && T->isObject());
+  EXPECT_GE(T->getNumber("baseline_calls"), 1.0);
+  EXPECT_EQ(T->getNumber("cc_unavailable"), 0.0);
 }
 
 TEST(Terrad, TraceIdEchoedOnEveryResponse) {

@@ -16,6 +16,7 @@
 
 #include "ScopedEnv.h"
 #include "core/Engine.h"
+#include "core/TerraBaselineJIT.h"
 #include "core/TerraTier.h"
 
 #include <gtest/gtest.h>
@@ -55,6 +56,9 @@ TEST(Tiering, FirstCallRunsOnTier0WithoutNativeCompile) {
   if (!nativeAvailable())
     GTEST_SKIP();
   ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  // Pin the baseline JIT off: this test asserts about the tier-0 VM
+  // specifically (test_baseline covers the tier-0.5 path).
+  ScopedEnv NoBase("TERRACPP_JIT_BASELINE", "0");
   // A threshold far above what this test reaches: promotion never fires.
   ScopedEnv Thresh("TERRACPP_TIER_CALL_THRESHOLD", "1000000");
   ScopedEnv BThresh("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
@@ -222,7 +226,41 @@ TEST(Tiering, ConcurrentCallersNeverObserveATornEntry) {
   EXPECT_TRUE(waitFor([&] { return TM->snapshot().Promotions >= 1; }));
   TierManager::Snapshot S = TM->snapshot();
   EXPECT_EQ(S.PromotionFailures, 0u);
-  EXPECT_GE(S.Tier0Calls + S.Tier1Calls, 800u);
+  // Every racer call landed on some tier: VM, baseline JIT, or native.
+  EXPECT_GE(S.Tier0Calls + S.BaselineCalls + S.Tier1Calls, 800u);
+}
+
+TEST(Tiering, MissingCompilerPinsFunctionsAtBaselineTier) {
+  if (!BaselineJIT::supported())
+    GTEST_SKIP() << "baseline JIT not supported on this architecture";
+  // An empty PATH makes every cc spawn fail with ENOENT. The engine is
+  // forced onto the native backend so the tiering pipeline still engages;
+  // promotion must fail once, pin at the baseline tier, and stop retrying.
+  ScopedEnv Path("PATH", "/terracpp-no-such-dir");
+  ScopedEnv Backend("TERRACPP_BACKEND", "native");
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  ScopedEnv Thresh("TERRACPP_TIER_CALL_THRESHOLD", "2");
+  Engine E;
+  ASSERT_TRUE(E.run("terra f(x: int): int return x + 1 end")) << E.errors();
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(callF(E, "f", I), I + 1);
+  TierManager *TM = E.compiler().tierManager();
+  ASSERT_NE(TM, nullptr);
+  ASSERT_TRUE(waitFor([&] { return TM->snapshot().CcUnavailable == 1; }))
+      << "cc ENOENT never pinned the tier manager";
+  // Calls keep succeeding — served by the baseline JIT.
+  EXPECT_EQ(callF(E, "f", 41), 42);
+  EXPECT_EQ(E.compiler().lastCallTier(), 2);
+  TierManager::Snapshot S = TM->snapshot();
+  EXPECT_GE(S.PromotionFailures, 1u);
+  EXPECT_GE(S.BaselineCalls, 1u);
+  // Once pinned, new hot functions never launch another compiler attempt.
+  unsigned Launches = E.compiler().jit().stats().CompilerLaunches;
+  ASSERT_TRUE(E.run("terra g(x: int): int return x * 2 end")) << E.errors();
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(callF(E, "g", I), I * 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(E.compiler().jit().stats().CompilerLaunches, Launches);
 }
 
 TEST(Tiering, SnapshotTracksBacklogAndFailureCounters) {
