@@ -557,6 +557,12 @@ public:
   /// emission attempt; the failed-sentinel (void *)1 after a bailout; a
   /// callable address otherwise. CAS-published — immutable once non-null.
   std::atomic<void *> BaselineEntry{nullptr};
+  /// Native-stack bytes one activation of the baseline code consumes
+  /// (frame + register file + saved pointers); written before BaselineEntry
+  /// is published and read through BaselineJIT::depthUnits to charge the
+  /// interpreter depth budget proportionally. Relaxed: racing emitters of
+  /// the same bytecode store the same value.
+  std::atomic<uint32_t> BaselineStackBytes{0};
   /// Tiered-execution state: call/back-edge counters and the atomically
   /// patched native entry. Null outside TierPolicy::Auto.
   std::shared_ptr<TierState> Tier;

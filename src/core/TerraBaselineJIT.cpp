@@ -63,6 +63,15 @@ uint64_t terracppBaselineCall(const bytecode::Function *F, uint64_t Idx,
         E = reinterpret_cast<void *>(BJ->entryFor(Callee));
     }
     if (E && E != BaselineFailed) {
+      // The nested activation's frame goes on the native stack; charge the
+      // shared depth budget (weighted by frame size) so deep guest
+      // recursion fails with the interpreter's diagnostic instead of
+      // overrunning the host stack.
+      vm::CallDepthScope DepthScope(BaselineJIT::depthUnits(Callee));
+      if (DepthScope.exceeded()) {
+        vm::failStackOverflow(*Env);
+        return 0;
+      }
       void *ArgPtrs[MaxCallArgs];
       for (size_t I = 0, N = CS.Args.size(); I != N; ++I) {
         const CallSite::Arg &A = CS.Args[I];
@@ -154,10 +163,20 @@ public:
 
   const std::vector<uint8_t> &code() const { return A.code(); }
 
+  /// Native-stack bytes one activation consumes (valid after emit()).
+  uint32_t stackBytes() const { return static_cast<uint32_t>(Total); }
+
 private:
   using Label = Assembler::Label;
 
-  static constexpr uint32_t MaxFrameBytes = 1u << 20;
+  /// Cap on one activation's native-stack footprint (frame + register file
+  /// + saved pointers). The prologue grows the stack with a single unprobed
+  /// `sub rsp, Total`; a decrement larger than the kernel's stack guard gap
+  /// (1 MiB on Linux by default) could jump clean over the guard pages and
+  /// the following `rep stosq` would corrupt an adjacent mapping instead of
+  /// faulting (stack clash). 256 KiB keeps every decrement far inside the
+  /// gap; bigger activations bail to the VM, whose frames live on the heap.
+  static constexpr uint32_t MaxStackBytes = 256u << 10;
   static constexpr int NumPinRegs = 4;
   static constexpr Reg PinRegs[NumPinRegs] = {R12, R13, R14, R15};
 
@@ -262,12 +281,11 @@ private:
 constexpr Reg Emitter::PinRegs[];
 
 bool Emitter::layoutAndPin() {
-  if (F.FrameBytes > MaxFrameBytes)
-    return false; // Giant frames stay on the VM's heap buffer.
   uint64_t RegBytes = uint64_t(F.NumRegs) * 8;
-  if (RegBytes > MaxFrameBytes)
-    return false;
-  FrameRound = static_cast<int32_t>((F.FrameBytes + 31) & ~31u);
+  uint64_t Round = (uint64_t(F.FrameBytes) + 31) & ~uint64_t(31);
+  if (Round + RegBytes + 24 > MaxStackBytes)
+    return false; // Large activations stay on the VM's heap buffer.
+  FrameRound = static_cast<int32_t>(Round);
   OffR = FrameRound;
   ZeroBytes = FrameRound + static_cast<int32_t>(RegBytes);
   OffSavedArgs = ZeroBytes;
@@ -988,8 +1006,13 @@ BaselineJIT::Fn BaselineJIT::entryFor(TerraFunction *F) {
       telemetry::ScopedTimerUs T(MEmitUs);
       Emitter Em(*F->Bytecode);
       void *P = nullptr;
-      if (Em.emit())
+      if (Em.emit()) {
         P = Code.publish(Em.code().data(), Em.code().size());
+        // Before the entry is visible: depthUnits readers acquire
+        // BaselineEntry first. Racing emitters store the same value.
+        F->BaselineStackBytes.store(Em.stackBytes(),
+                                    std::memory_order_relaxed);
+      }
       E = P ? P : BaselineFailed;
     }
     // CAS-publish; a racing emitter's loss just wastes buffer bytes. The
@@ -1009,4 +1032,9 @@ BaselineJIT::Fn BaselineJIT::entryFor(TerraFunction *F) {
     }
   }
   return E == BaselineFailed ? nullptr : reinterpret_cast<Fn>(E);
+}
+
+unsigned BaselineJIT::depthUnits(const TerraFunction *F) {
+  uint32_t Bytes = F->BaselineStackBytes.load(std::memory_order_relaxed);
+  return 1 + Bytes / (16u << 10);
 }

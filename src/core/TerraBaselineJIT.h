@@ -57,6 +57,14 @@ public:
   /// the failure is remembered, so callers can probe on every dispatch.
   Fn entryFor(TerraFunction *F);
 
+  /// Depth units one activation of \p F's baseline code costs against
+  /// vm::MaxCallDepth. Unlike VM frames (heap-allocated), baseline frames
+  /// live on the native stack, so large frames are charged more — at 16 KiB
+  /// per unit a full budget stays under ~6.5 MiB of native stack, inside a
+  /// default 8 MiB thread stack. Every call of a BaselineJIT::Fn must sit
+  /// under a vm::CallDepthScope charged with this value.
+  static unsigned depthUnits(const TerraFunction *F);
+
   /// True iff the host architecture is supported (x86-64 only).
   static bool supported();
 

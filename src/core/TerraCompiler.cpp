@@ -196,6 +196,14 @@ void TerraCompiler::installTier0(std::string Source, bool Cacheable,
           Self->LastCallTier.store(2, std::memory_order_relaxed);
           Self->Tiers->noteBaselineCall(*TS);
           vm::ExecEnv Env(Self->Ctx, *Self);
+          // Recursion through tiered callees re-enters this thunk with a
+          // fresh Env each hop; the thread-shared depth scope is what
+          // bounds the native stack those baseline frames grow.
+          vm::CallDepthScope DepthScope(BaselineJIT::depthUnits(FnP));
+          if (DepthScope.exceeded()) {
+            vm::failStackOverflow(Env);
+            return;
+          }
           uint64_t Edges = BE(Args, Ret, &Env);
           Self->Tiers->noteBackEdges(*TS, Edges + Env.BackEdges);
           return;

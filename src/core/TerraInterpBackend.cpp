@@ -926,6 +926,11 @@ bool TerraInterpBackend::execute(const TerraFunction *F, void **Args,
     if (BaselineJIT *BJ = Compiler.baseline()) {
       if (BaselineJIT::Fn Entry = BJ->entryFor(const_cast<TerraFunction *>(F))) {
         vm::ExecEnv Env(Ctx, Compiler);
+        // The emitted frame lives on the native stack: charge the shared
+        // depth budget before entering machine code.
+        vm::CallDepthScope DepthScope(BaselineJIT::depthUnits(F));
+        if (DepthScope.exceeded())
+          return vm::failStackOverflow(Env);
         uint64_t Edges;
         {
           telemetry::ScopedTimerUs T(MDispatchUs);

@@ -184,16 +184,14 @@ void writeRet(const Function &F, const Slot &V, void *Ret) {
   }
 }
 
-bool runOne(const Function &F, void **Args, void *Ret, vm::ExecEnv &S,
-            unsigned Depth);
+bool runOne(const Function &F, void **Args, void *Ret, vm::ExecEnv &S);
 
 /// One out-of-line call. Stages argument pointers in FFI convention
 /// (scalars point at their canonical slot — the low bytes are the C layout
 /// of every scalar type on a little-endian host; aggregates pass their
 /// address), picks the fastest engine that can run the callee, and
 /// canonicalizes the scalar result back into the destination register.
-bool doCall(const CallSite &CS, Slot *R, uint8_t *Frame, vm::ExecEnv &S,
-            unsigned Depth) {
+bool doCall(const CallSite &CS, Slot *R, uint8_t *Frame, vm::ExecEnv &S) {
   void *ArgPtrs[MaxCallArgs];
   for (size_t I = 0, N = CS.Args.size(); I != N; ++I) {
     const CallSite::Arg &A = CS.Args[I];
@@ -217,7 +215,7 @@ bool doCall(const CallSite &CS, Slot *R, uint8_t *Frame, vm::ExecEnv &S,
   } else if (Callee->Bytecode && !Callee->Tier) {
     // Pure tier-0 callee: recurse directly, sharing the depth budget the
     // way the tree-walker's runFunction recursion does.
-    if (!runOne(*Callee->Bytecode, ArgPtrs, RetPtr, S, Depth + 1))
+    if (!runOne(*Callee->Bytecode, ArgPtrs, RetPtr, S))
       return false;
   } else {
     // Tiered functions go through their dispatcher Entry so call counting
@@ -243,10 +241,10 @@ bool doCall(const CallSite &CS, Slot *R, uint8_t *Frame, vm::ExecEnv &S,
   return true;
 }
 
-bool runOne(const Function &F, void **Args, void *Ret, vm::ExecEnv &S,
-            unsigned Depth) {
-  if (Depth > 400)
-    return fail(S, SourceLoc(), "terra call stack overflow in interpreter");
+bool runOne(const Function &F, void **Args, void *Ret, vm::ExecEnv &S) {
+  vm::CallDepthScope DepthScope;
+  if (DepthScope.exceeded())
+    return vm::failStackOverflow(S);
 
   // One allocation per invocation: registers, then the 32-aligned frame.
   size_t RegBytes = static_cast<size_t>(F.NumRegs) * sizeof(Slot);
@@ -583,7 +581,7 @@ next_insn:
   VM_CASE(JmpBack) : ++BackEdges;
   VM_JUMP(pc->Imm);
 
-  VM_CASE(Call) : if (!doCall(F.Calls[pc->Imm], R, Frame, S, Depth))
+  VM_CASE(Call) : if (!doCall(F.Calls[pc->Imm], R, Frame, S))
       VM_RETURN(false);
   VM_NEXT;
   VM_CASE(Ret) : VM_RETURN(true);
@@ -619,14 +617,22 @@ trap_exit:
 namespace terracpp {
 namespace vm {
 
-bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env,
-         unsigned Depth) {
-  return runOne(F, Args, Ret, Env, Depth);
+unsigned &callDepth() {
+  static thread_local unsigned Depth = 0;
+  return Depth;
+}
+
+bool failStackOverflow(ExecEnv &Env) {
+  return fail(Env, SourceLoc(), "terra call stack overflow in interpreter");
+}
+
+bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env) {
+  return runOne(F, Args, Ret, Env);
 }
 
 bool execCallSite(const bytecode::Function &F, uint64_t Idx,
                   bytecode::Slot *R, uint8_t *Frame, ExecEnv &Env) {
-  return doCall(F.Calls[static_cast<size_t>(Idx)], R, Frame, Env, 0);
+  return doCall(F.Calls[static_cast<size_t>(Idx)], R, Frame, Env);
 }
 
 void execTrap(const bytecode::Function &F, uint64_t Idx, ExecEnv &Env) {

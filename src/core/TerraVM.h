@@ -31,7 +31,11 @@ namespace vm {
 /// Per-invocation execution context. One ExecEnv spans an outermost entry
 /// and all bytecode-to-bytecode recursion under it; calls that leave the VM
 /// (externs, host closures, Entry thunks) get fresh state on re-entry, as
-/// the tree-walker's nested TEval instances do.
+/// the tree-walker's nested TEval instances do. Call depth is deliberately
+/// NOT part of this state: it lives in a per-thread counter (callDepth())
+/// so recursion that crosses dispatcher-thunk boundaries — where each hop
+/// constructs a fresh ExecEnv — still runs into the depth limit instead of
+/// growing the native stack without bound.
 struct ExecEnv {
   ExecEnv(TerraContext &Ctx, TerraCompiler &Comp) : Ctx(Ctx), Comp(Comp) {}
 
@@ -45,12 +49,43 @@ struct ExecEnv {
   bool Failed = false;
 };
 
+/// Depth budget shared by the interpreter tiers (VM and baseline JIT).
+/// Ordinary activations cost one unit; baseline activations whose emitted
+/// frame lives on the native stack are charged proportionally to its size
+/// (BaselineJIT::depthUnits) so a full budget always fits a default-sized
+/// thread stack.
+constexpr unsigned MaxCallDepth = 400;
+
+/// The current thread's guest call depth, in units. Shared across ExecEnv
+/// instances (see above); manipulate it through CallDepthScope only.
+unsigned &callDepth();
+
+/// RAII charge of one guest activation against the thread's depth budget.
+/// Construct, then test exceeded() before doing any real work: past the
+/// limit the caller must report failStackOverflow() and unwind.
+class CallDepthScope {
+public:
+  explicit CallDepthScope(unsigned Units = 1) : Units(Units) {
+    callDepth() += Units;
+  }
+  ~CallDepthScope() { callDepth() -= Units; }
+  CallDepthScope(const CallDepthScope &) = delete;
+  CallDepthScope &operator=(const CallDepthScope &) = delete;
+  bool exceeded() const { return callDepth() > MaxCallDepth; }
+
+private:
+  unsigned Units;
+};
+
+/// Reports the tier-invariant "terra call stack overflow" diagnostic, sets
+/// Env.Failed, and returns false.
+bool failStackOverflow(ExecEnv &Env);
+
 /// Runs \p F over FFI-convention arguments: Args[i] points at the i-th
 /// value with C layout, Ret at the result buffer (null for void). Returns
 /// false when execution aborted (Env.Failed set; at most one "terra
 /// interpreter: ..." diagnostic reported).
-bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env,
-         unsigned Depth = 0);
+bool run(const bytecode::Function &F, void **Args, void *Ret, ExecEnv &Env);
 
 // Out-of-line services for the baseline JIT (TerraBaselineJIT.cpp). The
 // emitted machine code calls these for everything that is not straight-line

@@ -297,11 +297,73 @@ TEST(Baseline, BuilderMinMaxIntrinsicsMatchTreeWalker) {
   EXPECT_DOUBLE_EQ(Base, Tree);
 }
 
+TEST(Baseline, DeepRecursionOverflowsGracefully) {
+  if (!BaselineJIT::supported())
+    GTEST_SKIP();
+  // Unbounded guest recursion stays on the native stack in baseline code
+  // (the baseline-to-baseline fast path never returns to the VM), so the
+  // shared depth budget must stop it with the interpreter's diagnostic —
+  // not a host-process SIGSEGV.
+  ScopedUnsetEnv NoForce("TERRACPP_INTERP");
+  ScopedUnsetEnv NoTier("TERRACPP_JIT_TIER");
+  ScopedEnv On("TERRACPP_JIT_BASELINE", "1");
+  Engine E(BackendKind::Interp);
+  ASSERT_TRUE(E.run("terra f(n: int): int\n"
+                    "  if n == 0 then return 0 end\n"
+                    "  return f(n - 1) + n\n"
+                    "end",
+                    "deep.t"))
+      << E.errors();
+  // Within budget: correct result, served by emitted code.
+  std::vector<Value> R;
+  EXPECT_TRUE(E.call(E.global("f"), {Value::number(100)}, R)) << E.errors();
+  ASSERT_FALSE(R.empty());
+  EXPECT_EQ(R[0].asNumber(), 5050);
+  EXPECT_GE(baselineFunctions(E), 1u);
+  // Past budget: graceful failure with the tier-invariant diagnostic.
+  R.clear();
+  EXPECT_FALSE(E.call(E.global("f"), {Value::number(100000)}, R));
+  EXPECT_NE(E.errors().find("call stack overflow"), std::string::npos)
+      << E.errors();
+  // The engine is still usable afterwards (depth counter fully unwound).
+  R.clear();
+  EXPECT_TRUE(E.call(E.global("f"), {Value::number(10)}, R)) << E.errors();
+  ASSERT_FALSE(R.empty());
+  EXPECT_EQ(R[0].asNumber(), 55);
+}
+
+TEST(Baseline, MediumFrameBailsOutBelowStackGuardGap) {
+  if (!BaselineJIT::supported())
+    GTEST_SKIP();
+  // 40000 doubles = 320 KB of frame: legal for the VM (heap buffer) but
+  // over the emitter's 256 KB native-stack cap, which keeps the prologue's
+  // single unprobed `sub rsp` inside the kernel's stack guard gap. The
+  // function must bail to the VM and still be correct.
+  ScopedUnsetEnv NoForce("TERRACPP_INTERP");
+  ScopedUnsetEnv NoTier("TERRACPP_JIT_TIER");
+  ScopedEnv On("TERRACPP_JIT_BASELINE", "1");
+  Engine E(BackendKind::Interp);
+  ASSERT_TRUE(E.run("terra f(n: int): double\n"
+                    "  var a: double[40000]\n"
+                    "  for i = 0, 1000 do a[i] = i * 0.5 end\n"
+                    "  var s: double = 0\n"
+                    "  for i = 0, n do s = s + a[i] end\n"
+                    "  return s\n"
+                    "end",
+                    "medium.t"))
+      << E.errors();
+  EXPECT_DOUBLE_EQ(callF(E, 1000), 249750.0);
+  EXPECT_GE(
+      E.compiler().jit().metrics().counter("jit.baseline_bailouts").value(),
+      1u);
+}
+
 TEST(Baseline, OversizedFrameBailsOutToVMWithIdenticalResults) {
   if (!BaselineJIT::supported())
     GTEST_SKIP();
-  // 200000 doubles = 1.6 MB of frame: over the emitter's 1 MB cap, so this
-  // function must run on the VM — and still be correct.
+  // 200000 doubles = 1.6 MB of frame: far over the emitter's 256 KB
+  // native-stack cap, so this function must run on the VM — and still be
+  // correct.
   const char *Src = "terra f(n: int): double\n"
                     "  var a: double[200000]\n"
                     "  for i = 0, 1000 do a[i] = i * 0.5 end\n"

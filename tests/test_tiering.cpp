@@ -263,6 +263,37 @@ TEST(Tiering, MissingCompilerPinsFunctionsAtBaselineTier) {
   EXPECT_EQ(E.compiler().jit().stats().CompilerLaunches, Launches);
 }
 
+TEST(Tiering, DeepRecursionOnBaselineTierOverflowsGracefully) {
+  if (!nativeAvailable())
+    GTEST_SKIP();
+  if (!BaselineJIT::supported())
+    GTEST_SKIP() << "baseline JIT not supported on this architecture";
+  // Under tiering, each recursion level re-enters the dispatcher thunk
+  // with a fresh ExecEnv — the thread-shared depth budget must still trip
+  // and produce the interpreter's diagnostic instead of overrunning the
+  // native stack. Thresholds far out of reach keep the function on the
+  // baseline tier for the whole test (no promotion race).
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  ScopedEnv Base("TERRACPP_JIT_BASELINE", "1");
+  ScopedEnv Thresh("TERRACPP_TIER_CALL_THRESHOLD", "1000000000");
+  ScopedEnv BThresh("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
+  Engine E;
+  ASSERT_TRUE(E.run("terra f(n: int): int\n"
+                    "  if n == 0 then return 0 end\n"
+                    "  return f(n - 1) + n\n"
+                    "end",
+                    "deep.t"))
+      << E.errors();
+  EXPECT_EQ(callF(E, "f", 100), 5050);
+  EXPECT_EQ(E.compiler().lastCallTier(), 2);
+  std::vector<Value> R;
+  EXPECT_FALSE(E.call(E.global("f"), {Value::number(100000)}, R));
+  EXPECT_NE(E.errors().find("call stack overflow"), std::string::npos)
+      << E.errors();
+  // Depth fully unwound: the engine still serves calls.
+  EXPECT_EQ(callF(E, "f", 10), 55);
+}
+
 TEST(Tiering, SnapshotTracksBacklogAndFailureCounters) {
   if (!nativeAvailable())
     GTEST_SKIP();
