@@ -1,0 +1,78 @@
+#include "fleet/HashRing.h"
+
+#include "support/ContentHash.h"
+
+#include <algorithm>
+
+using namespace terracpp;
+using namespace terracpp::fleet;
+
+// FNV-1a maps short, similar strings ("shard-0#1", "shard-0#2", ...) to
+// nearby values, which clumps ring points and starves whole nodes. A
+// Murmur3-style finalizer spreads them uniformly over the 64-bit ring
+// while staying fully deterministic.
+static uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+static uint64_t pointHash(unsigned Node, unsigned Replica) {
+  ContentHash H;
+  std::string Label =
+      "shard-" + std::to_string(Node) + "#" + std::to_string(Replica);
+  H.updateField(Label);
+  return mix64(H.value());
+}
+
+void HashRing::addNode(unsigned Node, unsigned VirtualNodes) {
+  removeNode(Node);
+  Points.reserve(Points.size() + VirtualNodes);
+  for (unsigned R = 0; R != VirtualNodes; ++R)
+    Points.emplace_back(pointHash(Node, R), Node);
+  std::sort(Points.begin(), Points.end());
+}
+
+void HashRing::removeNode(unsigned Node) {
+  Points.erase(std::remove_if(Points.begin(), Points.end(),
+                              [&](const std::pair<uint64_t, unsigned> &P) {
+                                return P.second == Node;
+                              }),
+               Points.end());
+}
+
+bool HashRing::contains(unsigned Node) const {
+  for (const auto &P : Points)
+    if (P.second == Node)
+      return true;
+  return false;
+}
+
+bool HashRing::lookup(const std::string &Key, unsigned &Node) const {
+  if (Points.empty())
+    return false;
+  ContentHash H;
+  H.updateField(Key);
+  uint64_t K = mix64(H.value());
+  // First point at or after K, wrapping to the smallest point.
+  auto It = std::lower_bound(
+      Points.begin(), Points.end(), std::make_pair(K, 0u),
+      [](const std::pair<uint64_t, unsigned> &A,
+         const std::pair<uint64_t, unsigned> &B) { return A.first < B.first; });
+  if (It == Points.end())
+    It = Points.begin();
+  Node = It->second;
+  return true;
+}
+
+std::vector<unsigned> HashRing::nodes() const {
+  std::vector<unsigned> Out;
+  for (const auto &P : Points)
+    Out.push_back(P.second);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- HashRing.h - Consistent hashing over terrad shards -------*- C++ -*-===//
+//
+// The fleet router (Router.h) places every request on a shard by consistent
+// hashing: each shard contributes many virtual points on a 64-bit ring, and
+// a key is owned by the first point clockwise from its hash. Two properties
+// matter for the fleet:
+//
+//  - Stability: the same content hash always lands on the same shard, so a
+//    script's live engine (and its warm state) is reused instead of being
+//    rebuilt on a random shard per request.
+//  - Minimal movement: removing a shard moves only the keys that shard
+//    owned; every other key keeps its placement, preserving warm engines
+//    across shard failures.
+//
+// Virtual nodes smooth the per-shard share: with V points per shard the
+// expected imbalance shrinks like 1/sqrt(V).
+//
+// Not thread-safe; the router mutates it only under its own ring mutex.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_FLEET_HASHRING_H
+#define TERRACPP_FLEET_HASHRING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace terracpp {
+namespace fleet {
+
+class HashRing {
+public:
+  /// Adds \p Node with \p VirtualNodes points. Re-adding an existing node
+  /// first removes its old points (idempotent).
+  void addNode(unsigned Node, unsigned VirtualNodes);
+
+  /// Removes every point contributed by \p Node.
+  void removeNode(unsigned Node);
+
+  bool empty() const { return Points.empty(); }
+  bool contains(unsigned Node) const;
+
+  /// The node owning \p Key: the first ring point at or clockwise after
+  /// hash(Key). False only when the ring is empty.
+  bool lookup(const std::string &Key, unsigned &Node) const;
+
+  /// Distinct nodes currently on the ring, ascending.
+  std::vector<unsigned> nodes() const;
+
+private:
+  /// (point hash, node), sorted by hash.
+  std::vector<std::pair<uint64_t, unsigned>> Points;
+};
+
+} // namespace fleet
+} // namespace terracpp
+
+#endif // TERRACPP_FLEET_HASHRING_H

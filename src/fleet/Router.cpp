@@ -1,0 +1,791 @@
+#include "fleet/Router.h"
+
+#include "server/Protocol.h"
+#include "support/Backoff.h"
+#include "support/ContentHash.h"
+#include "support/Log.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace terracpp;
+using namespace terracpp::fleet;
+using terracpp::json::Value;
+
+//===----------------------------------------------------------------------===//
+// Signal plumbing (separate flag from Server's: terrad and terrafleet are
+// different binaries, and a test process may host both).
+//===----------------------------------------------------------------------===//
+
+static std::atomic<int> GFleetSignalFlag{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+static void fleetSignalHandler(int) {
+  GFleetSignalFlag.store(1, std::memory_order_relaxed);
+}
+
+void Router::installSignalHandlers() {
+  struct sigaction SA;
+  memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = fleetSignalHandler;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+}
+
+bool Router::signalReceived() {
+  return GFleetSignalFlag.load(std::memory_order_relaxed) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Router::FrontLink::~FrontLink() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Router::Router(RouterConfig C)
+    : Config(std::move(C)),
+      MRequestsRouted(Reg.counter("fleet.requests_routed")),
+      MRequestsFailed(Reg.counter("fleet.requests_failed")),
+      MShardUnavailable(Reg.counter("fleet.shard_unavailable")),
+      MReconnects(Reg.counter("fleet.reconnects")),
+      MRespawns(Reg.counter("fleet.respawns")),
+      MBatchRequests(Reg.counter("fleet.batch_requests")),
+      MProtocolMismatches(Reg.counter("fleet.protocol_mismatches")),
+      MShardsUp(Reg.gauge("fleet.shards_up")),
+      MRouteLatencyUs(Reg.histogram("fleet.route_latency_us")) {
+  for (size_t I = 0; I != Config.Shards.size(); ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Cfg = Config.Shards[I];
+    S->Mux.setMaxInFlight(Config.MaxInFlightPerShard);
+    S->Requests =
+        &Reg.counter("fleet.shard" + std::to_string(I) + ".requests");
+    Shards.push_back(std::move(S));
+  }
+}
+
+Router::~Router() {
+  requestShutdown();
+  wait();
+}
+
+bool Router::spawnShard(unsigned Index, std::string &Err) {
+  Shard &S = *Shards[Index];
+  std::vector<std::string> Argv = {Config.TerradBinary, "--socket",
+                                   S.Cfg.SocketPath, "--quiet"};
+  std::vector<std::string> Env;
+  if (!Config.CacheDir.empty())
+    Env.push_back("TERRACPP_CACHE_DIR=" + Config.CacheDir);
+  return S.Proc.spawn(Argv, Env, Err);
+}
+
+bool Router::connectShard(unsigned Index, unsigned Attempts) {
+  Shard &S = *Shards[Index];
+  MuxClient::ConnectOptions CO;
+  CO.Attempts = Attempts;
+  CO.InitialDelayMs = Config.ReconnectBaseMs;
+  CO.MaxDelayMs = Config.ReconnectMaxMs;
+  CO.HealthCheck = true;
+  CO.HealthTimeoutMs = 2000;
+  return S.Mux.connect(S.Cfg.SocketPath, CO);
+}
+
+void Router::onShardLost(unsigned Index) {
+  // Runs on the shard's mux reader thread: flip state and counters only —
+  // never Mux.close() here (it would join the thread we are on). The
+  // monitor thread does the actual teardown + reconnect.
+  Shard &S = *Shards[Index];
+  bool WasUp = S.Up.exchange(false, std::memory_order_acq_rel);
+  if (!WasUp)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(RingM);
+    Ring.removeNode(Index);
+  }
+  int64_t UpCount = 0;
+  for (const auto &Sh : Shards)
+    if (Sh->Up.load(std::memory_order_acquire))
+      ++UpCount;
+  MShardsUp.set(UpCount);
+  S.NextAttemptUs.store(telemetry::nowMicros(), std::memory_order_release);
+  logging::emit(logging::Level::Warn, "fleet.shard_lost",
+                {{"shard", std::to_string(Index)},
+                 {"socket", S.Cfg.SocketPath}});
+}
+
+bool Router::start(std::string &Err) {
+  if (Started) {
+    Err = "router already started";
+    return false;
+  }
+
+  for (unsigned I = 0; I != Shards.size(); ++I)
+    if (Shards[I]->Cfg.Spawn && !spawnShard(I, Err)) {
+      Err = "shard " + std::to_string(I) + ": " + Err;
+      return false;
+    }
+
+  unsigned UpCount = 0;
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    S.Mux.setOnConnectionLost([this, I] { onShardLost(I); });
+    if (connectShard(I, Config.ConnectAttempts)) {
+      S.Up.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> Lock(RingM);
+      Ring.addNode(I, Config.VirtualNodes);
+      ++UpCount;
+    } else {
+      logging::emit(logging::Level::Warn, "fleet.shard_connect_failed",
+                    {{"shard", std::to_string(I)},
+                     {"socket", S.Cfg.SocketPath},
+                     {"error", S.Mux.error()}});
+      S.NextAttemptUs.store(telemetry::nowMicros(),
+                            std::memory_order_release);
+    }
+  }
+  MShardsUp.set(UpCount);
+  if (UpCount == 0) {
+    Err = "no shard came up";
+    return false;
+  }
+
+  ListenFd = server::listenUnix(Config.FrontSocket, Config.Backlog, Err);
+  if (ListenFd < 0)
+    return false;
+
+  Acceptor = std::thread([this] { acceptLoop(); });
+  Monitor = std::thread([this] { monitorLoop(); });
+  Started = true;
+  logging::emit(logging::Level::Info, "fleet.start",
+                {{"front", Config.FrontSocket},
+                 {"shards", std::to_string(Shards.size())},
+                 {"shards_up", std::to_string(UpCount)}});
+  return true;
+}
+
+void Router::requestShutdown() {
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return;
+  if (!Started)
+    ShutdownComplete = true;
+}
+
+void Router::wait() {
+  if (!Started)
+    return;
+  std::unique_lock<std::mutex> Lock(ShutdownMutex);
+  ShutdownCV.wait(Lock, [&] { return ShutdownComplete.load(); });
+  if (Acceptor.joinable())
+    Acceptor.join();
+}
+
+void Router::acceptLoop() {
+  while (!Draining) {
+    if (signalReceived()) {
+      GFleetSignalFlag.store(0, std::memory_order_relaxed);
+      requestShutdown();
+    }
+    if (Draining)
+      break;
+    struct pollfd PFd = {ListenFd, POLLIN, 0};
+    int PR = ::poll(&PFd, 1, 100);
+    reapFronts(/*Join=*/false);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      requestShutdown();
+      break;
+    }
+    if (PR == 0 || !(PFd.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto FC = std::make_unique<FrontConn>();
+    FC->Link = std::make_shared<FrontLink>();
+    FC->Link->Fd = Fd;
+    FrontConn *FCP = FC.get();
+    std::lock_guard<std::mutex> Lock(FrontM);
+    Fronts.push_back(std::move(FC));
+    FCP->Reader = std::thread([this, FCP] {
+      frontLoop(FCP->Link);
+      FCP->Finished = true;
+    });
+  }
+  beginShutdown();
+}
+
+void Router::reapFronts(bool Join) {
+  std::vector<std::unique_ptr<FrontConn>> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(FrontM);
+    auto Keep = Fronts.begin();
+    for (auto &F : Fronts) {
+      if (Join || F->Finished)
+        Dead.push_back(std::move(F));
+      else
+        *Keep++ = std::move(F);
+    }
+    Fronts.erase(Keep, Fronts.end());
+  }
+  for (auto &F : Dead)
+    if (F->Reader.joinable())
+      F->Reader.join();
+  // The link fd closes when the last shared_ptr drops — possibly later,
+  // from an in-flight relay callback. Writes after shutdown fail benignly.
+}
+
+void Router::monitorLoop() {
+  backoff::Policy P;
+  P.MaxAttempts = 1; // Schedule computed manually across monitor ticks.
+  P.InitialDelayMs = Config.ReconnectBaseMs;
+  P.MaxDelayMs = Config.ReconnectMaxMs;
+  while (!StopMonitor.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (StopMonitor.load(std::memory_order_acquire))
+      break;
+    for (unsigned I = 0; I != Shards.size(); ++I) {
+      Shard &S = *Shards[I];
+      if (S.Up.load(std::memory_order_acquire))
+        continue;
+      uint64_t Now = telemetry::nowMicros();
+      if (Now < S.NextAttemptUs.load(std::memory_order_acquire))
+        continue;
+      // Tear down the dead connection (joins the mux reader; safe here,
+      // never from onShardLost).
+      S.Mux.close();
+      if (S.Cfg.Spawn && Config.AutoRespawn && !S.Proc.alive()) {
+        std::string Err;
+        if (spawnShard(I, Err)) {
+          MRespawns.inc();
+          logging::emit(logging::Level::Info, "fleet.shard_respawn",
+                        {{"shard", std::to_string(I)},
+                         {"pid", std::to_string(S.Proc.pid())}});
+        } else {
+          logging::emit(logging::Level::Warn, "fleet.shard_respawn_failed",
+                        {{"shard", std::to_string(I)}, {"error", Err}});
+        }
+      }
+      if (connectShard(I, 1)) {
+        S.Up.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> Lock(RingM);
+          Ring.addNode(I, Config.VirtualNodes);
+        }
+        S.FailedAttempts = 0;
+        MReconnects.inc();
+        int64_t UpCount = 0;
+        for (const auto &Sh : Shards)
+          if (Sh->Up.load(std::memory_order_acquire))
+            ++UpCount;
+        MShardsUp.set(UpCount);
+        logging::emit(logging::Level::Info, "fleet.shard_reconnect",
+                      {{"shard", std::to_string(I)}});
+      } else {
+        // Capped exponential backoff; keep trying forever — an operator
+        // restarting a shard minutes later should not need to restart the
+        // router too.
+        int Delay = P.delayForAttempt(S.FailedAttempts);
+        if (S.FailedAttempts < 32)
+          ++S.FailedAttempts;
+        S.NextAttemptUs.store(Now + static_cast<uint64_t>(Delay) * 1000,
+                              std::memory_order_release);
+      }
+    }
+  }
+}
+
+void Router::beginShutdown() {
+  // 1. Stop accepting new fronts.
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Config.FrontSocket.c_str());
+  // 2. Bounded grace for in-flight relays to complete.
+  for (int WaitedMs = 0; WaitedMs < 2000; WaitedMs += 20) {
+    unsigned InFlight = 0;
+    for (auto &S : Shards)
+      if (S->Up.load(std::memory_order_acquire))
+        InFlight += S->Mux.inFlight();
+    if (InFlight == 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // 3. Stop the monitor before tearing down shard connections, so it
+  //    cannot resurrect them mid-shutdown.
+  StopMonitor.store(true, std::memory_order_release);
+  if (Monitor.joinable())
+    Monitor.join();
+  // 4. Wake and reap every front reader.
+  {
+    std::lock_guard<std::mutex> Lock(FrontM);
+    for (auto &F : Fronts) {
+      F->Link->Closed.store(true, std::memory_order_release);
+      ::shutdown(F->Link->Fd, SHUT_RDWR);
+    }
+  }
+  reapFronts(/*Join=*/true);
+  // 5. Owned shards drain and exit; attached shards are left running.
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    if (S.Cfg.Spawn && S.Up.load(std::memory_order_acquire)) {
+      Value Req = Value::object();
+      Req.set("op", Value::string("shutdown"));
+      S.Mux.request(std::move(Req), 2000);
+    }
+    S.Mux.close();
+    if (S.Cfg.Spawn && S.Proc.started()) {
+      if (S.Proc.waitExit(3000) < 0) {
+        S.Proc.terminate(SIGTERM);
+        if (S.Proc.waitExit(2000) < 0)
+          S.Proc.terminate(SIGKILL);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ShutdownMutex);
+    ShutdownComplete = true;
+  }
+  ShutdownCV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Placement
+//===----------------------------------------------------------------------===//
+
+int Router::shardIndexForKey(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(RingM);
+  unsigned Node = 0;
+  if (!Ring.lookup(Key, Node))
+    return -1;
+  return static_cast<int>(Node);
+}
+
+bool Router::shardUp(unsigned Index) {
+  return Index < Shards.size() &&
+         Shards[Index]->Up.load(std::memory_order_acquire);
+}
+
+//===----------------------------------------------------------------------===//
+// Front connections
+//===----------------------------------------------------------------------===//
+
+bool Router::relayToFront(const std::shared_ptr<FrontLink> &Link,
+                          Value Response, const Value &ClientId) {
+  // The mux id is router-internal; restore the client's own id (if any).
+  Response.remove("id");
+  if (!ClientId.isNull())
+    Response.set("id", ClientId);
+  Response.set("v", Value::number(server::ProtocolVersion));
+  std::lock_guard<std::mutex> Lock(Link->WriteM);
+  if (Link->Closed.load(std::memory_order_acquire))
+    return false;
+  if (!server::writeMessage(Link->Fd, Response)) {
+    Link->Closed.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void Router::frontLoop(std::shared_ptr<FrontLink> Link) {
+  while (true) {
+    Value Request;
+    std::string Err;
+    server::FrameStatus St = server::readMessage(Link->Fd, Request, Err);
+    if (St != server::FrameStatus::OK) {
+      if (St == server::FrameStatus::Error && !Err.empty() &&
+          Err != "frame read failed")
+        relayToFront(Link, server::errorResponse("bad request: " + Err),
+                     Value());
+      break;
+    }
+    if (!Request.isObject()) {
+      if (!relayToFront(Link,
+                        server::errorResponse("request must be a JSON object"),
+                        Value()))
+        break;
+      continue;
+    }
+
+    Value ClientId;
+    if (const Value *IdV = Request.get("id"))
+      ClientId = *IdV;
+
+    // Same version gate as terrad's: the router refuses to relay frames it
+    // might be misreading.
+    {
+      const Value *V = Request.get("v");
+      int Got = (V && V->isNumber()) ? static_cast<int>(V->asNumber()) : 0;
+      if (Got != server::ProtocolVersion) {
+        MProtocolMismatches.inc();
+        Value R = server::errorResponseCode(
+            "protocol_mismatch",
+            "protocol version mismatch: router speaks v" +
+                std::to_string(server::ProtocolVersion) + ", request carried " +
+                (V ? "v" + std::to_string(Got) : std::string("no version")));
+        R.set("expected", Value::number(server::ProtocolVersion));
+        R.set("got", Value::number(Got));
+        if (!relayToFront(Link, std::move(R), ClientId))
+          break;
+        continue;
+      }
+    }
+
+    std::string Op = Request.getString("op");
+    std::string TraceId = Request.getString("trace_id");
+    auto answerLocal = [&](Value R) {
+      if (!TraceId.empty())
+        R.set("trace_id", Value::string(TraceId));
+      return relayToFront(Link, std::move(R), ClientId);
+    };
+
+    if (Op == "ping") {
+      // Plain pings are a front-socket health check and answered here. A
+      // ping carrying delay_ms is the protocol's latency-simulation knob
+      // and must exercise a real shard round trip, so it is routed.
+      if (Request.get("delay_ms")) {
+        routeRequest(Link, std::move(Request), Op);
+        continue;
+      }
+      Value R = Value::object();
+      R.set("ok", Value::boolean(true));
+      R.set("fleet", Value::boolean(true));
+      if (!answerLocal(std::move(R)))
+        break;
+      continue;
+    }
+    if (Op == "stats") {
+      if (!answerLocal(aggregatedStats()))
+        break;
+      continue;
+    }
+    if (Op == "metrics") {
+      if (!answerLocal(aggregatedMetrics()))
+        break;
+      continue;
+    }
+    if (Op == "shutdown") {
+      Value R = Value::object();
+      R.set("ok", Value::boolean(true));
+      R.set("draining", Value::boolean(true));
+      answerLocal(std::move(R));
+      requestShutdown();
+      continue;
+    }
+    if (Op == "compile_batch") {
+      routeBatch(Link, Request);
+      continue;
+    }
+    if (Op == "compile" || Op == "call") {
+      routeRequest(Link, std::move(Request), Op);
+      continue;
+    }
+    if (!answerLocal(server::errorResponse("unknown op '" + Op + "'")))
+      break;
+  }
+}
+
+void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
+                          Value Request, const std::string &Op) {
+  Value ClientId;
+  if (const Value *IdV = Request.get("id"))
+    ClientId = *IdV;
+
+  // Placement key: terrad's own handle derivation, so compile and every
+  // later call on the returned handle land on the same shard. Routed pings
+  // have no content identity; spraying them round-robin spreads the
+  // simulated load over every shard's worker pool.
+  std::string Key;
+  if (Op == "ping") {
+    static std::atomic<uint64_t> PingSpray{0};
+    Key = "ping-" + std::to_string(PingSpray.fetch_add(1));
+  } else if (Op == "compile") {
+    const Value *S = Request.get("source");
+    if (!S || !S->isString()) {
+      MRequestsFailed.inc();
+      relayToFront(Link,
+                   server::errorResponse(
+                       "compile: missing string member 'source'"),
+                   ClientId);
+      return;
+    }
+    ContentHash H;
+    H.updateField(S->asString());
+    Key = H.hex();
+  } else {
+    Key = Request.getString("handle");
+    if (Key.empty()) {
+      MRequestsFailed.inc();
+      relayToFront(Link,
+                   server::errorResponse(
+                       "call: need string members 'handle' and 'fn'"),
+                   ClientId);
+      return;
+    }
+  }
+
+  int Idx = shardIndexForKey(Key);
+  if (Idx < 0) {
+    MRequestsFailed.inc();
+    MShardUnavailable.inc();
+    relayToFront(Link,
+                 server::errorResponseCode("shard_unavailable",
+                                           "no shards available"),
+                 ClientId);
+    return;
+  }
+  Shard &S = *Shards[static_cast<unsigned>(Idx)];
+
+  int TimeoutMs = Config.RequestTimeoutMs;
+  if (const Value *T = Request.get("timeout_ms"))
+    if (T->isNumber() && T->asNumber() >= 1)
+      TimeoutMs = static_cast<int>(T->asNumber());
+
+  MRequestsRouted.inc();
+  S.Requests->inc();
+  uint64_t StartUs = telemetry::nowMicros();
+  // Mux deadline trails the shard's own request deadline so the shard's
+  // structured timeout answer (which names the op) normally wins.
+  uint64_t Ticket = S.Mux.submit(
+      std::move(Request), TimeoutMs + 2000,
+      [this, Link, ClientId, StartUs](Value Resp) {
+        MRouteLatencyUs.record(telemetry::nowMicros() - StartUs);
+        if (!Resp.getBool("ok")) {
+          MRequestsFailed.inc();
+          if (Resp.getString("code") == "shard_unavailable")
+            MShardUnavailable.inc();
+        }
+        relayToFront(Link, std::move(Resp), ClientId);
+      });
+  if (Ticket == 0) {
+    MRequestsFailed.inc();
+    MShardUnavailable.inc();
+    relayToFront(Link,
+                 server::errorResponseCode(
+                     "shard_unavailable",
+                     "shard " + std::to_string(Idx) + " unavailable"),
+                 ClientId);
+  }
+}
+
+void Router::routeBatch(const std::shared_ptr<FrontLink> &Link,
+                        const Value &Request) {
+  MBatchRequests.inc();
+  Value ClientId;
+  if (const Value *IdV = Request.get("id"))
+    ClientId = *IdV;
+
+  const Value *Sources = Request.get("sources");
+  if (!Sources || !Sources->isArray()) {
+    MRequestsFailed.inc();
+    relayToFront(Link,
+                 server::errorResponse(
+                     "compile_batch: missing array member 'sources'"),
+                 ClientId);
+    return;
+  }
+  size_t N = Sources->size();
+
+  // Shared aggregation state: one slot per grid entry, filled as shard
+  // sub-batches complete (on their mux reader threads).
+  struct BatchState {
+    std::mutex M;
+    std::vector<Value> Slots;
+    size_t Remaining = 0;
+  };
+  auto St = std::make_shared<BatchState>();
+  St->Slots.resize(N);
+
+  // Partition entries across the ring by each source's content hash.
+  std::map<unsigned, std::vector<size_t>> Groups;
+  for (size_t I = 0; I != N; ++I) {
+    const Value &Entry = Sources->at(I);
+    const Value *Src = Entry.isObject() ? Entry.get("source") : nullptr;
+    if (!Src || !Src->isString()) {
+      St->Slots[I] = server::errorResponse(
+          "compile_batch: entry is missing string member 'source'");
+      continue;
+    }
+    ContentHash H;
+    H.updateField(Src->asString());
+    int Idx = shardIndexForKey(H.hex());
+    if (Idx < 0) {
+      MShardUnavailable.inc();
+      St->Slots[I] = server::errorResponseCode("shard_unavailable",
+                                               "no shards available");
+      continue;
+    }
+    Groups[static_cast<unsigned>(Idx)].push_back(I);
+  }
+
+  auto assembleAndRelay = [this, Link, ClientId, St] {
+    Value Results = Value::array();
+    for (Value &S : St->Slots)
+      Results.push(std::move(S));
+    Value R = Value::object();
+    R.set("ok", Value::boolean(true));
+    R.set("results", std::move(Results));
+    relayToFront(Link, std::move(R), ClientId);
+  };
+
+  if (Groups.empty()) {
+    assembleAndRelay();
+    return;
+  }
+  St->Remaining = Groups.size();
+
+  int TimeoutMs = Config.RequestTimeoutMs;
+  if (const Value *T = Request.get("timeout_ms"))
+    if (T->isNumber() && T->asNumber() >= 1)
+      TimeoutMs = static_cast<int>(T->asNumber());
+
+  for (auto &G : Groups) {
+    unsigned ShardIdx = G.first;
+    std::vector<size_t> Indices = G.second;
+    Shard &S = *Shards[ShardIdx];
+
+    Value Sub = Value::object();
+    Sub.set("op", Value::string("compile_batch"));
+    if (const Value *Trace = Request.get("trace_id"))
+      Sub.set("trace_id", *Trace);
+    Value SubSources = Value::array();
+    for (size_t I : Indices)
+      SubSources.push(Sources->at(I));
+    Sub.set("sources", std::move(SubSources));
+
+    MRequestsRouted.inc();
+    S.Requests->inc();
+
+    auto OnDone = [this, St, Indices, assembleAndRelay](Value Resp) {
+      bool Last = false;
+      {
+        std::lock_guard<std::mutex> Lock(St->M);
+        const Value *Results =
+            Resp.getBool("ok") ? Resp.get("results") : nullptr;
+        for (size_t K = 0; K != Indices.size(); ++K) {
+          if (Results && Results->isArray() && K < Results->size()) {
+            St->Slots[Indices[K]] = Results->at(K);
+          } else {
+            // Whole-sub-batch failure (shard_unavailable, timeout, ...):
+            // every entry routed there reports the same structured error.
+            Value E = Resp;
+            E.remove("id");
+            if (!E.isObject() || E.getBool("ok"))
+              E = server::errorResponseCode("shard_unavailable",
+                                            "shard response malformed");
+            St->Slots[Indices[K]] = std::move(E);
+            if (K == 0)
+              MRequestsFailed.inc();
+          }
+        }
+        Last = --St->Remaining == 0;
+      }
+      if (Last)
+        assembleAndRelay();
+    };
+
+    uint64_t Ticket =
+        S.Mux.submit(std::move(Sub), TimeoutMs + 2000, OnDone);
+    if (Ticket == 0)
+      OnDone(server::errorResponseCode(
+          "shard_unavailable",
+          "shard " + std::to_string(ShardIdx) + " unavailable"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregated control plane
+//===----------------------------------------------------------------------===//
+
+json::Value Router::aggregatedStats() {
+  Value R = Value::object();
+  R.set("ok", Value::boolean(true));
+  R.set("fleet", Reg.toJson());
+
+  double Hits = 0, Misses = 0, Compiles = 0, Batches = 0, Calls = 0,
+         Received = 0, EnginesCreated = 0, WarmHits = 0;
+  Value ShardsArr = Value::array();
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    Value SJ = Value::object();
+    SJ.set("index", Value::number(I));
+    SJ.set("socket", Value::string(S.Cfg.SocketPath));
+    bool Up = S.Up.load(std::memory_order_acquire);
+    SJ.set("up", Value::boolean(Up));
+    if (Up) {
+      Value Req = Value::object();
+      Req.set("op", Value::string("stats"));
+      Value Resp = S.Mux.request(std::move(Req), 2000);
+      if (Resp.getBool("ok")) {
+        Hits += Resp.getNumber("jit_cache_hits");
+        Misses += Resp.getNumber("jit_cache_misses");
+        Compiles += Resp.getNumber("compile_requests");
+        Batches += Resp.getNumber("compile_batch_requests");
+        Calls += Resp.getNumber("call_requests");
+        Received += Resp.getNumber("requests_received");
+        EnginesCreated += Resp.getNumber("engines_created");
+        WarmHits += Resp.getNumber("engine_warm_hits");
+        Resp.remove("id");
+        Resp.remove("trace_id");
+        SJ.set("stats", std::move(Resp));
+      }
+    }
+    ShardsArr.push(std::move(SJ));
+  }
+  R.set("shards", std::move(ShardsArr));
+
+  // Fleet-wide cache effectiveness: with a shared TERRACPP_CACHE_DIR, a
+  // kernel promoted on one shard shows up as jit_cache_hits on every other
+  // shard that compiles the same content hash.
+  Value Agg = Value::object();
+  Agg.set("jit_cache_hits", Value::number(Hits));
+  Agg.set("jit_cache_misses", Value::number(Misses));
+  double Total = Hits + Misses;
+  Agg.set("jit_cache_hit_rate", Value::number(Total > 0 ? Hits / Total : 0));
+  Agg.set("compile_requests", Value::number(Compiles));
+  Agg.set("compile_batch_requests", Value::number(Batches));
+  Agg.set("call_requests", Value::number(Calls));
+  Agg.set("requests_received", Value::number(Received));
+  Agg.set("engines_created", Value::number(EnginesCreated));
+  Agg.set("engine_warm_hits", Value::number(WarmHits));
+  R.set("aggregate", std::move(Agg));
+  return R;
+}
+
+json::Value Router::aggregatedMetrics() {
+  Value R = Value::object();
+  R.set("ok", Value::boolean(true));
+  R.set("fleet", Reg.toJson());
+  Value ShardsArr = Value::array();
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    Value SJ = Value::object();
+    SJ.set("index", Value::number(I));
+    bool Up = S.Up.load(std::memory_order_acquire);
+    SJ.set("up", Value::boolean(Up));
+    if (Up) {
+      Value Req = Value::object();
+      Req.set("op", Value::string("metrics"));
+      Value Resp = S.Mux.request(std::move(Req), 2000);
+      if (Resp.getBool("ok")) {
+        Resp.remove("id");
+        Resp.remove("trace_id");
+        SJ.set("metrics", std::move(Resp));
+      }
+    }
+    ShardsArr.push(std::move(SJ));
+  }
+  R.set("shards", std::move(ShardsArr));
+  return R;
+}

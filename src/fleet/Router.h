@@ -1,0 +1,196 @@
+//===- Router.h - terrafleet: sharded terrad routing tier -------*- C++ -*-===//
+//
+// A fleet front-end that speaks the ordinary terrad protocol on its front
+// socket and fans requests out across N terrad shards (DESIGN.md §12).
+// Clients — `terracpp --connect`, server/Client.h, fleet/MuxClient.h — need
+// no changes: the router looks exactly like one big terrad.
+//
+//   client ──▶ front socket ──▶ consistent-hash ring ──▶ shard 0 (terrad)
+//                    │            (HashRing.h, keyed by   shard 1 (terrad)
+//                    │             the request's content  shard 2 (terrad)
+//                    │             hash / handle)             │
+//                    └── stats/metrics aggregate ◀────────────┘
+//
+//  - Placement: compile requests hash their source exactly as terrad does
+//    (ContentHash::updateField), call requests hash their handle, so a
+//    script's compile and every later call land on the same shard and hit
+//    its warm engine.
+//  - Shards are either SPAWNED (the router forks terrad via
+//    support/Subprocess DaemonProcess, pointing every shard at one shared
+//    TERRACPP_CACHE_DIR so artifacts promoted on one shard are disk-cache
+//    hits on all) or ATTACHED (an external terrad's socket path; the
+//    router never kills those).
+//  - Transport: one MuxClient per shard, many requests in flight, bounded
+//    window, per-request deadlines.
+//  - Failure: a dead shard's in-flight requests complete with structured
+//    "shard_unavailable" errors (never hang); the shard leaves the ring so
+//    other keys keep their placement; a monitor thread respawns owned
+//    shards and reconnects with capped exponential backoff; on success the
+//    shard rejoins the ring.
+//  - compile_batch fans one grid out across the ring by per-source hash
+//    and reassembles results in submission order.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_FLEET_ROUTER_H
+#define TERRACPP_FLEET_ROUTER_H
+
+#include "fleet/HashRing.h"
+#include "fleet/MuxClient.h"
+#include "support/Json.h"
+#include "support/Subprocess.h"
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace terracpp {
+namespace fleet {
+
+struct ShardConfig {
+  std::string SocketPath;
+  bool Spawn = false; ///< Router owns the process (spawns + reaps terrad).
+};
+
+struct RouterConfig {
+  std::string FrontSocket;
+  std::vector<ShardConfig> Shards;
+  std::string TerradBinary = "terrad"; ///< For spawned shards (PATH lookup).
+  std::string CacheDir; ///< Shared TERRACPP_CACHE_DIR for spawned shards.
+  unsigned VirtualNodes = 64;       ///< Ring points per shard.
+  unsigned MaxInFlightPerShard = 128;
+  int RequestTimeoutMs = 30000;     ///< Default when clients send none.
+  unsigned ConnectAttempts = 25;    ///< Initial connect tries per shard.
+  int ReconnectBaseMs = 20;         ///< Reconnect backoff start.
+  int ReconnectMaxMs = 1000;        ///< Reconnect backoff cap.
+  bool AutoRespawn = true;          ///< Respawn dead owned shards.
+  int Backlog = 64;
+};
+
+class Router {
+public:
+  explicit Router(RouterConfig Config);
+  ~Router();
+  Router(const Router &) = delete;
+  Router &operator=(const Router &) = delete;
+
+  /// Spawns/attaches shards, builds the ring, binds the front socket, and
+  /// starts the accept + monitor threads. False (with \p Err) when the
+  /// front socket cannot be bound or no shard comes up.
+  bool start(std::string &Err);
+
+  /// Blocks until shutdown completes (signal, shutdown request, or
+  /// requestShutdown()).
+  void wait();
+
+  /// Initiates shutdown from any thread (idempotent). Owned shards get a
+  /// shutdown request then SIGTERM; attached shards are left running.
+  void requestShutdown();
+
+  bool running() const { return Started && !ShutdownComplete; }
+  const RouterConfig &config() const { return Config; }
+
+  /// SIGTERM/SIGINT -> drain, same contract as Server's (separate flag, so
+  /// a router and a server in one process do not consume each other's
+  /// signals — terrad and terrafleet are different binaries anyway).
+  static void installSignalHandlers();
+  static bool signalReceived();
+
+  /// Which shard the ring places \p Key on (a handle / content hash), or
+  /// -1 when the ring is empty. Exposed for tests and diagnostics.
+  int shardIndexForKey(const std::string &Key);
+
+  unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
+  bool shardUp(unsigned Index);
+
+  /// Router-level counters (fleet.*): requests routed/failed, reconnects,
+  /// respawns, shards_up gauge, route latency histogram.
+  telemetry::Registry &metrics() { return Reg; }
+
+private:
+  struct Shard {
+    ShardConfig Cfg;
+    MuxClient Mux;
+    std::atomic<bool> Up{false};
+    DaemonProcess Proc;            ///< Only used when Cfg.Spawn.
+    std::atomic<uint64_t> NextAttemptUs{0}; ///< Monitor retry schedule.
+    unsigned FailedAttempts = 0;   ///< Monitor thread only.
+    telemetry::Counter *Requests = nullptr; ///< fleet.shard<i>.requests.
+  };
+
+  /// One front-side client connection. Held by shared_ptr from the reader
+  /// thread and every in-flight relay callback; the fd closes when the
+  /// last holder lets go, so a late shard response can never write to a
+  /// recycled fd.
+  struct FrontLink {
+    int Fd = -1;
+    std::mutex WriteM;
+    std::atomic<bool> Closed{false};
+    ~FrontLink();
+  };
+  struct FrontConn {
+    std::shared_ptr<FrontLink> Link;
+    std::thread Reader;
+    std::atomic<bool> Finished{false};
+  };
+
+  void acceptLoop();
+  void monitorLoop();
+  void frontLoop(std::shared_ptr<FrontLink> Link);
+  void reapFronts(bool Join);
+  void beginShutdown();
+
+  bool spawnShard(unsigned Index, std::string &Err);
+  bool connectShard(unsigned Index, unsigned Attempts);
+  void onShardLost(unsigned Index);
+
+  void routeRequest(const std::shared_ptr<FrontLink> &Link,
+                    json::Value Request, const std::string &Op);
+  void routeBatch(const std::shared_ptr<FrontLink> &Link,
+                  const json::Value &Request);
+  bool relayToFront(const std::shared_ptr<FrontLink> &Link,
+                    json::Value Response, const json::Value &ClientId);
+  json::Value aggregatedStats();
+  json::Value aggregatedMetrics();
+
+  RouterConfig Config;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  std::mutex RingM;
+  HashRing Ring;
+
+  int ListenFd = -1;
+  bool Started = false;
+  std::thread Acceptor;
+  std::thread Monitor;
+  std::atomic<bool> StopMonitor{false};
+
+  std::mutex FrontM;
+  std::vector<std::unique_ptr<FrontConn>> Fronts;
+
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> ShutdownComplete{false};
+  std::mutex ShutdownMutex;
+  std::condition_variable ShutdownCV;
+
+  telemetry::Registry Reg;
+  telemetry::Counter &MRequestsRouted;
+  telemetry::Counter &MRequestsFailed;
+  telemetry::Counter &MShardUnavailable;
+  telemetry::Counter &MReconnects;
+  telemetry::Counter &MRespawns;
+  telemetry::Counter &MBatchRequests;
+  telemetry::Counter &MProtocolMismatches;
+  telemetry::Gauge &MShardsUp;
+  telemetry::Histogram &MRouteLatencyUs;
+};
+
+} // namespace fleet
+} // namespace terracpp
+
+#endif // TERRACPP_FLEET_ROUTER_H

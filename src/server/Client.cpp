@@ -1,6 +1,7 @@
 #include "server/Client.h"
 
 #include "server/Protocol.h"
+#include "support/Backoff.h"
 
 #include <unistd.h>
 
@@ -16,6 +17,25 @@ bool Client::connect(const std::string &SocketPath) {
   return Fd >= 0;
 }
 
+bool Client::connect(const std::string &SocketPath,
+                     const ConnectOptions &Opts) {
+  backoff::Policy P;
+  P.MaxAttempts = Opts.Attempts;
+  P.InitialDelayMs = Opts.InitialDelayMs;
+  P.MaxDelayMs = Opts.MaxDelayMs;
+  return backoff::retry(P, [&] {
+    if (!connect(SocketPath))
+      return false;
+    if (Opts.HealthCheck && !ping(0, Opts.HealthTimeoutMs)) {
+      if (LastError.empty())
+        LastError = "health check ping failed";
+      close();
+      return false;
+    }
+    return true;
+  });
+}
+
 void Client::close() {
   if (Fd >= 0) {
     ::close(Fd);
@@ -28,7 +48,12 @@ Value Client::request(const Value &Request, int TimeoutMs) {
     LastError = "not connected";
     return Value();
   }
-  if (!writeMessage(Fd, Request)) {
+  // Stamp the protocol version on every outgoing request (callers build
+  // op-specific objects and should not have to remember it).
+  Value Stamped = Request;
+  if (Stamped.isObject() && !Stamped.get("v"))
+    Stamped.set("v", Value::number(ProtocolVersion));
+  if (!writeMessage(Fd, Stamped)) {
     LastError = "send failed";
     close();
     return Value();
@@ -47,6 +72,13 @@ Value Client::request(const Value &Request, int TimeoutMs) {
     default:
       LastError = Err.empty() ? "receive failed" : Err;
     }
+    close();
+    return Value();
+  }
+  if (Response.isObject() && Response.get("v") &&
+      static_cast<int>(Response.getNumber("v")) != ProtocolVersion) {
+    LastError = "protocol version mismatch: peer speaks v" +
+                std::to_string(static_cast<int>(Response.getNumber("v")));
     close();
     return Value();
   }

@@ -33,6 +33,22 @@ public:
 
   /// Connects to the daemon at \p SocketPath. False on failure (error()).
   bool connect(const std::string &SocketPath);
+
+  /// Knobs for connect() with retry: covers the spawn-then-connect race
+  /// where the daemon process exists but has not bound its socket yet.
+  struct ConnectOptions {
+    unsigned Attempts = 1;     ///< Total connect tries (1 = no retry).
+    int InitialDelayMs = 20;   ///< First inter-attempt delay.
+    int MaxDelayMs = 1000;     ///< Delay cap (exponential growth, 2x).
+    bool HealthCheck = false;  ///< Require a successful ping after connect.
+    int HealthTimeoutMs = 2000; ///< Deadline for that ping's response.
+  };
+
+  /// connect() with bounded exponential-backoff retry and an optional
+  /// ping health check (a bound socket whose daemon then wedges still
+  /// fails). False when every attempt fails (error() holds the last one).
+  bool connect(const std::string &SocketPath, const ConnectOptions &Opts);
+
   void close();
   bool connected() const { return Fd >= 0; }
 

@@ -159,6 +159,63 @@ json::Value server::errorResponse(const std::string &Message,
   return R;
 }
 
+json::Value server::errorResponseCode(const std::string &Code,
+                                      const std::string &Message,
+                                      const std::string &Diagnostics) {
+  json::Value R = errorResponse(Message, Diagnostics);
+  R.set("code", json::Value::string(Code));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// FrameReader
+//===----------------------------------------------------------------------===//
+
+FrameReader::Feed FrameReader::fill(int Fd) {
+  if (Corrupt)
+    return Feed::Error;
+  char Chunk[16384];
+  ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), MSG_DONTWAIT);
+  if (N < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return Feed::WouldBlock;
+    if (errno == EINTR)
+      return Feed::WouldBlock;
+    return Feed::Error;
+  }
+  if (N == 0)
+    return Feed::Eof;
+  Buf.append(Chunk, static_cast<size_t>(N));
+  return Feed::Ok;
+}
+
+bool FrameReader::next(std::string &Payload) {
+  if (Corrupt)
+    return false;
+  size_t Avail = Buf.size() - Pos;
+  if (Avail < 4)
+    return false;
+  const unsigned char *H =
+      reinterpret_cast<const unsigned char *>(Buf.data() + Pos);
+  uint32_t Len = (static_cast<uint32_t>(H[0]) << 24) |
+                 (static_cast<uint32_t>(H[1]) << 16) |
+                 (static_cast<uint32_t>(H[2]) << 8) | static_cast<uint32_t>(H[3]);
+  if (Len > MaxFramePayload) {
+    Corrupt = true;
+    return false;
+  }
+  if (Avail < 4u + Len)
+    return false;
+  Payload.assign(Buf, Pos + 4, Len);
+  Pos += 4u + Len;
+  // Compact once the consumed prefix dominates, amortizing the memmove.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Unix-domain sockets
 //===----------------------------------------------------------------------===//

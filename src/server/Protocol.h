@@ -6,20 +6,29 @@
 //   [u32 payload length, big endian][payload bytes]
 //
 // where the payload is one JSON value (support/Json.h). Requests are
-// objects with an "op" member:
+// objects with an "op" member and a protocol version "v" (see
+// ProtocolVersion below; missing or mismatched versions get a structured
+// "protocol_mismatch" error):
 //
-//   {"op":"compile","source":"terra f(...) ... end","name":"script"}
+//   {"op":"compile","v":2,"source":"terra f(...) ... end","name":"script"}
 //     -> {"ok":true,"handle":"<16 hex>","functions":["f",...],
 //         "warm":false,"seconds":0.31,"diagnostics":""}
-//   {"op":"call","handle":"<16 hex>","fn":"f","args":[1,2.5,"s",true]}
+//   {"op":"call","v":2,"handle":"<16 hex>","fn":"f","args":[1,2.5,"s",true]}
 //     -> {"ok":true,"result":3.5}
+//   {"op":"compile_batch","v":2,"sources":[{"source":"...","name":"a"},...]}
+//     -> {"ok":true,"results":[<per-source compile responses, in order>]}
 //   {"op":"stats"}     -> {"ok":true, ...counters...}
 //   {"op":"ping","delay_ms":0}  -> {"ok":true}   (delay_ms: debug latency)
 //   {"op":"shutdown"}  -> {"ok":true,"draining":true}; server drains + exits
 //
-// Failures are {"ok":false,"error":"...","diagnostics":"..."}. The same
-// framing runs in both directions; exactly one response per request, in
-// request order per connection.
+// Failures are {"ok":false,"error":"...","diagnostics":"..."} with an
+// optional machine-readable "code" ("protocol_mismatch", "timeout",
+// "overloaded", "shard_unavailable"). The same framing runs in both
+// directions; exactly one response per request. Responses arrive in request
+// order per connection UNLESS the request carries a numeric "id" member:
+// requests with ids may be answered out of order, each response echoing the
+// id, which is what lets a client keep many requests in flight on one
+// connection (fleet/MuxClient.h).
 //
 // This header also carries the blocking socket helpers shared by the
 // server, the client library, and the tests: full-frame reads/writes that
@@ -40,6 +49,13 @@ namespace server {
 /// Frames larger than this are protocol errors (protects both sides from
 /// allocating garbage lengths sent by a confused peer).
 constexpr uint32_t MaxFramePayload = 64u << 20;
+
+/// Wire protocol version carried in every frame's "v" member. Bumped when
+/// the request/response shape changes incompatibly; both terrad and the
+/// fleet router reject peers speaking a different version with a
+/// structured "protocol_mismatch" error instead of misinterpreting frames.
+/// v2 added request ids (pipelining), compile_batch, and error codes.
+constexpr int ProtocolVersion = 2;
 
 enum class FrameStatus {
   OK,
@@ -67,6 +83,47 @@ FrameStatus readMessage(int Fd, json::Value &Out, std::string &Err,
 /// Builds the canonical error response.
 json::Value errorResponse(const std::string &Message,
                           const std::string &Diagnostics = "");
+
+/// errorResponse plus a machine-readable "code" member so clients can react
+/// without parsing prose ("protocol_mismatch", "timeout", "overloaded",
+/// "shard_unavailable").
+json::Value errorResponseCode(const std::string &Code,
+                              const std::string &Message,
+                              const std::string &Diagnostics = "");
+
+/// Incremental frame decoder for multiplexed connections. readFrame() above
+/// blocks until a whole frame arrives, and on timeout it abandons partial
+/// bytes — fatal mid-stream, since the next read would start inside the old
+/// frame. FrameReader instead accumulates whatever bytes each fill() call
+/// finds and surfaces complete frames as they close, so a poll-driven
+/// reader thread can interleave deadline sweeps with reads without ever
+/// losing framing.
+class FrameReader {
+public:
+  enum class Feed {
+    Ok,         ///< Read some bytes (frames may now be available via next()).
+    WouldBlock, ///< No data ready; try again after poll().
+    Eof,        ///< Peer closed cleanly.
+    Error,      ///< I/O error or oversized/corrupt length header.
+  };
+
+  /// Non-blocking-ish read: pulls whatever the socket has (the fd need not
+  /// be O_NONBLOCK; callers poll() first and pass MSG_DONTWAIT semantics
+  /// are handled internally).
+  Feed fill(int Fd);
+
+  /// Pops the next complete frame payload; false when none is buffered.
+  bool next(std::string &Payload);
+
+  /// Latched when a length header exceeded MaxFramePayload; the connection
+  /// is unrecoverable.
+  bool corrupt() const { return Corrupt; }
+
+private:
+  std::string Buf;   ///< Undecoded bytes (may span many frames).
+  size_t Pos = 0;    ///< Decode cursor into Buf.
+  bool Corrupt = false;
+};
 
 /// Connects to a Unix-domain socket path; -1 on failure (\p Err set).
 int connectUnix(const std::string &Path, std::string &Err);

@@ -47,6 +47,8 @@ void ServerConfig::resolveFromEnv() {
   RequestTimeoutMs = static_cast<int>(
       envUnsigned("TERRAD_TIMEOUT_MS", static_cast<unsigned>(RequestTimeoutMs),
                   1, 3600000));
+  MaxInFlightPerConn =
+      envUnsigned("TERRAD_MAX_INFLIGHT", MaxInFlightPerConn, 1, 1u << 16);
   if (SocketPath.empty()) {
     if (const char *P = getenv("TERRAD_SOCKET"))
       SocketPath = P;
@@ -59,27 +61,49 @@ void ServerConfig::resolveFromEnv() {
 // Internal types
 //===----------------------------------------------------------------------===//
 
-/// One queued request. The reader thread that produced it waits on CV; a
-/// worker fills Response and flips Done. If the reader's deadline fires
-/// first it marks the job Abandoned and answers the client itself; the
-/// worker then skips (or finishes silently) and nobody touches the fd.
+/// One queued request. A worker fills Response and flips Done, then pokes
+/// the owning connection's writer thread, which flushes the frame. If the
+/// request's deadline fires first the writer marks the job Abandoned and
+/// answers the client itself; the worker then skips (or finishes silently)
+/// and nobody touches the fd.
 struct Server::Job {
   json::Value Request;
   json::Value Response;
   std::string Op;          ///< Request op, for per-op latency series.
   std::string TraceId;     ///< Echoed in the response; spans are tagged.
+  json::Value Id;          ///< Client request id (null when absent).
   uint64_t EnqueuedUs = 0; ///< For the queue-wait histogram.
+  uint64_t DeadlineUs = 0; ///< Absolute response deadline (monotonic us).
+  int TimeoutMs = 0;       ///< For the timeout error message.
+  std::shared_ptr<ConnState> Owner; ///< Connection awaiting the response.
   std::mutex M;
-  std::condition_variable CV;
   bool Done = false;
   bool Abandoned = false;
 };
 
-/// One client connection: its socket and the reader thread serving it.
+/// Per-connection state shared by the reader thread, the writer thread, and
+/// workers (via Job::Owner). Outlives the Conn entry through shared_ptr so
+/// a worker finishing after the connection died can still notify safely.
+struct Server::ConnState {
+  int Fd = -1;
+  std::mutex M;               ///< Guards Pending + ReaderDone.
+  std::condition_variable CV; ///< Job completed / reader exited.
+  std::deque<std::shared_ptr<Job>> Pending; ///< Submitted, response not sent.
+  bool ReaderDone = false;
+  std::mutex WriteM; ///< Serializes frames: inline replies vs writer thread.
+  std::atomic<bool> WriteFailed{false};
+};
+
+/// One client connection: its socket, the reader thread parsing requests,
+/// and the writer thread flushing completed responses.
 struct Server::Conn {
   int Fd = -1;
   std::thread Reader;
-  std::atomic<bool> Finished{false};
+  std::thread Writer;
+  std::shared_ptr<ConnState> State;
+  std::atomic<bool> ReaderFinished{false};
+  std::atomic<bool> WriterFinished{false};
+  bool finished() const { return ReaderFinished && WriterFinished; }
 };
 
 /// One live script universe. Ready/Failed are written under ExecMutex; the
@@ -144,6 +168,7 @@ Server::Server(ServerConfig C)
       MRequestsTimedOut(Reg.counter("server.requests_timed_out")),
       MRequestsFailed(Reg.counter("server.requests_failed")),
       MCompileRequests(Reg.counter("server.compile_requests")),
+      MCompileBatchRequests(Reg.counter("server.compile_batch_requests")),
       MCallRequests(Reg.counter("server.call_requests")),
       MEnginesCreated(Reg.counter("server.engines_created")),
       MEnginesEvicted(Reg.counter("server.engines_evicted")),
@@ -231,6 +256,9 @@ void Server::acceptLoop() {
       break;
     struct pollfd PFd = {ListenFd, POLLIN, 0};
     int PR = ::poll(&PFd, 1, 100);
+    // Reap every iteration (not just on accept) so a long-idle server does
+    // not hold dead connections' fds and threads until the next client.
+    reapConnections(/*Join=*/false);
     if (PR < 0) {
       if (errno == EINTR)
         continue;
@@ -239,7 +267,6 @@ void Server::acceptLoop() {
     }
     if (PR == 0 || !(PFd.revents & POLLIN))
       continue;
-    reapConnections(/*Join=*/false);
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
@@ -248,10 +275,16 @@ void Server::acceptLoop() {
                   {{"fd", std::to_string(Fd)}});
     auto C = std::make_unique<Conn>();
     C->Fd = Fd;
+    C->State = std::make_shared<ConnState>();
+    C->State->Fd = Fd;
     Conn *CP = C.get();
     std::lock_guard<std::mutex> Lock(ConnMutex);
     Conns.push_back(std::move(C));
     CP->Reader = std::thread([this, CP] { connectionLoop(CP); });
+    CP->Writer = std::thread([this, CP] {
+      writerLoop(CP->State);
+      CP->WriterFinished = true;
+    });
   }
   beginDrain();
 }
@@ -265,16 +298,24 @@ void Server::reapConnections(bool Join) {
     std::lock_guard<std::mutex> Lock(ConnMutex);
     auto Keep = Conns.begin();
     for (auto &C : Conns) {
-      if (Join || C->Finished)
+      if (Join || C->finished())
         Dead.push_back(std::move(C));
       else
         *Keep++ = std::move(C);
     }
     Conns.erase(Keep, Conns.end());
   }
-  for (auto &C : Dead)
+  for (auto &C : Dead) {
     if (C->Reader.joinable())
       C->Reader.join();
+    if (C->Writer.joinable())
+      C->Writer.join();
+    // The fd is closed only here, after both threads are gone, so neither
+    // can ever race a close() with a still-running read/write — and a
+    // recycled fd number can never be shut down by a stale drain.
+    if (C->Fd >= 0)
+      ::close(C->Fd);
+  }
 }
 
 void Server::beginDrain() {
@@ -322,6 +363,8 @@ void Server::finishShutdown() {
 
 bool Server::pushJob(const std::shared_ptr<Job> &J) {
   J->EnqueuedUs = telemetry::nowMicros();
+  if (J->TimeoutMs > 0)
+    J->DeadlineUs = J->EnqueuedUs + static_cast<uint64_t>(J->TimeoutMs) * 1000;
   uint64_t Depth;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -367,7 +410,14 @@ void Server::workerLoop() {
       J->Response = std::move(Response);
       J->Done = true;
     }
-    J->CV.notify_all();
+    // Wake the owning connection's writer. The empty lock of Owner->M
+    // pairs with the writer's predicate-check-then-wait: without it the
+    // notify could land between the writer scanning Pending (job not Done
+    // yet) and blocking on CV, and be lost.
+    if (std::shared_ptr<ConnState> Owner = J->Owner) {
+      { std::lock_guard<std::mutex> Lock(Owner->M); }
+      Owner->CV.notify_all();
+    }
     // beginDrain waits on (queue empty && InFlight == 0); decrement under
     // QueueMutex so the state change cannot slip between its predicate
     // check and its sleep.
@@ -379,18 +429,46 @@ void Server::workerLoop() {
   }
 }
 
+/// Stamps the members every response carries: protocol version, trace id,
+/// and — when the request supplied one — the correlation id.
+static void decorateResponse(json::Value &R, const std::string &TraceId,
+                             const json::Value &Id) {
+  R.set("v", json::Value::number(ProtocolVersion));
+  R.set("trace_id", json::Value::string(TraceId));
+  if (!Id.isNull())
+    R.set("id", Id);
+}
+
 void Server::connectionLoop(Conn *C) {
   int Fd = C->Fd;
+  std::shared_ptr<ConnState> St = C->State;
+  // Inline replies (control ops, rejects) share the fd with the writer
+  // thread; every frame goes out under WriteM.
+  auto writeInline = [&](json::Value R, const std::string &TraceId,
+                         const json::Value &Id) {
+    decorateResponse(R, TraceId, Id);
+    std::lock_guard<std::mutex> WL(St->WriteM);
+    if (St->WriteFailed.load(std::memory_order_relaxed))
+      return false;
+    if (!writeMessage(Fd, R)) {
+      St->WriteFailed.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+
   while (true) {
     json::Value Request;
     std::string Err;
-    FrameStatus St = readMessage(Fd, Request, Err);
-    if (St == FrameStatus::Closed || St == FrameStatus::Timeout)
+    FrameStatus FSt = readMessage(Fd, Request, Err);
+    if (FSt == FrameStatus::Closed || FSt == FrameStatus::Timeout)
       break;
-    if (St == FrameStatus::Error) {
+    if (FSt == FrameStatus::Error) {
       // Malformed JSON gets a reply; a broken frame/socket does not.
-      if (!Err.empty() && Err != "frame read failed")
+      if (!Err.empty() && Err != "frame read failed") {
+        std::lock_guard<std::mutex> WL(St->WriteM);
         writeMessage(Fd, errorResponse("bad request: " + Err));
+      }
       break;
     }
     MRequestsReceived.inc();
@@ -406,20 +484,40 @@ void Server::connectionLoop(Conn *C) {
       static const std::string PidPrefix = std::to_string(::getpid()) + "-";
       TraceId = PidPrefix + std::to_string(NextTraceId.fetch_add(1));
     }
+    json::Value Id;
+    if (const json::Value *IdV = Request.get("id"))
+      Id = *IdV;
+
+    // Version gate: a peer speaking another protocol revision gets a
+    // structured refusal it can render, instead of a response whose shape
+    // it may misread. Non-object requests fall through to dispatch's
+    // existing "must be a JSON object" answer.
+    if (Request.isObject()) {
+      const json::Value *V = Request.get("v");
+      int Got = (V && V->isNumber()) ? static_cast<int>(V->asNumber()) : 0;
+      if (Got != ProtocolVersion) {
+        json::Value R = errorResponseCode(
+            "protocol_mismatch",
+            "protocol version mismatch: server speaks v" +
+                std::to_string(ProtocolVersion) + ", request carried " +
+                (V ? "v" + std::to_string(Got) : std::string("no version")));
+        R.set("expected", json::Value::number(ProtocolVersion));
+        R.set("got", json::Value::number(Got));
+        if (!writeInline(std::move(R), TraceId, Id))
+          break;
+        continue;
+      }
+    }
 
     // Control-plane ops skip the queue: stats/metrics must observe a
     // saturated server, and shutdown must work when the queue is wedged.
     if (Op == "stats") {
-      json::Value R = statsJson();
-      R.set("trace_id", json::Value::string(TraceId));
-      if (!writeMessage(Fd, R))
+      if (!writeInline(statsJson(), TraceId, Id))
         break;
       continue;
     }
     if (Op == "metrics") {
-      json::Value R = metricsJson();
-      R.set("trace_id", json::Value::string(TraceId));
-      if (!writeMessage(Fd, R))
+      if (!writeInline(metricsJson(), TraceId, Id))
         break;
       continue;
     }
@@ -427,65 +525,146 @@ void Server::connectionLoop(Conn *C) {
       json::Value R = json::Value::object();
       R.set("ok", json::Value::boolean(true));
       R.set("draining", json::Value::boolean(true));
-      R.set("trace_id", json::Value::string(TraceId));
-      writeMessage(Fd, R);
+      writeInline(std::move(R), TraceId, Id);
       requestShutdown();
       continue; // Reader exits when drain half-closes the socket.
+    }
+
+    // Pipelining window: bound the per-connection backlog so one client
+    // cannot queue unbounded work (and memory) behind a single socket.
+    {
+      std::lock_guard<std::mutex> Lock(St->M);
+      if (St->Pending.size() >= Config.MaxInFlightPerConn) {
+        MRequestsRejected.inc();
+        json::Value R = errorResponseCode(
+            "overloaded", "too many in-flight requests on this connection");
+        if (!writeInline(std::move(R), TraceId, Id))
+          break;
+        continue;
+      }
     }
 
     auto J = std::make_shared<Job>();
     J->Request = Request;
     J->Op = Op;
     J->TraceId = TraceId;
+    J->Id = Id;
+    J->Owner = St;
+    J->TimeoutMs = Config.RequestTimeoutMs;
+    if (const json::Value *T = Request.get("timeout_ms"))
+      if (T->isNumber() && T->asNumber() >= 1)
+        J->TimeoutMs = static_cast<int>(T->asNumber());
+
     if (!pushJob(J)) {
       const char *Why = Draining ? "server shutting down"
                                  : "server overloaded: request queue full";
       MRequestsRejected.inc();
       logging::emit(logging::Level::Warn, "server.reject",
                     {{"op", Op}, {"trace_id", TraceId}, {"why", Why}});
-      json::Value R = errorResponse(Why);
-      R.set("trace_id", json::Value::string(TraceId));
-      if (!writeMessage(Fd, R))
+      if (!writeInline(errorResponseCode("overloaded", Why), TraceId, Id))
         break;
       continue;
     }
+    {
+      std::lock_guard<std::mutex> Lock(St->M);
+      St->Pending.push_back(J);
+    }
+    St->CV.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(St->M);
+    St->ReaderDone = true;
+  }
+  St->CV.notify_all();
+  C->ReaderFinished = true;
+}
 
-    int TimeoutMs = Config.RequestTimeoutMs;
-    if (const json::Value *T = Request.get("timeout_ms"))
-      if (T->isNumber() && T->asNumber() >= 1)
-        TimeoutMs = static_cast<int>(T->asNumber());
+void Server::writerLoop(std::shared_ptr<ConnState> St) {
+  std::unique_lock<std::mutex> Lock(St->M);
+  while (true) {
+    // Pick the first pending job that is done or past its deadline.
+    std::shared_ptr<Job> Ready;
+    uint64_t NearestDeadline = 0;
+    uint64_t Now = telemetry::nowMicros();
+    for (auto It = St->Pending.begin(); It != St->Pending.end(); ++It) {
+      std::shared_ptr<Job> &J = *It;
+      bool Done;
+      {
+        std::lock_guard<std::mutex> JL(J->M);
+        Done = J->Done;
+      }
+      if (Done || (J->DeadlineUs && Now >= J->DeadlineUs)) {
+        Ready = J;
+        St->Pending.erase(It);
+        break;
+      }
+      if (J->DeadlineUs &&
+          (NearestDeadline == 0 || J->DeadlineUs < NearestDeadline))
+        NearestDeadline = J->DeadlineUs;
+    }
 
+    if (!Ready) {
+      if (St->ReaderDone && St->Pending.empty())
+        break;
+      if (St->WriteFailed.load(std::memory_order_relaxed)) {
+        // Responses can no longer be delivered; abandon outstanding work
+        // so workers skip it, and wait only for the reader to notice.
+        for (auto &J : St->Pending) {
+          std::lock_guard<std::mutex> JL(J->M);
+          J->Abandoned = true;
+        }
+        St->Pending.clear();
+        St->CV.wait(Lock);
+        continue;
+      }
+      if (NearestDeadline) {
+        uint64_t Wait = NearestDeadline > Now ? NearestDeadline - Now : 1;
+        St->CV.wait_for(Lock, std::chrono::microseconds(Wait));
+      } else {
+        St->CV.wait(Lock);
+      }
+      continue;
+    }
+
+    Lock.unlock();
     json::Value Response;
     bool TimedOut = false;
     {
-      std::unique_lock<std::mutex> Lock(J->M);
-      if (!J->CV.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
-                          [&] { return J->Done; })) {
-        J->Abandoned = true;
-        TimedOut = true;
+      std::lock_guard<std::mutex> JL(Ready->M);
+      if (Ready->Done) {
+        Response = std::move(Ready->Response);
       } else {
-        Response = std::move(J->Response);
+        Ready->Abandoned = true;
+        TimedOut = true;
       }
     }
     if (TimedOut) {
-      Response = errorResponse("request timed out after " +
-                               std::to_string(TimeoutMs) + " ms");
+      Response = errorResponseCode("timeout",
+                                   "request timed out after " +
+                                       std::to_string(Ready->TimeoutMs) +
+                                       " ms");
       MRequestsTimedOut.inc();
       logging::emit(logging::Level::Warn, "server.timeout",
-                    {{"op", Op},
-                     {"trace_id", TraceId},
-                     {"timeout_ms", std::to_string(TimeoutMs)}});
+                    {{"op", Ready->Op},
+                     {"trace_id", Ready->TraceId},
+                     {"timeout_ms", std::to_string(Ready->TimeoutMs)}});
     } else {
       MRequestsCompleted.inc();
       if (!Response.getBool("ok"))
         MRequestsFailed.inc();
     }
-    Response.set("trace_id", json::Value::string(TraceId));
-    if (!writeMessage(Fd, Response))
-      break;
+    decorateResponse(Response, Ready->TraceId, Ready->Id);
+    {
+      std::lock_guard<std::mutex> WL(St->WriteM);
+      if (!St->WriteFailed.load(std::memory_order_relaxed) &&
+          !writeMessage(St->Fd, Response)) {
+        St->WriteFailed.store(true, std::memory_order_relaxed);
+        // Wake the reader if it is blocked mid-poll on a half-dead peer.
+        ::shutdown(St->Fd, SHUT_RD);
+      }
+    }
+    Lock.lock();
   }
-  ::close(Fd);
-  C->Finished = true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -498,11 +677,41 @@ json::Value Server::dispatch(const json::Value &Request) {
   std::string Op = Request.getString("op");
   if (Op == "compile")
     return handleCompile(Request);
+  if (Op == "compile_batch")
+    return handleCompileBatch(Request);
   if (Op == "call")
     return handleCall(Request);
   if (Op == "ping")
     return handlePing(Request);
   return errorResponse("unknown op '" + Op + "'");
+}
+
+json::Value Server::handleCompileBatch(const json::Value &Request) {
+  MCompileBatchRequests.inc();
+  const json::Value *Sources = Request.get("sources");
+  if (!Sources || !Sources->isArray())
+    return errorResponse("compile_batch: missing array member 'sources'");
+  constexpr size_t MaxBatch = 1024;
+  if (Sources->size() > MaxBatch)
+    return errorResponse("compile_batch: too many sources (max " +
+                         std::to_string(MaxBatch) + ")");
+  // One autotuner grid in one frame: each entry is a {source,name} object
+  // compiled exactly as a standalone compile op would be, results returned
+  // in submission order (a per-entry failure fills its slot, it does not
+  // fail the batch). The batch runs on one worker; cross-shard parallelism
+  // comes from the fleet router splitting grids across shards.
+  json::Value Results = json::Value::array();
+  for (const json::Value &S : Sources->elements()) {
+    if (!S.isObject()) {
+      Results.push(errorResponse("compile_batch: entry is not an object"));
+      continue;
+    }
+    Results.push(handleCompile(S));
+  }
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  R.set("results", std::move(Results));
+  return R;
 }
 
 json::Value Server::handlePing(const json::Value &Request) {
@@ -773,6 +982,7 @@ Server::Stats Server::stats() const {
   S.RequestsTimedOut = MRequestsTimedOut.value();
   S.RequestsFailed = MRequestsFailed.value();
   S.CompileRequests = MCompileRequests.value();
+  S.CompileBatchRequests = MCompileBatchRequests.value();
   S.CallRequests = MCallRequests.value();
   S.EnginesCreated = MEnginesCreated.value();
   S.EnginesEvicted = MEnginesEvicted.value();
@@ -803,6 +1013,7 @@ json::Value Server::statsJson() {
   R.set("requests_timed_out", N(S.RequestsTimedOut));
   R.set("requests_failed", N(S.RequestsFailed));
   R.set("compile_requests", N(S.CompileRequests));
+  R.set("compile_batch_requests", N(S.CompileBatchRequests));
   R.set("call_requests", N(S.CallRequests));
   R.set("engines_created", N(S.EnginesCreated));
   R.set("engines_evicted", N(S.EnginesEvicted));
@@ -833,6 +1044,7 @@ json::Value Server::statsJson() {
   // functions are still on the tier-0 VM, how many were promoted to
   // native, and how many promotions are queued behind the compile worker.
   uint64_t Tier0 = 0, Promoted = 0, Backlog = 0;
+  uint64_t CacheHits = 0, CacheMisses = 0;
   {
     std::vector<std::shared_ptr<EngineEntry>> Live;
     {
@@ -841,17 +1053,27 @@ json::Value Server::statsJson() {
         Live.push_back(E.second);
     }
     for (const auto &Entry : Live)
-      if (Entry->Ready.load(std::memory_order_acquire))
+      if (Entry->Ready.load(std::memory_order_acquire)) {
         if (TierManager *TM = Entry->E->compiler().tierManager()) {
           TierManager::Snapshot Snap = TM->snapshot();
           Tier0 += Snap.Tier0Functions;
           Promoted += Snap.PromotedFunctions;
           Backlog += Snap.PromotionBacklog;
         }
+        // Disk-cache effectiveness summed across live engines: in a fleet
+        // sharing TERRACPP_CACHE_DIR, hits here on one shard for sources
+        // first compiled on another prove cross-shard artifact reuse.
+        telemetry::Registry &JitReg =
+            Entry->E->compiler().jit().metrics();
+        CacheHits += JitReg.counter("jit.cache.hits").value();
+        CacheMisses += JitReg.counter("jit.cache.misses").value();
+      }
   }
   R.set("tier0_functions", N(Tier0));
   R.set("promoted_functions", N(Promoted));
   R.set("promotion_backlog", N(Backlog));
+  R.set("jit_cache_hits", N(CacheHits));
+  R.set("jit_cache_misses", N(CacheMisses));
   return R;
 }
 

@@ -10,7 +10,7 @@
 // Architecture (DESIGN.md §7):
 //
 //   accept loop ─▶ one reader thread per connection
-//                     │  readFrame / parse / validate
+//                     │  readFrame / parse / validate / version check
 //                     ▼
 //               bounded request queue          (backpressure: reject when
 //                     │                         full, never block readers)
@@ -20,7 +20,16 @@
 //               engine LRU: ContentHash(script) -> live Engine
 //                     │  miss falls through to the PR 1 on-disk .so cache,
 //                     ▼  so re-creating an evicted engine re-links instead
-//               response frame written by the reader thread  of re-compiling
+//               response frame written by a per-connection   of re-compiling
+//               writer thread, as each job completes
+//
+// Pipelining: a connection may have many requests in flight (bounded by
+// MaxInFlightPerConn). The reader never blocks on a response — completed
+// jobs are flushed by the connection's writer thread in completion order,
+// each response echoing the request's "id" when one was supplied, so
+// clients like fleet/MuxClient can correlate out-of-order replies. The
+// writer also enforces per-request deadlines (a worker wedged in user code
+// cannot stall unrelated responses on the same connection).
 //
 // Each Engine is single-threaded, so one mutex per LRU entry serializes
 // calls into the same script while different scripts execute in parallel.
@@ -62,9 +71,13 @@ struct ServerConfig {
   unsigned MaxEngines = 8;       ///< Live-Engine LRU capacity.
   int RequestTimeoutMs = 30000;  ///< Per-request deadline (queue + execute).
   int Backlog = 64;
+  /// Pipelining window: max requests one connection may have awaiting
+  /// responses before further ones are rejected with code "overloaded".
+  unsigned MaxInFlightPerConn = 256;
 
   /// Fills unset fields from TERRAD_WORKERS / TERRAD_QUEUE /
-  /// TERRAD_MAX_ENGINES / TERRAD_TIMEOUT_MS and clamps to sane ranges.
+  /// TERRAD_MAX_ENGINES / TERRAD_TIMEOUT_MS / TERRAD_MAX_INFLIGHT and
+  /// clamps to sane ranges.
   void resolveFromEnv();
 };
 
@@ -107,6 +120,7 @@ public:
     uint64_t RequestsTimedOut = 0;
     uint64_t RequestsFailed = 0;    ///< Completed with ok=false.
     uint64_t CompileRequests = 0;
+    uint64_t CompileBatchRequests = 0;
     uint64_t CallRequests = 0;
     uint64_t EnginesCreated = 0;
     uint64_t EnginesEvicted = 0;
@@ -132,16 +146,19 @@ public:
 private:
   struct Job;
   struct EngineEntry;
+  struct ConnState;
   struct Conn;
 
   void acceptLoop();
   void connectionLoop(Conn *C);
+  void writerLoop(std::shared_ptr<ConnState> St);
   void workerLoop();
   void beginDrain();
   void finishShutdown();
 
   json::Value dispatch(const json::Value &Request);
   json::Value handleCompile(const json::Value &Request);
+  json::Value handleCompileBatch(const json::Value &Request);
   json::Value handleCall(const json::Value &Request);
   json::Value handlePing(const json::Value &Request);
   json::Value statsJson();
@@ -208,6 +225,7 @@ private:
   telemetry::Counter &MRequestsTimedOut;
   telemetry::Counter &MRequestsFailed;
   telemetry::Counter &MCompileRequests;
+  telemetry::Counter &MCompileBatchRequests;
   telemetry::Counter &MCallRequests;
   telemetry::Counter &MEnginesCreated;
   telemetry::Counter &MEnginesEvicted;

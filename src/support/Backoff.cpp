@@ -1,0 +1,49 @@
+#include "support/Backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace terracpp;
+using namespace terracpp::backoff;
+
+int Policy::delayForAttempt(unsigned Attempt) const {
+  double D = InitialDelayMs;
+  for (unsigned I = 0; I != Attempt; ++I) {
+    D *= Multiplier;
+    if (D >= MaxDelayMs)
+      return std::max(0, MaxDelayMs);
+  }
+  return std::max(0, std::min(static_cast<int>(D), MaxDelayMs));
+}
+
+int Policy::totalBudgetMs() const {
+  int Total = 0;
+  for (unsigned I = 0; I + 1 < MaxAttempts; ++I)
+    Total += delayForAttempt(I);
+  return Total;
+}
+
+bool backoff::retry(const Policy &P, const std::function<bool()> &Try,
+                    const std::atomic<bool> *Cancel) {
+  unsigned Attempts = std::max(1u, P.MaxAttempts);
+  for (unsigned I = 0; I != Attempts; ++I) {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      return false;
+    if (Try())
+      return true;
+    if (I + 1 == Attempts)
+      break;
+    // Sleep in short slices so cancellation is responsive even at the top
+    // of the schedule.
+    int Left = P.delayForAttempt(I);
+    while (Left > 0) {
+      if (Cancel && Cancel->load(std::memory_order_relaxed))
+        return false;
+      int Slice = std::min(Left, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Slice));
+      Left -= Slice;
+    }
+  }
+  return false;
+}

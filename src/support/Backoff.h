@@ -1,0 +1,50 @@
+//===- Backoff.h - Bounded retry with exponential backoff -------*- C++ -*-===//
+//
+// Shared retry helper for everything in the serving stack that races a
+// resource coming up: a client connecting to a terrad socket that the
+// daemon has not bound yet, the fleet router re-attaching to a shard that
+// died and is being respawned, a health check waiting for a subprocess to
+// start listening. One policy type keeps the knobs (attempts, delays,
+// growth factor) consistent across call sites instead of every subsystem
+// inventing its own sleep loop.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_SUPPORT_BACKOFF_H
+#define TERRACPP_SUPPORT_BACKOFF_H
+
+#include <atomic>
+#include <functional>
+
+namespace terracpp {
+namespace backoff {
+
+/// Exponential backoff schedule: attempt N sleeps
+/// min(InitialDelayMs * Multiplier^N, MaxDelayMs) before retrying, for at
+/// most MaxAttempts total tries.
+struct Policy {
+  unsigned MaxAttempts = 1;  ///< Total tries (1 = no retry).
+  int InitialDelayMs = 20;
+  int MaxDelayMs = 1000;
+  double Multiplier = 2.0;
+
+  /// Delay to sleep after failed attempt \p Attempt (0-based), clamped to
+  /// [0, MaxDelayMs].
+  int delayForAttempt(unsigned Attempt) const;
+
+  /// Sum of every inter-attempt delay: the worst-case time retry() can
+  /// spend sleeping.
+  int totalBudgetMs() const;
+};
+
+/// Runs \p Try up to Policy::MaxAttempts times, sleeping the schedule
+/// between failures. Returns true as soon as \p Try does. \p Cancel, when
+/// non-null, is polled between attempts (and in 10 ms slices during the
+/// sleeps) so a shutting-down owner does not wait out the full schedule.
+bool retry(const Policy &P, const std::function<bool()> &Try,
+           const std::atomic<bool> *Cancel = nullptr);
+
+} // namespace backoff
+} // namespace terracpp
+
+#endif // TERRACPP_SUPPORT_BACKOFF_H

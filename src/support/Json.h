@@ -126,6 +126,17 @@ public:
     }
     return *this;
   }
+  /// Removes a member; true if it was present. Used by the fleet router to
+  /// strip its internal mux id before relaying a shard response.
+  bool remove(const std::string &Key) {
+    if (isObject())
+      for (auto It = Members.begin(); It != Members.end(); ++It)
+        if (It->first == Key) {
+          Members.erase(It);
+          return true;
+        }
+    return false;
+  }
 
   /// Serializes compactly (no whitespace). Strings are escaped per RFC 8259.
   std::string dump() const;

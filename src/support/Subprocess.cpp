@@ -126,3 +126,151 @@ SpawnResult terracpp::runCommand(const std::vector<std::string> &Argv,
   }
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// DaemonProcess
+//===----------------------------------------------------------------------===//
+
+DaemonProcess::DaemonProcess(DaemonProcess &&O) noexcept
+    : Pid(O.Pid), Exited(O.Exited), ExitCode(O.ExitCode) {
+  O.Pid = -1;
+  O.Exited = false;
+}
+
+DaemonProcess &DaemonProcess::operator=(DaemonProcess &&O) noexcept {
+  if (this != &O) {
+    if (Pid > 0 && !Exited) {
+      terminate(SIGKILL);
+      waitExit(2000);
+    }
+    Pid = O.Pid;
+    Exited = O.Exited;
+    ExitCode = O.ExitCode;
+    O.Pid = -1;
+    O.Exited = false;
+  }
+  return *this;
+}
+
+DaemonProcess::~DaemonProcess() {
+  if (Pid > 0 && !Exited) {
+    terminate(SIGKILL);
+    waitExit(2000);
+  }
+}
+
+bool DaemonProcess::spawn(const std::vector<std::string> &Argv,
+                          const std::vector<std::string> &EnvOverrides,
+                          std::string &Err) {
+  if (Argv.empty()) {
+    Err = "empty argv";
+    return false;
+  }
+  if (Pid > 0 && !Exited) {
+    Err = "process already running";
+    return false;
+  }
+  Pid = -1;
+  Exited = false;
+  ExitCode = -1;
+
+  std::vector<char *> Args;
+  Args.reserve(Argv.size() + 1);
+  for (const std::string &A : Argv)
+    Args.push_back(const_cast<char *>(A.c_str()));
+  Args.push_back(nullptr);
+
+  // Child environment: the inherited environment minus any key an override
+  // replaces, plus the overrides. getenv takes the first match, so simply
+  // appending would not reliably override.
+  std::vector<std::string> EnvStorage;
+  for (char **E = environ; E && *E; ++E) {
+    const char *Entry = *E;
+    const char *Eq = strchr(Entry, '=');
+    size_t KeyLen = Eq ? static_cast<size_t>(Eq - Entry) : strlen(Entry);
+    bool Overridden = false;
+    for (const std::string &O : EnvOverrides)
+      if (O.size() > KeyLen && O[KeyLen] == '=' &&
+          O.compare(0, KeyLen, Entry, KeyLen) == 0) {
+        Overridden = true;
+        break;
+      }
+    if (!Overridden)
+      EnvStorage.push_back(Entry);
+  }
+  for (const std::string &O : EnvOverrides)
+    EnvStorage.push_back(O);
+  std::vector<char *> Envp;
+  Envp.reserve(EnvStorage.size() + 1);
+  for (const std::string &E : EnvStorage)
+    Envp.push_back(const_cast<char *>(E.c_str()));
+  Envp.push_back(nullptr);
+
+  pid_t P = -1;
+  int RC = posix_spawnp(&P, Args[0], nullptr, nullptr, Args.data(),
+                        Envp.data());
+  if (RC != 0) {
+    SpawnResult SR;
+    SR.SpawnErrno = RC;
+    Err = SR.describe(Argv[0]);
+    return false;
+  }
+  Pid = P;
+  return true;
+}
+
+void DaemonProcess::reapNow(int Status) {
+  Exited = true;
+  if (WIFEXITED(Status))
+    ExitCode = WEXITSTATUS(Status);
+  else if (WIFSIGNALED(Status))
+    ExitCode = 128 + WTERMSIG(Status);
+  else
+    ExitCode = -1;
+}
+
+bool DaemonProcess::alive() {
+  if (Pid <= 0 || Exited)
+    return false;
+  int Status = 0;
+  pid_t W = ::waitpid(Pid, &Status, WNOHANG);
+  if (W == Pid) {
+    reapNow(Status);
+    return false;
+  }
+  if (W < 0 && errno != EINTR) {
+    // ECHILD: someone else reaped it; treat as exited with unknown status.
+    Exited = true;
+    return false;
+  }
+  return true;
+}
+
+void DaemonProcess::terminate(int Sig) {
+  if (Pid > 0 && !Exited)
+    ::kill(Pid, Sig);
+}
+
+int DaemonProcess::waitExit(int TimeoutMs) {
+  if (Pid <= 0)
+    return -1;
+  if (Exited)
+    return ExitCode;
+  int Waited = 0;
+  for (;;) {
+    int Status = 0;
+    pid_t W = ::waitpid(Pid, &Status, WNOHANG);
+    if (W == Pid) {
+      reapNow(Status);
+      return ExitCode;
+    }
+    if (W < 0 && errno != EINTR) {
+      Exited = true;
+      return ExitCode;
+    }
+    if (Waited >= TimeoutMs)
+      return -1;
+    ::usleep(10 * 1000);
+    Waited += 10;
+  }
+}

@@ -47,6 +47,49 @@ SpawnResult runCommand(const std::vector<std::string> &Argv,
 /// Splits a flag string on whitespace ("-O3 -march=native" -> 2 args).
 std::vector<std::string> splitCommandFlags(const std::string &Flags);
 
+/// A long-running child process (a terrad shard spawned by the fleet
+/// router): posix_spawnp without waiting, liveness polling, signal-based
+/// termination, and bounded reaping. Unlike runCommand, the child is a
+/// daemon — callers interact with it over its socket, not its stdio.
+class DaemonProcess {
+public:
+  DaemonProcess() = default;
+  ~DaemonProcess(); ///< terminate(SIGKILL) + reap if still running.
+  DaemonProcess(const DaemonProcess &) = delete;
+  DaemonProcess &operator=(const DaemonProcess &) = delete;
+  DaemonProcess(DaemonProcess &&O) noexcept;
+  DaemonProcess &operator=(DaemonProcess &&O) noexcept;
+
+  /// Starts Argv[0] (searched on PATH). \p EnvOverrides entries
+  /// ("KEY=VALUE") replace or extend the inherited environment — how the
+  /// router points every spawned shard at one shared TERRACPP_CACHE_DIR.
+  /// False on failure (\p Err set).
+  bool spawn(const std::vector<std::string> &Argv,
+             const std::vector<std::string> &EnvOverrides, std::string &Err);
+
+  /// True while the child has not exited (waitpid WNOHANG; reaps and
+  /// latches the exit status once it does exit).
+  bool alive();
+
+  /// Sends \p Sig (default SIGTERM — terrad drains on it). No-op when not
+  /// running.
+  void terminate(int Sig = 15);
+
+  /// Waits up to \p TimeoutMs for exit (polling). Returns the exit code,
+  /// 128+signal for signal deaths, or -1 on timeout.
+  int waitExit(int TimeoutMs);
+
+  int pid() const { return Pid; }
+  bool started() const { return Pid > 0; }
+
+private:
+  void reapNow(int Status);
+
+  int Pid = -1;
+  bool Exited = false;
+  int ExitCode = -1;
+};
+
 } // namespace terracpp
 
 #endif // TERRACPP_SUPPORT_SUBPROCESS_H

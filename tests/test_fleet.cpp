@@ -1,0 +1,820 @@
+//===- test_fleet.cpp - terrafleet routing tier ---------------------------===//
+//
+// Covers src/fleet (DESIGN.md §12):
+//   * HashRing — stable placement, minimal movement on node removal;
+//   * Router — same content hash always lands on the same shard; the front
+//     socket speaks the unchanged terrad protocol; stats aggregate across
+//     shards and prove cross-shard disk-cache reuse through one shared
+//     TERRACPP_CACHE_DIR;
+//   * MuxClient — many requests in flight on one connection, out-of-order
+//     completion, per-request deadlines;
+//   * failure handling — a shard killed mid-request yields a structured
+//     shard_unavailable error (never a hang), leaves the ring, and rejoins
+//     after it is restarted;
+//   * compile_batch — one frame fans an autotuner grid across the ring and
+//     reassembles results in submission order;
+//   * protocol version gate — v!=2 frames get a structured refusal and the
+//     connection stays usable.
+//
+// Shards are in-process Servers where possible (fast, deterministic) and
+// real terrad subprocesses (TERRACPP_TERRAD_BIN) where the test needs to
+// SIGKILL one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "fleet/HashRing.h"
+#include "fleet/MuxClient.h"
+#include "fleet/Router.h"
+#include "server/Client.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "support/ContentHash.h"
+#include "support/Subprocess.h"
+
+#include "ScopedEnv.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace terracpp;
+using namespace terracpp::fleet;
+using terracpp::json::Value;
+
+namespace {
+
+std::string contentKey(const std::string &Source) {
+  ContentHash H;
+  H.updateField(Source);
+  return H.hex();
+}
+
+bool waitFor(const std::function<bool()> &Cond, int TimeoutMs) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (Cond())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Cond();
+}
+
+/// N in-process terrad Servers behind one Router, all sharing a private
+/// TERRACPP_CACHE_DIR under a fresh scratch dir.
+class FleetFixture {
+public:
+  explicit FleetFixture(unsigned NumShards = 3,
+                        RouterConfig RC = RouterConfig()) {
+    char Template[] = "/tmp/terrafleet-test-XXXXXX";
+    Dir = mkdtemp(Template);
+    Cache = std::make_unique<ScopedEnv>("TERRACPP_CACHE_DIR", Dir + "/cache");
+    StartOK = true;
+    for (unsigned I = 0; I != NumShards; ++I) {
+      server::ServerConfig SC;
+      SC.SocketPath = shardSocket(I);
+      SC.Workers = 2;
+      auto S = std::make_unique<server::Server>(SC);
+      std::string Err;
+      if (!S->start(Err)) {
+        StartOK = false;
+        StartErr = "shard " + std::to_string(I) + ": " + Err;
+      }
+      Servers.push_back(std::move(S));
+      ShardConfig Sh;
+      Sh.SocketPath = SC.SocketPath;
+      Sh.Spawn = false;
+      RC.Shards.push_back(Sh);
+    }
+    RC.FrontSocket = Dir + "/fleet.sock";
+    if (RC.ConnectAttempts == RouterConfig().ConnectAttempts)
+      RC.ConnectAttempts = 10;
+    R = std::make_unique<Router>(RC);
+    std::string Err;
+    if (!R->start(Err)) {
+      StartOK = false;
+      StartErr = Err;
+    }
+  }
+
+  ~FleetFixture() {
+    R->requestShutdown();
+    R->wait();
+    R.reset(); // Drops every mux connection before the shards go away.
+    Servers.clear();
+    Cache.reset();
+    std::string Cmd = "rm -rf " + Dir;
+    (void)!system(Cmd.c_str());
+  }
+
+  std::string shardSocket(unsigned I) const {
+    return Dir + "/shard" + std::to_string(I) + ".sock";
+  }
+  const std::string &front() const { return R->config().FrontSocket; }
+  Router &router() { return *R; }
+  server::Server &shard(unsigned I) { return *Servers[I]; }
+
+  server::Client frontClient() {
+    server::Client C;
+    EXPECT_TRUE(C.connect(front())) << C.error();
+    return C;
+  }
+
+  bool StartOK = false;
+  std::string StartErr;
+  std::string Dir;
+
+private:
+  std::unique_ptr<ScopedEnv> Cache;
+  std::vector<std::unique_ptr<server::Server>> Servers;
+  std::unique_ptr<Router> R;
+};
+
+//===----------------------------------------------------------------------===//
+// HashRing
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, HashRingStablePlacement) {
+  HashRing Ring;
+  Ring.addNode(0, 64);
+  Ring.addNode(1, 64);
+  Ring.addNode(2, 64);
+  for (int I = 0; I != 200; ++I) {
+    std::string Key = "key-" + std::to_string(I);
+    unsigned A = 99, B = 99;
+    ASSERT_TRUE(Ring.lookup(Key, A));
+    ASSERT_TRUE(Ring.lookup(Key, B));
+    EXPECT_EQ(A, B);
+    EXPECT_LT(A, 3u);
+  }
+  EXPECT_EQ(Ring.nodes(), (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(Fleet, HashRingSpreadsKeys) {
+  HashRing Ring;
+  Ring.addNode(0, 64);
+  Ring.addNode(1, 64);
+  Ring.addNode(2, 64);
+  unsigned Counts[3] = {0, 0, 0};
+  for (int I = 0; I != 600; ++I) {
+    unsigned N = 0;
+    ASSERT_TRUE(Ring.lookup("spread-" + std::to_string(I), N));
+    ++Counts[N];
+  }
+  // With 64 vnodes the share is within a loose band of the 200 ideal.
+  for (unsigned N = 0; N != 3; ++N)
+    EXPECT_GT(Counts[N], 60u) << "node " << N << " nearly starved";
+}
+
+TEST(Fleet, HashRingRemovalMovesOnlyTheLostNodesKeys) {
+  HashRing Ring;
+  Ring.addNode(0, 64);
+  Ring.addNode(1, 64);
+  Ring.addNode(2, 64);
+  std::vector<unsigned> Before(500);
+  for (int I = 0; I != 500; ++I)
+    ASSERT_TRUE(Ring.lookup("mv-" + std::to_string(I), Before[I]));
+
+  Ring.removeNode(1);
+  EXPECT_FALSE(Ring.contains(1));
+  for (int I = 0; I != 500; ++I) {
+    unsigned After = 99;
+    ASSERT_TRUE(Ring.lookup("mv-" + std::to_string(I), After));
+    EXPECT_NE(After, 1u);
+    if (Before[I] != 1)
+      EXPECT_EQ(After, Before[I]) << "key " << I << " moved needlessly";
+  }
+
+  // Re-adding restores the original placement exactly.
+  Ring.addNode(1, 64);
+  for (int I = 0; I != 500; ++I) {
+    unsigned Again = 99;
+    ASSERT_TRUE(Ring.lookup("mv-" + std::to_string(I), Again));
+    EXPECT_EQ(Again, Before[I]);
+  }
+}
+
+TEST(Fleet, HashRingEmptyAndSingle) {
+  HashRing Ring;
+  unsigned N = 7;
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_FALSE(Ring.lookup("anything", N));
+  Ring.addNode(4, 8);
+  ASSERT_TRUE(Ring.lookup("anything", N));
+  EXPECT_EQ(N, 4u);
+  Ring.removeNode(4);
+  EXPECT_TRUE(Ring.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Routing
+//===----------------------------------------------------------------------===//
+
+const char *AddScript =
+    "terra add(a: int, b: int): int return a + b end\n";
+
+TEST(Fleet, SameContentHashRoutesToSameShard) {
+  FleetFixture F(3);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+
+  server::Client::CompileResult R = C.compile(AddScript, "add.t");
+  ASSERT_TRUE(R.OK) << R.Error << "\n" << R.Diagnostics;
+  EXPECT_EQ(R.Handle.size(), 16u);
+  EXPECT_EQ(R.Handle, contentKey(AddScript)); // terrad's own derivation.
+
+  int Owner = F.router().shardIndexForKey(R.Handle);
+  ASSERT_GE(Owner, 0);
+
+  // Calls key on the handle, so they chase the compile to its shard and
+  // reuse the warm engine there.
+  for (int I = 0; I != 3; ++I) {
+    server::Client::CallResult Call =
+        C.call(R.Handle, "add", {Value::number(I), Value::number(10)});
+    ASSERT_TRUE(Call.OK) << Call.Error;
+    EXPECT_EQ(Call.Result.asNumber(), I + 10);
+  }
+  // A recompile is a warm hit on that same shard, not a cold build elsewhere.
+  server::Client::CompileResult R2 = C.compile(AddScript, "add.t");
+  ASSERT_TRUE(R2.OK) << R2.Error;
+  EXPECT_EQ(R2.Handle, R.Handle);
+  EXPECT_TRUE(R2.Warm);
+
+  for (unsigned I = 0; I != 3; ++I) {
+    server::Server::Stats S = F.shard(I).stats();
+    if (static_cast<int>(I) == Owner) {
+      EXPECT_EQ(S.CompileRequests, 2u);
+      EXPECT_EQ(S.CallRequests, 3u);
+      EXPECT_EQ(S.EnginesCreated, 1u);
+      EXPECT_GE(S.EngineWarmHits, 1u);
+    } else {
+      EXPECT_EQ(S.CompileRequests, 0u) << "shard " << I;
+      EXPECT_EQ(S.CallRequests, 0u) << "shard " << I;
+    }
+  }
+}
+
+TEST(Fleet, FrontSpeaksPlainTerradProtocol) {
+  FleetFixture F(2);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+
+  EXPECT_TRUE(C.ping());
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  EXPECT_TRUE(Resp.getBool("ok"));
+  EXPECT_TRUE(Resp.getBool("fleet")); // Answered by the router itself.
+
+  // trace_id round-trips through the relay.
+  Req.set("trace_id", Value::string("fleet-trace-7"));
+  Req.set("op", Value::string("stats"));
+  Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  EXPECT_TRUE(Resp.getBool("ok"));
+  const Value *Shards = Resp.get("shards");
+  ASSERT_TRUE(Shards && Shards->isArray());
+  EXPECT_EQ(Shards->size(), 2u);
+
+  // Unknown op: structured error, connection stays usable.
+  Value Bad = Value::object();
+  Bad.set("op", Value::string("frobnicate"));
+  Resp = C.request(Bad);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  EXPECT_FALSE(Resp.getBool("ok"));
+  EXPECT_TRUE(C.ping());
+}
+
+TEST(Fleet, CrossShardDiskCacheHitThroughSharedCacheDir) {
+  if (Engine::defaultBackend() != BackendKind::Native)
+    GTEST_SKIP() << "disk cache needs the native backend (no cc on PATH)";
+  FleetFixture F(2);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+
+  const char *Src = "terra cachefn(x: int): int return x * 17 end\n";
+  server::Client::CompileResult R = C.compile(Src, "cache.t");
+  ASSERT_TRUE(R.OK) << R.Error << "\n" << R.Diagnostics;
+  int Owner = F.router().shardIndexForKey(R.Handle);
+  ASSERT_GE(Owner, 0);
+  // Force the owner's native artifact to be built and published.
+  server::Client::CallResult Call =
+      C.call(R.Handle, "cachefn", {Value::number(2)});
+  ASSERT_TRUE(Call.OK) << Call.Error;
+  EXPECT_EQ(Call.Result.asNumber(), 34.0);
+
+  // Compile the SAME source directly on the other shard: different process
+  // boundary in production, different Server here, same TERRACPP_CACHE_DIR
+  // — its JIT must find the .so the owner published.
+  unsigned Other = Owner == 0 ? 1u : 0u;
+  server::Client Direct;
+  ASSERT_TRUE(Direct.connect(F.shardSocket(Other))) << Direct.error();
+  server::Client::CompileResult R2 = Direct.compile(Src, "cache.t");
+  ASSERT_TRUE(R2.OK) << R2.Error;
+  EXPECT_EQ(R2.Handle, R.Handle);
+  server::Client::CallResult Call2 =
+      Direct.call(R.Handle, "cachefn", {Value::number(3)});
+  ASSERT_TRUE(Call2.OK) << Call2.Error;
+
+  // The router's aggregated stats expose the fleet-wide hit rate.
+  EXPECT_TRUE(waitFor(
+      [&] {
+        Value Req = Value::object();
+        Req.set("op", Value::string("stats"));
+        Value S = C.request(Req);
+        const Value *Agg = S.get("aggregate");
+        return Agg && Agg->getNumber("jit_cache_hits") >= 1.0;
+      },
+      10000))
+      << "no cross-shard jit cache hit surfaced in aggregated stats";
+}
+
+TEST(Fleet, CompileBatchFansOutAndPreservesOrder) {
+  FleetFixture F(3);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+
+  constexpr int N = 8;
+  std::vector<std::string> Sources;
+  std::set<int> ExpectedShards;
+  for (int I = 0; I != N; ++I) {
+    std::string Src = "terra bf" + std::to_string(I) +
+                      "(x: int): int return x + " + std::to_string(I * 3) +
+                      " end\n";
+    ExpectedShards.insert(F.router().shardIndexForKey(contentKey(Src)));
+    Sources.push_back(std::move(Src));
+  }
+  ASSERT_GE(ExpectedShards.size(), 2u)
+      << "pathological hash clustering; vary the sources";
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("compile_batch"));
+  Value Arr = Value::array();
+  for (const std::string &Src : Sources) {
+    Value E = Value::object();
+    E.set("source", Value::string(Src));
+    E.set("name", Value::string("batch.t"));
+    Arr.push(std::move(E));
+  }
+  // A malformed entry must consume its slot without poisoning the rest.
+  Arr.push(Value::number(42));
+  Req.set("sources", std::move(Arr));
+
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  ASSERT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+  const Value *Results = Resp.get("results");
+  ASSERT_TRUE(Results && Results->isArray());
+  ASSERT_EQ(Results->size(), static_cast<size_t>(N) + 1);
+  for (int I = 0; I != N; ++I) {
+    const Value &R = Results->at(static_cast<size_t>(I));
+    ASSERT_TRUE(R.getBool("ok")) << "entry " << I << ": "
+                                 << R.getString("error");
+    // In-order reassembly: slot I holds slot I's compile.
+    EXPECT_EQ(R.getString("handle"), contentKey(Sources[I])) << "entry " << I;
+  }
+  EXPECT_FALSE(Results->at(N).getBool("ok"));
+
+  // The grid really fanned out: every expected shard saw a sub-batch.
+  for (int Shard : ExpectedShards)
+    EXPECT_GE(F.shard(static_cast<unsigned>(Shard)).stats()
+                  .CompileBatchRequests,
+              1u)
+        << "shard " << Shard << " never saw its sub-batch";
+}
+
+//===----------------------------------------------------------------------===//
+// MuxClient pipelining
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, MuxCompletesOutOfOrder) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  MuxClient Mux;
+  ASSERT_TRUE(Mux.connect(F.shardSocket(0))) << Mux.error();
+
+  std::mutex OrderM;
+  std::vector<std::string> Order;
+  std::atomic<int> Done{0};
+  auto Record = [&](const char *Tag) {
+    return [&, Tag](Value Resp) {
+      EXPECT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+      std::lock_guard<std::mutex> Lock(OrderM);
+      Order.push_back(Tag);
+      ++Done;
+    };
+  };
+
+  Value Slow = Value::object();
+  Slow.set("op", Value::string("ping"));
+  Slow.set("delay_ms", Value::number(400));
+  ASSERT_NE(Mux.submit(std::move(Slow), 5000, Record("slow")), 0u);
+
+  Value Fast = Value::object();
+  Fast.set("op", Value::string("ping"));
+  ASSERT_NE(Mux.submit(std::move(Fast), 5000, Record("fast")), 0u);
+
+  ASSERT_TRUE(waitFor([&] { return Done.load() == 2; }, 5000));
+  // The fast request was submitted second but must not wait behind the
+  // slow one: that is the whole point of pipelining.
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], "fast");
+  EXPECT_EQ(Order[1], "slow");
+  EXPECT_EQ(Mux.inFlight(), 0u);
+  Mux.close();
+}
+
+TEST(Fleet, MuxPerRequestDeadlineDoesNotPoisonOthers) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  MuxClient Mux;
+  ASSERT_TRUE(Mux.connect(F.shardSocket(0))) << Mux.error();
+
+  // This request's own mux-side deadline expires long before the server
+  // answers; the connection and its neighbours must be unaffected.
+  Value Slow = Value::object();
+  Slow.set("op", Value::string("ping"));
+  Slow.set("delay_ms", Value::number(700));
+  uint64_t SlowTicket = Mux.submit(std::move(Slow), 100);
+  ASSERT_NE(SlowTicket, 0u);
+
+  Value Fast = Value::object();
+  Fast.set("op", Value::string("ping"));
+  Value FastResp = Mux.request(std::move(Fast), 5000);
+  EXPECT_TRUE(FastResp.getBool("ok")) << FastResp.getString("error");
+
+  Value SlowResp;
+  ASSERT_TRUE(Mux.await(SlowTicket, SlowResp));
+  EXPECT_FALSE(SlowResp.getBool("ok"));
+  EXPECT_EQ(SlowResp.getString("code"), "timeout");
+
+  // The late real response is dropped silently; the connection still works.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  Value Again = Value::object();
+  Again.set("op", Value::string("ping"));
+  Value AgainResp = Mux.request(std::move(Again), 5000);
+  EXPECT_TRUE(AgainResp.getBool("ok"));
+  EXPECT_EQ(Mux.inFlight(), 0u);
+  Mux.close();
+}
+
+TEST(Fleet, MuxWindowBoundsInFlight) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  MuxClient::Options O;
+  O.MaxInFlight = 2;
+  MuxClient Mux(O);
+  ASSERT_TRUE(Mux.connect(F.shardSocket(0))) << Mux.error();
+
+  auto SlowPing = [] {
+    Value V = Value::object();
+    V.set("op", Value::string("ping"));
+    V.set("delay_ms", Value::number(400));
+    return V;
+  };
+  auto T0 = std::chrono::steady_clock::now();
+  uint64_t A = Mux.submit(SlowPing(), 5000);
+  uint64_t B = Mux.submit(SlowPing(), 5000);
+  ASSERT_NE(A, 0u);
+  ASSERT_NE(B, 0u);
+  // Window full: the third submit must block until a slot frees (~400 ms).
+  uint64_t CTicket = Mux.submit(SlowPing(), 5000);
+  auto BlockedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ASSERT_NE(CTicket, 0u);
+  EXPECT_GE(BlockedMs, 100) << "third submit did not respect the window";
+
+  Value R;
+  EXPECT_TRUE(Mux.await(A, R));
+  EXPECT_TRUE(Mux.await(B, R));
+  EXPECT_TRUE(Mux.await(CTicket, R));
+  Mux.close();
+}
+
+TEST(Fleet, MuxCloseFailsInFlightInsteadOfHanging) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  MuxClient Mux;
+  ASSERT_TRUE(Mux.connect(F.shardSocket(0))) << Mux.error();
+  std::atomic<bool> Got{false};
+  Value Slow = Value::object();
+  Slow.set("op", Value::string("ping"));
+  Slow.set("delay_ms", Value::number(2000));
+  ASSERT_NE(Mux.submit(std::move(Slow), 10000,
+                       [&](Value Resp) {
+                         EXPECT_FALSE(Resp.getBool("ok"));
+                         EXPECT_EQ(Resp.getString("code"),
+                                   "shard_unavailable");
+                         Got = true;
+                       }),
+            0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Mux.close();
+  EXPECT_TRUE(Got.load()) << "in-flight request was dropped on close";
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol version gate (satellite: every frame carries "v")
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, ServerRejectsProtocolVersionMismatch) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  std::string Err;
+  int Fd = server::connectUnix(F.shardSocket(0), Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  auto RoundTrip = [&](Value Req) {
+    EXPECT_TRUE(server::writeMessage(Fd, Req));
+    Value Resp;
+    std::string E;
+    EXPECT_EQ(server::readMessage(Fd, Resp, E, 5000), server::FrameStatus::OK)
+        << E;
+    return Resp;
+  };
+
+  // Wrong version: structured refusal naming both sides' versions.
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  Req.set("v", Value::number(99));
+  Value Resp = RoundTrip(Req);
+  EXPECT_FALSE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getString("code"), "protocol_mismatch");
+  EXPECT_EQ(Resp.getNumber("expected"), server::ProtocolVersion);
+  EXPECT_EQ(Resp.getNumber("got"), 99.0);
+
+  // Missing version: same gate (a v1 peer predates the "v" member).
+  Req.remove("v");
+  Resp = RoundTrip(Req);
+  EXPECT_FALSE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getString("code"), "protocol_mismatch");
+  EXPECT_EQ(Resp.getNumber("got"), 0.0);
+
+  // The connection survives the refusal; a correct frame then works.
+  Req.set("v", Value::number(server::ProtocolVersion));
+  Resp = RoundTrip(Req);
+  EXPECT_TRUE(Resp.getBool("ok"));
+  ::close(Fd);
+}
+
+TEST(Fleet, RouterRejectsProtocolVersionMismatch) {
+  FleetFixture F(2);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  std::string Err;
+  int Fd = server::connectUnix(F.front(), Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  Req.set("v", Value::number(1));
+  ASSERT_TRUE(server::writeMessage(Fd, Req));
+  Value Resp;
+  std::string E;
+  ASSERT_EQ(server::readMessage(Fd, Resp, E, 5000), server::FrameStatus::OK)
+      << E;
+  EXPECT_FALSE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getString("code"), "protocol_mismatch");
+  EXPECT_EQ(Resp.getNumber("expected"), server::ProtocolVersion);
+
+  Req.set("v", Value::number(server::ProtocolVersion));
+  ASSERT_TRUE(server::writeMessage(Fd, Req));
+  ASSERT_EQ(server::readMessage(Fd, Resp, E, 5000), server::FrameStatus::OK)
+      << E;
+  EXPECT_TRUE(Resp.getBool("ok"));
+  EXPECT_TRUE(Resp.getBool("fleet"));
+  ::close(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Client connect retry (satellite)
+//===----------------------------------------------------------------------===//
+
+TEST(Fleet, ClientConnectRetriesUntilServerAppears) {
+  char Template[] = "/tmp/terrafleet-retry-XXXXXX";
+  std::string Dir = mkdtemp(Template);
+  ScopedEnv Cache("TERRACPP_CACHE_DIR", Dir + "/cache");
+  std::string Sock = Dir + "/late.sock";
+
+  // The server only materialises ~300 ms after the client starts dialling.
+  std::unique_ptr<server::Server> S;
+  std::thread Starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server::ServerConfig SC;
+    SC.SocketPath = Sock;
+    SC.Workers = 1;
+    S = std::make_unique<server::Server>(SC);
+    std::string Err;
+    ASSERT_TRUE(S->start(Err)) << Err;
+  });
+
+  server::Client C;
+  server::Client::ConnectOptions O;
+  O.Attempts = 100;
+  O.InitialDelayMs = 10;
+  O.MaxDelayMs = 100;
+  O.HealthCheck = true;
+  EXPECT_TRUE(C.connect(Sock, O)) << C.error();
+  EXPECT_TRUE(C.ping());
+  Starter.join();
+
+  // And the bounded variant really is bounded: a path nobody will ever
+  // bind fails after its few attempts instead of spinning forever.
+  server::Client C2;
+  server::Client::ConnectOptions O2;
+  O2.Attempts = 3;
+  O2.InitialDelayMs = 10;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(C2.connect(Dir + "/never.sock", O2));
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  EXPECT_LT(Ms, 2000);
+
+  S.reset();
+  std::string Cmd = "rm -rf " + Dir;
+  (void)!system(Cmd.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Shard failure and recovery (real terrad subprocesses: we need SIGKILL)
+//===----------------------------------------------------------------------===//
+
+#ifdef TERRACPP_TERRAD_BIN
+TEST(Fleet, KillShardMidLoadYieldsShardUnavailableThenRecovers) {
+  const char *Bin = TERRACPP_TERRAD_BIN;
+  if (::access(Bin, X_OK) != 0)
+    GTEST_SKIP() << "terrad binary not built: " << Bin;
+
+  char Template[] = "/tmp/terrafleet-kill-XXXXXX";
+  std::string Dir = mkdtemp(Template);
+  ScopedEnv Cache("TERRACPP_CACHE_DIR", Dir + "/cache");
+
+  constexpr unsigned NumShards = 3;
+  DaemonProcess Procs[NumShards];
+  RouterConfig RC;
+  RC.FrontSocket = Dir + "/fleet.sock";
+  auto SpawnShard = [&](unsigned I) {
+    std::vector<std::string> Argv = {Bin, "--socket",
+                                     Dir + "/shard" + std::to_string(I) +
+                                         ".sock",
+                                     "--quiet", "--workers", "2"};
+    std::string Err;
+    ASSERT_TRUE(Procs[I].spawn(Argv, {}, Err)) << Err;
+  };
+  for (unsigned I = 0; I != NumShards; ++I) {
+    SpawnShard(I);
+    ShardConfig Sh;
+    Sh.SocketPath = Dir + "/shard" + std::to_string(I) + ".sock";
+    Sh.Spawn = false; // This test owns the processes so it can SIGKILL one.
+    RC.Shards.push_back(Sh);
+  }
+  RC.ConnectAttempts = 100;
+  RC.ReconnectBaseMs = 20;
+  RC.ReconnectMaxMs = 200;
+
+  {
+    Router R(RC);
+    std::string Err;
+    ASSERT_TRUE(R.start(Err)) << Err;
+
+    // A long-running call parks work on one specific shard. The recurrence
+    // keeps the loop from being folded away by the shard's native compiler.
+    const char *SpinSrc = "terra spin(n: int): int\n"
+                          "  var s = 0\n"
+                          "  for i = 0, n do s = s * 31 + i end\n"
+                          "  return s\n"
+                          "end\n";
+    server::Client C;
+    ASSERT_TRUE(C.connect(RC.FrontSocket)) << C.error();
+    server::Client::CompileResult Compiled = C.compile(SpinSrc, "spin.t");
+    ASSERT_TRUE(Compiled.OK) << Compiled.Error << "\n" << Compiled.Diagnostics;
+    int Victim = R.shardIndexForKey(Compiled.Handle);
+    ASSERT_GE(Victim, 0);
+
+    std::atomic<bool> CallReturned{false};
+    Value CallResp;
+    std::thread InFlight([&] {
+      server::Client C2;
+      if (!C2.connect(RC.FrontSocket))
+        return;
+      Value Req = Value::object();
+      Req.set("op", Value::string("call"));
+      Req.set("handle", Value::string(Compiled.Handle));
+      Req.set("fn", Value::string("spin"));
+      Value Args = Value::array();
+      Args.push(Value::number(2000000000));
+      Req.set("args", std::move(Args));
+      CallResp = C2.request(Req);
+      CallReturned = true;
+    });
+
+    // Let the call reach the victim, then kill the shard dead — no drain,
+    // no goodbye frame, exactly what a crashed node looks like.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_FALSE(CallReturned.load()) << "spin call finished too early to "
+                                         "test mid-load failure";
+    Procs[Victim].terminate(SIGKILL);
+
+    // The in-flight request must complete promptly with a structured error,
+    // not hang until some multi-second timeout.
+    InFlight.join();
+    ASSERT_TRUE(CallReturned.load());
+    ASSERT_FALSE(CallResp.isNull());
+    EXPECT_FALSE(CallResp.getBool("ok"));
+    EXPECT_EQ(CallResp.getString("code"), "shard_unavailable")
+        << CallResp.getString("error");
+
+    // The shard leaves the ring...
+    ASSERT_TRUE(waitFor([&] { return !R.shardUp(static_cast<unsigned>(Victim)); },
+                        5000));
+    // ...and keys it owned re-route to a survivor with no interruption.
+    server::Client::CompileResult Retry = C.compile(SpinSrc, "spin.t");
+    ASSERT_TRUE(Retry.OK) << Retry.Error;
+    EXPECT_EQ(Retry.Handle, Compiled.Handle);
+    int NewOwner = R.shardIndexForKey(Compiled.Handle);
+    ASSERT_GE(NewOwner, 0);
+    EXPECT_NE(NewOwner, Victim);
+
+    // Restart the shard on the same socket: the monitor thread reconnects
+    // and it rejoins the ring.
+    Procs[Victim] = DaemonProcess();
+    SpawnShard(static_cast<unsigned>(Victim));
+    ASSERT_TRUE(waitFor([&] { return R.shardUp(static_cast<unsigned>(Victim)); },
+                        15000))
+        << "shard never rejoined after restart";
+    EXPECT_EQ(R.shardIndexForKey(Compiled.Handle), Victim)
+        << "placement did not return to the original owner";
+    EXPECT_GE(R.metrics().counter("fleet.reconnects").value(), 1u);
+
+    server::Client::CompileResult After =
+        C.compile("terra afterfn(x: int): int return x - 1 end\n");
+    EXPECT_TRUE(After.OK) << After.Error;
+    R.requestShutdown();
+    R.wait();
+  }
+  for (DaemonProcess &P : Procs)
+    P.terminate(SIGKILL);
+  std::string Cmd = "rm -rf " + Dir;
+  (void)!system(Cmd.c_str());
+}
+
+TEST(Fleet, RouterSpawnsOwnedShardsAndShutsThemDown) {
+  const char *Bin = TERRACPP_TERRAD_BIN;
+  if (::access(Bin, X_OK) != 0)
+    GTEST_SKIP() << "terrad binary not built: " << Bin;
+
+  char Template[] = "/tmp/terrafleet-spawn-XXXXXX";
+  std::string Dir = mkdtemp(Template);
+
+  RouterConfig RC;
+  RC.FrontSocket = Dir + "/fleet.sock";
+  RC.TerradBinary = Bin;
+  RC.CacheDir = Dir + "/cache";
+  for (unsigned I = 0; I != 2; ++I) {
+    ShardConfig Sh;
+    Sh.SocketPath = Dir + "/owned" + std::to_string(I) + ".sock";
+    Sh.Spawn = true;
+    RC.Shards.push_back(Sh);
+  }
+  RC.ConnectAttempts = 100;
+
+  {
+    Router R(RC);
+    std::string Err;
+    ASSERT_TRUE(R.start(Err)) << Err;
+    EXPECT_TRUE(R.shardUp(0));
+    EXPECT_TRUE(R.shardUp(1));
+
+    server::Client C;
+    ASSERT_TRUE(C.connect(RC.FrontSocket)) << C.error();
+    server::Client::CompileResult Res =
+        C.compile("terra owned(x: int): int return x + 5 end\n");
+    ASSERT_TRUE(Res.OK) << Res.Error << "\n" << Res.Diagnostics;
+    server::Client::CallResult Call =
+        C.call(Res.Handle, "owned", {Value::number(10)});
+    ASSERT_TRUE(Call.OK) << Call.Error;
+    EXPECT_EQ(Call.Result.asNumber(), 15.0);
+
+    R.requestShutdown();
+    R.wait();
+  } // ~Router: owned terrads must be gone, not leaked.
+  std::string Cmd = "rm -rf " + Dir;
+  (void)!system(Cmd.c_str());
+}
+#endif // TERRACPP_TERRAD_BIN
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- test_protocol.cpp - framed wire protocol edge cases ---------------===//
+//
+// The happy path of Protocol.h is exercised constantly by the terrad tests;
+// what breaks fleets in practice is the margins: frames arriving a byte at
+// a time, peers dying mid-frame, garbage length headers, deadlines landing
+// between the header and the payload, and writes larger than a socket
+// buffer. Each case here pins the exact FrameStatus / FrameReader::Feed the
+// other side of the connection can rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace terracpp;
+using namespace terracpp::server;
+using terracpp::json::Value;
+
+namespace {
+
+/// A connected AF_UNIX stream pair; [0] is "ours", [1] is "theirs".
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0); }
+  ~SocketPair() {
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+    if (Fds[1] >= 0)
+      ::close(Fds[1]);
+  }
+  void closeTheirs() {
+    ::close(Fds[1]);
+    Fds[1] = -1;
+  }
+};
+
+void writeAll(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len) {
+    ssize_t N = ::write(Fd, P, Len);
+    ASSERT_GT(N, 0);
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+std::string frameBytes(const std::string &Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Len >> 24),
+                          static_cast<unsigned char>(Len >> 16),
+                          static_cast<unsigned char>(Len >> 8),
+                          static_cast<unsigned char>(Len)};
+  return std::string(reinterpret_cast<char *>(Hdr), 4) + Payload;
+}
+
+TEST(Protocol, PartialFrameAcrossManyWrites) {
+  SocketPair SP;
+  std::string Wire = frameBytes("{\"op\":\"ping\"}");
+  // Drip the frame in 3-byte slices with small gaps: readFrame must
+  // reassemble without ever returning early.
+  std::thread Writer([&] {
+    for (size_t I = 0; I < Wire.size(); I += 3) {
+      size_t N = std::min<size_t>(3, Wire.size() - I);
+      writeAll(SP.Fds[1], Wire.data() + I, N);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 5000), FrameStatus::OK);
+  EXPECT_EQ(Payload, "{\"op\":\"ping\"}");
+  Writer.join();
+}
+
+TEST(Protocol, CleanEofIsClosedNotError) {
+  SocketPair SP;
+  SP.closeTheirs();
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 1000), FrameStatus::Closed);
+}
+
+TEST(Protocol, EofMidFrameIsError) {
+  SocketPair SP;
+  // Header promises 100 bytes; only 10 arrive before the peer dies.
+  std::string Wire = frameBytes(std::string(100, 'x')).substr(0, 4 + 10);
+  writeAll(SP.Fds[1], Wire.data(), Wire.size());
+  SP.closeTheirs();
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 1000), FrameStatus::Error);
+}
+
+TEST(Protocol, OversizedLengthHeaderIsError) {
+  SocketPair SP;
+  uint32_t Bad = MaxFramePayload + 1;
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Bad >> 24),
+                          static_cast<unsigned char>(Bad >> 16),
+                          static_cast<unsigned char>(Bad >> 8),
+                          static_cast<unsigned char>(Bad)};
+  writeAll(SP.Fds[1], Hdr, 4);
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 1000), FrameStatus::Error);
+}
+
+TEST(Protocol, DeadlineExpiresBeforeAnyByte) {
+  SocketPair SP;
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 100), FrameStatus::Timeout);
+}
+
+TEST(Protocol, DeadlineExpiresMidFrame) {
+  SocketPair SP;
+  // Header plus half the payload, then silence: the deadline covers the
+  // WHOLE frame, so this must surface as Timeout, not hang.
+  std::string Wire = frameBytes(std::string(64, 'y')).substr(0, 4 + 32);
+  writeAll(SP.Fds[1], Wire.data(), Wire.size());
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 150), FrameStatus::Timeout);
+}
+
+TEST(Protocol, LargeFrameSurvivesShortWrites) {
+  SocketPair SP;
+  // 2 MB is far beyond any socket buffer: writeFrame must loop over
+  // partial writes while the reader drains concurrently.
+  std::string Big(2u << 20, 'z');
+  for (size_t I = 0; I < Big.size(); I += 7919)
+    Big[I] = static_cast<char>('a' + (I % 26));
+  std::thread Writer([&] { EXPECT_TRUE(writeFrame(SP.Fds[1], Big)); });
+  std::string Payload;
+  EXPECT_EQ(readFrame(SP.Fds[0], Payload, 10000), FrameStatus::OK);
+  EXPECT_EQ(Payload, Big);
+  Writer.join();
+}
+
+TEST(Protocol, MessageRoundTrip) {
+  SocketPair SP;
+  Value V = Value::object();
+  V.set("op", Value::string("compile"));
+  V.set("v", Value::number(ProtocolVersion));
+  V.set("source", Value::string("terra f() return 1 end"));
+  ASSERT_TRUE(writeMessage(SP.Fds[1], V));
+  Value Out;
+  std::string Err;
+  ASSERT_EQ(readMessage(SP.Fds[0], Out, Err, 1000), FrameStatus::OK) << Err;
+  EXPECT_EQ(Out.getString("op"), "compile");
+  EXPECT_EQ(Out.getNumber("v"), ProtocolVersion);
+}
+
+TEST(Protocol, FrameReaderByteAtATime) {
+  SocketPair SP;
+  std::string Wire = frameBytes("{\"a\":1}");
+  FrameReader FR;
+  std::string Payload;
+  for (size_t I = 0; I != Wire.size(); ++I) {
+    writeAll(SP.Fds[1], Wire.data() + I, 1);
+    FrameReader::Feed F = FR.fill(SP.Fds[0]);
+    ASSERT_EQ(F, FrameReader::Feed::Ok);
+    if (I + 1 < Wire.size())
+      EXPECT_FALSE(FR.next(Payload)) << "frame surfaced early at byte " << I;
+  }
+  ASSERT_TRUE(FR.next(Payload));
+  EXPECT_EQ(Payload, "{\"a\":1}");
+  EXPECT_FALSE(FR.next(Payload));
+  EXPECT_FALSE(FR.corrupt());
+}
+
+TEST(Protocol, FrameReaderManyFramesPerFill) {
+  SocketPair SP;
+  std::string Wire;
+  for (int I = 0; I != 5; ++I)
+    Wire += frameBytes("{\"n\":" + std::to_string(I) + "}");
+  writeAll(SP.Fds[1], Wire.data(), Wire.size());
+  FrameReader FR;
+  std::vector<std::string> Frames;
+  std::string Payload;
+  // One fill may or may not grab everything; loop until WouldBlock.
+  while (true) {
+    FrameReader::Feed F = FR.fill(SP.Fds[0]);
+    while (FR.next(Payload))
+      Frames.push_back(Payload);
+    if (F != FrameReader::Feed::Ok)
+      break;
+    if (Frames.size() == 5)
+      break;
+  }
+  ASSERT_EQ(Frames.size(), 5u);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Frames[I], "{\"n\":" + std::to_string(I) + "}");
+}
+
+TEST(Protocol, FrameReaderLatchesCorruptOnBadLength) {
+  SocketPair SP;
+  uint32_t Bad = MaxFramePayload + 7;
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Bad >> 24),
+                          static_cast<unsigned char>(Bad >> 16),
+                          static_cast<unsigned char>(Bad >> 8),
+                          static_cast<unsigned char>(Bad)};
+  writeAll(SP.Fds[1], Hdr, 4);
+  FrameReader FR;
+  EXPECT_EQ(FR.fill(SP.Fds[0]), FrameReader::Feed::Ok);
+  std::string Payload;
+  EXPECT_FALSE(FR.next(Payload));
+  EXPECT_TRUE(FR.corrupt());
+}
+
+TEST(Protocol, FrameReaderEofAndWouldBlock) {
+  SocketPair SP;
+  FrameReader FR;
+  EXPECT_EQ(FR.fill(SP.Fds[0]), FrameReader::Feed::WouldBlock);
+  std::string Wire = frameBytes("{}");
+  writeAll(SP.Fds[1], Wire.data(), Wire.size());
+  SP.closeTheirs();
+  EXPECT_EQ(FR.fill(SP.Fds[0]), FrameReader::Feed::Ok);
+  std::string Payload;
+  EXPECT_TRUE(FR.next(Payload));
+  EXPECT_EQ(Payload, "{}");
+  EXPECT_EQ(FR.fill(SP.Fds[0]), FrameReader::Feed::Eof);
+}
+
+TEST(Protocol, ErrorResponseCodeShape) {
+  Value E = errorResponseCode("shard_unavailable", "shard 2 is down");
+  EXPECT_FALSE(E.getBool("ok"));
+  EXPECT_EQ(E.getString("code"), "shard_unavailable");
+  EXPECT_EQ(E.getString("error"), "shard 2 is down");
+}
+
+} // namespace
