@@ -27,6 +27,7 @@
 #include "fleet/Router.h"
 #include "server/Client.h"
 #include "server/Server.h"
+#include "support/Trace.h"
 
 #include "BenchReport.h"
 
@@ -389,6 +390,29 @@ int main(int argc, char **argv) {
     J.put("pipelined_rps", PipelinedRps);
     J.put("speedup", BlockingRps > 0 ? PipelinedRps / BlockingRps : 0.0);
     Report.put("pipelined_vs_blocking_warm_call", J);
+  }
+
+  // Tracing overhead A/B: the same warm blocking calls with the recorder
+  // off (the default — a span is one relaxed load) and with it recording.
+  // In-process shards share the global recorder, so enabling it turns on
+  // both router- and shard-side spans, the worst case for the hot path.
+  {
+    constexpr int Calls = 1500;
+    double UntracedRps = blockingCallsRps(F.front(), Handle, Fn, Calls);
+    trace::Recorder::global().enable("");
+    double TracedRps = blockingCallsRps(F.front(), Handle, Fn, Calls);
+    trace::Recorder::global().disable();
+    trace::Recorder::global().clear();
+    benchreport::Json J;
+    J.put("calls", Calls);
+    J.put("untraced_rps", UntracedRps);
+    J.put("traced_rps", TracedRps);
+    J.put("overhead_pct",
+          UntracedRps > 0 ? 100.0 * (UntracedRps - TracedRps) / UntracedRps
+                          : 0.0);
+    Report.put("tracing_overhead", J);
+    fprintf(stderr, "tracing A/B: untraced %.0f rps, traced %.0f rps\n",
+            UntracedRps, TracedRps);
   }
 
   // compile_batch vs sequential compiles (distinct fresh kernels each).

@@ -3,6 +3,7 @@
 #include "core/TerraTier.h"
 
 #include "core/TerraJIT.h"
+#include "support/ContentHash.h"
 #include "support/EnvParse.h"
 #include "support/Log.h"
 #include "support/ThreadPool.h"
@@ -43,6 +44,14 @@ TierManager::registerComponent(std::string CSource, bool Cacheable,
   auto C = std::make_shared<PendingComponent>();
   C->CSource = std::move(CSource);
   C->Cacheable = Cacheable;
+  {
+    // Same derivation as terrad's script handles: the profile dump keys by
+    // this hash so a persisted profile matches any engine that generates
+    // byte-identical C for the component.
+    ContentHash H;
+    H.updateField(C->CSource);
+    C->Hash = H.hex();
+  }
 
   int64_t NewTier0 = 0;
   for (TerraFunction *F : Fns) {
@@ -61,6 +70,7 @@ TierManager::registerComponent(std::string CSource, bool Cacheable,
     S.Fn = F;
     S.TS = F->Tier;
     S.Symbol = F->mangledName();
+    S.Name = F->Name;
     // Latest registration wins: counters accumulated so far now queue this
     // component, which re-emits any earlier, still-unpromoted siblings.
     std::atomic_store(&S.TS->Component, C);
@@ -234,6 +244,52 @@ TierManager::Snapshot TierManager::snapshot() const {
   S.BaselineCalls = MBaselineCalls.value();
   S.CcUnavailable = CcPinned.load(std::memory_order_relaxed) ? 1 : 0;
   return S;
+}
+
+json::Value TierManager::profileJson() const {
+  std::vector<std::shared_ptr<PendingComponent>> Cs;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Cs = Components;
+  }
+  json::Value Out = json::Value::object();
+  for (const auto &C : Cs) {
+    json::Value Fns = json::Value::object();
+    for (const PendingComponent::Slot &S : C->Slots) {
+      uint64_t Calls = S.TS->Calls.load(std::memory_order_relaxed);
+      uint64_t BackEdges = S.TS->BackEdges.load(std::memory_order_relaxed);
+      // Resident tier, best first: cc-native wins over a published
+      // baseline body; the (void *)1 bailout sentinel is not callable
+      // code, so it still counts as tier 0.
+      int Tier = 0;
+      if (S.TS->NativeEntry.load(std::memory_order_acquire)) {
+        Tier = 1;
+      } else if (S.Fn) {
+        void *B = S.Fn->BaselineEntry.load(std::memory_order_acquire);
+        if (B && B != reinterpret_cast<void *>(1))
+          Tier = 2;
+      }
+      json::Value F = json::Value::object();
+      F.set("name", json::Value::string(S.Name));
+      F.set("calls", json::Value::number(static_cast<double>(Calls)));
+      F.set("backedges",
+            json::Value::number(static_cast<double>(BackEdges)));
+      F.set("tier", json::Value::number(Tier));
+      Fns.set(S.Symbol, std::move(F));
+      // Mirror into the engine registry so metrics/metrics_text expose the
+      // same per-function numbers without a second collection pass.
+      const std::string P = "profile.fn." + S.Symbol;
+      JIT.metrics().gauge(P + ".calls").set(static_cast<int64_t>(Calls));
+      JIT.metrics().gauge(P + ".backedges")
+          .set(static_cast<int64_t>(BackEdges));
+      JIT.metrics().gauge(P + ".tier").set(Tier);
+    }
+    json::Value CJ = json::Value::object();
+    CJ.set("cacheable", json::Value::boolean(C->Cacheable));
+    CJ.set("functions", std::move(Fns));
+    Out.set(C->Hash, std::move(CJ));
+  }
+  return Out;
 }
 
 } // namespace terracpp

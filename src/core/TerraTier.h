@@ -72,12 +72,18 @@ struct PendingComponent {
   enum State { Idle, Queued, Done, Failed };
 
   std::string CSource;
+  /// Content hash of CSource (ContentHash::hex). The profile dump's key:
+  /// stable across runs, so a persisted profile can be re-ingested against
+  /// a recompiled module with identical generated code.
+  std::string Hash;
   bool Cacheable = true;
 
   struct Slot {
     TerraFunction *Fn = nullptr; ///< Touched by the main thread only.
     std::shared_ptr<TierState> TS;
     std::string Symbol; ///< Mangled name; entry thunk is Symbol + "_entry".
+    std::string Name;   ///< Source-level name, captured at registration so
+                        ///< profile dumps never touch Fn off-thread.
   };
   std::vector<Slot> Slots;
 
@@ -135,6 +141,21 @@ public:
     uint64_t CcUnavailable = 0; ///< 1 once cc ENOENT pinned us at baseline.
   };
   Snapshot snapshot() const;
+
+  /// The per-function execution profile, keyed by component content hash:
+  ///
+  ///   {"<hash>": {"cacheable": true, "functions": {
+  ///       "<mangled symbol>": {"name":"f","calls":N,"backedges":N,
+  ///                            "tier":0|1|2}}}}
+  ///
+  /// tier is the RESIDENT tier right now: 0 = bytecode VM dispatcher,
+  /// 2 = baseline JIT code published, 1 = cc-native promoted. This is the
+  /// persistence format the profile-guided-tiering roadmap item re-ingests
+  /// (served by terrad's `profile` op, written by terracpp --profile).
+  /// Also refreshes the per-function profile.fn.<symbol>.{calls,backedges,
+  /// tier} gauges in the engine's JIT registry, so `metrics`/`metrics_text`
+  /// expose the same numbers.
+  json::Value profileJson() const;
 
   /// True once a promotion job failed because the C compiler binary does
   /// not exist; further promotion attempts are suppressed and functions

@@ -116,6 +116,7 @@ uint64_t MuxClient::submit(Value Request, int TimeoutMs, Callback CB) {
     Id = NextId++;
     Pending &P = Pendings[Id];
     P.CB = std::move(CB);
+    P.TraceId = Request.getString("trace_id");
     if (TimeoutMs > 0)
       P.DeadlineUs =
           telemetry::nowMicros() + static_cast<uint64_t>(TimeoutMs) * 1000;
@@ -174,6 +175,11 @@ void MuxClient::complete(uint64_t Id, Value Response) {
     auto It = Pendings.find(Id);
     if (It == Pendings.end() || It->second.Done)
       return; // Late response after timeout/failure: drop.
+    // Client-originated errors are built without the request in hand; make
+    // them indistinguishable from shard responses by echoing the trace_id.
+    if (!It->second.TraceId.empty() &&
+        Response.getString("trace_id").empty())
+      Response.set("trace_id", Value::string(It->second.TraceId));
     if (It->second.CB) {
       CB = std::move(It->second.CB);
       Pendings.erase(It);
@@ -189,7 +195,9 @@ void MuxClient::complete(uint64_t Id, Value Response) {
 }
 
 void MuxClient::failAllPending(const Value &Error) {
-  std::vector<Callback> Callbacks;
+  // Each waiter gets its own copy of the error stamped with its request's
+  // trace_id, so even a mass connection-loss failure stays correlatable.
+  std::vector<std::pair<Callback, std::string>> Callbacks;
   {
     std::lock_guard<std::mutex> Lock(M);
     for (auto It = Pendings.begin(); It != Pendings.end();) {
@@ -198,17 +206,25 @@ void MuxClient::failAllPending(const Value &Error) {
         continue;
       }
       if (It->second.CB) {
-        Callbacks.push_back(std::move(It->second.CB));
+        Callbacks.emplace_back(std::move(It->second.CB),
+                               std::move(It->second.TraceId));
         It = Pendings.erase(It);
       } else {
         It->second.Response = Error;
+        if (!It->second.TraceId.empty())
+          It->second.Response.set("trace_id",
+                                  Value::string(It->second.TraceId));
         It->second.Done = true;
         ++It;
       }
     }
   }
-  for (Callback &CB : Callbacks)
-    CB(Error);
+  for (auto &CB : Callbacks) {
+    Value E = Error;
+    if (!CB.second.empty())
+      E.set("trace_id", Value::string(CB.second));
+    CB.first(std::move(E));
+  }
   DoneCV.notify_all();
   WindowCV.notify_all();
 }

@@ -118,6 +118,9 @@ private:
   struct Pending {
     Callback CB;            ///< Null for await()-style waiters.
     uint64_t DeadlineUs = 0;
+    std::string TraceId;    ///< Request's trace_id: client-originated
+                            ///< errors (timeout, shard_unavailable) echo
+                            ///< it just like real shard responses do.
     json::Value Response;
     bool Done = false;
     bool Collected = false; ///< await() consumed it (erase lazily).

@@ -4,11 +4,13 @@
 #include "support/Backoff.h"
 #include "support/ContentHash.h"
 #include "support/Log.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <poll.h>
 #include <sys/socket.h>
@@ -61,6 +63,7 @@ Router::Router(RouterConfig C)
       MRespawns(Reg.counter("fleet.respawns")),
       MBatchRequests(Reg.counter("fleet.batch_requests")),
       MProtocolMismatches(Reg.counter("fleet.protocol_mismatches")),
+      MSlowRequests(Reg.counter("fleet.slow_requests")),
       MShardsUp(Reg.gauge("fleet.shards_up")),
       MRouteLatencyUs(Reg.histogram("fleet.route_latency_us")) {
   for (size_t I = 0; I != Config.Shards.size(); ++I) {
@@ -85,6 +88,10 @@ bool Router::spawnShard(unsigned Index, std::string &Err) {
   std::vector<std::string> Env;
   if (!Config.CacheDir.empty())
     Env.push_back("TERRACPP_CACHE_DIR=" + Config.CacheDir);
+  // "-" = record spans in memory, no file: the router pulls each shard's
+  // buffer over the protocol (trace_dump) and merges the timelines itself.
+  if (Config.TraceShards)
+    Env.push_back("TERRACPP_TRACE=-");
   return S.Proc.spawn(Argv, Env, Err);
 }
 
@@ -96,7 +103,51 @@ bool Router::connectShard(unsigned Index, unsigned Attempts) {
   CO.MaxDelayMs = Config.ReconnectMaxMs;
   CO.HealthCheck = true;
   CO.HealthTimeoutMs = 2000;
-  return S.Mux.connect(S.Cfg.SocketPath, CO);
+  if (!S.Mux.connect(S.Cfg.SocketPath, CO))
+    return false;
+  // Clock alignment rides on the fresh connection so shard trace buffers
+  // can be shifted onto the router's timeline later; skipped when tracing
+  // is off (five extra pings per shard connect buy nothing then).
+  if (Config.TraceShards)
+    estimateShardClock(Index);
+  return true;
+}
+
+bool Router::estimateShardClock(unsigned Index) {
+  Shard &S = *Shards[Index];
+  // Offset = shard_mono - router_mono, estimated as mono_us minus the RTT
+  // midpoint; the sample with the smallest RTT bounds the error tightest
+  // (error <= RTT/2), so it wins. Five pings keep the tail short while
+  // reliably catching one uncontended round trip.
+  int64_t BestOffset = 0;
+  uint64_t BestRtt = UINT64_MAX;
+  for (int I = 0; I != 5; ++I) {
+    Value Req = Value::object();
+    Req.set("op", Value::string("ping"));
+    uint64_t T0 = telemetry::nowMicros();
+    Value Resp = S.Mux.request(std::move(Req), 500);
+    uint64_t T1 = telemetry::nowMicros();
+    if (!Resp.getBool("ok"))
+      continue;
+    const Value *Mono = Resp.get("mono_us");
+    if (!Mono || !Mono->isNumber())
+      continue;
+    uint64_t Rtt = T1 - T0;
+    if (Rtt < BestRtt) {
+      BestRtt = Rtt;
+      BestOffset = static_cast<int64_t>(Mono->asNumber()) -
+                   static_cast<int64_t>((T0 + T1) / 2);
+    }
+  }
+  if (BestRtt == UINT64_MAX)
+    return false;
+  S.ClockOffsetUs.store(BestOffset, std::memory_order_release);
+  S.ClockAligned.store(true, std::memory_order_release);
+  logging::emit(logging::Level::Debug, "fleet.clock_align",
+                {{"shard", std::to_string(Index)},
+                 {"offset_us", std::to_string(BestOffset)},
+                 {"rtt_us", std::to_string(BestRtt)}});
+  return true;
 }
 
 void Router::onShardLost(unsigned Index) {
@@ -322,6 +373,23 @@ void Router::beginShutdown() {
       break;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+  // 2b. Write the merged fleet trace while the shards are still alive to
+  //     answer trace_dump — after the grace wait, so in-flight requests'
+  //     spans are recorded, and before shard teardown below.
+  if (!Config.TraceOutPath.empty()) {
+    Value Merged = mergedTraceJson();
+    std::ofstream Out(Config.TraceOutPath, std::ios::trunc);
+    if (Out) {
+      Out << Merged.dump() << "\n";
+      logging::emit(logging::Level::Info, "fleet.trace_written",
+                    {{"path", Config.TraceOutPath},
+                     {"events", std::to_string(
+                                    Merged.get("traceEvents")->size())}});
+    } else {
+      logging::emit(logging::Level::Warn, "fleet.trace_write_failed",
+                    {{"path", Config.TraceOutPath}});
+    }
+  }
   // 3. Stop the monitor before tearing down shard connections, so it
   //    cannot resurrect them mid-shutdown.
   StopMonitor.store(true, std::memory_order_release);
@@ -422,6 +490,25 @@ void Router::frontLoop(std::shared_ptr<FrontLink> Link) {
     if (const Value *IdV = Request.get("id"))
       ClientId = *IdV;
 
+    // Every front-socket response carries the request's trace_id —
+    // client-supplied or generated here — including protocol_mismatch
+    // refusals and router-originated errors, so a client can correlate any
+    // answer (and the fleet's spans) with its own trace. Stamping it into
+    // the request means shards and MuxClient-originated errors echo the
+    // same id without further plumbing.
+    std::string TraceId = Request.getString("trace_id");
+    if (TraceId.empty()) {
+      static const std::string PidPrefix = std::to_string(::getpid()) + "-";
+      TraceId = PidPrefix +
+                std::to_string(NextTraceId.fetch_add(
+                    1, std::memory_order_relaxed));
+      Request.set("trace_id", Value::string(TraceId));
+    }
+    auto answerLocal = [&](Value R) {
+      R.set("trace_id", Value::string(TraceId));
+      return relayToFront(Link, std::move(R), ClientId);
+    };
+
     // Same version gate as terrad's: the router refuses to relay frames it
     // might be misreading.
     {
@@ -436,19 +523,13 @@ void Router::frontLoop(std::shared_ptr<FrontLink> Link) {
                 (V ? "v" + std::to_string(Got) : std::string("no version")));
         R.set("expected", Value::number(server::ProtocolVersion));
         R.set("got", Value::number(Got));
-        if (!relayToFront(Link, std::move(R), ClientId))
+        if (!answerLocal(std::move(R)))
           break;
         continue;
       }
     }
 
     std::string Op = Request.getString("op");
-    std::string TraceId = Request.getString("trace_id");
-    auto answerLocal = [&](Value R) {
-      if (!TraceId.empty())
-        R.set("trace_id", Value::string(TraceId));
-      return relayToFront(Link, std::move(R), ClientId);
-    };
 
     if (Op == "ping") {
       // Plain pings are a front-socket health check and answered here. A
@@ -472,6 +553,23 @@ void Router::frontLoop(std::shared_ptr<FrontLink> Link) {
     }
     if (Op == "metrics") {
       if (!answerLocal(aggregatedMetrics()))
+        break;
+      continue;
+    }
+    if (Op == "metrics_text") {
+      if (!answerLocal(aggregatedMetricsText(Request)))
+        break;
+      continue;
+    }
+    if (Op == "trace_dump") {
+      Value R = mergedTraceJson();
+      R.set("ok", Value::boolean(true));
+      if (!answerLocal(std::move(R)))
+        break;
+      continue;
+    }
+    if (Op == "profile") {
+      if (!answerLocal(aggregatedProfile(Request)))
         break;
       continue;
     }
@@ -501,6 +599,12 @@ void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
   Value ClientId;
   if (const Value *IdV = Request.get("id"))
     ClientId = *IdV;
+  std::string TraceId = Request.getString("trace_id");
+  auto answer = [&](Value R) {
+    if (!TraceId.empty())
+      R.set("trace_id", Value::string(TraceId));
+    return relayToFront(Link, std::move(R), ClientId);
+  };
 
   // Placement key: terrad's own handle derivation, so compile and every
   // later call on the returned handle land on the same shard. Routed pings
@@ -514,10 +618,7 @@ void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
     const Value *S = Request.get("source");
     if (!S || !S->isString()) {
       MRequestsFailed.inc();
-      relayToFront(Link,
-                   server::errorResponse(
-                       "compile: missing string member 'source'"),
-                   ClientId);
+      answer(server::errorResponse("compile: missing string member 'source'"));
       return;
     }
     ContentHash H;
@@ -527,10 +628,8 @@ void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
     Key = Request.getString("handle");
     if (Key.empty()) {
       MRequestsFailed.inc();
-      relayToFront(Link,
-                   server::errorResponse(
-                       "call: need string members 'handle' and 'fn'"),
-                   ClientId);
+      answer(server::errorResponse(
+          "call: need string members 'handle' and 'fn'"));
       return;
     }
   }
@@ -539,10 +638,8 @@ void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
   if (Idx < 0) {
     MRequestsFailed.inc();
     MShardUnavailable.inc();
-    relayToFront(Link,
-                 server::errorResponseCode("shard_unavailable",
-                                           "no shards available"),
-                 ClientId);
+    answer(server::errorResponseCode("shard_unavailable",
+                                     "no shards available"));
     return;
   }
   Shard &S = *Shards[static_cast<unsigned>(Idx)];
@@ -552,6 +649,20 @@ void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
     if (T->isNumber() && T->asNumber() >= 1)
       TimeoutMs = static_cast<int>(T->asNumber());
 
+  // route.hop span: opened here, closed in the completion callback (the
+  // interval spans queueing, the shard round trip, and the relay). The
+  // shard parents its server.op span to our span ref carried in
+  // parent_span; we in turn parent to whatever parent_span the client
+  // supplied, so one request chains client -> router -> shard. When
+  // tracing is off this is one relaxed load and HopSpan stays 0.
+  uint64_t HopSpan = 0;
+  std::string ClientParent;
+  if (trace::Recorder::global().enabled()) {
+    HopSpan = trace::nextSpanId();
+    ClientParent = Request.getString("parent_span");
+    Request.set("parent_span", Value::string(trace::spanRef(HopSpan)));
+  }
+
   MRequestsRouted.inc();
   S.Requests->inc();
   uint64_t StartUs = telemetry::nowMicros();
@@ -559,23 +670,51 @@ void Router::routeRequest(const std::shared_ptr<FrontLink> &Link,
   // structured timeout answer (which names the op) normally wins.
   uint64_t Ticket = S.Mux.submit(
       std::move(Request), TimeoutMs + 2000,
-      [this, Link, ClientId, StartUs](Value Resp) {
-        MRouteLatencyUs.record(telemetry::nowMicros() - StartUs);
+      [this, Link, ClientId, StartUs, Op, Idx, TraceId, HopSpan,
+       ClientParent](Value Resp) {
+        uint64_t EndUs = telemetry::nowMicros();
+        MRouteLatencyUs.record(EndUs - StartUs);
+        if (HopSpan) {
+          trace::Recorder &Rec = trace::Recorder::global();
+          trace::Recorder::Event E;
+          E.Name = "route.hop";
+          E.Category = "fleet";
+          E.StartUs = StartUs > Rec.baseUs() ? StartUs - Rec.baseUs() : 0;
+          E.DurUs = EndUs - StartUs;
+          E.SpanId = HopSpan;
+          E.TraceId = TraceId;
+          E.RemoteParent = ClientParent;
+          E.Args.emplace_back("op", Op);
+          E.Args.emplace_back("shard", std::to_string(Idx));
+          Rec.add(std::move(E));
+        }
+        if (Config.SlowRequestMs > 0 &&
+            EndUs - StartUs >=
+                static_cast<uint64_t>(Config.SlowRequestMs) * 1000) {
+          MSlowRequests.inc();
+          logging::emit(logging::Level::Warn, "fleet.slow_request",
+                        {{"op", Op},
+                         {"shard", std::to_string(Idx)},
+                         {"trace_id", TraceId},
+                         {"total_us", std::to_string(EndUs - StartUs)},
+                         {"threshold_ms",
+                          std::to_string(Config.SlowRequestMs)}});
+        }
         if (!Resp.getBool("ok")) {
           MRequestsFailed.inc();
           if (Resp.getString("code") == "shard_unavailable")
             MShardUnavailable.inc();
         }
+        if (!TraceId.empty() && Resp.getString("trace_id").empty())
+          Resp.set("trace_id", Value::string(TraceId));
         relayToFront(Link, std::move(Resp), ClientId);
       });
   if (Ticket == 0) {
     MRequestsFailed.inc();
     MShardUnavailable.inc();
-    relayToFront(Link,
-                 server::errorResponseCode(
-                     "shard_unavailable",
-                     "shard " + std::to_string(Idx) + " unavailable"),
-                 ClientId);
+    answer(server::errorResponseCode(
+        "shard_unavailable",
+        "shard " + std::to_string(Idx) + " unavailable"));
   }
 }
 
@@ -585,14 +724,16 @@ void Router::routeBatch(const std::shared_ptr<FrontLink> &Link,
   Value ClientId;
   if (const Value *IdV = Request.get("id"))
     ClientId = *IdV;
+  std::string TraceId = Request.getString("trace_id");
 
   const Value *Sources = Request.get("sources");
   if (!Sources || !Sources->isArray()) {
     MRequestsFailed.inc();
-    relayToFront(Link,
-                 server::errorResponse(
-                     "compile_batch: missing array member 'sources'"),
-                 ClientId);
+    Value R = server::errorResponse(
+        "compile_batch: missing array member 'sources'");
+    if (!TraceId.empty())
+      R.set("trace_id", Value::string(TraceId));
+    relayToFront(Link, std::move(R), ClientId);
     return;
   }
   size_t N = Sources->size();
@@ -629,13 +770,15 @@ void Router::routeBatch(const std::shared_ptr<FrontLink> &Link,
     Groups[static_cast<unsigned>(Idx)].push_back(I);
   }
 
-  auto assembleAndRelay = [this, Link, ClientId, St] {
+  auto assembleAndRelay = [this, Link, ClientId, St, TraceId] {
     Value Results = Value::array();
     for (Value &S : St->Slots)
       Results.push(std::move(S));
     Value R = Value::object();
     R.set("ok", Value::boolean(true));
     R.set("results", std::move(Results));
+    if (!TraceId.empty())
+      R.set("trace_id", Value::string(TraceId));
     relayToFront(Link, std::move(R), ClientId);
   };
 
@@ -787,5 +930,142 @@ json::Value Router::aggregatedMetrics() {
     ShardsArr.push(std::move(SJ));
   }
   R.set("shards", std::move(ShardsArr));
+  return R;
+}
+
+/// Appends one process's trace_dump payload ({pid, process_name, events})
+/// to a Chrome traceEvents array: a ph:"M" process_name metadata event for
+/// the lane label, then every span as a ph:"X" complete event with its
+/// timestamp shifted by \p OffsetUs onto the merger's clock.
+static void appendProcessEvents(Value &TraceEvents, const Value &Dump,
+                                int64_t OffsetUs) {
+  double Pid = Dump.getNumber("pid");
+  std::string Name = Dump.getString("process_name");
+  if (!Name.empty()) {
+    Value Meta = Value::object();
+    Meta.set("name", Value::string("process_name"));
+    Meta.set("ph", Value::string("M"));
+    Meta.set("pid", Value::number(Pid));
+    Value MArgs = Value::object();
+    MArgs.set("name", Value::string(Name));
+    Meta.set("args", std::move(MArgs));
+    TraceEvents.push(std::move(Meta));
+  }
+  const Value *Events = Dump.get("events");
+  if (!Events || !Events->isArray())
+    return;
+  for (const Value &E : Events->elements()) {
+    Value V = Value::object();
+    V.set("name", Value::string(E.getString("name")));
+    V.set("cat", Value::string(E.getString("cat", "terracpp")));
+    V.set("ph", Value::string("X"));
+    double Ts = E.getNumber("ts") - static_cast<double>(OffsetUs);
+    V.set("ts", Value::number(Ts < 0 ? 0 : Ts));
+    V.set("dur", Value::number(E.getNumber("dur")));
+    V.set("pid", Value::number(Pid));
+    V.set("tid", Value::number(E.getNumber("tid")));
+    if (const Value *Args = E.get("args"))
+      V.set("args", *Args);
+    TraceEvents.push(std::move(V));
+  }
+}
+
+json::Value Router::mergedTraceJson() {
+  Value TraceEvents = Value::array();
+  // The router's own lane needs no shifting: its dumpAbsolute timestamps
+  // already are the reference clock.
+  appendProcessEvents(TraceEvents, trace::Recorder::global().dumpAbsolute(),
+                      /*OffsetUs=*/0);
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    if (!S.Up.load(std::memory_order_acquire))
+      continue;
+    Value Req = Value::object();
+    Req.set("op", Value::string("trace_dump"));
+    Value Resp = S.Mux.request(std::move(Req), 2000);
+    if (!Resp.getBool("ok"))
+      continue;
+    int64_t Off = S.ClockAligned.load(std::memory_order_acquire)
+                      ? S.ClockOffsetUs.load(std::memory_order_acquire)
+                      : 0;
+    appendProcessEvents(TraceEvents, Resp, Off);
+  }
+  Value R = Value::object();
+  R.set("traceEvents", std::move(TraceEvents));
+  R.set("displayTimeUnit", Value::string("ms"));
+  return R;
+}
+
+json::Value Router::aggregatedMetricsText(const Value &Request) {
+  std::vector<telemetry::PromLabel> Labels;
+  Labels.emplace_back("process", "terrafleet");
+  Labels.emplace_back("pid", std::to_string(::getpid()));
+  Value ClientLabels = Value::object();
+  if (const Value *L = Request.get("labels"); L && L->isObject()) {
+    ClientLabels = *L;
+    for (const auto &M : L->members())
+      if (M.second.isString() && M.first != "process" && M.first != "pid" &&
+          M.first != "shard")
+        Labels.emplace_back(M.first, M.second.asString());
+  }
+
+  std::vector<std::string> Parts;
+  Parts.push_back(telemetry::toPrometheusText(Reg, Labels));
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    if (!S.Up.load(std::memory_order_acquire))
+      continue;
+    Value Req = Value::object();
+    Req.set("op", Value::string("metrics_text"));
+    // The shard stamps its own {process,pid}; the router adds the shard
+    // index (plus any client labels) so one scrape distinguishes lanes.
+    Value ShardLabels = ClientLabels;
+    if (!ShardLabels.isObject())
+      ShardLabels = Value::object();
+    ShardLabels.set("shard", Value::string(std::to_string(I)));
+    Req.set("labels", std::move(ShardLabels));
+    Value Resp = S.Mux.request(std::move(Req), 2000);
+    if (Resp.getBool("ok")) {
+      std::string Text = Resp.getString("text");
+      if (!Text.empty())
+        Parts.push_back(std::move(Text));
+    }
+  }
+  Value R = Value::object();
+  R.set("ok", Value::boolean(true));
+  R.set("content_type", Value::string("text/plain; version=0.0.4"));
+  R.set("text", Value::string(telemetry::mergeExpositions(Parts)));
+  return R;
+}
+
+json::Value Router::aggregatedProfile(const Value &Request) {
+  Value Components = Value::object();
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    if (!S.Up.load(std::memory_order_acquire))
+      continue;
+    Value Req = Value::object();
+    Req.set("op", Value::string("profile"));
+    if (const Value *H = Request.get("handle"))
+      Req.set("handle", *H);
+    Value Resp = S.Mux.request(std::move(Req), 2000);
+    if (!Resp.getBool("ok"))
+      continue;
+    const Value *C = Resp.get("components");
+    if (!C || !C->isObject())
+      continue;
+    // Component hashes are content-derived, so cross-shard collisions are
+    // the same generated code; counters differ per shard, and annotating
+    // the source shard keeps both visible.
+    for (const auto &M : C->members()) {
+      Value Entry = M.second;
+      Entry.set("shard", Value::number(I));
+      Components.set(M.first + "@" + std::to_string(I), std::move(Entry));
+    }
+  }
+  Value R = Value::object();
+  R.set("ok", Value::boolean(true));
+  R.set("version", Value::number(1));
+  R.set("components", std::move(Components));
   return R;
 }

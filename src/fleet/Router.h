@@ -70,6 +70,16 @@ struct RouterConfig {
   int ReconnectMaxMs = 1000;        ///< Reconnect backoff cap.
   bool AutoRespawn = true;          ///< Respawn dead owned shards.
   int Backlog = 64;
+  /// Routed requests slower than this (front read to shard response) emit a
+  /// structured fleet.slow_request WARN with the trace id. 0 disables.
+  int SlowRequestMs = 1000;
+  /// Spawn shards with TERRACPP_TRACE=- (in-memory span recording) and
+  /// estimate each shard's clock offset after connect, so trace_dump /
+  /// mergedTraceJson can assemble a cross-process timeline.
+  bool TraceShards = false;
+  /// When set, beginShutdown writes the merged fleet trace here (while the
+  /// shards are still alive to answer trace_dump).
+  std::string TraceOutPath;
 };
 
 class Router {
@@ -121,6 +131,11 @@ private:
     std::atomic<uint64_t> NextAttemptUs{0}; ///< Monitor retry schedule.
     unsigned FailedAttempts = 0;   ///< Monitor thread only.
     telemetry::Counter *Requests = nullptr; ///< fleet.shard<i>.requests.
+    /// Estimated shard_mono - router_mono clock offset (microseconds), from
+    /// ping RTT midpoints: aligning a shard timestamp onto the router's
+    /// timeline is ts - ClockOffsetUs. Valid only when ClockAligned.
+    std::atomic<int64_t> ClockOffsetUs{0};
+    std::atomic<bool> ClockAligned{false};
   };
 
   /// One front-side client connection. Held by shared_ptr from the reader
@@ -157,6 +172,24 @@ private:
                     json::Value Response, const json::Value &ClientId);
   json::Value aggregatedStats();
   json::Value aggregatedMetrics();
+  /// Prometheus exposition: the router's registry plus every up shard's
+  /// metrics_text (each labelled {"shard":"<i>"}), merged per family.
+  json::Value aggregatedMetricsText(const json::Value &Request);
+  /// Per-function profiles merged across shards ({"op":"profile"}).
+  json::Value aggregatedProfile(const json::Value &Request);
+  /// Min-RTT ping sampling of the shard's monotonic clock; stores the
+  /// offset on the Shard. False when no ping round trip succeeded.
+  bool estimateShardClock(unsigned Index);
+
+public:
+  /// One Perfetto timeline merging the router's own span buffer with every
+  /// up shard's trace_dump, shard timestamps shifted onto the router's
+  /// clock by the ping-estimated offsets. Served for the front-socket
+  /// trace_dump op and written to TraceOutPath at shutdown. Public so
+  /// terrafleet/tests can snapshot a live fleet.
+  json::Value mergedTraceJson();
+
+private:
 
   RouterConfig Config;
   std::vector<std::unique_ptr<Shard>> Shards;
@@ -186,8 +219,11 @@ private:
   telemetry::Counter &MRespawns;
   telemetry::Counter &MBatchRequests;
   telemetry::Counter &MProtocolMismatches;
+  telemetry::Counter &MSlowRequests;
   telemetry::Gauge &MShardsUp;
   telemetry::Histogram &MRouteLatencyUs;
+
+  std::atomic<uint64_t> NextTraceId{1}; ///< For requests without a trace_id.
 };
 
 } // namespace fleet

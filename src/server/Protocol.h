@@ -18,8 +18,27 @@
 //   {"op":"compile_batch","v":2,"sources":[{"source":"...","name":"a"},...]}
 //     -> {"ok":true,"results":[<per-source compile responses, in order>]}
 //   {"op":"stats"}     -> {"ok":true, ...counters...}
-//   {"op":"ping","delay_ms":0}  -> {"ok":true}   (delay_ms: debug latency)
+//   {"op":"metrics"}   -> {"ok":true, ...full registries (JSON)...}
+//   {"op":"metrics_text","labels":{"shard":"0"}}
+//     -> {"ok":true,"content_type":"text/plain; version=0.0.4",
+//         "text":"# TYPE terracpp_server_requests_received counter\n..."}
+//        (Prometheus exposition; optional "labels" stamped on every sample)
+//   {"op":"trace_dump"} -> {"ok":true,"pid":...,"process_name":"...",
+//         "clock_us":...,"events":[...absolute-timestamp span buffer...]}
+//        (the fleet router merges these into one Perfetto timeline)
+//   {"op":"profile"}   -> {"ok":true,"version":1,"components":{...}}
+//        (per-function call/back-edge counts + resident tier, keyed by
+//         component content hash; see TierManager::profileJson)
+//   {"op":"ping","delay_ms":0}  -> {"ok":true,"mono_us":...}
+//        (delay_ms: debug latency; mono_us: the server's monotonic clock,
+//         used for cross-process trace clock-offset estimation)
 //   {"op":"shutdown"}  -> {"ok":true,"draining":true}; server drains + exits
+//
+// Distributed tracing (DESIGN.md §13): any request may carry a "trace_id"
+// string (generated server-side when absent — every response echoes it,
+// success and failure alike) and a "parent_span" reference ("pid-spanid");
+// the receiving process parents its request spans to it, which is how one
+// request renders as a span chain across client -> router -> shard.
 //
 // Failures are {"ok":false,"error":"...","diagnostics":"..."} with an
 // optional machine-readable "code" ("protocol_mismatch", "timeout",

@@ -49,6 +49,8 @@ void ServerConfig::resolveFromEnv() {
                   1, 3600000));
   MaxInFlightPerConn =
       envUnsigned("TERRAD_MAX_INFLIGHT", MaxInFlightPerConn, 1, 1u << 16);
+  SlowRequestMs = static_cast<int>(envUnsigned(
+      "TERRAD_SLOW_MS", static_cast<unsigned>(SlowRequestMs), 0, 3600000));
   if (SocketPath.empty()) {
     if (const char *P = getenv("TERRAD_SOCKET"))
       SocketPath = P;
@@ -71,6 +73,7 @@ struct Server::Job {
   json::Value Response;
   std::string Op;          ///< Request op, for per-op latency series.
   std::string TraceId;     ///< Echoed in the response; spans are tagged.
+  std::string ParentSpan;  ///< Caller's span ref ("pid-id"); may be empty.
   json::Value Id;          ///< Client request id (null when absent).
   uint64_t EnqueuedUs = 0; ///< For the queue-wait histogram.
   uint64_t DeadlineUs = 0; ///< Absolute response deadline (monotonic us).
@@ -174,6 +177,7 @@ Server::Server(ServerConfig C)
       MEnginesEvicted(Reg.counter("server.engines_evicted")),
       MEngineWarmHits(Reg.counter("server.engine_warm_hits")),
       MEngineRecreated(Reg.counter("server.engines_recreated")),
+      MSlowRequests(Reg.counter("server.slow_requests")),
       MQueueDepthHwm(Reg.gauge("server.queue_depth_hwm")),
       MDrainedClean(Reg.gauge("server.drained_clean")),
       MQueueWaitUs(Reg.histogram("server.queue_wait_us")),
@@ -330,6 +334,10 @@ void Server::beginDrain() {
   logging::emit(logging::Level::Info, "server.drain",
                 {{"requests_completed",
                   std::to_string(MRequestsCompleted.value())}});
+  // Flush the span buffer now that every request's spans are recorded, so
+  // a SIGTERM'd terrad leaves a complete, parseable trace file even if the
+  // process is killed before its at-exit hooks run.
+  trace::Recorder::global().flush();
   // 2. Wake the workers so the pool can join.
   QueueCV.notify_all();
   Workers.reset();
@@ -391,19 +399,47 @@ std::shared_ptr<Server::Job> Server::popJob() {
 
 void Server::workerLoop() {
   while (std::shared_ptr<Job> J = popJob()) {
-    MQueueWaitUs.record(telemetry::nowMicros() - J->EnqueuedUs);
+    uint64_t DequeuedUs = telemetry::nowMicros();
+    uint64_t QueueWaitUs = DequeuedUs - J->EnqueuedUs;
+    MQueueWaitUs.record(QueueWaitUs);
     bool Execute;
     {
       std::lock_guard<std::mutex> Lock(J->M);
       Execute = !J->Abandoned;
     }
     json::Value Response;
+    uint64_t ExecUs = 0;
     if (Execute) {
-      trace::TraceSpan Span("request", "server");
-      Span.arg("op", J->Op);
-      Span.arg("trace_id", J->TraceId);
-      telemetry::ScopedTimerUs Latency(opLatencyHistogram(J->Op));
-      Response = dispatch(J->Request);
+      // Install the caller's trace context so every span below — the
+      // server.op span here, engine phases, inline tier promotion — is
+      // tagged with the request's trace id and the outermost one parents
+      // to the router's route.hop span. Costs one relaxed load when
+      // tracing is off (RequestContext and TraceSpan are both gated).
+      trace::RequestContext Ctx(J->TraceId, J->ParentSpan);
+      trace::Recorder::global().addInterval("queue_wait", "server",
+                                            J->EnqueuedUs, DequeuedUs);
+      {
+        trace::TraceSpan Span("server.op", "server");
+        Span.arg("op", J->Op);
+        Span.arg("trace_id", J->TraceId);
+        telemetry::ScopedTimerUs Latency(opLatencyHistogram(J->Op));
+        Response = dispatch(J->Request);
+      }
+      ExecUs = telemetry::nowMicros() - DequeuedUs;
+    }
+    if (Execute && Config.SlowRequestMs > 0 &&
+        QueueWaitUs + ExecUs >=
+            static_cast<uint64_t>(Config.SlowRequestMs) * 1000) {
+      // Per-stage breakdown with the trace id, so a slow request in the
+      // logs links straight to its spans in the merged fleet trace.
+      MSlowRequests.inc();
+      logging::emit(logging::Level::Warn, "server.slow_request",
+                    {{"op", J->Op},
+                     {"trace_id", J->TraceId},
+                     {"total_us", std::to_string(QueueWaitUs + ExecUs)},
+                     {"queue_wait_us", std::to_string(QueueWaitUs)},
+                     {"exec_us", std::to_string(ExecUs)},
+                     {"threshold_ms", std::to_string(Config.SlowRequestMs)}});
     }
     {
       std::lock_guard<std::mutex> Lock(J->M);
@@ -521,6 +557,21 @@ void Server::connectionLoop(Conn *C) {
         break;
       continue;
     }
+    if (Op == "metrics_text") {
+      if (!writeInline(metricsTextJson(Request), TraceId, Id))
+        break;
+      continue;
+    }
+    if (Op == "trace_dump") {
+      if (!writeInline(traceDumpJson(), TraceId, Id))
+        break;
+      continue;
+    }
+    if (Op == "profile") {
+      if (!writeInline(profileOpJson(Request), TraceId, Id))
+        break;
+      continue;
+    }
     if (Op == "shutdown") {
       json::Value R = json::Value::object();
       R.set("ok", json::Value::boolean(true));
@@ -548,6 +599,7 @@ void Server::connectionLoop(Conn *C) {
     J->Request = Request;
     J->Op = Op;
     J->TraceId = TraceId;
+    J->ParentSpan = Request.getString("parent_span");
     J->Id = Id;
     J->Owner = St;
     J->TimeoutMs = Config.RequestTimeoutMs;
@@ -721,6 +773,12 @@ json::Value Server::handlePing(const json::Value &Request) {
         std::chrono::milliseconds(static_cast<long>(DelayMs)));
   json::Value R = json::Value::object();
   R.set("ok", json::Value::boolean(true));
+  // The server's monotonic microsecond clock, sampled as close to the
+  // response as possible. A pinging router estimates the clock offset as
+  // mono_us - (t_send + t_recv)/2 and uses it to align this process's
+  // trace_dump timestamps onto its own timeline (DESIGN.md §13).
+  R.set("mono_us",
+        json::Value::number(static_cast<double>(telemetry::nowMicros())));
   return R;
 }
 
@@ -1021,6 +1079,13 @@ json::Value Server::statsJson() {
   R.set("engine_warm_hits", N(S.EngineWarmHits));
   R.set("engines_live", N(S.EnginesLive));
   R.set("queue_depth_hwm", N(S.QueueDepthHWM));
+  // Instantaneous depth (queued + executing), not just the high-water mark:
+  // what terratop renders as the live backlog column.
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    R.set("queue_depth", N(Queue.size() + InFlight));
+  }
+  R.set("slow_requests", N(MSlowRequests.value()));
   R.set("uptime_seconds", json::Value::number(S.UptimeSeconds));
   R.set("workers", json::Value::number(Config.Workers));
   R.set("queue_capacity", json::Value::number(Config.QueueCapacity));
@@ -1119,5 +1184,91 @@ json::Value Server::metricsJson() {
       Jit.set(E.first, std::move(EngineJson));
     }
   R.set("engines", std::move(Jit));
+  return R;
+}
+
+json::Value Server::traceDumpJson() {
+  json::Value R = trace::Recorder::global().dumpAbsolute();
+  R.set("ok", json::Value::boolean(true));
+  return R;
+}
+
+json::Value Server::metricsTextJson(const json::Value &Request) {
+  // Base labels on every sample; request-supplied labels (the fleet router
+  // sends {"shard":"N"}) are appended and may not override the defaults.
+  std::vector<telemetry::PromLabel> Labels;
+  Labels.emplace_back("process", "terrad");
+  Labels.emplace_back("pid", std::to_string(::getpid()));
+  if (const json::Value *L = Request.get("labels"); L && L->isObject())
+    for (const auto &M : L->members())
+      if (M.second.isString() && M.first != "process" && M.first != "pid")
+        Labels.emplace_back(M.first, M.second.asString());
+
+  // Gauges that are otherwise derived on demand, refreshed so the scrape
+  // sees live values.
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Reg.gauge("server.queue_depth")
+        .set(static_cast<int64_t>(Queue.size() + InFlight));
+  }
+
+  std::vector<std::pair<std::string, std::shared_ptr<EngineEntry>>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    Reg.gauge("server.engines_live").set(static_cast<int64_t>(Engines.size()));
+    Reg.gauge("server.engines_max")
+        .set(static_cast<int64_t>(Config.MaxEngines));
+    for (const auto &E : Engines)
+      Live.emplace_back(E.first, E.second);
+  }
+
+  std::vector<std::string> Parts;
+  Parts.push_back(telemetry::toPrometheusText(Reg, Labels));
+  Parts.push_back(
+      telemetry::toPrometheusText(telemetry::Registry::global(), Labels));
+  for (const auto &E : Live)
+    if (E.second->Ready.load(std::memory_order_acquire)) {
+      // Refresh the per-function profile gauges so the exposition carries
+      // current call/back-edge counts and resident tiers.
+      if (TierManager *TM = E.second->E->compiler().tierManager())
+        TM->profileJson();
+      std::vector<telemetry::PromLabel> EngineLabels = Labels;
+      EngineLabels.emplace_back("engine", E.first);
+      Parts.push_back(telemetry::toPrometheusText(
+          E.second->E->compiler().jit().metrics(), EngineLabels));
+    }
+
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  R.set("content_type", json::Value::string("text/plain; version=0.0.4"));
+  R.set("text", json::Value::string(telemetry::mergeExpositions(Parts)));
+  return R;
+}
+
+json::Value Server::profileOpJson(const json::Value &Request) {
+  // Optional filter: profile only the engine behind one script handle.
+  std::string Filter = Request.getString("handle");
+  std::vector<std::pair<std::string, std::shared_ptr<EngineEntry>>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(EnginesMutex);
+    for (const auto &E : Engines)
+      if (Filter.empty() || E.first == Filter)
+        Live.emplace_back(E.first, E.second);
+  }
+  json::Value Components = json::Value::object();
+  for (const auto &E : Live)
+    if (E.second->Ready.load(std::memory_order_acquire))
+      if (TierManager *TM = E.second->E->compiler().tierManager()) {
+        json::Value P = TM->profileJson();
+        // Component hashes are content hashes of the generated C, so the
+        // same component surfacing via two engines merges cleanly (last
+        // writer wins; the counters refer to the same functions).
+        for (const auto &M : P.members())
+          Components.set(M.first, M.second);
+      }
+  json::Value R = json::Value::object();
+  R.set("ok", json::Value::boolean(true));
+  R.set("version", json::Value::number(1));
+  R.set("components", std::move(Components));
   return R;
 }

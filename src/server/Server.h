@@ -74,10 +74,14 @@ struct ServerConfig {
   /// Pipelining window: max requests one connection may have awaiting
   /// responses before further ones are rejected with code "overloaded".
   unsigned MaxInFlightPerConn = 256;
+  /// Requests whose queue-wait + execution exceed this emit a structured
+  /// server.slow_request WARN carrying the trace id and a per-stage
+  /// breakdown. 0 disables.
+  int SlowRequestMs = 1000;
 
   /// Fills unset fields from TERRAD_WORKERS / TERRAD_QUEUE /
-  /// TERRAD_MAX_ENGINES / TERRAD_TIMEOUT_MS / TERRAD_MAX_INFLIGHT and
-  /// clamps to sane ranges.
+  /// TERRAD_MAX_ENGINES / TERRAD_TIMEOUT_MS / TERRAD_MAX_INFLIGHT /
+  /// TERRAD_SLOW_MS and clamps to sane ranges.
   void resolveFromEnv();
 };
 
@@ -162,6 +166,16 @@ private:
   json::Value handleCall(const json::Value &Request);
   json::Value handlePing(const json::Value &Request);
   json::Value statsJson();
+  /// {"op":"trace_dump"}: this process's span buffer with absolute
+  /// timestamps (trace::Recorder::dumpAbsolute), for fleet-level merging.
+  json::Value traceDumpJson();
+  /// {"op":"metrics_text"}: the Prometheus exposition of the server,
+  /// process, and per-engine registries, every sample labelled with
+  /// {process,pid} plus any "labels" the request supplied.
+  json::Value metricsTextJson(const json::Value &Request);
+  /// {"op":"profile"}: per-function execution profiles merged across live
+  /// ready engines (optionally filtered to one "handle").
+  json::Value profileOpJson(const json::Value &Request);
 
   /// Latency histogram for \p Op. Known ops get their own series; anything
   /// else buckets into server.op.other.latency_us so client-controlled op
@@ -231,6 +245,7 @@ private:
   telemetry::Counter &MEnginesEvicted;
   telemetry::Counter &MEngineWarmHits;
   telemetry::Counter &MEngineRecreated;
+  telemetry::Counter &MSlowRequests;
   telemetry::Gauge &MQueueDepthHwm;
   telemetry::Gauge &MDrainedClean;
   telemetry::Histogram &MQueueWaitUs;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 using namespace terracpp;
 using namespace terracpp::telemetry;
@@ -99,6 +101,24 @@ Histogram::Snapshot Histogram::snapshot() const {
   return S;
 }
 
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::cumulativeBuckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> Out;
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+    if (C == 0)
+      continue;
+    Cum += C;
+    // Bucket I holds integer values in [lowerBound(I), lowerBound(I+1));
+    // its inclusive Prometheus `le` bound is therefore lowerBound(I+1)-1.
+    // The last bucket's bound is +Inf, which callers emit from Count.
+    uint64_t Le =
+        I + 1 < NumBuckets ? bucketLowerBound(I + 1) - 1 : UINT64_MAX;
+    Out.emplace_back(Le, Cum);
+  }
+  return Out;
+}
+
 json::Value Histogram::Snapshot::toJson() const {
   json::Value V = json::Value::object();
   auto N = [](double X) { return json::Value::number(X); };
@@ -165,4 +185,146 @@ json::Value Registry::toJson() const {
 Registry &Registry::global() {
   static Registry G;
   return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition (format version 0.0.4)
+//===----------------------------------------------------------------------===//
+
+/// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; dotted registry names
+/// ("server.op.call.latency_us") fold their separators into underscores.
+static std::string sanitizeMetricName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (size_t I = 0; I != Name.size(); ++I) {
+    char C = Name[I];
+    bool OK = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+              C == ':' || (I > 0 && C >= '0' && C <= '9');
+    Out.push_back(OK ? C : '_');
+  }
+  return Out;
+}
+
+static void appendEscapedLabelValue(std::string &Out, const std::string &V) {
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out.push_back(C);
+  }
+}
+
+/// Renders {k="v",...}; \p Extra (the histogram `le` label) is appended
+/// last when non-empty. Empty when there are no labels at all.
+static std::string renderLabels(const std::vector<PromLabel> &Labels,
+                                const std::string &ExtraKey = std::string(),
+                                const std::string &ExtraVal = std::string()) {
+  if (Labels.empty() && ExtraKey.empty())
+    return std::string();
+  std::string Out = "{";
+  bool First = true;
+  for (const PromLabel &L : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += sanitizeMetricName(L.first);
+    Out += "=\"";
+    appendEscapedLabelValue(Out, L.second);
+    Out += "\"";
+  }
+  if (!ExtraKey.empty()) {
+    if (!First)
+      Out += ",";
+    Out += ExtraKey;
+    Out += "=\"";
+    appendEscapedLabelValue(Out, ExtraVal);
+    Out += "\"";
+  }
+  Out += "}";
+  return Out;
+}
+
+static std::string formatUint(uint64_t V) { return std::to_string(V); }
+
+static std::string formatInt(int64_t V) { return std::to_string(V); }
+
+std::string telemetry::toPrometheusText(const Registry &R,
+                                        const std::vector<PromLabel> &Labels,
+                                        const std::string &Prefix) {
+  std::string Out;
+  const std::string LabelStr = renderLabels(Labels);
+  R.forEachCounter([&](const std::string &Name, const Counter &C) {
+    std::string N = sanitizeMetricName(Prefix + Name);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + LabelStr + " " + formatUint(C.value()) + "\n";
+  });
+  R.forEachGauge([&](const std::string &Name, const Gauge &G) {
+    std::string N = sanitizeMetricName(Prefix + Name);
+    Out += "# TYPE " + N + " gauge\n";
+    Out += N + LabelStr + " " + formatInt(G.value()) + "\n";
+  });
+  R.forEachHistogram([&](const std::string &Name, const Histogram &H) {
+    std::string N = sanitizeMetricName(Prefix + Name);
+    Histogram::Snapshot S = H.snapshot();
+    Out += "# TYPE " + N + " histogram\n";
+    for (const auto &B : H.cumulativeBuckets()) {
+      if (B.first == UINT64_MAX)
+        continue; // The top bucket folds into +Inf below.
+      Out += N + "_bucket" + renderLabels(Labels, "le", formatUint(B.first)) +
+             " " + formatUint(B.second) + "\n";
+    }
+    Out += N + "_bucket" + renderLabels(Labels, "le", "+Inf") + " " +
+           formatUint(S.Count) + "\n";
+    Out += N + "_sum" + LabelStr + " " + formatUint(S.Sum) + "\n";
+    Out += N + "_count" + LabelStr + " " + formatUint(S.Count) + "\n";
+  });
+  return Out;
+}
+
+std::string telemetry::mergeExpositions(const std::vector<std::string> &Parts) {
+  // A family's samples must be contiguous and its TYPE line unique, so we
+  // regroup by family: each part is already grouped (every sample line
+  // follows its family's TYPE header), letting a single pass bucket lines
+  // by the most recent header.
+  std::vector<std::string> Order;        ///< Families, first-seen order.
+  std::map<std::string, std::string> TypeLine; ///< family -> "# TYPE ..." line.
+  std::map<std::string, std::string> Body;     ///< family -> sample lines.
+  std::string Preamble; ///< Lines before any TYPE header (kept verbatim).
+
+  for (const std::string &Part : Parts) {
+    std::istringstream In(Part);
+    std::string Line, Family;
+    while (std::getline(In, Line)) {
+      if (Line.empty())
+        continue;
+      if (Line.compare(0, 7, "# TYPE ") == 0) {
+        size_t NameEnd = Line.find(' ', 7);
+        Family = Line.substr(7, NameEnd == std::string::npos
+                                    ? std::string::npos
+                                    : NameEnd - 7);
+        if (!TypeLine.count(Family)) {
+          TypeLine[Family] = Line;
+          Order.push_back(Family);
+        }
+        continue;
+      }
+      if (Line[0] == '#')
+        continue; // Drop HELP/comments: families may repeat across parts.
+      if (Family.empty())
+        Preamble += Line + "\n";
+      else
+        Body[Family] += Line + "\n";
+    }
+  }
+
+  std::string Out = Preamble;
+  for (const std::string &F : Order) {
+    Out += TypeLine[F] + "\n";
+    Out += Body[F];
+  }
+  return Out;
 }

@@ -38,6 +38,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace terracpp {
 namespace telemetry {
@@ -94,6 +96,11 @@ public:
   };
   Snapshot snapshot() const;
 
+  /// Non-empty buckets in Prometheus form: (inclusive upper bound,
+  /// CUMULATIVE count of samples at or below it), ascending. The +Inf
+  /// bucket is implicit — its cumulative count equals snapshot().Count.
+  std::vector<std::pair<uint64_t, uint64_t>> cumulativeBuckets() const;
+
   /// Bucket boundaries (exposed for tests).
   static unsigned bucketIndex(uint64_t Value);
   static uint64_t bucketLowerBound(unsigned Index);
@@ -127,6 +134,11 @@ public:
     for (const auto &E : Counters)
       F(E.first, *E.second);
   }
+  template <typename Fn> void forEachGauge(Fn F) const {
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &E : Gauges)
+      F(E.first, *E.second);
+  }
 
   /// The process-wide registry (frontend phases, worker pool).
   static Registry &global();
@@ -137,6 +149,28 @@ private:
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
 };
+
+/// One exposition label ("process","terrad"). Values are escaped per the
+/// Prometheus text format (backslash, double quote, newline).
+using PromLabel = std::pair<std::string, std::string>;
+
+/// Renders \p R in the Prometheus text exposition format (version 0.0.4):
+/// a `# TYPE` line per family, then one sample line per metric, every
+/// sample carrying \p Labels. Metric names are prefixed with \p Prefix and
+/// sanitized (characters outside [a-zA-Z0-9_:] become '_', so
+/// "server.op.call.latency_us" renders as
+/// "terracpp_server_op_call_latency_us"). Histograms export cumulative
+/// `_bucket{le="..."}` series (non-empty buckets plus "+Inf"), `_sum`, and
+/// `_count`. This is what the terrad `metrics_text` op returns.
+std::string toPrometheusText(const Registry &R,
+                             const std::vector<PromLabel> &Labels = {},
+                             const std::string &Prefix = "terracpp_");
+
+/// Merges several exposition documents into one valid document: blocks for
+/// the same family (identified by its `# TYPE` line) are grouped together
+/// and the TYPE line is emitted once — required when concatenating shard
+/// outputs that expose the same families under different label sets.
+std::string mergeExpositions(const std::vector<std::string> &Parts);
 
 /// RAII: records elapsed microseconds into a histogram on destruction.
 class ScopedTimerUs {

@@ -20,6 +20,24 @@ static uint32_t currentTid() {
 
 static void flushGlobalAtExit() { Recorder::global().flush(); }
 
+uint64_t trace::nextSpanId() {
+  // Starts at 1: span id 0 means "no span" everywhere.
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string trace::spanRef(uint64_t SpanId) {
+  // One process-wide prefix; a getpid() syscall per span would be
+  // measurable on the warm request path.
+  static const std::string PidPrefix = std::to_string(::getpid()) + "-";
+  return PidPrefix + std::to_string(SpanId);
+}
+
+ThreadContext &trace::threadContext() {
+  thread_local ThreadContext TC;
+  return TC;
+}
+
 Recorder::Recorder() : BaseUs(telemetry::nowMicros()) {}
 
 void Recorder::enable(std::string Path) {
@@ -40,6 +58,24 @@ void Recorder::add(Event E) {
   Events.push_back(std::move(E));
 }
 
+void Recorder::addInterval(const char *Name, const char *Category,
+                           uint64_t AbsStartUs, uint64_t AbsEndUs) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.Category = Category;
+  E.StartUs = AbsStartUs > BaseUs ? AbsStartUs - BaseUs : 0;
+  E.DurUs = AbsEndUs > AbsStartUs ? AbsEndUs - AbsStartUs : 0;
+  E.SpanId = nextSpanId();
+  ThreadContext &TC = threadContext();
+  E.ParentSpan = TC.CurrentSpan;
+  if (!E.ParentSpan)
+    E.RemoteParent = TC.RemoteParent;
+  E.TraceId = TC.TraceId;
+  add(std::move(E));
+}
+
 void Recorder::clear() {
   std::lock_guard<std::mutex> Lock(M);
   Events.clear();
@@ -50,11 +86,50 @@ size_t Recorder::eventCount() const {
   return Events.size();
 }
 
+void Recorder::setProcessName(std::string Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  ProcessName = std::move(Name);
+}
+
+std::string Recorder::processName() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return ProcessName;
+}
+
+/// Shared arg encoding: span identity, parentage, trace id, user args.
+static void setEventArgs(json::Value &V, const Recorder::Event &E) {
+  if (E.SpanId == 0 && E.TraceId.empty() && E.Args.empty())
+    return;
+  json::Value Args = json::Value::object();
+  if (E.SpanId)
+    Args.set("span", json::Value::string(spanRef(E.SpanId)));
+  if (!E.RemoteParent.empty())
+    Args.set("parent", json::Value::string(E.RemoteParent));
+  else if (E.ParentSpan)
+    Args.set("parent", json::Value::string(spanRef(E.ParentSpan)));
+  if (!E.TraceId.empty())
+    Args.set("trace_id", json::Value::string(E.TraceId));
+  for (const auto &A : E.Args)
+    Args.set(A.first, json::Value::string(A.second));
+  V.set("args", std::move(Args));
+}
+
 json::Value Recorder::toJson() const {
   std::lock_guard<std::mutex> Lock(M);
   json::Value Root = json::Value::object();
   json::Value Arr = json::Value::array();
   double Pid = static_cast<double>(::getpid());
+  if (!ProcessName.empty()) {
+    // Perfetto process-lane label.
+    json::Value Meta = json::Value::object();
+    Meta.set("name", json::Value::string("process_name"));
+    Meta.set("ph", json::Value::string("M"));
+    Meta.set("pid", json::Value::number(Pid));
+    json::Value MArgs = json::Value::object();
+    MArgs.set("name", json::Value::string(ProcessName));
+    Meta.set("args", std::move(MArgs));
+    Arr.push(std::move(Meta));
+  }
   for (const Event &E : Events) {
     json::Value V = json::Value::object();
     V.set("name", json::Value::string(E.Name));
@@ -65,16 +140,34 @@ json::Value Recorder::toJson() const {
     V.set("dur", json::Value::number(static_cast<double>(E.DurUs)));
     V.set("pid", json::Value::number(Pid));
     V.set("tid", json::Value::number(static_cast<double>(E.Tid)));
-    if (!E.Args.empty()) {
-      json::Value Args = json::Value::object();
-      for (const auto &A : E.Args)
-        Args.set(A.first, json::Value::string(A.second));
-      V.set("args", std::move(Args));
-    }
+    setEventArgs(V, E);
     Arr.push(std::move(V));
   }
   Root.set("traceEvents", std::move(Arr));
   Root.set("displayTimeUnit", json::Value::string("ms"));
+  return Root;
+}
+
+json::Value Recorder::dumpAbsolute() const {
+  std::lock_guard<std::mutex> Lock(M);
+  json::Value Root = json::Value::object();
+  Root.set("pid", json::Value::number(static_cast<double>(::getpid())));
+  Root.set("process_name", json::Value::string(ProcessName));
+  Root.set("clock_us",
+           json::Value::number(static_cast<double>(telemetry::nowMicros())));
+  json::Value Arr = json::Value::array();
+  for (const Event &E : Events) {
+    json::Value V = json::Value::object();
+    V.set("name", json::Value::string(E.Name));
+    V.set("cat", json::Value::string(E.Category.empty() ? "terracpp"
+                                                        : E.Category));
+    V.set("ts", json::Value::number(static_cast<double>(BaseUs + E.StartUs)));
+    V.set("dur", json::Value::number(static_cast<double>(E.DurUs)));
+    V.set("tid", json::Value::number(static_cast<double>(E.Tid)));
+    setEventArgs(V, E);
+    Arr.push(std::move(V));
+  }
+  Root.set("events", std::move(Arr));
   return Root;
 }
 
@@ -102,7 +195,9 @@ Recorder &Recorder::global() {
     auto *R = new Recorder();
     if (const char *Env = getenv("TERRACPP_TRACE")) {
       if (*Env) {
-        R->enable(Env);
+        // "-" records in memory without a file: the fleet router spawns
+        // shards this way and pulls their buffers with trace_dump.
+        R->enable(std::string(Env) == "-" ? std::string() : Env);
         ::atexit(flushGlobalAtExit);
       }
     }

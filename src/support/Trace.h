@@ -1,18 +1,31 @@
 //===- Trace.h - Hierarchical phase tracing (Chrome trace format) -*- C++ -*-===//
 //
 // A thread-safe span recorder for the staged-compilation pipeline
-// (DESIGN.md §8). Every stage boundary — parse, specialize, typecheck,
-// codegen, the cc subprocess, dlopen/link, terrad request execution —
-// opens an RAII TraceSpan; completed spans become Chrome trace-event
-// "X" (complete) events, so the emitted JSON loads directly in
-// chrome://tracing or Perfetto. Nesting is implicit: events on the same
-// thread whose intervals contain each other render as a flame graph.
+// (DESIGN.md §8) and the fleet (DESIGN.md §13). Every stage boundary —
+// parse, specialize, typecheck, codegen, the cc subprocess, dlopen/link,
+// terrad request execution, fleet route hops — opens an RAII TraceSpan;
+// completed spans become Chrome trace-event "X" (complete) events, so the
+// emitted JSON loads directly in chrome://tracing or Perfetto. Nesting is
+// implicit: events on the same thread whose intervals contain each other
+// render as a flame graph.
+//
+// Distributed tracing (PR 8): each span carries a process-unique span id
+// and a parent reference. Within a thread, parentage follows TraceSpan
+// nesting; across processes, a request's protocol frame carries
+// {trace_id, parent_span} and the receiving side installs them with a
+// RequestContext, so the shard's server.op span parents to the router's
+// route.hop span. Span references are "pid-id" strings, unique across the
+// fleet. The `trace_dump` op serializes the in-memory buffer with
+// absolute timestamps (dumpAbsolute) so a router can merge per-process
+// buffers into one timeline after clock-offset alignment.
 //
 // Recording is off by default and costs one relaxed atomic load per span
 // when disabled. Enable programmatically (terracpp --trace=out.json), or
 // with the TERRACPP_TRACE environment variable, which also registers an
 // at-exit flush so any process in the tree (tests, benches, terrad) can
-// be traced without code changes.
+// be traced without code changes. TERRACPP_TRACE=- records in memory only
+// (no file): the form the fleet router uses for spawned shards it will
+// trace_dump over the protocol.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +44,13 @@
 namespace terracpp {
 namespace trace {
 
+/// Allocates a process-unique span id (never 0; 0 means "no span").
+uint64_t nextSpanId();
+
+/// The fleet-wide reference form of a span: "<pid>-<id>". This is what the
+/// protocol's parent_span member and the trace args carry.
+std::string spanRef(uint64_t SpanId);
+
 class Recorder {
 public:
   Recorder();
@@ -41,6 +61,10 @@ public:
     uint64_t StartUs = 0; ///< Relative to the recorder's time base.
     uint64_t DurUs = 0;
     uint32_t Tid = 0;
+    uint64_t SpanId = 0;      ///< Process-unique identity (0 = anonymous).
+    uint64_t ParentSpan = 0;  ///< Local parent span id (0 = none).
+    std::string TraceId;      ///< Request correlation id ("" = none).
+    std::string RemoteParent; ///< Cross-process parent ref ("pid-id").
     std::vector<std::pair<std::string, std::string>> Args;
   };
 
@@ -54,12 +78,37 @@ public:
   /// Microseconds since the recorder's time base (process start).
   uint64_t nowUs() const;
 
+  /// The telemetry::nowMicros() value the relative timestamps are measured
+  /// from (fixed at construction).
+  uint64_t baseUs() const { return BaseUs; }
+
   void add(Event E);
+
+  /// Records a completed span over an absolute [\p AbsStartUs, \p AbsEndUs)
+  /// telemetry::nowMicros() interval, inheriting the calling thread's
+  /// propagation context (trace id + parent). Used for intervals measured
+  /// outside an RAII scope, e.g. terrad's queue_wait. No-op when disabled.
+  void addInterval(const char *Name, const char *Category,
+                   uint64_t AbsStartUs, uint64_t AbsEndUs);
+
   void clear();
   size_t eventCount() const;
 
+  /// Stamps the process lane name emitted as trace metadata ("terrad
+  /// /tmp/x.sock", "terrafleet ..."). Also surfaced by dumpAbsolute so a
+  /// merging router can label each process's lane.
+  void setProcessName(std::string Name);
+  std::string processName() const;
+
   /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,...}]}
   json::Value toJson() const;
+
+  /// The `trace_dump` payload: {"pid":..,"process_name":..,"clock_us":..,
+  /// "events":[{name,cat,ts,dur,tid,span,parent,trace_id,args}...]} where
+  /// ts is ABSOLUTE (telemetry::nowMicros clock) so a merger can align
+  /// buffers from different processes, and clock_us samples that clock at
+  /// dump time for offset estimation cross-checks.
+  json::Value dumpAbsolute() const;
 
   /// Serializes to \p Path; false on I/O failure.
   bool write(const std::string &Path) const;
@@ -69,7 +118,8 @@ public:
 
   const std::string &outPath() const { return OutPath; }
 
-  /// The process-wide recorder. Its first use honours TERRACPP_TRACE.
+  /// The process-wide recorder. Its first use honours TERRACPP_TRACE
+  /// (a path, or "-" for in-memory recording without a file).
   static Recorder &global();
 
 private:
@@ -77,11 +127,54 @@ private:
   mutable std::mutex M;
   std::vector<Event> Events;
   std::string OutPath;
+  std::string ProcessName;
   uint64_t BaseUs; ///< Fixed at construction; nowUs() reads it lock-free.
+};
+
+/// Per-thread propagation context: the innermost live span (for implicit
+/// parentage) plus the request-scope trace id and cross-process parent
+/// installed by RequestContext. Only consulted when tracing is enabled.
+struct ThreadContext {
+  uint64_t CurrentSpan = 0;
+  std::string TraceId;
+  std::string RemoteParent;
+};
+ThreadContext &threadContext();
+
+/// RAII request scope: installs {trace_id, parent_span} from an incoming
+/// protocol frame on the current thread, so every TraceSpan opened while
+/// handling the request is tagged with the trace id and the outermost one
+/// parents to the remote span. Restores the previous context (worker
+/// threads are pooled and reused across requests) on destruction.
+/// Near-free when tracing is off.
+class RequestContext {
+public:
+  RequestContext(const std::string &TraceId, const std::string &RemoteParent)
+      : Active(Recorder::global().enabled()) {
+    if (Active) {
+      ThreadContext &TC = threadContext();
+      Saved = TC;
+      TC.CurrentSpan = 0;
+      TC.TraceId = TraceId;
+      TC.RemoteParent = RemoteParent;
+    }
+  }
+  ~RequestContext() {
+    if (Active)
+      threadContext() = std::move(Saved);
+  }
+  RequestContext(const RequestContext &) = delete;
+  RequestContext &operator=(const RequestContext &) = delete;
+
+private:
+  bool Active;
+  ThreadContext Saved;
 };
 
 /// RAII span: captures the interval from construction to destruction and
 /// records it on the global recorder. Near-free when tracing is off.
+/// Parentage: the innermost enclosing TraceSpan on this thread; with none,
+/// the RequestContext's cross-process parent (if any).
 class TraceSpan {
 public:
   explicit TraceSpan(const char *Name, const char *Category = "terracpp")
@@ -89,11 +182,20 @@ public:
     if (Active) {
       E.Name = Name;
       E.Category = Category;
+      E.SpanId = nextSpanId();
+      ThreadContext &TC = threadContext();
+      SavedParent = TC.CurrentSpan;
+      E.ParentSpan = TC.CurrentSpan;
+      if (!E.ParentSpan)
+        E.RemoteParent = TC.RemoteParent;
+      E.TraceId = TC.TraceId;
+      TC.CurrentSpan = E.SpanId;
       E.StartUs = Recorder::global().nowUs();
     }
   }
   ~TraceSpan() {
     if (Active) {
+      threadContext().CurrentSpan = SavedParent;
       E.DurUs = Recorder::global().nowUs() - E.StartUs;
       Recorder::global().add(std::move(E));
     }
@@ -108,8 +210,13 @@ public:
       E.Args.emplace_back(Key, std::move(Value));
   }
 
+  /// This span's process-unique id (0 when tracing is off) and fleet-wide
+  /// reference, for stamping parent_span on outbound protocol frames.
+  uint64_t spanId() const { return Active ? E.SpanId : 0; }
+
 private:
   bool Active;
+  uint64_t SavedParent = 0;
   Recorder::Event E;
 };
 

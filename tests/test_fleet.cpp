@@ -31,6 +31,7 @@
 #include "server/Server.h"
 #include "support/ContentHash.h"
 #include "support/Subprocess.h"
+#include "support/Trace.h"
 
 #include "ScopedEnv.h"
 
@@ -816,5 +817,271 @@ TEST(Fleet, RouterSpawnsOwnedShardsAndShutsThemDown) {
   (void)!system(Cmd.c_str());
 }
 #endif // TERRACPP_TERRAD_BIN
+
+//===----------------------------------------------------------------------===//
+// Fleet observability: tracing, metrics exposition, profiles (DESIGN.md §13)
+//===----------------------------------------------------------------------===//
+
+/// Enables the process-global recorder for one test and restores the
+/// disabled empty state. In-process fixtures mean router and shards share
+/// this recorder — cross-"process" span references still work because
+/// spanRef() is pid-qualified and all parties agree on the pid.
+class ScopedTracing {
+public:
+  ScopedTracing() {
+    trace::Recorder::global().clear();
+    trace::Recorder::global().enable("");
+  }
+  ~ScopedTracing() {
+    trace::Recorder::global().disable();
+    trace::Recorder::global().clear();
+  }
+};
+
+TEST(Fleet, RoutedRequestChainsRouterAndShardSpans) {
+  ScopedTracing Tracing;
+  FleetFixture F(2);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+
+  // Plain pings are answered at the router; a delay_ms ping exercises the
+  // full route -> shard -> relay path and therefore the span chain.
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  Req.set("delay_ms", Value::number(1));
+  Req.set("trace_id", Value::string("chain-e2e-1"));
+  Value Resp = C.request(Req);
+  ASSERT_TRUE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getString("trace_id"), "chain-e2e-1");
+
+  // The route.hop span is recorded from the mux completion callback; give
+  // it a moment, then walk the buffer: hop -> server.op must chain.
+  std::string HopRef;
+  ASSERT_TRUE(waitFor(
+      [&] {
+        Value Dump = trace::Recorder::global().toJson();
+        const Value *Events = Dump.get("traceEvents");
+        if (!Events)
+          return false;
+        for (const Value &E : Events->elements()) {
+          const Value *Args = E.get("args");
+          if (E.getString("name") == "route.hop" && Args &&
+              Args->getString("trace_id") == "chain-e2e-1") {
+            HopRef = Args->getString("span");
+            return true;
+          }
+        }
+        return false;
+      },
+      5000))
+      << "router never recorded the route.hop span";
+  ASSERT_FALSE(HopRef.empty());
+
+  Value Dump = trace::Recorder::global().toJson();
+  const Value *Events = Dump.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  bool Chained = false;
+  for (const Value &E : Events->elements()) {
+    const Value *Args = E.get("args");
+    if (!Args)
+      continue;
+    if (E.getString("name") == "server.op" &&
+        Args->getString("parent") == HopRef) {
+      EXPECT_EQ(Args->getString("trace_id"), "chain-e2e-1");
+      Chained = true;
+    }
+  }
+  EXPECT_TRUE(Chained)
+      << "shard's server.op span does not parent to the router's hop span";
+}
+
+TEST(Fleet, MuxClientErrorResponsesEchoTraceId) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  MuxClient Mux;
+  ASSERT_TRUE(Mux.connect(F.shardSocket(0))) << Mux.error();
+
+  // ping responses carry the shard's monotonic clock (the router's
+  // clock-offset estimation reads it).
+  Value Ping = Value::object();
+  Ping.set("op", Value::string("ping"));
+  Value PingResp = Mux.request(std::move(Ping), 5000);
+  ASSERT_TRUE(PingResp.getBool("ok"));
+  EXPECT_GT(PingResp.getNumber("mono_us"), 0.0);
+
+  // A mux-side timeout is manufactured without the request in hand, yet
+  // must still carry the request's trace id.
+  Value Slow = Value::object();
+  Slow.set("op", Value::string("ping"));
+  Slow.set("delay_ms", Value::number(700));
+  Slow.set("trace_id", Value::string("mux-timeout-1"));
+  uint64_t Ticket = Mux.submit(std::move(Slow), 100);
+  ASSERT_NE(Ticket, 0u);
+  Value TimeoutResp;
+  ASSERT_TRUE(Mux.await(Ticket, TimeoutResp));
+  EXPECT_FALSE(TimeoutResp.getBool("ok"));
+  EXPECT_EQ(TimeoutResp.getString("code"), "timeout");
+  EXPECT_EQ(TimeoutResp.getString("trace_id"), "mux-timeout-1");
+
+  // Connection loss: every in-flight request fails with its own trace id.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  Value Slow2 = Value::object();
+  Slow2.set("op", Value::string("ping"));
+  Slow2.set("delay_ms", Value::number(2000));
+  Slow2.set("trace_id", Value::string("mux-lost-1"));
+  std::atomic<bool> Got{false};
+  ASSERT_NE(Mux.submit(std::move(Slow2), 10000,
+                       [&](Value Resp) {
+                         EXPECT_EQ(Resp.getString("code"),
+                                   "shard_unavailable");
+                         EXPECT_EQ(Resp.getString("trace_id"), "mux-lost-1");
+                         Got = true;
+                       }),
+            0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Mux.close();
+  EXPECT_TRUE(Got.load());
+}
+
+TEST(Fleet, ProtocolMismatchEchoesTraceId) {
+  FleetFixture F(1);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  std::string Err;
+  int Fd = server::connectUnix(F.front(), Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  // Even the version-gate refusal — the earliest possible error on the
+  // front socket — correlates back to the client's trace.
+  Value Req = Value::object();
+  Req.set("op", Value::string("ping"));
+  Req.set("v", Value::number(99));
+  Req.set("trace_id", Value::string("mismatch-trace-9"));
+  ASSERT_TRUE(server::writeMessage(Fd, Req));
+  Value Resp;
+  std::string E;
+  ASSERT_EQ(server::readMessage(Fd, Resp, E, 5000), server::FrameStatus::OK)
+      << E;
+  EXPECT_FALSE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getString("code"), "protocol_mismatch");
+  EXPECT_EQ(Resp.getString("trace_id"), "mismatch-trace-9");
+  ::close(Fd);
+}
+
+TEST(Fleet, AggregatedMetricsTextMergesShardExpositions) {
+  FleetFixture F(2);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+  ASSERT_TRUE(C.ping());
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("metrics_text"));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  ASSERT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+  EXPECT_EQ(Resp.getString("content_type"), "text/plain; version=0.0.4");
+  std::string Text = Resp.getString("text");
+
+  // Router families under the terrafleet process label...
+  EXPECT_NE(Text.find("terracpp_fleet_requests_routed"), std::string::npos);
+  EXPECT_NE(Text.find("process=\"terrafleet\""), std::string::npos);
+  // ...and every shard's families, disambiguated by the shard label.
+  EXPECT_NE(Text.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(Text.find("shard=\"1\""), std::string::npos);
+  // Merged exposition: one TYPE line per family even though both shards
+  // exposed it.
+  const std::string Family = "# TYPE terracpp_server_requests_received ";
+  size_t First = Text.find(Family);
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Text.find(Family, First + 1), std::string::npos);
+}
+
+TEST(Fleet, AggregatedProfileNamespacesComponentsByShard) {
+  if (Engine::defaultBackend() != BackendKind::Native)
+    GTEST_SKIP() << "tier auto needs the native backend";
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  ScopedEnv NoBase("TERRACPP_JIT_BASELINE", "0");
+  ScopedEnv Calls("TERRACPP_TIER_CALL_THRESHOLD", "1000000");
+  ScopedEnv Back("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
+  FleetFixture F(2);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  server::Client C = F.frontClient();
+
+  server::Client::CompileResult R =
+      C.compile("terra pf(x: int): int return x + 3 end\n");
+  ASSERT_TRUE(R.OK) << R.Error << "\n" << R.Diagnostics;
+  server::Client::CallResult Call = C.call(R.Handle, "pf", {Value::number(4)});
+  ASSERT_TRUE(Call.OK) << Call.Error;
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("profile"));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  ASSERT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+  const Value *Components = Resp.get("components");
+  ASSERT_TRUE(Components && Components->isObject());
+  // Fleet profiles key components "<hash>@<shard>" (the hash is the
+  // content hash of the generated C, not the script handle) so the same
+  // component on two shards keeps both counter sets; the source shard
+  // also rides along as a member.
+  bool Saw = false;
+  for (const auto &M : Components->members()) {
+    size_t At = M.first.find('@');
+    ASSERT_NE(At, std::string::npos) << "unqualified key " << M.first;
+    EXPECT_GE(M.second.getNumber("shard", -1), 0.0);
+    const Value *Fns = M.second.get("functions");
+    if (!Fns || !Fns->isObject())
+      continue;
+    for (const auto &Fn : Fns->members())
+      if (Fn.second.getString("name") == "pf" &&
+          Fn.second.getNumber("calls") >= 1)
+        Saw = true;
+  }
+  EXPECT_TRUE(Saw) << "called function missing from the fleet profile";
+}
+
+TEST(Fleet, MergedTraceSnapshotsStayWellFormedUnderLoad) {
+  ScopedTracing Tracing;
+  RouterConfig RC;
+  RC.TraceShards = true; // Attached shards still get clock-aligned.
+  FleetFixture F(2, RC);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  std::atomic<bool> Stop{false};
+  std::thread Load([&] {
+    server::Client C;
+    if (!C.connect(F.front()))
+      return;
+    while (!Stop.load())
+      C.ping();
+  });
+
+  // Live snapshots via the public merge entry point (what the front-socket
+  // trace_dump op serves) must always be complete, parseable timelines.
+  for (int I = 0; I != 10; ++I) {
+    Value Merged = F.router().mergedTraceJson();
+    const Value *Events = Merged.get("traceEvents");
+    ASSERT_TRUE(Events && Events->isArray());
+    EXPECT_EQ(Merged.getString("displayTimeUnit"), "ms");
+    for (const Value &E : Events->elements()) {
+      if (E.getString("ph") == "M")
+        continue;
+      EXPECT_FALSE(E.getString("name").empty());
+      EXPECT_GE(E.getNumber("ts", -1), 0.0);
+      EXPECT_GT(E.getNumber("pid"), 0.0);
+    }
+  }
+  Stop = true;
+  Load.join();
+
+  // The in-process shards share our recorder, so the merged view must
+  // contain shard-side server.op spans pulled over trace_dump.
+  Value Merged = F.router().mergedTraceJson();
+  bool SawServerOp = false;
+  for (const Value &E : Merged.get("traceEvents")->elements())
+    if (E.getString("name") == "server.op")
+      SawServerOp = true;
+  EXPECT_TRUE(SawServerOp);
+}
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "server/Client.h"
 #include "server/Protocol.h"
 #include "server/Server.h"
+#include "support/Trace.h"
 
 #include "ScopedEnv.h"
 
@@ -543,6 +544,250 @@ TEST(Terrad, StatsReportUptimeQueueHwmAndOpLatency) {
   Server::Stats Raw = F.server().stats();
   EXPECT_GT(Raw.UptimeSeconds, 0.0);
   EXPECT_GE(Raw.QueueDepthHWM, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability ops: metrics_text, trace_dump, profile, slow requests
+//===----------------------------------------------------------------------===//
+
+/// Enables the process-global span recorder for one test, restoring the
+/// disabled empty state after (the fixture's Server shares our process).
+class ScopedTracing {
+public:
+  explicit ScopedTracing(std::string Path = "") {
+    trace::Recorder::global().clear();
+    trace::Recorder::global().enable(std::move(Path));
+  }
+  ~ScopedTracing() {
+    trace::Recorder::global().disable();
+    trace::Recorder::global().clear();
+  }
+};
+
+TEST(Terrad, MetricsTextOpRendersPrometheusExposition) {
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  Client::CompileResult R = C.compile(AddScript);
+  ASSERT_TRUE(R.OK) << R.Error;
+  Client::CallResult Call =
+      C.call(R.Handle, "add", {Value::number(2), Value::number(3)});
+  ASSERT_TRUE(Call.OK) << Call.Error;
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("metrics_text"));
+  Value Labels = Value::object();
+  Labels.set("cluster", Value::string("test"));
+  Req.set("labels", std::move(Labels));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  ASSERT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+  EXPECT_EQ(Resp.getString("content_type"), "text/plain; version=0.0.4");
+  std::string Text = Resp.getString("text");
+  ASSERT_FALSE(Text.empty());
+  // Server counters carry the process label plus the caller's labels.
+  EXPECT_NE(Text.find("# TYPE terracpp_server_requests_received counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("process=\"terrad\""), std::string::npos);
+  EXPECT_NE(Text.find("cluster=\"test\""), std::string::npos);
+  // Histograms render bucket series.
+  EXPECT_NE(Text.find("terracpp_server_op_call_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(Text.find("le=\"+Inf\""), std::string::npos);
+  // Per-engine JIT registries ride along, labelled by content hash.
+  EXPECT_NE(Text.find("engine=\"" + R.Handle + "\""), std::string::npos);
+  // A merged document still has exactly one TYPE line per family.
+  const std::string Family = "# TYPE terracpp_server_requests_received ";
+  EXPECT_EQ(Text.find(Family, Text.find(Family) + 1), std::string::npos);
+}
+
+TEST(Terrad, TraceDumpOpReturnsTaggedSpans) {
+  ScopedTracing Tracing; // In-memory, like a shard under TERRACPP_TRACE=-.
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  Value Ping = Value::object();
+  Ping.set("op", Value::string("ping"));
+  Ping.set("trace_id", Value::string("dump-trace-1"));
+  Ping.set("parent_span", Value::string("42-7"));
+  ASSERT_TRUE(C.request(Ping).getBool("ok"));
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("trace_dump"));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  ASSERT_TRUE(Resp.getBool("ok"));
+  EXPECT_EQ(Resp.getNumber("pid"), static_cast<double>(::getpid()));
+  const Value *Events = Resp.get("events");
+  ASSERT_TRUE(Events && Events->isArray());
+  // The queued ping produced queue_wait + server.op spans, both tagged
+  // with the request's trace id; the outer one parents to the remote span.
+  bool SawOp = false, SawQueueWait = false;
+  for (const Value &E : Events->elements()) {
+    const Value *Args = E.get("args");
+    if (!Args)
+      continue;
+    if (Args->getString("trace_id") != "dump-trace-1")
+      continue;
+    if (E.getString("name") == "server.op") {
+      SawOp = true;
+      EXPECT_EQ(Args->getString("parent"), "42-7");
+      EXPECT_EQ(Args->getString("op"), "ping");
+    }
+    if (E.getString("name") == "queue_wait")
+      SawQueueWait = true;
+  }
+  EXPECT_TRUE(SawOp);
+  EXPECT_TRUE(SawQueueWait);
+}
+
+TEST(Terrad, ProfileOpReportsPerFunctionCounters) {
+  if (Engine::defaultBackend() != BackendKind::Native)
+    GTEST_SKIP() << "tier auto needs the native backend";
+  ScopedEnv Tier("TERRACPP_JIT_TIER", "auto");
+  ScopedEnv NoBase("TERRACPP_JIT_BASELINE", "0");
+  ScopedEnv Calls("TERRACPP_TIER_CALL_THRESHOLD", "1000000");
+  ScopedEnv Back("TERRACPP_TIER_BACKEDGE_THRESHOLD", "1000000000");
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  Client::CompileResult R = C.compile(AddScript);
+  ASSERT_TRUE(R.OK) << R.Error << "\n" << R.Diagnostics;
+  for (int I = 0; I != 3; ++I) {
+    Client::CallResult Call =
+        C.call(R.Handle, "add", {Value::number(I), Value::number(I)});
+    ASSERT_TRUE(Call.OK) << Call.Error;
+  }
+
+  Value Req = Value::object();
+  Req.set("op", Value::string("profile"));
+  Req.set("handle", Value::string(R.Handle));
+  Value Resp = C.request(Req);
+  ASSERT_FALSE(Resp.isNull()) << C.error();
+  ASSERT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+  EXPECT_EQ(Resp.getNumber("version"), 1.0);
+  const Value *Components = Resp.get("components");
+  ASSERT_TRUE(Components && Components->isObject());
+  ASSERT_FALSE(Components->members().empty());
+  // Components are keyed by content hash; every function reports calls,
+  // back edges, and its resident tier (0 here: promotion is disabled).
+  bool SawAdd = false;
+  for (const auto &CM : Components->members()) {
+    const Value *Fns = CM.second.get("functions");
+    ASSERT_TRUE(Fns && Fns->isObject());
+    for (const auto &FM : Fns->members()) {
+      if (FM.second.getString("name") != "add")
+        continue;
+      SawAdd = true;
+      EXPECT_GE(FM.second.getNumber("calls"), 3.0);
+      EXPECT_EQ(FM.second.getNumber("tier", -1), 0.0);
+      EXPECT_GE(FM.second.getNumber("backedges", -1), 0.0);
+    }
+  }
+  EXPECT_TRUE(SawAdd);
+
+  // An unknown handle filter yields an empty component set, not an error.
+  Req.set("handle", Value::string("feedfeedfeedfeed"));
+  Resp = C.request(Req);
+  ASSERT_TRUE(Resp.getBool("ok"));
+  EXPECT_TRUE(Resp.get("components")->members().empty());
+}
+
+TEST(Terrad, SlowRequestsCountedAgainstThreshold) {
+  ServerConfig Config;
+  Config.SlowRequestMs = 50;
+  ServerFixture F(Config);
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Client C = F.client();
+
+  ASSERT_TRUE(C.ping(/*DelayMs=*/0));
+  Value S1 = C.stats();
+  // The instant ping must not trip a 50 ms threshold.
+  EXPECT_EQ(S1.getNumber("slow_requests"), 0.0);
+
+  ASSERT_TRUE(C.ping(/*DelayMs=*/120));
+  Value S2 = C.stats();
+  EXPECT_GE(S2.getNumber("slow_requests"), 1.0);
+}
+
+TEST(Terrad, TraceDumpConsistentUnderConcurrentLoad) {
+  ScopedTracing Tracing;
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+
+  // Writers hammer the recorder through real requests while readers pull
+  // trace_dump snapshots: every snapshot must be internally consistent
+  // (well-formed events, absolute timestamps), never torn.
+  std::atomic<bool> Stop{false};
+  std::thread Load([&] {
+    Client C = F.client();
+    while (!Stop.load())
+      C.ping();
+  });
+  Client C = F.client();
+  size_t PrevCount = 0;
+  for (int I = 0; I != 20; ++I) {
+    Value Req = Value::object();
+    Req.set("op", Value::string("trace_dump"));
+    Value Resp = C.request(Req);
+    ASSERT_FALSE(Resp.isNull()) << C.error();
+    ASSERT_TRUE(Resp.getBool("ok"));
+    const Value *Events = Resp.get("events");
+    ASSERT_TRUE(Events && Events->isArray());
+    // The buffer only grows between snapshots.
+    EXPECT_GE(Events->elements().size(), PrevCount);
+    PrevCount = Events->elements().size();
+    for (const Value &E : Events->elements()) {
+      EXPECT_FALSE(E.getString("name").empty());
+      EXPECT_GT(E.getNumber("ts"), 0.0); // Absolute clock, not relative.
+    }
+  }
+  Stop = true;
+  Load.join();
+  EXPECT_GT(PrevCount, 0u);
+}
+
+TEST(Terrad, SigtermDrainFlushesTraceFile) {
+  std::string Path =
+      "/tmp/terrad-trace-drain-" + std::to_string(::getpid()) + ".json";
+  ScopedTracing Tracing(Path); // File-backed, like TERRACPP_TRACE=PATH.
+  ServerFixture F;
+  ASSERT_TRUE(F.StartOK) << F.StartErr;
+  Server::installSignalHandlers();
+
+  {
+    Client C = F.client();
+    ASSERT_TRUE(C.ping());
+  }
+  ::raise(SIGTERM);
+  F.server().wait();
+  EXPECT_TRUE(F.server().stats().DrainedClean);
+
+  // The drain path flushed a complete, parseable Chrome trace containing
+  // the request's spans — nothing truncated by process teardown.
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_TRUE(File != nullptr) << "trace file not written on drain";
+  std::string Contents;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Contents.append(Buf, N);
+  std::fclose(File);
+  std::remove(Path.c_str());
+
+  Value Parsed;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Contents, Parsed, Err)) << Err;
+  const Value *Events = Parsed.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  bool SawOp = false;
+  for (const Value &E : Events->elements())
+    if (E.getString("name") == "server.op")
+      SawOp = true;
+  EXPECT_TRUE(SawOp);
 }
 
 } // namespace

@@ -204,6 +204,105 @@ TEST(Telemetry, RegistryJsonRoundTrip) {
 }
 
 //===----------------------------------------------------------------------===//
+// Prometheus text exposition
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, CumulativeBucketsAreCumulative) {
+  Histogram H;
+  for (uint64_t V : {1u, 2u, 2u, 100u, 1000u})
+    H.record(V);
+  auto Buckets = H.cumulativeBuckets();
+  ASSERT_FALSE(Buckets.empty());
+  uint64_t PrevBound = 0, PrevCount = 0;
+  bool First = true;
+  for (const auto &B : Buckets) {
+    if (!First) {
+      EXPECT_GT(B.first, PrevBound);
+      EXPECT_GE(B.second, PrevCount);
+    }
+    First = false;
+    PrevBound = B.first;
+    PrevCount = B.second;
+  }
+  // The final cumulative count covers every sample (the implicit +Inf
+  // bucket in the exposition equals snapshot().Count).
+  EXPECT_EQ(Buckets.back().second, 5u);
+  // The bucket holding value 2 (exact bucket) already counts 1,2,2.
+  EXPECT_EQ(Buckets.front().first, 1u);
+  EXPECT_EQ(Buckets.front().second, 1u);
+}
+
+TEST(Telemetry, PrometheusTextExposition) {
+  Registry R;
+  R.counter("server.requests_received").inc(7);
+  R.gauge("server.queue_depth").set(3);
+  R.histogram("server.op.call.latency_us").record(2);
+
+  std::string Text = toPrometheusText(R, {{"process", "terrad"}});
+  // Dotted names sanitize to underscores under the terracpp_ prefix.
+  EXPECT_NE(Text.find("# TYPE terracpp_server_requests_received counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      Text.find("terracpp_server_requests_received{process=\"terrad\"} 7\n"),
+      std::string::npos);
+  EXPECT_NE(Text.find("# TYPE terracpp_server_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("terracpp_server_queue_depth{process=\"terrad\"} 3\n"),
+            std::string::npos);
+  // Histograms export cumulative buckets plus +Inf, _sum and _count, with
+  // the le label appended after the shared labels.
+  EXPECT_NE(Text.find("# TYPE terracpp_server_op_call_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("terracpp_server_op_call_latency_us_bucket{"
+                      "process=\"terrad\",le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("terracpp_server_op_call_latency_us_bucket{"
+                      "process=\"terrad\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("terracpp_server_op_call_latency_us_sum{"
+                      "process=\"terrad\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("terracpp_server_op_call_latency_us_count{"
+                      "process=\"terrad\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Telemetry, PrometheusLabelValueEscaping) {
+  Registry R;
+  R.counter("c").inc();
+  std::string Text =
+      toPrometheusText(R, {{"socket", "/tmp/\"x\"\n\\y"}}, "p_");
+  EXPECT_NE(Text.find("p_c{socket=\"/tmp/\\\"x\\\"\\n\\\\y\"} 1\n"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(Telemetry, MergeExpositionsGroupsFamilies) {
+  Registry A, B;
+  A.counter("reqs").inc(1);
+  A.gauge("depth").set(2);
+  B.counter("reqs").inc(5);
+  std::string Merged =
+      mergeExpositions({toPrometheusText(A, {{"shard", "0"}}),
+                        toPrometheusText(B, {{"shard", "1"}})});
+  // One TYPE line per family even though both parts declared it.
+  size_t First = Merged.find("# TYPE terracpp_reqs counter");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Merged.find("# TYPE terracpp_reqs counter", First + 1),
+            std::string::npos);
+  // Both shards' samples survive, grouped under that single header.
+  size_t S0 = Merged.find("terracpp_reqs{shard=\"0\"} 1");
+  size_t S1 = Merged.find("terracpp_reqs{shard=\"1\"} 5");
+  ASSERT_NE(S0, std::string::npos);
+  ASSERT_NE(S1, std::string::npos);
+  size_t NextType = Merged.find("# TYPE", First + 1);
+  ASSERT_NE(NextType, std::string::npos); // The gauge family follows.
+  EXPECT_LT(S0, NextType);
+  EXPECT_LT(S1, NextType);
+  EXPECT_NE(Merged.find("terracpp_depth{shard=\"0\"} 2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
 // Concurrent recording (run under TSan in CI)
 //===----------------------------------------------------------------------===//
 
@@ -366,6 +465,113 @@ TEST(TraceThreaded, SpansFromManyThreads) {
     if (E.Name == "worker_span")
       ++WorkerSpans;
   EXPECT_EQ(WorkerSpans, static_cast<size_t>(Threads * PerThread));
+}
+
+TEST(Trace, SpanIdsAndLocalParentage) {
+  TraceScope Scope;
+  uint64_t OuterId = 0, InnerId = 0;
+  {
+    trace::TraceSpan Outer("outer", "test");
+    OuterId = Outer.spanId();
+    trace::TraceSpan Inner("inner", "test");
+    InnerId = Inner.spanId();
+  }
+  ASSERT_NE(OuterId, 0u);
+  ASSERT_NE(InnerId, 0u);
+  EXPECT_NE(OuterId, InnerId);
+  Value V = trace::Recorder::global().toJson();
+  const Value *Events = V.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  const Value *OuterE = nullptr, *InnerE = nullptr;
+  for (const Value &E : Events->elements()) {
+    if (E.getString("name") == "outer")
+      OuterE = &E;
+    if (E.getString("name") == "inner")
+      InnerE = &E;
+  }
+  ASSERT_TRUE(OuterE && InnerE);
+  const Value *OuterArgs = OuterE->get("args");
+  const Value *InnerArgs = InnerE->get("args");
+  ASSERT_TRUE(OuterArgs && InnerArgs);
+  EXPECT_EQ(OuterArgs->getString("span"), trace::spanRef(OuterId));
+  // Inner parents to outer; outer (no enclosing span, no request context)
+  // carries no parent at all.
+  EXPECT_EQ(InnerArgs->getString("parent"), trace::spanRef(OuterId));
+  EXPECT_EQ(OuterArgs->getString("parent"), "");
+}
+
+TEST(Trace, RequestContextPropagatesTraceIdAndRemoteParent) {
+  TraceScope Scope;
+  {
+    trace::RequestContext Ctx("fleet-42", "999-7");
+    trace::TraceSpan Root("server.op", "server");
+    trace::TraceSpan Child("compile", "server");
+  }
+  // Pooled worker threads reuse the thread: the context must not leak past
+  // the RequestContext scope.
+  { trace::TraceSpan After("after", "test"); }
+  Value V = trace::Recorder::global().toJson();
+  const Value *Events = V.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  for (const Value &E : Events->elements()) {
+    const Value *Args = E.get("args");
+    ASSERT_TRUE(Args);
+    if (E.getString("name") == "server.op") {
+      // Outermost request span: remote parent from the protocol frame.
+      EXPECT_EQ(Args->getString("trace_id"), "fleet-42");
+      EXPECT_EQ(Args->getString("parent"), "999-7");
+    } else if (E.getString("name") == "compile") {
+      // Nested span: local parentage wins over the remote parent.
+      EXPECT_EQ(Args->getString("trace_id"), "fleet-42");
+      EXPECT_NE(Args->getString("parent"), "999-7");
+      EXPECT_NE(Args->getString("parent"), "");
+    } else if (E.getString("name") == "after") {
+      EXPECT_EQ(Args->getString("trace_id"), "");
+      EXPECT_EQ(Args->getString("parent"), "");
+    }
+  }
+}
+
+TEST(Trace, AddIntervalInheritsRequestContext) {
+  TraceScope Scope;
+  uint64_t T0 = telemetry::nowMicros();
+  {
+    trace::RequestContext Ctx("fleet-7", "1-2");
+    trace::Recorder::global().addInterval("queue_wait", "server", T0,
+                                          T0 + 150);
+  }
+  Value V = trace::Recorder::global().toJson();
+  const Value *Events = V.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->elements().size(), 1u);
+  const Value &E = Events->elements()[0];
+  EXPECT_EQ(E.getString("name"), "queue_wait");
+  EXPECT_EQ(E.getNumber("dur"), 150.0);
+  const Value *Args = E.get("args");
+  ASSERT_TRUE(Args);
+  EXPECT_EQ(Args->getString("trace_id"), "fleet-7");
+  EXPECT_EQ(Args->getString("parent"), "1-2");
+}
+
+TEST(Trace, DumpAbsoluteShape) {
+  TraceScope Scope;
+  trace::Recorder::global().setProcessName("test-proc");
+  uint64_t Before = telemetry::nowMicros();
+  { trace::TraceSpan Span("abs_phase", "test"); }
+  Value D = trace::Recorder::global().dumpAbsolute();
+  EXPECT_EQ(D.getNumber("pid"), static_cast<double>(::getpid()));
+  EXPECT_EQ(D.getString("process_name"), "test-proc");
+  EXPECT_GE(D.getNumber("clock_us"), static_cast<double>(Before));
+  const Value *Events = D.get("events");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->elements().size(), 1u);
+  const Value &E = Events->elements()[0];
+  EXPECT_EQ(E.getString("name"), "abs_phase");
+  // Absolute timestamps: on the telemetry::nowMicros clock, not relative
+  // to the recorder base — that is what lets a router align processes.
+  EXPECT_GE(E.getNumber("ts"), static_cast<double>(Before));
+  EXPECT_LE(E.getNumber("ts"), D.getNumber("clock_us"));
+  trace::Recorder::global().setProcessName("");
 }
 
 TEST(Trace, WriteAndFlushToFile) {

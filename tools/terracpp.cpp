@@ -25,6 +25,7 @@
 #include "core/Engine.h"
 #include "core/TerraPasses.h"
 #include "core/TerraPrint.h"
+#include "core/TerraTier.h"
 #include "orion/OrionHosted.h"
 #include "server/Client.h"
 #include "support/Telemetry.h"
@@ -59,6 +60,9 @@ void usage() {
           "  --trace=OUT.json   record a Chrome trace of every compile phase\n"
           "                     (also via the TERRACPP_TRACE env variable)\n"
           "  --time-report      print a per-phase latency summary on exit\n"
+          "  --profile=OUT.json write per-function call/back-edge counts and\n"
+          "                     resident tiers, keyed by component content\n"
+          "                     hash (same format as terrad's profile op)\n"
           "remote mode (against a running terrad):\n"
           "  --connect SOCK     compile the script/chunks on the daemon\n"
           "  --handle H         reuse a previous compile handle\n"
@@ -189,24 +193,63 @@ struct TraceFlusher {
 };
 
 void printHistogramRow(const std::string &Name,
-                       const telemetry::Histogram &H) {
+                       const telemetry::Histogram &H, bool Force) {
   telemetry::Histogram::Snapshot S = H.snapshot();
-  if (S.Count == 0)
+  if (S.Count == 0 && !Force)
     return;
   fprintf(stderr, "  %-32s %8llu %12.3f %10.1f %10.1f %10.1f\n", Name.c_str(),
           static_cast<unsigned long long>(S.Count),
           static_cast<double>(S.Sum) / 1000.0, S.Mean, S.P50, S.P95);
 }
 
-/// The --time-report table: every latency histogram with data, from the
-/// process-wide registry (frontend phases, thread pool) and the engine's
-/// JIT registry (cc, link, cache).
+/// The --time-report table. The canonical pipeline phases print first, in
+/// execution order and unconditionally — a zero-count row (e.g. analyze
+/// when --analyze was not passed, baseline emission under --tier=1) is the
+/// report saying "this stage exists and did not run", which keeps the table
+/// shape stable for scripts that diff reports. Every other histogram with
+/// data (thread pool, VM dispatch, autotuner) follows.
 void printTimeReport(Engine &E) {
+  telemetry::Registry &Global = telemetry::Registry::global();
+  telemetry::Registry &Jit = E.compiler().jit().metrics();
+  // (registry, phase) in pipeline order; histogram() creates absent rows.
+  const std::pair<telemetry::Registry *, const char *> Canonical[] = {
+      {&Global, "frontend.parse_us"},    {&Global, "frontend.specialize_us"},
+      {&Global, "frontend.typecheck_us"}, {&Global, "frontend.analyze_us"},
+      {&Global, "frontend.codegen_us"},  {&Jit, "jit.baseline_emit_us"},
+      {&Jit, "jit.cc_us"},               {&Jit, "jit.link_us"},
+  };
   fprintf(stderr, "== terracpp time report ==\n");
   fprintf(stderr, "  %-32s %8s %12s %10s %10s %10s\n", "phase", "count",
           "total_ms", "mean_us", "p50_us", "p95_us");
-  telemetry::Registry::global().forEachHistogram(printHistogramRow);
-  E.compiler().jit().metrics().forEachHistogram(printHistogramRow);
+  for (const auto &C : Canonical)
+    printHistogramRow(C.second, C.first->histogram(C.second), true);
+  auto Rest = [&](const std::string &Name, const telemetry::Histogram &H) {
+    for (const auto &C : Canonical)
+      if (Name == C.second)
+        return;
+    printHistogramRow(Name, H, false);
+  };
+  Global.forEachHistogram(Rest);
+  Jit.forEachHistogram(Rest);
+}
+
+/// --profile=OUT.json: the same per-function profile document terrad's
+/// "profile" op serves, written locally. Tier counters only exist under
+/// tiered execution (--tier=auto / 0); otherwise components is empty.
+bool writeProfile(Engine &E, const std::string &Path) {
+  json::Value Components = json::Value::object();
+  if (TierManager *TM = E.compiler().tierManager())
+    Components = TM->profileJson();
+  json::Value Out = json::Value::object();
+  Out.set("version", json::Value::number(1));
+  Out.set("components", std::move(Components));
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS) {
+    fprintf(stderr, "terracpp: cannot write profile to %s\n", Path.c_str());
+    return false;
+  }
+  OS << Out.dump() << "\n";
+  return static_cast<bool>(OS);
 }
 
 } // namespace
@@ -217,7 +260,7 @@ int main(int Argc, char **Argv) {
   std::string ScriptPath;
   std::string DumpFn, EmitC;
   std::string ConnectSocket, RemoteHandle, CallSpec;
-  std::string TracePath;
+  std::string TracePath, ProfilePath;
   bool RemoteStats = false, RemoteShutdown = false, TimeReport = false;
   bool Analyze = false, AnalyzeWerror = false;
 
@@ -227,6 +270,8 @@ int main(int Argc, char **Argv) {
       Chunks.push_back(Argv[++I]);
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(strlen("--trace="));
+    } else if (Arg.rfind("--profile=", 0) == 0) {
+      ProfilePath = Arg.substr(strlen("--profile="));
     } else if (Arg == "--time-report") {
       TimeReport = true;
     } else if (Arg == "--backend=interp") {
@@ -286,6 +331,7 @@ int main(int Argc, char **Argv) {
   // exit path below.
   if (!TracePath.empty())
     trace::Recorder::global().enable(TracePath);
+  trace::Recorder::global().setProcessName("terracpp");
   TraceFlusher FlushOnExit;
 
   Engine E(Backend);
@@ -342,6 +388,8 @@ int main(int Argc, char **Argv) {
         Fns.push_back(Callee);
     printf("%s", CB.emitModule(Fns, &E.compiler()).c_str());
   }
+  if (!ProfilePath.empty() && !writeProfile(E, ProfilePath))
+    return 1;
   if (TimeReport)
     printTimeReport(E);
   return 0;

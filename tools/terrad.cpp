@@ -15,6 +15,7 @@
 
 #include "server/Server.h"
 #include "support/Log.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +36,8 @@ void usage() {
           "  --queue N          bounded request-queue capacity (default 64)\n"
           "  --max-engines N    live compiled-script LRU capacity (default 8)\n"
           "  --timeout-ms N     per-request deadline (default 30000)\n"
+          "  --slow-ms N        slow-request WARN threshold, 0 disables\n"
+          "                     (default $TERRAD_SLOW_MS or 1000)\n"
           "  --log-level LEVEL  debug|info|warn|error|off\n"
           "                     (default $TERRAD_LOG_LEVEL or info)\n"
           "  --log-json         structured JSON log records on stderr\n"
@@ -71,6 +74,16 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--timeout-ms" && I + 1 < Argc &&
                parseUnsigned(Argv[++I], N)) {
       Config.RequestTimeoutMs = static_cast<int>(N);
+    } else if (Arg == "--slow-ms" && I + 1 < Argc) {
+      // 0 is a valid value here (disables the WARN), so parse directly.
+      char *End = nullptr;
+      long SlowN = strtol(Argv[++I], &End, 10);
+      if (!End || *End != '\0' || SlowN < 0) {
+        fprintf(stderr, "bad --slow-ms '%s'\n", Argv[I]);
+        usage();
+        return 2;
+      }
+      Config.SlowRequestMs = static_cast<int>(SlowN);
     } else if (Arg == "--log-level" && I + 1 < Argc) {
       logging::Level L;
       if (!logging::parseLevel(Argv[++I], L)) {
@@ -95,6 +108,9 @@ int main(int Argc, char **Argv) {
 
   Server::installSignalHandlers();
   Server S(Config);
+  // Lane label in merged fleet traces; harmless when tracing is off.
+  trace::Recorder::global().setProcessName("terrad " +
+                                           S.config().SocketPath);
   std::string Err;
   if (!S.start(Err)) {
     fprintf(stderr, "terrad: %s\n", Err.c_str());

@@ -17,6 +17,7 @@
 
 #include "fleet/Router.h"
 #include "support/Log.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +42,12 @@ void usage() {
           "                     (default: alongside the front socket)\n"
           "  --vnodes N         ring points per shard (default 64)\n"
           "  --timeout-ms N     default per-request deadline (default 30000)\n"
+          "  --slow-ms N        slow-request WARN threshold, 0 disables\n"
+          "                     (default $TERRAFLEET_SLOW_MS or 1000)\n"
+          "  --trace PATH       distributed tracing: record router spans,\n"
+          "                     spawn shards with in-memory recording, and\n"
+          "                     write ONE merged Perfetto timeline (router +\n"
+          "                     every shard, clock-aligned) to PATH on exit\n"
           "  --no-respawn       do not respawn dead spawned shards\n"
           "  --log-level LEVEL  debug|info|warn|error|off\n"
           "  --log-json         structured JSON log records on stderr\n"
@@ -87,6 +94,19 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--timeout-ms" && I + 1 < Argc &&
                parseUnsigned(Argv[++I], N)) {
       Config.RequestTimeoutMs = static_cast<int>(N);
+    } else if (Arg == "--slow-ms" && I + 1 < Argc) {
+      char *End = nullptr;
+      long SlowN = strtol(Argv[++I], &End, 10);
+      if (!End || *End != '\0' || SlowN < 0) {
+        fprintf(stderr, "bad --slow-ms '%s'\n", Argv[I]);
+        usage();
+        return 2;
+      }
+      Config.SlowRequestMs = static_cast<int>(SlowN);
+    } else if (Arg == "--trace" && I + 1 < Argc) {
+      Config.TraceOutPath = Argv[++I];
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Config.TraceOutPath = Arg.substr(8);
     } else if (Arg == "--no-respawn") {
       Config.AutoRespawn = false;
     } else if (Arg == "--log-level" && I + 1 < Argc) {
@@ -133,6 +153,21 @@ int main(int Argc, char **Argv) {
     SC.Spawn = true;
     Config.Shards.push_back(SC);
   }
+
+  if (const char *Slow = getenv("TERRAFLEET_SLOW_MS")) {
+    char *End = nullptr;
+    long SlowN = strtol(Slow, &End, 10);
+    if (End && *End == '\0' && SlowN >= 0)
+      Config.SlowRequestMs = static_cast<int>(SlowN);
+  }
+  if (!Config.TraceOutPath.empty()) {
+    // Record router spans in memory (the merged file is the only output);
+    // shards are spawned with TERRACPP_TRACE=- and pulled via trace_dump.
+    Config.TraceShards = true;
+    trace::Recorder::global().enable("");
+  }
+  trace::Recorder::global().setProcessName("terrafleet " +
+                                           Config.FrontSocket);
 
   Router::installSignalHandlers();
   Router R(Config);

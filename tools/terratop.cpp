@@ -1,0 +1,214 @@
+//===- terratop.cpp - Live terrad / terrafleet dashboard ------------------===//
+//
+// A `top`-style console view over the stats op. Point it at one terrad or
+// at a terrafleet front socket — the fleet's aggregated stats response has
+// a "shards" array, so the same poll renders either one row (single
+// daemon) or one row per shard plus a fleet total.
+//
+//   terratop --socket /tmp/terrad.sock
+//   terratop --socket /tmp/fleet.sock --interval-ms 500
+//   terratop --socket /tmp/fleet.sock --once        # one sample, no clear
+//
+// Columns: requests/s (requests_received delta over the poll interval),
+// call-latency p50/p99 (microseconds, from the server's op_latency_us
+// snapshots), live queue depth, engine-LRU occupancy, tier distribution
+// (tier-0 resident / promoted to native / promotion backlog), and the JIT
+// disk-cache hit rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unistd.h>
+
+using namespace terracpp;
+using terracpp::json::Value;
+
+namespace {
+
+void usage() {
+  fprintf(stderr,
+          "usage: terratop --socket PATH [options]\n"
+          "  --socket PATH      terrad or terrafleet front socket\n"
+          "  --interval-ms N    poll interval (default 1000)\n"
+          "  --iterations N     stop after N samples (default: forever)\n"
+          "  --once             single sample, implies --no-clear\n"
+          "  --no-clear         append samples instead of redrawing\n");
+}
+
+/// One rendered row, either a single terrad, one fleet shard, or the
+/// fleet-aggregate line.
+struct Row {
+  std::string Label;
+  bool Up = true;
+  double Received = 0; ///< requests_received (cumulative).
+  double P50 = 0, P99 = 0;
+  double QueueDepth = 0;
+  double EnginesLive = 0, MaxEngines = 0;
+  double Tier0 = 0, Promoted = 0, Backlog = 0;
+  double CacheHits = 0, CacheMisses = 0;
+};
+
+Row rowFromStats(const std::string &Label, const Value &S) {
+  Row R;
+  R.Label = Label;
+  R.Received = S.getNumber("requests_received");
+  if (const Value *Ops = S.get("op_latency_us"))
+    if (const Value *Call = Ops->get("call")) {
+      R.P50 = Call->getNumber("p50");
+      R.P99 = Call->getNumber("p99");
+    }
+  R.QueueDepth = S.getNumber("queue_depth");
+  R.EnginesLive = S.getNumber("engines_live");
+  R.MaxEngines = S.getNumber("max_engines");
+  R.Tier0 = S.getNumber("tier0_functions");
+  R.Promoted = S.getNumber("promoted_functions");
+  R.Backlog = S.getNumber("promotion_backlog");
+  R.CacheHits = S.getNumber("jit_cache_hits");
+  R.CacheMisses = S.getNumber("jit_cache_misses");
+  return R;
+}
+
+void printRow(const Row &R, double Qps) {
+  if (!R.Up) {
+    printf("%-10s %8s %9s %9s %6s %8s %14s %6s\n", R.Label.c_str(), "down",
+           "-", "-", "-", "-", "-", "-");
+    return;
+  }
+  char Engines[32], Tiers[32];
+  snprintf(Engines, sizeof(Engines), "%.0f/%.0f", R.EnginesLive,
+           R.MaxEngines);
+  snprintf(Tiers, sizeof(Tiers), "%.0f/%.0f/%.0f", R.Tier0, R.Promoted,
+           R.Backlog);
+  double Total = R.CacheHits + R.CacheMisses;
+  char Hit[16];
+  if (Total > 0)
+    snprintf(Hit, sizeof(Hit), "%5.1f%%", 100.0 * R.CacheHits / Total);
+  else
+    snprintf(Hit, sizeof(Hit), "%6s", "-");
+  printf("%-10s %8.1f %9.0f %9.0f %6.0f %8s %14s %6s\n", R.Label.c_str(),
+         Qps, R.P50, R.P99, R.QueueDepth, Engines, Tiers, Hit);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket;
+  int IntervalMs = 1000;
+  long Iterations = -1;
+  bool Clear = true;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--socket" && I + 1 < Argc) {
+      Socket = Argv[++I];
+    } else if (Arg == "--interval-ms" && I + 1 < Argc) {
+      IntervalMs = atoi(Argv[++I]);
+      if (IntervalMs < 1) {
+        fprintf(stderr, "bad --interval-ms\n");
+        return 2;
+      }
+    } else if (Arg == "--iterations" && I + 1 < Argc) {
+      Iterations = atol(Argv[++I]);
+      if (Iterations < 1) {
+        fprintf(stderr, "bad --iterations\n");
+        return 2;
+      }
+    } else if (Arg == "--once") {
+      Iterations = 1;
+      Clear = false;
+    } else if (Arg == "--no-clear") {
+      Clear = false;
+    } else if (Arg == "-h" || Arg == "--help") {
+      usage();
+      return 0;
+    } else {
+      fprintf(stderr, "unknown or malformed option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (Socket.empty()) {
+    fprintf(stderr, "terratop: --socket is required\n");
+    usage();
+    return 2;
+  }
+
+  server::Client C;
+  if (!C.connect(Socket)) {
+    fprintf(stderr, "terratop: %s\n", C.error().c_str());
+    return 1;
+  }
+
+  // Previous cumulative requests_received per row label, for the qps delta.
+  std::map<std::string, double> PrevReceived;
+  for (long Tick = 0; Iterations < 0 || Tick != Iterations; ++Tick) {
+    Value Req = Value::object();
+    Req.set("op", Value::string("stats"));
+    Value S = C.request(Req, 5000);
+    if (S.isNull() || !S.getBool("ok")) {
+      fprintf(stderr, "terratop: stats failed: %s\n",
+              S.isNull() ? C.error().c_str()
+                         : S.getString("error", "not ok").c_str());
+      return 1;
+    }
+
+    std::vector<Row> Rows;
+    const Value *ShardsArr = S.get("shards");
+    if (ShardsArr && ShardsArr->isArray()) {
+      // Fleet mode: one row per shard, then the router-side totals.
+      for (size_t I = 0; I != ShardsArr->size(); ++I) {
+        const Value &SJ = ShardsArr->at(I);
+        std::string Label =
+            "shard" + std::to_string((long)SJ.getNumber("index", (double)I));
+        if (const Value *SS = SJ.get("stats")) {
+          Rows.push_back(rowFromStats(Label, *SS));
+        } else {
+          Row R;
+          R.Label = Label;
+          R.Up = false;
+          Rows.push_back(R);
+        }
+      }
+      if (const Value *Agg = S.get("aggregate")) {
+        Row Total = rowFromStats("fleet", *Agg);
+        // The aggregate block has no queue/engine/latency view; fold the
+        // shard rows so the total line is self-consistent.
+        for (const Row &R : Rows) {
+          Total.QueueDepth += R.QueueDepth;
+          Total.EnginesLive += R.EnginesLive;
+          Total.MaxEngines += R.MaxEngines;
+          Total.Tier0 += R.Tier0;
+          Total.Promoted += R.Promoted;
+          Total.Backlog += R.Backlog;
+        }
+        Rows.push_back(Total);
+      }
+    } else {
+      Rows.push_back(rowFromStats("terrad", S));
+    }
+
+    if (Clear)
+      printf("\033[H\033[2J");
+    printf("terratop: %s (every %d ms)\n", Socket.c_str(), IntervalMs);
+    printf("%-10s %8s %9s %9s %6s %8s %14s %6s\n", "shard", "req/s",
+           "p50_us", "p99_us", "queue", "engines", "t0/promo/back", "hit%");
+    for (const Row &R : Rows) {
+      double Qps = 0;
+      auto It = PrevReceived.find(R.Label);
+      if (It != PrevReceived.end() && R.Received >= It->second)
+        Qps = (R.Received - It->second) * 1000.0 / IntervalMs;
+      PrevReceived[R.Label] = R.Received;
+      printRow(R, Qps);
+    }
+    fflush(stdout);
+    if (Iterations < 0 || Tick + 1 != Iterations)
+      usleep(static_cast<useconds_t>(IntervalMs) * 1000);
+  }
+  return 0;
+}
