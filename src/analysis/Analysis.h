@@ -21,6 +21,7 @@
 #define TERRACPP_ANALYSIS_ANALYSIS_H
 
 #include "analysis/Checkers.h"
+#include "analysis/Interval.h"
 
 #include <vector>
 
@@ -31,7 +32,8 @@ class DiagnosticEngine;
 namespace analysis {
 
 struct AnalyzeOptions {
-  /// Run the lint checkers (TA001/TA003/TA004). TA002 is not optional.
+  /// Run the lint checkers (TA001/TA003/TA004 and the interval-based
+  /// TA005–TA008). TA002 is not optional.
   bool Lints = true;
   /// Report lint findings as errors instead of warnings.
   bool Werror = false;
@@ -45,17 +47,44 @@ struct AnalyzeOptions {
 std::vector<Finding> analyzeFunction(const TerraFunction *F,
                                      const AnalyzeOptions &Opts);
 
+/// One reported (non-suppressed) finding with the context a machine
+/// consumer needs: the containing specialized function and, for interval
+/// findings, the offending value range.
+struct ReportedFinding {
+  std::string Code;
+  std::string Message;
+  std::string Function; ///< Specialized terra function name.
+  std::string Ranges;   ///< e.g. "[4, 7]"; empty when not range-based.
+  SourceLoc Loc;
+};
+
 struct AnalysisReport {
   unsigned NumFindings = 0;
   /// True when a mandatory (TA002) finding — or any finding under Werror —
   /// was reported as an error, i.e. the compile must fail.
   bool Failed = false;
+  /// Every counted finding, in report order (suppressed ones excluded).
+  std::vector<ReportedFinding> Findings;
 };
 
 /// Runs analyzeFunction, routes findings through \p Diags with their stable
-/// codes, and records telemetry.
+/// codes, and records telemetry. Suppression comments
+/// (`-- terracheck: disable=TA00x[,TA00y]` or `disable=all` on the line
+/// preceding a finding) silence non-mandatory findings and bump the
+/// `analysis.suppressed` counter; they require the DiagnosticEngine to have
+/// a SourceManager attached.
 AnalysisReport analyzeAndReport(DiagnosticEngine &Diags,
                                 const TerraFunction *F,
+                                const AnalyzeOptions &Opts);
+
+/// Analyzes a whole connected component interprocedurally: builds the call
+/// graph over \p Fns, visits functions bottom-up so callers see callee
+/// return-range summaries, attaches each function's proven FactTable as
+/// TerraFunction::RangeFacts, reports findings (with suppression) through
+/// \p Diags, and flips failing functions to SK_Error. Functions already
+/// analyzed contribute their stored summary and are not re-reported.
+AnalysisReport analyzeComponent(DiagnosticEngine &Diags,
+                                const std::vector<TerraFunction *> &Fns,
                                 const AnalyzeOptions &Opts);
 
 } // namespace analysis

@@ -1,0 +1,60 @@
+#include "analysis/CallGraph.h"
+
+#include "core/TerraAST.h"
+
+#include <algorithm>
+
+using namespace terracpp;
+using namespace terracpp::analysis;
+
+CallGraph::CallGraph(const std::vector<TerraFunction *> &Fns) {
+  for (TerraFunction *F : Fns)
+    InSet.insert(F);
+  // Iterative-enough for our component sizes: bodies are small and the
+  // recursion depth is bounded by the call-chain depth of the component.
+  for (TerraFunction *F : Fns)
+    if (!Info[F].Visited)
+      strongConnect(F);
+}
+
+void CallGraph::strongConnect(TerraFunction *F) {
+  NodeInfo &N = Info[F];
+  N.Visited = true;
+  N.Index = N.LowLink = NextIndex++;
+  N.OnStack = true;
+  Stack.push_back(F);
+
+  for (TerraFunction *Callee : F->Callees) {
+    if (!InSet.count(Callee))
+      continue;
+    NodeInfo &C = Info[Callee];
+    if (!C.Visited) {
+      strongConnect(Callee);
+      N.LowLink = std::min(N.LowLink, Info[Callee].LowLink);
+    } else if (C.OnStack) {
+      N.LowLink = std::min(N.LowLink, C.Index);
+    }
+    if (Callee == F)
+      Recursive.insert(F); // Direct self-recursion forms a trivial SCC.
+  }
+
+  if (N.LowLink == N.Index) {
+    // Pop the SCC. Tarjan emits SCCs in reverse topological order of the
+    // condensation, i.e. callees' components complete before callers' —
+    // exactly the bottom-up order the summary computation wants.
+    std::vector<TerraFunction *> SCC;
+    TerraFunction *Member;
+    do {
+      Member = Stack.back();
+      Stack.pop_back();
+      Info[Member].OnStack = false;
+      SCC.push_back(Member);
+    } while (Member != F);
+    if (SCC.size() > 1)
+      for (TerraFunction *M : SCC)
+        Recursive.insert(M);
+    // Reverse so discovery order is preserved within the SCC.
+    for (auto It = SCC.rbegin(); It != SCC.rend(); ++It)
+      Order.push_back(*It);
+  }
+}

@@ -1,0 +1,66 @@
+//===- CallGraph.h - Call graph over specialized Terra functions *- C++ -*-===//
+//
+// A call graph over a set of typechecked Terra functions, built from the
+// TerraFunction::Callees lists the typechecker collects. Drives the
+// interprocedural value-range analysis: functions are visited bottom-up
+// (callees before callers) so each caller sees its callees' return-range
+// summaries. Mutual recursion is handled by Tarjan SCC condensation —
+// every member of a non-trivial cycle gets the conservative top summary,
+// keeping the per-function analysis a single pass.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ANALYSIS_CALLGRAPH_H
+#define TERRACPP_ANALYSIS_CALLGRAPH_H
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace terracpp {
+
+class TerraFunction;
+
+namespace analysis {
+
+class CallGraph {
+public:
+  /// Builds the graph over \p Fns. Callee edges leading outside the set are
+  /// ignored (the caller passes a transitively closed component, so such
+  /// edges only arise for undefined/extern callees, which have no body to
+  /// analyze anyway).
+  explicit CallGraph(const std::vector<TerraFunction *> &Fns);
+
+  /// Functions ordered callees-first. Members of a multi-function SCC (or
+  /// direct self-recursion) appear in discovery order within their SCC.
+  const std::vector<TerraFunction *> &bottomUpOrder() const { return Order; }
+
+  /// True when \p F participates in a recursion cycle (including
+  /// self-recursion); its summary must stay top.
+  bool isRecursive(const TerraFunction *F) const {
+    return Recursive.count(F) != 0;
+  }
+
+private:
+  void strongConnect(TerraFunction *F);
+
+  std::vector<TerraFunction *> Order;
+  std::unordered_set<const TerraFunction *> Recursive;
+
+  // Tarjan state (only live during construction).
+  struct NodeInfo {
+    unsigned Index = 0;
+    unsigned LowLink = 0;
+    bool OnStack = false;
+    bool Visited = false;
+  };
+  std::unordered_map<TerraFunction *, NodeInfo> Info;
+  std::vector<TerraFunction *> Stack;
+  std::unordered_set<const TerraFunction *> InSet;
+  unsigned NextIndex = 0;
+};
+
+} // namespace analysis
+} // namespace terracpp
+
+#endif // TERRACPP_ANALYSIS_CALLGRAPH_H

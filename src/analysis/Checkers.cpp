@@ -133,7 +133,7 @@ void terracpp::analysis::checkMissingReturn(const TerraFunction *F,
   Out.push_back({"TA002", F->Body->loc(),
                  "function '" + F->Name + "' returns " + Ret->str() +
                      " but control can reach the end of the body",
-                 /*MandatoryError=*/true});
+                 /*MandatoryError=*/true, {}});
 }
 
 //===----------------------------------------------------------------------===//
@@ -399,7 +399,7 @@ private:
         Out.push_back({"TA001", V->loc(),
                        "variable '" + *V->Sym->Name +
                            "' is used before any assignment",
-                       false});
+                       false, {}});
       return;
     }
     forEachChild(E, [&](const TerraExpr *C) { checkUses(C, State, Out); });
@@ -1006,7 +1006,7 @@ void terracpp::analysis::checkHeapSafety(const TerraFunction *F,
                            "pointer '" + *Op.Sym->Name +
                                "' may already have been freed "
                                "(double free)",
-                           false});
+                           false, {}});
           State.set(Op.Bit);
           break;
         case HeapOp::Use:
@@ -1014,7 +1014,7 @@ void terracpp::analysis::checkHeapSafety(const TerraFunction *F,
             Out.push_back({"TA003", Op.Loc,
                            "pointer '" + *Op.Sym->Name +
                                "' may be used after free",
-                           false});
+                           false, {}});
           break;
         case HeapOp::Assign:
           State.reset(Op.Bit);
@@ -1037,7 +1037,7 @@ void terracpp::analysis::checkHeapSafety(const TerraFunction *F,
         Out.push_back({"TA004", Info.FirstAlloc,
                        "allocation stored in '" + *Sym->Name +
                            "' is never freed (leaks on every path)",
-                       false});
+                       false, {}});
     }
   }
 }

@@ -35,6 +35,9 @@ struct Finding {
   /// Mandatory findings are backend invariants (TA002): always reported as
   /// errors and never disabled by TERRACPP_ANALYZE.
   bool MandatoryError = false;
+  /// For interval findings (TA005–TA007): the offending value range, e.g.
+  /// "[4, 7]". Empty for checkers that have no range to report.
+  std::string Ranges;
 };
 
 void checkDefiniteInit(const TerraFunction *F, const CFG &G,

@@ -1,0 +1,1251 @@
+//===- Interval.cpp - Interprocedural value-range analysis ----------------===//
+//
+// The interval dataflow over the Terra CFG (DESIGN.md §14). One forward
+// worklist solve per function: block-entry environments map non-escaping
+// integral locals to intervals, conditions refine the environment along
+// their out-edges, loop heads widen after a couple of visits, and a final
+// reporting pass over the solved states records TA005–TA008 findings and
+// the proven-safe facts the backends consume.
+//
+// Everything is computed in the mathematical int64 domain: an operation
+// whose true result could leave [INT64_MIN, INT64_MAX] answers top, and a
+// value of uint64 type is only tracked while it provably fits in the
+// nonnegative int64 range (the one place the signed domain and the
+// machine's unsigned semantics agree).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Interval.h"
+
+#include "core/TerraAST.h"
+#include "core/TerraType.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+using namespace terracpp;
+using namespace terracpp::analysis;
+
+//===----------------------------------------------------------------------===//
+// Interval lattice
+//===----------------------------------------------------------------------===//
+
+/// Builds an interval from exact __int128 bounds: top when either bound
+/// leaves the representable range (the concrete value may be anything after
+/// machine wrapping — the caller's clamp-to-type recovers precision for
+/// sub-64-bit types).
+static Interval fromWide(__int128 Lo, __int128 Hi) {
+  if (Lo > Hi)
+    return Interval::bottom();
+  if (Lo < INT64_MIN || Hi > INT64_MAX)
+    return Interval::top();
+  return Interval(static_cast<int64_t>(Lo), static_cast<int64_t>(Hi));
+}
+
+Interval Interval::fromType(const Type *T) {
+  const auto *P = dyn_cast_or_null<PrimType>(T);
+  if (!P)
+    return top();
+  switch (P->primKind()) {
+  case PrimType::Bool:
+    return Interval(0, 1);
+  case PrimType::Int8:
+    return Interval(-128, 127);
+  case PrimType::Int16:
+    return Interval(-32768, 32767);
+  case PrimType::Int32:
+    return Interval(INT32_MIN, INT32_MAX);
+  case PrimType::UInt8:
+    return Interval(0, 255);
+  case PrimType::UInt16:
+    return Interval(0, 65535);
+  case PrimType::UInt32:
+    return Interval(0, 4294967295LL);
+  default:
+    // int64 spans the whole domain; uint64 values do not fit at all.
+    return top();
+  }
+}
+
+Interval Interval::join(const Interval &O) const {
+  if (isBottom())
+    return O;
+  if (O.isBottom())
+    return *this;
+  return Interval(std::min(Lo, O.Lo), std::max(Hi, O.Hi));
+}
+
+Interval Interval::meet(const Interval &O) const {
+  if (isBottom() || O.isBottom())
+    return bottom();
+  return Interval(std::max(Lo, O.Lo), std::min(Hi, O.Hi)); // May be bottom.
+}
+
+Interval Interval::widenedFrom(const Interval &Prev) const {
+  if (Prev.isBottom() || isBottom())
+    return *this;
+  return Interval(Lo < Prev.Lo ? INT64_MIN : Lo, Hi > Prev.Hi ? INT64_MAX : Hi);
+}
+
+Interval Interval::add(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  return fromWide((__int128)A.Lo + B.Lo, (__int128)A.Hi + B.Hi);
+}
+
+Interval Interval::sub(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  return fromWide((__int128)A.Lo - B.Hi, (__int128)A.Hi - B.Lo);
+}
+
+Interval Interval::mul(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  __int128 C[4] = {(__int128)A.Lo * B.Lo, (__int128)A.Lo * B.Hi,
+                   (__int128)A.Hi * B.Lo, (__int128)A.Hi * B.Hi};
+  return fromWide(*std::min_element(C, C + 4), *std::max_element(C, C + 4));
+}
+
+Interval Interval::neg(Interval A) {
+  if (A.isBottom())
+    return bottom();
+  return fromWide(-(__int128)A.Hi, -(__int128)A.Lo);
+}
+
+/// Signed division corner evaluation over one sign-pure divisor range.
+static void divCorners(Interval A, int64_t BLo, int64_t BHi, __int128 &Min,
+                       __int128 &Max) {
+  const int64_t As[2] = {A.Lo, A.Hi};
+  const int64_t Bs[2] = {BLo, BHi};
+  for (int64_t AV : As)
+    for (int64_t BV : Bs) {
+      __int128 Q = (__int128)AV / BV;
+      Min = std::min(Min, Q);
+      Max = std::max(Max, Q);
+    }
+}
+
+Interval Interval::div(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  // Split the divisor around zero: dividing by zero traps, so it
+  // contributes no values.
+  __int128 Min = 0, Max = 0;
+  bool Any = false;
+  if (B.Hi >= 1) {
+    __int128 Mn = INT64_MAX, Mx = INT64_MIN;
+    divCorners(A, std::max<int64_t>(B.Lo, 1), B.Hi, Mn, Mx);
+    Min = Any ? std::min(Min, Mn) : Mn;
+    Max = Any ? std::max(Max, Mx) : Mx;
+    Any = true;
+  }
+  if (B.Lo <= -1) {
+    __int128 Mn = INT64_MAX, Mx = INT64_MIN;
+    divCorners(A, B.Lo, std::min<int64_t>(B.Hi, -1), Mn, Mx);
+    Min = Any ? std::min(Min, Mn) : Mn;
+    Max = Any ? std::max(Max, Mx) : Mx;
+    Any = true;
+  }
+  if (!Any)
+    return bottom(); // Divisor is exactly [0,0]: every execution traps.
+  return fromWide(Min, Max);
+}
+
+Interval Interval::rem(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  if (B.Lo == 0 && B.Hi == 0)
+    return bottom();
+  // |a % b| < |b| and the result takes the dividend's sign.
+  __int128 MagB =
+      std::max((__int128)B.Hi, -(__int128)B.Lo); // >= 1 unless B == [0,0].
+  __int128 M = MagB - 1;
+  __int128 Lo = A.Lo >= 0 ? 0 : -M;
+  __int128 Hi = A.Hi < 0 ? 0 : M;
+  // The magnitude also never exceeds the dividend's.
+  Lo = std::max(Lo, (__int128)std::min<int64_t>(A.Lo, 0));
+  Hi = std::min(Hi, (__int128)std::max<int64_t>(A.Hi, 0));
+  return fromWide(Lo, Hi);
+}
+
+Interval Interval::shl(Interval A, Interval B, uint64_t BitWidth) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  if (B.Lo < 0 || B.Hi >= (int64_t)BitWidth || BitWidth > 64)
+    return top();
+  __int128 C[4] = {(__int128)A.Lo << B.Lo, (__int128)A.Lo << B.Hi,
+                   (__int128)A.Hi << B.Lo, (__int128)A.Hi << B.Hi};
+  return fromWide(*std::min_element(C, C + 4), *std::max_element(C, C + 4));
+}
+
+Interval Interval::shr(Interval A, Interval B, bool Arithmetic) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  if (B.Lo < 0 || B.Hi > 63)
+    return top();
+  if (!Arithmetic && A.Lo < 0)
+    return top(); // Logical shift of a sign-set word: huge positive values.
+  int64_t C[4] = {A.Lo >> B.Lo, A.Lo >> B.Hi, A.Hi >> B.Lo, A.Hi >> B.Hi};
+  return Interval(*std::min_element(C, C + 4), *std::max_element(C, C + 4));
+}
+
+Interval Interval::imin(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  return Interval(std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi));
+}
+
+Interval Interval::imax(Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  return Interval(std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+}
+
+Interval Interval::castTo(Interval V, const Type *To) {
+  const auto *P = dyn_cast_or_null<PrimType>(To);
+  if (!P || !(P->isIntegralPrim() || P->primKind() == PrimType::Bool))
+    return top();
+  if (V.isBottom())
+    return V;
+  // The range under which the conversion is value-preserving. For uint64
+  // that is the nonnegative int64 half — larger values are unrepresentable
+  // in the domain.
+  Interval Check = P->primKind() == PrimType::UInt64 ? Interval(0, INT64_MAX)
+                                                     : fromType(To);
+  if (V.within(Check))
+    return V;
+  // Out-of-range values wrap somewhere into the type's value set.
+  return P->primKind() == PrimType::UInt64 ? top() : fromType(To);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Abstract environment: interval per tracked local symbol. Absent means
+/// top, so only informative entries are stored.
+using Env = std::unordered_map<const TerraSymbol *, Interval>;
+
+Interval lookup(const Env &E, const TerraSymbol *S) {
+  auto It = E.find(S);
+  return It == E.end() ? Interval::top() : It->second;
+}
+
+void store(Env &E, const TerraSymbol *S, Interval V) {
+  if (V.isTop())
+    E.erase(S);
+  else
+    E[S] = V;
+}
+
+/// Dst := Dst ⊔ Src pointwise (absent = top).
+void joinInto(Env &Dst, const Env &Src) {
+  for (auto It = Dst.begin(); It != Dst.end();) {
+    auto SIt = Src.find(It->first);
+    if (SIt == Src.end()) {
+      It = Dst.erase(It);
+      continue;
+    }
+    Interval J = It->second.join(SIt->second);
+    if (J.isTop()) {
+      It = Dst.erase(It);
+      continue;
+    }
+    It->second = J;
+    ++It;
+  }
+}
+
+bool envEqual(const Env &A, const Env &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const auto &KV : A) {
+    auto It = B.find(KV.first);
+    if (It == B.end() || It->second != KV.second)
+      return false;
+  }
+  return true;
+}
+
+std::string boundStr(int64_t V, bool IsLo) {
+  if (IsLo && V == INT64_MIN)
+    return "-inf";
+  if (!IsLo && V == INT64_MAX)
+    return "+inf";
+  return std::to_string(V);
+}
+
+std::string rangeStr(const Interval &I) {
+  if (I.isBottom())
+    return "[]";
+  return "[" + boundStr(I.Lo, true) + ", " + boundStr(I.Hi, false) + "]";
+}
+
+/// True when folding \p E away cannot change observable behavior on any
+/// tier: no calls, no memory loads, no operations that can trap.
+bool isPureFoldable(const TerraExpr *E) {
+  switch (E->kind()) {
+  case TerraNode::NK_Lit:
+  case TerraNode::NK_Var:
+  case TerraNode::NK_GlobalRef:
+  case TerraNode::NK_FuncLit:
+    return true;
+  case TerraNode::NK_Cast: {
+    const auto *C = cast<CastExpr>(E);
+    return C->Operand && isPureFoldable(C->Operand);
+  }
+  case TerraNode::NK_UnOp: {
+    const auto *U = cast<UnOpExpr>(E);
+    if (U->Op == UnOpKind::Deref) // A load can fault on the checked tiers.
+      return false;
+    return isPureFoldable(U->Operand);
+  }
+  case TerraNode::NK_BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    switch (B->Op) {
+    case BinOpKind::Div: // Trapping ops must stay resident.
+    case BinOpKind::Mod:
+    case BinOpKind::Shl:
+    case BinOpKind::Shr:
+      return false;
+    default:
+      return isPureFoldable(B->LHS) && isPureFoldable(B->RHS);
+    }
+  }
+  case TerraNode::NK_Intrinsic:
+    return cast<IntrinsicExpr>(E)->IK == IntrinsicKind::Sizeof;
+  default:
+    return false;
+  }
+}
+
+/// Three-valued boolean: which outcomes a condition can take.
+struct BoolRange {
+  bool CanTrue = true;
+  bool CanFalse = true;
+};
+
+class IntervalSolver {
+public:
+  IntervalSolver(const TerraFunction *F, const CFG &G,
+                 const SummaryMap &Summaries, std::vector<Finding> &Out)
+      : F(F), G(G), Summaries(Summaries), Out(Out),
+        Facts(std::make_shared<FactTable>()) {}
+
+  std::shared_ptr<FactTable> run();
+
+private:
+  // -- setup ------------------------------------------------------------
+  void collectEscapes();
+  void collectEscapesExpr(const TerraExpr *E);
+  void collectEscapesStmt(const TerraStmt *S);
+  bool tracked(const TerraSymbol *S) const {
+    return S && !AddrTaken.count(S);
+  }
+
+  // -- evaluation -------------------------------------------------------
+  Interval eval(const TerraExpr *E, Env &E2, bool Record);
+  BoolRange evalBool(const TerraExpr *E, Env &Env_, bool Record);
+  void refine(Env &E2, const TerraExpr *Cond, bool Taken);
+  void refineCompare(Env &E2, const BinOpExpr *B, BinOpKind Op);
+  void constrainVar(Env &E2, const TerraExpr *Side, Interval Constraint);
+  const TerraSymbol *refinableVar(const TerraExpr *E) const;
+
+  // -- transfer ---------------------------------------------------------
+  void transferStmt(const TerraStmt *S, Env &E2, bool Record);
+  void transferBlock(const CFGBlock &B, Env &E2, bool Record);
+  Env edgeEnv(const CFGBlock &Pred, const CFGBlock &To);
+  Interval loopHull(const ForNumStmt *S, Env &E2, bool Record);
+
+  void finding(const char *Code, SourceLoc Loc, std::string Msg,
+               std::string Ranges = std::string()) {
+    Out.push_back({Code, Loc, std::move(Msg), false, std::move(Ranges)});
+  }
+
+  const TerraFunction *F;
+  const CFG &G;
+  const SummaryMap &Summaries;
+  std::vector<Finding> &Out;
+  std::shared_ptr<FactTable> Facts;
+
+  std::unordered_set<const TerraSymbol *> AddrTaken;
+  /// ForNum condition block -> loop statement (the block itself is empty).
+  std::unordered_map<const CFGBlock *, const ForNumStmt *> CondFor;
+  /// Join of the loop-variable hull over every execution of the header.
+  std::unordered_map<const ForNumStmt *, Interval> LoopHulls;
+
+  std::vector<Env> In, OutEnv;
+  std::vector<bool> Reached;
+  std::vector<unsigned> Visits;
+};
+
+//===----------------------------------------------------------------------===//
+// Escape collection: a local whose address is taken can be mutated through
+// memory we do not model, so it is never tracked.
+//===----------------------------------------------------------------------===//
+
+void IntervalSolver::collectEscapesExpr(const TerraExpr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case TerraNode::NK_UnOp: {
+    const auto *U = cast<UnOpExpr>(E);
+    if (U->Op == UnOpKind::AddrOf) {
+      const TerraExpr *Op = U->Operand;
+      while (const auto *C = dyn_cast<CastExpr>(Op))
+        Op = C->Operand;
+      if (const auto *V = dyn_cast<VarExpr>(Op))
+        AddrTaken.insert(V->Sym);
+    }
+    collectEscapesExpr(U->Operand);
+    return;
+  }
+  case TerraNode::NK_MethodCall: {
+    // Method calls pass &obj; treat the receiver as escaped.
+    const auto *M = cast<MethodCallExpr>(E);
+    if (const auto *V = dyn_cast_or_null<VarExpr>(M->Obj))
+      AddrTaken.insert(V->Sym);
+    collectEscapesExpr(M->Obj);
+    for (unsigned I = 0; I != M->NumArgs; ++I)
+      collectEscapesExpr(M->Args[I]);
+    return;
+  }
+  case TerraNode::NK_BinOp:
+    collectEscapesExpr(cast<BinOpExpr>(E)->LHS);
+    collectEscapesExpr(cast<BinOpExpr>(E)->RHS);
+    return;
+  case TerraNode::NK_Cast:
+    collectEscapesExpr(cast<CastExpr>(E)->Operand);
+    return;
+  case TerraNode::NK_Select:
+    collectEscapesExpr(cast<SelectExpr>(E)->Base);
+    return;
+  case TerraNode::NK_Index:
+    collectEscapesExpr(cast<IndexExpr>(E)->Base);
+    collectEscapesExpr(cast<IndexExpr>(E)->Idx);
+    return;
+  case TerraNode::NK_Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    collectEscapesExpr(A->Callee);
+    for (unsigned I = 0; I != A->NumArgs; ++I)
+      collectEscapesExpr(A->Args[I]);
+    return;
+  }
+  case TerraNode::NK_Constructor: {
+    const auto *C = cast<ConstructorExpr>(E);
+    for (unsigned I = 0; I != C->NumInits; ++I)
+      collectEscapesExpr(C->Inits[I]);
+    return;
+  }
+  case TerraNode::NK_Intrinsic: {
+    const auto *I = cast<IntrinsicExpr>(E);
+    for (unsigned K = 0; K != I->NumArgs; ++K)
+      collectEscapesExpr(I->Args[K]);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void IntervalSolver::collectEscapesStmt(const TerraStmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case TerraNode::NK_Block: {
+    const auto *B = cast<BlockStmt>(S);
+    for (unsigned I = 0; I != B->NumStmts; ++I)
+      collectEscapesStmt(B->Stmts[I]);
+    return;
+  }
+  case TerraNode::NK_VarDecl: {
+    const auto *D = cast<VarDeclStmt>(S);
+    for (unsigned I = 0; I != D->NumInits; ++I)
+      collectEscapesExpr(D->Inits[I]);
+    return;
+  }
+  case TerraNode::NK_Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    for (unsigned I = 0; I != A->NumLHS; ++I)
+      collectEscapesExpr(A->LHS[I]);
+    for (unsigned I = 0; I != A->NumRHS; ++I)
+      collectEscapesExpr(A->RHS[I]);
+    return;
+  }
+  case TerraNode::NK_If: {
+    const auto *I = cast<IfStmt>(S);
+    for (unsigned K = 0; K != I->NumClauses; ++K) {
+      collectEscapesExpr(I->Conds[K]);
+      collectEscapesStmt(I->Blocks[K]);
+    }
+    collectEscapesStmt(I->ElseBlock);
+    return;
+  }
+  case TerraNode::NK_While:
+    collectEscapesExpr(cast<WhileStmt>(S)->Cond);
+    collectEscapesStmt(cast<WhileStmt>(S)->Body);
+    return;
+  case TerraNode::NK_ForNum: {
+    const auto *Fo = cast<ForNumStmt>(S);
+    collectEscapesExpr(Fo->Lo);
+    collectEscapesExpr(Fo->Hi);
+    collectEscapesExpr(Fo->Step);
+    collectEscapesStmt(Fo->Body);
+    return;
+  }
+  case TerraNode::NK_Return:
+    collectEscapesExpr(cast<ReturnStmt>(S)->Val);
+    return;
+  case TerraNode::NK_ExprStmt:
+    collectEscapesExpr(cast<ExprStmt>(S)->E);
+    return;
+  default:
+    return;
+  }
+}
+
+void IntervalSolver::collectEscapes() { collectEscapesStmt(F->Body); }
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+Interval IntervalSolver::eval(const TerraExpr *E, Env &E2, bool Record) {
+  if (!E)
+    return Interval::top();
+  const Type *Ty = E->Ty;
+  const auto *P = dyn_cast_or_null<PrimType>(Ty);
+  bool Integral = P && P->isIntegralPrim();
+  bool U64 = P && P->primKind() == PrimType::UInt64;
+
+  switch (E->kind()) {
+  case TerraNode::NK_Lit: {
+    const auto *L = cast<LitExpr>(E);
+    if (L->LK == LitExpr::LK_Int) {
+      // A uint64 literal above 2^63-1 is stored as a negative int64 bit
+      // pattern; its true value is outside the domain.
+      if (U64 && L->IntVal < 0)
+        return Interval::top();
+      return Interval::constant(L->IntVal);
+    }
+    if (L->LK == LitExpr::LK_Bool)
+      return Interval::constant(L->BoolVal ? 1 : 0);
+    return Interval::top();
+  }
+  case TerraNode::NK_Var: {
+    const auto *V = cast<VarExpr>(E);
+    if (!Integral)
+      return Interval::top();
+    if (!tracked(V->Sym))
+      return Interval::fromType(Ty);
+    return lookup(E2, V->Sym).meet(U64 ? Interval::top()
+                                       : Interval::fromType(Ty));
+  }
+  case TerraNode::NK_Cast: {
+    Interval Op = eval(cast<CastExpr>(E)->Operand, E2, Record);
+    return Interval::castTo(Op, Ty);
+  }
+  case TerraNode::NK_UnOp: {
+    const auto *UO = cast<UnOpExpr>(E);
+    Interval Op = eval(UO->Operand, E2, Record);
+    switch (UO->Op) {
+    case UnOpKind::Neg:
+      return Integral ? Interval::castTo(Interval::neg(Op), Ty)
+                      : Interval::top();
+    case UnOpKind::Not:
+      return Interval(0, 1);
+    default:
+      return Interval::top(); // Deref loads, AddrOf addresses: unknown.
+    }
+  }
+  case TerraNode::NK_BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    // Short-circuit And/Or never evaluate RHS unconditionally; their
+    // operands are booleans anyway.
+    if (B->Op == BinOpKind::And || B->Op == BinOpKind::Or) {
+      BoolRange R = evalBool(B, E2, Record);
+      return Interval(R.CanFalse ? 0 : 1, R.CanTrue ? 1 : 0);
+    }
+    Interval L = eval(B->LHS, E2, Record);
+    Interval R = eval(B->RHS, E2, Record);
+    switch (B->Op) {
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge:
+    case BinOpKind::Eq:
+    case BinOpKind::Ne: {
+      BoolRange BR = evalBool(B, E2, false);
+      return Interval(BR.CanFalse ? 0 : 1, BR.CanTrue ? 1 : 0);
+    }
+    default:
+      break;
+    }
+    if (!Integral)
+      return Interval::top();
+    // For uint64-typed arithmetic the signed domain only stays sound while
+    // both operands are provably nonnegative.
+    if (U64 && (L.Lo < 0 || R.Lo < 0) && !L.isBottom() && !R.isBottom())
+      return Interval::top();
+    switch (B->Op) {
+    case BinOpKind::Add:
+      return Interval::castTo(Interval::add(L, R), Ty);
+    case BinOpKind::Sub: {
+      Interval S = Interval::sub(L, R);
+      if (U64 && !S.isBottom() && S.Lo < 0)
+        return Interval::top(); // Unsigned wrap-around.
+      return Interval::castTo(S, Ty);
+    }
+    case BinOpKind::Mul:
+      return Interval::castTo(Interval::mul(L, R), Ty);
+    case BinOpKind::Div:
+    case BinOpKind::Mod: {
+      bool IsDiv = B->Op == BinOpKind::Div;
+      if (Record) {
+        Facts->ExprRange[B->RHS] = R;
+        if (!R.containsZero())
+          Facts->NonZeroDivisor.insert(B);
+        else if (R.isConstant() && R.Lo == 0)
+          finding("TA006", E->loc(),
+                  std::string(IsDiv ? "division" : "modulo") +
+                      " by zero: the divisor is always 0",
+                  rangeStr(R));
+      }
+      bool Unsigned = P && !P->isSignedPrim();
+      if (Unsigned) {
+        if (L.isBottom() || R.isBottom())
+          return Interval::bottom();
+        if (L.Lo < 0)
+          return Interval::top();
+        if (IsDiv)
+          return Interval(0, L.Hi); // Unsigned division only shrinks.
+        int64_t M = L.Hi;
+        if (R.Lo >= 1)
+          M = std::min(M, R.Hi - 1);
+        return Interval(0, std::max<int64_t>(M, 0));
+      }
+      return Interval::castTo(IsDiv ? Interval::div(L, R)
+                                    : Interval::rem(L, R),
+                              Ty);
+    }
+    case BinOpKind::Shl:
+    case BinOpKind::Shr: {
+      uint64_t Width = Ty ? Ty->size() * 8 : 64;
+      Interval Valid(0, (int64_t)Width - 1);
+      if (Record) {
+        Facts->ExprRange[B->RHS] = R;
+        if (!R.isBottom() && R.within(Valid))
+          Facts->InRangeShift.insert(B);
+        else if (!R.isBottom() && R.meet(Valid).isBottom())
+          finding("TA007", E->loc(),
+                  "shift amount is always out of range: amount " +
+                      rangeStr(R) + " for a " + std::to_string(Width) +
+                      "-bit operand",
+                  rangeStr(R));
+      }
+      // Executions that survive the guard (or native UB) have an in-range
+      // amount.
+      Interval Rm = R.meet(Valid);
+      bool SignedOp = P && P->isSignedPrim();
+      if (B->Op == BinOpKind::Shl)
+        return Interval::castTo(Interval::shl(L, Rm, Width), Ty);
+      return Interval::castTo(Interval::shr(L, Rm, SignedOp), Ty);
+    }
+    default:
+      return Interval::top();
+    }
+  }
+  case TerraNode::NK_Index: {
+    const auto *IX = cast<IndexExpr>(E);
+    eval(IX->Base, E2, Record);
+    Interval Idx = eval(IX->Idx, E2, Record);
+    if (Record && IX->Base && IX->Base->Ty) {
+      if (const auto *AT = dyn_cast<ArrayType>(IX->Base->Ty)) {
+        Interval Valid(0, (int64_t)AT->length() - 1);
+        Facts->ExprRange[IX->Idx] = Idx;
+        if (!Idx.isBottom() && Idx.meet(Valid).isBottom())
+          finding("TA005", IX->Idx->loc(),
+                  "array index is always out of bounds: index " +
+                      rangeStr(Idx) + ", array length " +
+                      std::to_string(AT->length()),
+                  rangeStr(Idx));
+      }
+    }
+    return Integral ? Interval::fromType(Ty) : Interval::top();
+  }
+  case TerraNode::NK_Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    for (unsigned I = 0; I != A->NumArgs; ++I)
+      eval(A->Args[I], E2, Record);
+    if (const auto *FL = dyn_cast_or_null<FuncLitExpr>(A->Callee)) {
+      auto It = Summaries.find(FL->Fn);
+      if (It != Summaries.end())
+        return It->second;
+    }
+    return Integral ? Interval::fromType(Ty) : Interval::top();
+  }
+  case TerraNode::NK_MethodCall: {
+    const auto *M = cast<MethodCallExpr>(E);
+    eval(M->Obj, E2, Record);
+    for (unsigned I = 0; I != M->NumArgs; ++I)
+      eval(M->Args[I], E2, Record);
+    return Integral ? Interval::fromType(Ty) : Interval::top();
+  }
+  case TerraNode::NK_Intrinsic: {
+    const auto *I = cast<IntrinsicExpr>(E);
+    for (unsigned K = 0; K != I->NumArgs; ++K)
+      eval(I->Args[K], E2, Record);
+    if (I->IK == IntrinsicKind::Sizeof && I->TyRef.Resolved) {
+      const Type *T = I->TyRef.Resolved;
+      const auto *ST = dyn_cast<StructType>(T);
+      if (!ST || ST->isComplete())
+        return Interval::constant((int64_t)T->size());
+    }
+    if (I->IK == IntrinsicKind::Min && I->NumArgs == 2 && Integral)
+      return Interval::castTo(Interval::imin(eval(I->Args[0], E2, false),
+                                             eval(I->Args[1], E2, false)),
+                              Ty);
+    if (I->IK == IntrinsicKind::Max && I->NumArgs == 2 && Integral)
+      return Interval::castTo(Interval::imax(eval(I->Args[0], E2, false),
+                                             eval(I->Args[1], E2, false)),
+                              Ty);
+    return Integral ? Interval::fromType(Ty) : Interval::top();
+  }
+  case TerraNode::NK_Select: {
+    eval(cast<SelectExpr>(E)->Base, E2, Record);
+    return Integral ? Interval::fromType(Ty) : Interval::top();
+  }
+  case TerraNode::NK_Constructor: {
+    const auto *C = cast<ConstructorExpr>(E);
+    for (unsigned I = 0; I != C->NumInits; ++I)
+      eval(C->Inits[I], E2, Record);
+    return Interval::top();
+  }
+  default:
+    return Integral ? Interval::fromType(Ty) : Interval::top();
+  }
+}
+
+/// True when interval comparison is meaningful for the operands of \p B:
+/// integral, and not uint64 values that might exceed the signed domain.
+static bool comparableOperands(const BinOpExpr *B, Interval L, Interval R) {
+  const Type *Ty = B->LHS ? B->LHS->Ty : nullptr;
+  const auto *P = dyn_cast_or_null<PrimType>(Ty);
+  if (!P || !(P->isIntegralPrim() || P->primKind() == PrimType::Bool))
+    return false;
+  if (P->primKind() == PrimType::UInt64 && (L.Lo < 0 || R.Lo < 0))
+    return false;
+  return true;
+}
+
+BoolRange IntervalSolver::evalBool(const TerraExpr *E, Env &Env_,
+                                   bool Record) {
+  BoolRange Unknown;
+  if (!E)
+    return Unknown;
+  switch (E->kind()) {
+  case TerraNode::NK_Lit: {
+    const auto *L = cast<LitExpr>(E);
+    if (L->LK == LitExpr::LK_Bool)
+      return {L->BoolVal, !L->BoolVal};
+    return Unknown;
+  }
+  case TerraNode::NK_UnOp: {
+    const auto *U = cast<UnOpExpr>(E);
+    if (U->Op == UnOpKind::Not) {
+      BoolRange R = evalBool(U->Operand, Env_, Record);
+      return {R.CanFalse, R.CanTrue};
+    }
+    return Unknown;
+  }
+  case TerraNode::NK_BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    if (B->Op == BinOpKind::And) {
+      BoolRange L = evalBool(B->LHS, Env_, Record);
+      BoolRange R = evalBool(B->RHS, Env_, Record);
+      return {L.CanTrue && R.CanTrue, L.CanFalse || R.CanFalse};
+    }
+    if (B->Op == BinOpKind::Or) {
+      BoolRange L = evalBool(B->LHS, Env_, Record);
+      BoolRange R = evalBool(B->RHS, Env_, Record);
+      return {L.CanTrue || R.CanTrue, L.CanFalse && R.CanFalse};
+    }
+    Interval L = eval(B->LHS, Env_, Record);
+    Interval R = eval(B->RHS, Env_, Record);
+    if (L.isBottom() || R.isBottom())
+      return Unknown; // Unreachable evaluation: claim nothing.
+    if (!comparableOperands(B, L, R))
+      return Unknown;
+    switch (B->Op) {
+    case BinOpKind::Lt:
+      return {L.Lo < R.Hi, L.Hi >= R.Lo};
+    case BinOpKind::Le:
+      return {L.Lo <= R.Hi, L.Hi > R.Lo};
+    case BinOpKind::Gt:
+      return {L.Hi > R.Lo, L.Lo <= R.Hi};
+    case BinOpKind::Ge:
+      return {L.Hi >= R.Lo, L.Lo < R.Hi};
+    case BinOpKind::Eq:
+      return {!L.meet(R).isBottom(),
+              !(L.isConstant() && R.isConstant() && L.Lo == R.Lo)};
+    case BinOpKind::Ne:
+      return {!(L.isConstant() && R.isConstant() && L.Lo == R.Lo),
+              !L.meet(R).isBottom()};
+    default:
+      return Unknown;
+    }
+  }
+  default:
+    return Unknown;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Branch refinement
+//===----------------------------------------------------------------------===//
+
+/// The tracked symbol a comparison side constrains, unwrapping
+/// value-preserving implicit casts (widening within the signed domain).
+const TerraSymbol *IntervalSolver::refinableVar(const TerraExpr *E) const {
+  const Type *OuterTy = E ? E->Ty : nullptr;
+  while (const auto *C = dyn_cast_or_null<CastExpr>(E)) {
+    const TerraExpr *Op = C->Operand;
+    if (!Op || !Op->Ty || !C->Ty)
+      return nullptr;
+    // Value-preserving: the operand's value set fits in the cast target.
+    Interval Check = Interval::fromType(C->Ty);
+    const auto *TP = dyn_cast<PrimType>(C->Ty);
+    if (TP && TP->primKind() == PrimType::UInt64)
+      Check = Interval(0, INT64_MAX);
+    if (!Interval::fromType(Op->Ty).within(Check))
+      return nullptr;
+    E = Op;
+  }
+  const auto *V = dyn_cast_or_null<VarExpr>(E);
+  if (!V || !tracked(V->Sym))
+    return nullptr;
+  const auto *P = dyn_cast_or_null<PrimType>(V->Ty);
+  if (!P || !P->isIntegralPrim())
+    return nullptr;
+  // Refinement constraints are computed in signed int64; a uint64 variable
+  // may hold values outside that domain.
+  if (P->primKind() == PrimType::UInt64)
+    return nullptr;
+  (void)OuterTy;
+  return V->Sym;
+}
+
+void IntervalSolver::constrainVar(Env &E2, const TerraExpr *Side,
+                                  Interval Constraint) {
+  const TerraSymbol *Sym = refinableVar(Side);
+  if (!Sym)
+    return;
+  // Find the variable's own type range through the cast chain.
+  const TerraExpr *Inner = Side;
+  while (const auto *C = dyn_cast<CastExpr>(Inner))
+    Inner = C->Operand;
+  Interval Cur = lookup(E2, Sym).meet(Interval::fromType(Inner->Ty));
+  store(E2, Sym, Cur.meet(Constraint));
+}
+
+void IntervalSolver::refineCompare(Env &E2, const BinOpExpr *B,
+                                   BinOpKind Op) {
+  Interval L = eval(B->LHS, E2, false);
+  Interval R = eval(B->RHS, E2, false);
+  if (!comparableOperands(B, L, R))
+    return;
+  auto Below = [](Interval X, bool Strict) { // v <= X.Hi (- 1 when strict)
+    __int128 Hi = (__int128)X.Hi - (Strict ? 1 : 0);
+    return fromWide(INT64_MIN, Hi);
+  };
+  auto Above = [](Interval X, bool Strict) { // v >= X.Lo (+ 1 when strict)
+    __int128 Lo = (__int128)X.Lo + (Strict ? 1 : 0);
+    return fromWide(Lo, INT64_MAX);
+  };
+  switch (Op) {
+  case BinOpKind::Lt: // a < b
+    constrainVar(E2, B->LHS, Below(R, true));
+    constrainVar(E2, B->RHS, Above(L, true));
+    break;
+  case BinOpKind::Le:
+    constrainVar(E2, B->LHS, Below(R, false));
+    constrainVar(E2, B->RHS, Above(L, false));
+    break;
+  case BinOpKind::Gt:
+    constrainVar(E2, B->LHS, Above(R, true));
+    constrainVar(E2, B->RHS, Below(L, true));
+    break;
+  case BinOpKind::Ge:
+    constrainVar(E2, B->LHS, Above(R, false));
+    constrainVar(E2, B->RHS, Below(L, false));
+    break;
+  case BinOpKind::Eq:
+    constrainVar(E2, B->LHS, R);
+    constrainVar(E2, B->RHS, L);
+    break;
+  default:
+    break;
+  }
+}
+
+void IntervalSolver::refine(Env &E2, const TerraExpr *Cond, bool Taken) {
+  if (!Cond)
+    return;
+  if (const auto *U = dyn_cast<UnOpExpr>(Cond)) {
+    if (U->Op == UnOpKind::Not)
+      refine(E2, U->Operand, !Taken);
+    return;
+  }
+  const auto *B = dyn_cast<BinOpExpr>(Cond);
+  if (!B)
+    return;
+  if (B->Op == BinOpKind::And && Taken) {
+    refine(E2, B->LHS, true);
+    refine(E2, B->RHS, true);
+    return;
+  }
+  if (B->Op == BinOpKind::Or && !Taken) {
+    refine(E2, B->LHS, false);
+    refine(E2, B->RHS, false);
+    return;
+  }
+  // Negate the comparison on the false edge.
+  BinOpKind Op = B->Op;
+  if (!Taken) {
+    switch (B->Op) {
+    case BinOpKind::Lt:
+      Op = BinOpKind::Ge;
+      break;
+    case BinOpKind::Le:
+      Op = BinOpKind::Gt;
+      break;
+    case BinOpKind::Gt:
+      Op = BinOpKind::Le;
+      break;
+    case BinOpKind::Ge:
+      Op = BinOpKind::Lt;
+      break;
+    case BinOpKind::Eq:
+      Op = BinOpKind::Ne;
+      break;
+    case BinOpKind::Ne:
+      Op = BinOpKind::Eq;
+      break;
+    default:
+      return;
+    }
+  }
+  switch (Op) {
+  case BinOpKind::Lt:
+  case BinOpKind::Le:
+  case BinOpKind::Gt:
+  case BinOpKind::Ge:
+  case BinOpKind::Eq:
+    refineCompare(E2, B, Op);
+    break;
+  default:
+    break; // Ne gives no interval refinement.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statement and block transfer
+//===----------------------------------------------------------------------===//
+
+Interval IntervalSolver::loopHull(const ForNumStmt *S, Env &E2, bool Record) {
+  Interval Lo = eval(S->Lo, E2, Record);
+  Interval Hi = eval(S->Hi, E2, Record);
+  Interval Step =
+      S->Step ? eval(S->Step, E2, Record) : Interval::constant(1);
+  if (Lo.isBottom() || Hi.isBottom() || Step.isBottom())
+    return Interval::bottom();
+  // The loop runs while i < hi (positive step) or i > hi (negative step),
+  // so in-body values stay inside the corresponding half-open range.
+  Interval Hull = Interval::bottom();
+  if (Step.Hi >= 1)
+    Hull = Hull.join(fromWide((__int128)Lo.Lo, (__int128)Hi.Hi - 1));
+  if (Step.Lo <= -1)
+    Hull = Hull.join(fromWide((__int128)Hi.Lo + 1, (__int128)Lo.Hi));
+  Type *VarTy = S->Var.Sym ? S->Var.Sym->DeclaredType : nullptr;
+  return VarTy ? Interval::castTo(Hull, VarTy) : Hull;
+}
+
+void IntervalSolver::transferStmt(const TerraStmt *S, Env &E2, bool Record) {
+  switch (S->kind()) {
+  case TerraNode::NK_VarDecl: {
+    const auto *D = cast<VarDeclStmt>(S);
+    bool Paired = D->NumInits == D->NumNames;
+    for (unsigned I = 0; I != D->NumInits; ++I)
+      if (!Paired)
+        eval(D->Inits[I], E2, Record);
+    for (unsigned I = 0; I != D->NumNames; ++I) {
+      const TerraSymbol *Sym = D->Names[I].Sym;
+      Interval V = Interval::top();
+      Type *Ty = Sym ? Sym->DeclaredType : nullptr;
+      if (Paired) {
+        V = eval(D->Inits[I], E2, Record);
+        if (!Ty && D->Inits[I])
+          Ty = D->Inits[I]->Ty;
+      }
+      if (!tracked(Sym))
+        continue;
+      store(E2, Sym, Ty ? Interval::castTo(V, Ty) : Interval::top());
+    }
+    return;
+  }
+  case TerraNode::NK_Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    std::vector<Interval> RHS(A->NumRHS, Interval::top());
+    for (unsigned I = 0; I != A->NumRHS; ++I)
+      RHS[I] = eval(A->RHS[I], E2, Record);
+    for (unsigned I = 0; I != A->NumLHS; ++I) {
+      const TerraExpr *L = A->LHS[I];
+      if (const auto *V = dyn_cast<VarExpr>(L)) {
+        if (tracked(V->Sym) && I < A->NumRHS)
+          store(E2, V->Sym,
+                V->Ty ? Interval::castTo(RHS[I], V->Ty) : Interval::top());
+        continue;
+      }
+      // Stores through memory: evaluate the lvalue subtree for findings;
+      // no tracked state changes (escaped locals are untracked).
+      eval(L, E2, Record);
+    }
+    return;
+  }
+  case TerraNode::NK_ExprStmt:
+    eval(cast<ExprStmt>(S)->E, E2, Record);
+    return;
+  case TerraNode::NK_Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    Interval V = R->Val ? eval(R->Val, E2, Record) : Interval::bottom();
+    if (Record && R->Val) {
+      Type *RetTy = F->FnTy ? F->FnTy->result() : nullptr;
+      Interval C = RetTy ? Interval::castTo(V, RetTy) : Interval::top();
+      Facts->ReturnRange = Facts->ReturnRange.join(C);
+      Facts->ExprRange[R->Val] = C;
+    }
+    return;
+  }
+  case TerraNode::NK_ForNum: {
+    const auto *Fo = cast<ForNumStmt>(S);
+    Interval Hull = loopHull(Fo, E2, Record);
+    // Join across executions of the header (nested-loop re-entry); the
+    // condition block re-pins the variable from this cache.
+    auto It = LoopHulls.find(Fo);
+    Interval Joined = It == LoopHulls.end() ? Hull : It->second.join(Hull);
+    LoopHulls[Fo] = Joined;
+    if (tracked(Fo->Var.Sym))
+      store(E2, Fo->Var.Sym, Joined);
+    return;
+  }
+  default:
+    return; // Break carries no value effects.
+  }
+}
+
+void IntervalSolver::transferBlock(const CFGBlock &B, Env &E2, bool Record) {
+  // ForNum condition blocks are empty; re-pin the loop variable to its
+  // hull, because the implicit increment on the back edge is not an AST
+  // element the statement transfer could model.
+  auto CF = CondFor.find(&B);
+  if (CF != CondFor.end()) {
+    const ForNumStmt *Fo = CF->second;
+    auto It = LoopHulls.find(Fo);
+    if (It != LoopHulls.end() && tracked(Fo->Var.Sym))
+      store(E2, Fo->Var.Sym, It->second);
+  }
+  for (const CFGElement &El : B.Elems) {
+    if (El.Stmt)
+      transferStmt(El.Stmt, E2, Record);
+    else if (El.Cond)
+      eval(El.Cond, E2, Record); // Conditions can contain div/shift/index.
+  }
+}
+
+Env IntervalSolver::edgeEnv(const CFGBlock &Pred, const CFGBlock &To) {
+  Env E2 = OutEnv[Pred.Id];
+  // Refine along a two-way branch: Succs[0] is the true edge.
+  if (Pred.Succs.size() == 2 && !Pred.Elems.empty() &&
+      Pred.Elems.begin()[Pred.Elems.size() - 1].Cond &&
+      Pred.Succs[0] != Pred.Succs[1]) {
+    const TerraExpr *Cond = Pred.Elems.begin()[Pred.Elems.size() - 1].Cond;
+    refine(E2, Cond, Pred.Succs[0] == &To);
+  }
+  return E2;
+}
+
+//===----------------------------------------------------------------------===//
+// Solver main loop
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<FactTable> IntervalSolver::run() {
+  collectEscapes();
+
+  // Map each ForNum condition block to its loop statement: the header
+  // statement is the last element of its block, whose single successor is
+  // the condition block.
+  for (const CFGBlock &B : G.blocks()) {
+    if (B.Elems.empty() || B.Succs.size() != 1)
+      continue;
+    const CFGElement &Last = B.Elems.begin()[B.Elems.size() - 1];
+    if (Last.Stmt)
+      if (const auto *Fo = dyn_cast<ForNumStmt>(Last.Stmt))
+        CondFor[B.Succs[0]] = Fo;
+  }
+
+  const std::vector<const CFGBlock *> &RPO = G.reversePostOrder();
+  std::vector<unsigned> RPOIndex(G.size(), 0);
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]->Id] = I;
+  std::vector<bool> LoopHead(G.size(), false);
+  for (const CFGBlock &B : G.blocks())
+    for (const CFGBlock *S : B.Succs)
+      if (RPOIndex[S->Id] <= RPOIndex[B.Id])
+        LoopHead[S->Id] = true;
+
+  In.assign(G.size(), Env());
+  OutEnv.assign(G.size(), Env());
+  Reached.assign(G.size(), false);
+  Visits.assign(G.size(), 0);
+
+  // Entry assumption: every parameter holds some value of its type.
+  Env EntryEnv;
+  for (unsigned I = 0; I != F->NumParams; ++I) {
+    const TerraSymbol *P = F->Params[I];
+    if (tracked(P) && P->DeclaredType)
+      store(EntryEnv, P, Interval::fromType(P->DeclaredType));
+  }
+
+  const CFGBlock *Entry = &G.entry();
+  In[Entry->Id] = EntryEnv;
+  Reached[Entry->Id] = true;
+
+  // Chaotic iteration in RPO with monotone joins; widening bounds the
+  // number of passes, the cap is a safety net.
+  const unsigned MaxPasses = 64;
+  for (unsigned Pass = 0; Pass != MaxPasses; ++Pass) {
+    bool Changed = false;
+    for (const CFGBlock *B : RPO) {
+      Env NewIn;
+      bool HavePred = false;
+      if (B == Entry) {
+        NewIn = EntryEnv;
+        HavePred = true;
+      } else {
+        for (const CFGBlock *P : B->Preds) {
+          if (!Reached[P->Id])
+            continue;
+          Env EE = edgeEnv(*P, *B);
+          if (!HavePred) {
+            NewIn = std::move(EE);
+            HavePred = true;
+          } else {
+            joinInto(NewIn, EE);
+          }
+        }
+      }
+      if (!HavePred)
+        continue; // Not reached yet (or truly unreachable).
+      if (Reached[B->Id]) {
+        // Force monotone growth so edge refinements cannot oscillate.
+        Env Grown = In[B->Id];
+        for (auto It = Grown.begin(); It != Grown.end();) {
+          auto NIt = NewIn.find(It->first);
+          Interval J = NIt == NewIn.end()
+                           ? It->second
+                           : It->second.join(NIt->second);
+          if (J.isTop()) {
+            It = Grown.erase(It);
+            continue;
+          }
+          It->second = J;
+          ++It;
+        }
+        // Keys absent from the previous state were already top and must
+        // stay top, so Grown (a subset of the previous keys) is the result.
+        NewIn = std::move(Grown);
+        if (LoopHead[B->Id] && Visits[B->Id] >= 2) {
+          for (auto &KV : NewIn) {
+            auto OIt = In[B->Id].find(KV.first);
+            if (OIt != In[B->Id].end())
+              KV.second = KV.second.widenedFrom(OIt->second);
+          }
+          for (auto It = NewIn.begin(); It != NewIn.end();)
+            It = It->second.isTop() ? NewIn.erase(It) : std::next(It);
+        }
+      }
+      if (!Reached[B->Id] || !envEqual(NewIn, In[B->Id])) {
+        In[B->Id] = NewIn;
+        Reached[B->Id] = true;
+        ++Visits[B->Id];
+        Changed = true;
+      }
+      Env OutE = In[B->Id];
+      transferBlock(*B, OutE, false);
+      if (!envEqual(OutE, OutEnv[B->Id])) {
+        OutEnv[B->Id] = std::move(OutE);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Reporting pass over the solved states: each element visited exactly
+  // once, with the fixpoint environment.
+  Facts->ReturnRange = Interval::bottom();
+  for (const CFGBlock *B : RPO) {
+    if (!Reached[B->Id])
+      continue;
+    Env E2 = In[B->Id];
+    auto CF = CondFor.find(B);
+    if (CF != CondFor.end()) {
+      auto It = LoopHulls.find(CF->second);
+      if (It != LoopHulls.end() && tracked(CF->second->Var.Sym))
+        store(E2, CF->second->Var.Sym, It->second);
+    }
+    for (const CFGElement &El : B->Elems) {
+      if (El.Stmt) {
+        transferStmt(El.Stmt, E2, true);
+        continue;
+      }
+      const TerraExpr *Cond = El.Cond;
+      if (!Cond)
+        continue;
+      eval(Cond, E2, true);
+      // TA008: a branch condition with only one possible outcome. Literal
+      // booleans are staging residue the CFG already prunes; skip them.
+      if (const auto *L = dyn_cast<LitExpr>(Cond))
+        if (L->LK == LitExpr::LK_Bool)
+          continue;
+      BoolRange BR = evalBool(Cond, E2, false);
+      if (BR.CanTrue != BR.CanFalse) {
+        bool Val = BR.CanTrue;
+        finding("TA008", Cond->loc(),
+                std::string("branch condition is always ") +
+                    (Val ? "true" : "false") +
+                    "; the untaken branch is unreachable");
+        if (isPureFoldable(Cond))
+          Facts->ConstCond[Cond] = Val;
+      }
+    }
+  }
+  if (Facts->ReturnRange.isBottom() && F->FnTy && F->FnTy->result() &&
+      !F->FnTy->result()->isVoid())
+    Facts->ReturnRange = Interval::top();
+  return Facts;
+}
+
+} // namespace
+
+std::shared_ptr<FactTable>
+terracpp::analysis::analyzeIntervals(const TerraFunction *F, const CFG &G,
+                                     const SummaryMap &Summaries,
+                                     std::vector<Finding> &Out) {
+  IntervalSolver S(F, G, Summaries, Out);
+  return S.run();
+}

@@ -1,0 +1,146 @@
+//===- Interval.h - Value-range lattice and proven facts --------*- C++ -*-===//
+//
+// The interval abstract domain for the interprocedural value-range analysis
+// (DESIGN.md §14). An Interval is a pair [Lo, Hi] of int64 bounds tracking
+// every integral value an expression can take at runtime; the full range
+// is top, an inverted pair is bottom (unreachable). All transfer functions
+// are conservative: any operation whose concrete result could leave the
+// representable range answers top rather than a wrapped interval.
+//
+// The analysis publishes two artifacts per function:
+//
+//   * Finding records (TA005–TA008) routed through the normal analysis
+//     reporting path, and
+//   * a FactTable of proven-safe operations, attached to the function as
+//     TerraFunction::RangeFacts and consumed downstream: the bytecode
+//     compiler skips the TrapIfZero / TrapIfShiftGE guard instruction for
+//     proven divisors/shift amounts (which the baseline JIT then never
+//     sees), and the midend folds branch conditions the analysis proved
+//     constant.
+//
+// Soundness contract for consumers: a fact is only recorded when it holds
+// on *every* execution that reaches the operation, under the entry
+// assumption that each parameter holds some value of its declared type.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TERRACPP_ANALYSIS_INTERVAL_H
+#define TERRACPP_ANALYSIS_INTERVAL_H
+
+#include "analysis/Checkers.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace terracpp {
+
+class Type;
+
+namespace analysis {
+
+/// A closed integer interval [Lo, Hi] over int64. Lo > Hi encodes bottom
+/// (no value / unreachable); [INT64_MIN, INT64_MAX] is top.
+struct Interval {
+  int64_t Lo;
+  int64_t Hi;
+
+  Interval() : Lo(INT64_MIN), Hi(INT64_MAX) {}
+  Interval(int64_t Lo, int64_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  static Interval top() { return Interval(); }
+  static Interval bottom() { return Interval(0, -1); }
+  static Interval constant(int64_t V) { return Interval(V, V); }
+  /// The value set of an integral (or bool) type: [0,255] for uint8, etc.
+  /// Top for 64-bit and non-integral types.
+  static Interval fromType(const Type *T);
+
+  bool isBottom() const { return Lo > Hi; }
+  bool isTop() const { return Lo == INT64_MIN && Hi == INT64_MAX; }
+  bool isConstant() const { return Lo == Hi; }
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+  bool containsZero() const { return contains(0); }
+  /// Subset test; bottom is a subset of everything.
+  bool within(const Interval &O) const {
+    return isBottom() || (Lo >= O.Lo && Hi <= O.Hi);
+  }
+  bool operator==(const Interval &O) const {
+    return (isBottom() && O.isBottom()) || (Lo == O.Lo && Hi == O.Hi);
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  /// Least upper bound (interval hull).
+  Interval join(const Interval &O) const;
+  /// Greatest lower bound (intersection); may be bottom.
+  Interval meet(const Interval &O) const;
+  /// Standard widening: any bound that moved since \p Prev jumps to
+  /// infinity, guaranteeing termination at loop heads.
+  Interval widenedFrom(const Interval &Prev) const;
+
+  // Abstract transfer functions. All are sound for every combination of
+  // signed/unsigned operand types because a potentially overflowing bound
+  // computation answers top rather than wrapping.
+  static Interval add(Interval A, Interval B);
+  static Interval sub(Interval A, Interval B);
+  static Interval mul(Interval A, Interval B);
+  /// Signed division transfer; only defined for B not containing zero
+  /// (callers guard), but answers a sound superset even when it does.
+  static Interval div(Interval A, Interval B);
+  static Interval rem(Interval A, Interval B);
+  static Interval shl(Interval A, Interval B, uint64_t BitWidth);
+  static Interval shr(Interval A, Interval B, bool Arithmetic);
+  static Interval neg(Interval A);
+  static Interval imin(Interval A, Interval B);
+  static Interval imax(Interval A, Interval B);
+
+  /// Transfer for a cast of a value in \p V to integral type \p To: the
+  /// range is preserved when it fits, otherwise the full type range (the
+  /// wrapped values are somewhere in it).
+  static Interval castTo(Interval V, const Type *To);
+};
+
+/// Facts the interval analysis proved about one function body, keyed on
+/// arena-allocated AST nodes (valid for the owning TerraContext's lifetime).
+/// Published as TerraFunction::RangeFacts.
+struct FactTable {
+  /// Div/Mod nodes whose divisor can never be zero: the bytecode compiler
+  /// omits the TrapIfZero guard, so the VM and the baseline JIT execute the
+  /// division unguarded.
+  std::unordered_set<const TerraExpr *> NonZeroDivisor;
+  /// Shl/Shr nodes whose amount is provably within [0, bitwidth): the
+  /// TrapIfShiftGE guard is omitted.
+  std::unordered_set<const TerraExpr *> InRangeShift;
+  /// Branch conditions proved constant on every reaching execution. Only
+  /// pure conditions are entered (safe for the midend to fold away).
+  std::unordered_map<const TerraExpr *, bool> ConstCond;
+  /// Final solved range for interesting expressions (diagnostics, tests).
+  std::unordered_map<const TerraExpr *, Interval> ExprRange;
+  /// Join of every reachable `return e` value, clamped to the return type;
+  /// top when unknown. This is the function's interprocedural summary.
+  Interval ReturnRange = Interval::top();
+
+  bool provedAnything() const {
+    return !NonZeroDivisor.empty() || !InRangeShift.empty() ||
+           !ConstCond.empty();
+  }
+};
+
+/// Callee summaries available while analyzing one function: the return-value
+/// interval of every previously analyzed function (bottom-up call-graph
+/// order). Functions absent from the map contribute top.
+using SummaryMap = std::unordered_map<const TerraFunction *, Interval>;
+
+/// Runs the interval dataflow over \p F's CFG with widening at loop heads,
+/// records TA005–TA008 findings into \p Out, and returns the fact table
+/// (never null; may prove nothing). \p Summaries supplies callee return
+/// ranges for interprocedural precision.
+std::shared_ptr<FactTable> analyzeIntervals(const TerraFunction *F,
+                                            const CFG &G,
+                                            const SummaryMap &Summaries,
+                                            std::vector<Finding> &Out);
+
+} // namespace analysis
+} // namespace terracpp
+
+#endif // TERRACPP_ANALYSIS_INTERVAL_H

@@ -306,6 +306,24 @@ void Assembler::cdqe() {
   byte(0x98);
 }
 
+void Assembler::shlRCl(Reg D) {
+  rex(true, 0, 0, D >> 3);
+  byte(0xD3);
+  modrm(3, 4, D & 7);
+}
+
+void Assembler::shrRCl(Reg D) {
+  rex(true, 0, 0, D >> 3);
+  byte(0xD3);
+  modrm(3, 5, D & 7);
+}
+
+void Assembler::sarRCl(Reg D) {
+  rex(true, 0, 0, D >> 3);
+  byte(0xD3);
+  modrm(3, 7, D & 7);
+}
+
 void Assembler::idivR(Reg S) {
   rex(true, 0, 0, S >> 3);
   byte(0xF7);

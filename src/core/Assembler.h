@@ -88,6 +88,9 @@ public:
   void addRI(Reg D, int32_t Imm);
   void subRI(Reg D, int32_t Imm);
   void andRI8(Reg D, int8_t Imm);
+  void shlRCl(Reg D); ///< shl r64, cl
+  void shrRCl(Reg D); ///< shr r64, cl (logical)
+  void sarRCl(Reg D); ///< sar r64, cl (arithmetic)
   void cqo();
   void cdqe();
   void idivR(Reg S);

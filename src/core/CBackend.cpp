@@ -660,6 +660,14 @@ public:
       case BinOpKind::Mod:
         Op = "%";
         break;
+      case BinOpKind::Shl:
+        // Compute in uint64_t: left-shifting a negative value is UB in C,
+        // and the low result-width bits are identical either way.
+        return "((" + cType(B->Ty) + ")((uint64_t)" + expr(B->LHS) +
+               " << (uint64_t)" + expr(B->RHS) + "))";
+      case BinOpKind::Shr:
+        Op = ">>";
+        break;
       case BinOpKind::Lt:
         Op = "<";
         break;

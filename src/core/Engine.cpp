@@ -160,12 +160,15 @@ bool Engine::call(const Value &Fn, std::vector<Value> Args,
   return I->call(Fn, std::move(Args), Results, SourceLoc());
 }
 
-unsigned Engine::analyzeAll() {
+unsigned Engine::analyzeAll(analysis::AnalysisReport *Report) {
   analysis::AnalyzeOptions Opts;
   Opts.Lints = Comp->analyzeLints();
   Opts.Werror = Comp->analyzeWerror();
 
-  unsigned Findings = 0;
+  // Collect every typechecked definition and analyze them as a single
+  // component, so the interprocedural pass sees all call edges regardless
+  // of which functions share a compilation root.
+  std::vector<TerraFunction *> Fns;
   for (const auto &FPtr : TCtx->functions()) {
     TerraFunction *F = FPtr.get();
     if (F->IsExtern || F->HostClosure || !F->Body || F->AnalysisDone ||
@@ -175,11 +178,11 @@ unsigned Engine::analyzeAll() {
     // typed tree, so such functions are skipped.
     if (!Comp->typechecker().check(F))
       continue;
-    F->AnalysisDone = true;
-    analysis::AnalysisReport R = analysis::analyzeAndReport(Diags, F, Opts);
-    if (R.Failed)
-      F->State = TerraFunction::SK_Error;
-    Findings += R.NumFindings;
+    Fns.push_back(F);
   }
-  return Findings;
+  analysis::AnalysisReport R = analysis::analyzeComponent(Diags, Fns, Opts);
+  unsigned N = R.NumFindings;
+  if (Report)
+    *Report = std::move(R);
+  return N;
 }

@@ -24,6 +24,10 @@
 
 namespace terracpp {
 
+namespace analysis {
+struct AnalysisReport;
+} // namespace analysis
+
 class Engine {
 public:
   /// Backend defaults to Native; set the TERRACPP_BACKEND environment
@@ -70,8 +74,10 @@ public:
   /// Typechecks and statically analyzes every defined Terra function
   /// (terracpp --analyze) without generating code. Returns the number of
   /// analysis findings reported; functions that fail to typecheck are
-  /// skipped after their type errors are reported.
-  unsigned analyzeAll();
+  /// skipped after their type errors are reported. When \p Report is
+  /// non-null it receives the full structured report (machine-readable
+  /// findings for --analyze-json).
+  unsigned analyzeAll(analysis::AnalysisReport *Report = nullptr);
 
   DiagnosticEngine &diags() { return Diags; }
   TerraContext &context() { return *TCtx; }

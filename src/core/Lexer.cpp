@@ -94,6 +94,10 @@ const char *terracpp::tokenKindName(Tok Kind) {
     return "<";
   case Tok::Greater:
     return ">";
+  case Tok::Shl:
+    return "<<";
+  case Tok::Shr:
+    return ">>";
   case Tok::Assign:
     return "=";
   case Tok::LParen:
@@ -402,10 +406,14 @@ Token Lexer::lexOne() {
   case '<':
     if (peek() == '=')
       return makeSimple(Tok::LessEq, 2);
+    if (peek() == '<')
+      return makeSimple(Tok::Shl, 2);
     return makeSimple(Tok::Less, 1);
   case '>':
     if (peek() == '=')
       return makeSimple(Tok::GreaterEq, 2);
+    if (peek() == '>')
+      return makeSimple(Tok::Shr, 2);
     return makeSimple(Tok::Greater, 1);
   case '(':
     return makeSimple(Tok::LParen, 1);

@@ -62,6 +62,8 @@ enum class Tok : uint8_t {
   GreaterEq,
   Less,
   Greater,
+  Shl, // <<
+  Shr, // >>
   Assign,
   LParen,
   RParen,

@@ -1188,20 +1188,26 @@ bool terraBinOp(Tok Kind, TerraOpInfo &Info) {
   case Tok::NotEq:
     Info = {BinOpKind::Ne, 3};
     return true;
+  case Tok::Shl:
+    Info = {BinOpKind::Shl, 4};
+    return true;
+  case Tok::Shr:
+    Info = {BinOpKind::Shr, 4};
+    return true;
   case Tok::Plus:
-    Info = {BinOpKind::Add, 4};
+    Info = {BinOpKind::Add, 5};
     return true;
   case Tok::Minus:
-    Info = {BinOpKind::Sub, 4};
+    Info = {BinOpKind::Sub, 5};
     return true;
   case Tok::Star:
-    Info = {BinOpKind::Mul, 5};
+    Info = {BinOpKind::Mul, 6};
     return true;
   case Tok::Slash:
-    Info = {BinOpKind::Div, 5};
+    Info = {BinOpKind::Div, 6};
     return true;
   case Tok::Percent:
-    Info = {BinOpKind::Mod, 5};
+    Info = {BinOpKind::Mod, 6};
     return true;
   default:
     return false;
@@ -1245,7 +1251,7 @@ TerraExpr *Parser::parseTerraUnaryExpr() {
   consume();
   auto *U = Ctx.make<UnOpExpr>(Loc);
   U->Op = Op;
-  U->Operand = parseTerraBinExpr(5); // Unary binds tighter than * /.
+  U->Operand = parseTerraBinExpr(6); // Unary binds tighter than * /.
   return U;
 }
 

@@ -66,6 +66,12 @@ public:
   TerraExpr *mod(TerraExpr *L, TerraExpr *R) {
     return binop(BinOpKind::Mod, L, R);
   }
+  TerraExpr *shl(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Shl, L, R);
+  }
+  TerraExpr *shr(TerraExpr *L, TerraExpr *R) {
+    return binop(BinOpKind::Shr, L, R);
+  }
   TerraExpr *lt(TerraExpr *L, TerraExpr *R) {
     return binop(BinOpKind::Lt, L, R);
   }

@@ -52,6 +52,10 @@ struct Expr;
 struct Closure;
 } // namespace lua
 
+namespace analysis {
+struct FactTable;
+} // namespace analysis
+
 /// A unique Terra variable. Created fresh during specialization (hygiene) or
 /// explicitly by the host `symbol()` builtin (deliberate hygiene violation,
 /// paper §6.1).
@@ -243,6 +247,8 @@ enum class BinOpKind {
   Mul,
   Div,
   Mod,
+  Shl, ///< Integral only; amount >= bit width traps on the checked tiers.
+  Shr, ///< Arithmetic for signed operands, logical for unsigned.
   Lt,
   Le,
   Gt,
@@ -571,6 +577,13 @@ public:
   /// compile pipeline analyzes each function once even when it is reachable
   /// from several compilation roots.
   bool AnalysisDone = false;
+
+  /// Facts the interval analysis proved about this body (divisors that
+  /// cannot be zero, in-range shift amounts, constant branch conditions).
+  /// Keyed on arena-allocated AST nodes, so the table stays valid for the
+  /// function's lifetime. Null when the analysis has not run or proved
+  /// nothing; consumed by the midend and the bytecode compiler.
+  std::shared_ptr<const analysis::FactTable> RangeFacts;
 
   bool isDefined() const { return State != SK_Declared; }
   bool isCompiled() const { return RawPtr != nullptr || Entry != nullptr; }

@@ -127,7 +127,7 @@ Shape shapeOf(Op O) {
   case Op::GeF32: case Op::EqF32: case Op::NeF32: case Op::MinI:
   case Op::MaxI: case Op::MinU: case Op::MaxU: case Op::MinF: case Op::MaxF:
   case Op::MinF32: case Op::MaxF32: case Op::PtrAdd: case Op::PtrSub:
-  case Op::PtrDiff:
+  case Op::PtrDiff: case Op::ShlI: case Op::ShrI: case Op::ShrU:
     return Shape::ABC;
   case Op::Mov: case Op::NegI: case Op::NegF: case Op::NegF32: case Op::NotB:
   case Op::WrapI8: case Op::WrapI16: case Op::WrapI32: case Op::WrapU8:
@@ -143,8 +143,8 @@ Shape shapeOf(Op O) {
     return Shape::AB;
   case Op::ConstI: case Op::ConstF: case Op::ConstF32: case Op::ConstP:
   case Op::FnLit: case Op::FrameAddr: case Op::MemZero: case Op::TrapIfNull:
-  case Op::TrapIfZero: case Op::JmpIfFalse: case Op::JmpIfTrue:
-  case Op::RetVal:
+  case Op::TrapIfZero: case Op::TrapIfShiftGE: case Op::JmpIfFalse:
+  case Op::JmpIfTrue: case Op::RetVal:
     return Shape::A;
   case Op::ForCond:
     return Shape::ForCond;
@@ -501,10 +501,9 @@ bool Emitter::emitInsn(const Insn &I) {
     return true;
   case Op::DivI:
   case Op::ModI:
+    // No zero guard here: a TrapIfZero precedes unless analysis elided it.
     loadSlot(RAX, I.B);
     loadSlot(RCX, I.C);
-    A.testRR(RCX, RCX);
-    A.jcc(CC::E, trapLabel(I.Imm));
     A.cqo();
     A.idivR(RCX);
     storeSlot(I.A, I.Code == Op::DivI ? RAX : RDX);
@@ -513,11 +512,24 @@ bool Emitter::emitInsn(const Insn &I) {
   case Op::ModU:
     loadSlot(RAX, I.B);
     loadSlot(RCX, I.C);
-    A.testRR(RCX, RCX);
-    A.jcc(CC::E, trapLabel(I.Imm));
     A.xor32RR(RDX, RDX);
     A.divR(RCX);
     storeSlot(I.A, I.Code == Op::DivU ? RAX : RDX);
+    return true;
+  case Op::ShlI:
+  case Op::ShrI:
+  case Op::ShrU:
+    // Hardware masks cl to 6 bits for 64-bit shifts — exactly the VM's
+    // `& 63` semantics.
+    loadSlot(RAX, I.B);
+    loadSlot(RCX, I.C);
+    if (I.Code == Op::ShlI)
+      A.shlRCl(RAX);
+    else if (I.Code == Op::ShrI)
+      A.sarRCl(RAX);
+    else
+      A.shrRCl(RAX);
+    storeSlot(I.A, RAX);
     return true;
   case Op::NegI:
     loadSlot(RAX, I.B);
@@ -859,6 +871,12 @@ bool Emitter::emitInsn(const Insn &I) {
     A.testRR(RAX, RAX);
     A.jcc(CC::E, trapLabel(I.Imm));
     return true;
+  case Op::TrapIfShiftGE:
+    loadSlot(RAX, I.A);
+    A.movRI(RCX, I.B);
+    A.cmpRR(RAX, RCX);
+    A.jcc(CC::AE, trapLabel(I.Imm));
+    return true;
   case Op::ForCond:
     loadSlot(RAX, I.B);
     loadSlot(RCX, I.C);
@@ -995,6 +1013,17 @@ bool BaselineJIT::supported() {
 
 bool BaselineJIT::enabledFromEnv() {
   return envcfg::parseBool("TERRACPP_JIT_BASELINE", true);
+}
+
+bool BaselineJIT::emitBytesForTest(const TerraFunction *F,
+                                   std::vector<uint8_t> &Out) {
+  if (!supported() || !F->Bytecode)
+    return false;
+  Emitter Em(*F->Bytecode);
+  if (!Em.emit())
+    return false;
+  Out.assign(Em.code().begin(), Em.code().end());
+  return true;
 }
 
 BaselineJIT::Fn BaselineJIT::entryFor(TerraFunction *F) {

@@ -23,6 +23,7 @@
 #include "support/CodeBuffer.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace terracpp {
 
@@ -70,6 +71,13 @@ public:
 
   /// TERRACPP_JIT_BASELINE knob (validated; default on).
   static bool enabledFromEnv();
+
+  /// Emits baseline code for \p F's bytecode into \p Out without publishing
+  /// executable pages. Returns false when \p F has no bytecode or the
+  /// emitter bails. Tests use this to assert properties of the exact
+  /// instruction bytes (e.g. that analysis-elided guards are truly absent).
+  static bool emitBytesForTest(const TerraFunction *F,
+                               std::vector<uint8_t> &Out);
 
 private:
   CodeBuffer Code;

@@ -11,6 +11,7 @@
 
 #include "core/TerraBytecode.h"
 
+#include "analysis/Interval.h"
 #include "core/TerraAST.h"
 #include "core/TerraType.h"
 
@@ -341,6 +342,15 @@ private:
   int64_t trapIdx(const std::string &Msg, SourceLoc Loc) {
     Out.Traps.push_back({Msg, Loc});
     return static_cast<int64_t>(Out.Traps.size() - 1);
+  }
+
+  // Interval-analysis facts (TerraFunction::RangeFacts): a proven fact lets
+  // the compiler skip the runtime guard in front of a division or shift.
+  bool provenNonZeroDivisor(const BinOpExpr *B) const {
+    return Src->RangeFacts && Src->RangeFacts->NonZeroDivisor.count(B);
+  }
+  bool provenInRangeShift(const BinOpExpr *B) const {
+    return Src->RangeFacts && Src->RangeFacts->InRangeShift.count(B);
   }
 
   // Typed memory access.
@@ -849,13 +859,28 @@ int BCCompiler::compileBinOp(const BinOpExpr *B, const TerraExpr *E) {
     emitWrapTo(PK, Dst, Dst);
     return Dst;
   case BinOpKind::Div:
-    emit(Signed ? Op::DivI : Op::DivU, D, UL, UR,
-         trapIdx("integer division by zero", E->loc()));
+    if (!provenNonZeroDivisor(B))
+      emit(Op::TrapIfZero, UR, 0, 0,
+           trapIdx("integer division by zero", E->loc()));
+    emit(Signed ? Op::DivI : Op::DivU, D, UL, UR);
     emitWrapTo(PK, Dst, Dst);
     return Dst;
   case BinOpKind::Mod:
-    emit(Signed ? Op::ModI : Op::ModU, D, UL, UR,
-         trapIdx("integer modulo by zero", E->loc()));
+    if (!provenNonZeroDivisor(B))
+      emit(Op::TrapIfZero, UR, 0, 0,
+           trapIdx("integer modulo by zero", E->loc()));
+    emit(Signed ? Op::ModI : Op::ModU, D, UL, UR);
+    emitWrapTo(PK, Dst, Dst);
+    return Dst;
+  case BinOpKind::Shl:
+  case BinOpKind::Shr:
+    if (!provenInRangeShift(B))
+      emit(Op::TrapIfShiftGE, UR, static_cast<uint16_t>(P->size() * 8), 0,
+           trapIdx("shift amount out of range", E->loc()));
+    if (B->Op == BinOpKind::Shl)
+      emit(Op::ShlI, D, UL, UR);
+    else
+      emit(Signed ? Op::ShrI : Op::ShrU, D, UL, UR);
     emitWrapTo(PK, Dst, Dst);
     return Dst;
   case BinOpKind::Lt:
@@ -1654,7 +1679,7 @@ std::string disassemble(const Function &F) {
          << CS.Args.size();
     }
     if ((In.Code == Op::Trap || In.Code == Op::TrapIfNull ||
-         In.Code == Op::TrapIfZero) &&
+         In.Code == Op::TrapIfZero || In.Code == Op::TrapIfShiftGE) &&
         static_cast<size_t>(In.Imm) < F.Traps.size())
       OS << " ; \"" << F.Traps[In.Imm].first << "\"";
     OS << "\n";

@@ -73,10 +73,14 @@ union Slot {
   X(AddI)       /* r[A].I = r[B].I + r[C].I (wrapping) */                     \
   X(SubI)       /* r[A].I = r[B].I - r[C].I (wrapping) */                     \
   X(MulI)       /* r[A].I = r[B].I * r[C].I (wrapping) */                     \
-  X(DivI)       /* r[A].I = r[B].I / r[C].I; trap[Imm] when C == 0 */         \
-  X(ModI)       /* r[A].I = r[B].I % r[C].I; trap[Imm] when C == 0 */         \
-  X(DivU)       /* r[A].U = r[B].U / r[C].U; trap[Imm] when C == 0 */         \
-  X(ModU)       /* r[A].U = r[B].U % r[C].U; trap[Imm] when C == 0 */         \
+  X(DivI)       /* r[A].I = r[B].I / r[C].I (unguarded: a TrapIfZero on C   \
+                   precedes unless the compiler proved r[C] nonzero) */      \
+  X(ModI)       /* r[A].I = r[B].I % r[C].I (unguarded, as DivI) */           \
+  X(DivU)       /* r[A].U = r[B].U / r[C].U (unguarded, as DivI) */           \
+  X(ModU)       /* r[A].U = r[B].U % r[C].U (unguarded, as DivI) */           \
+  X(ShlI)       /* r[A].U = r[B].U << (r[C].U & 63) */                        \
+  X(ShrI)       /* r[A].I = r[B].I >> (r[C].U & 63) (arithmetic) */           \
+  X(ShrU)       /* r[A].U = r[B].U >> (r[C].U & 63) (logical) */              \
   X(NegI)       /* r[A].I = -r[B].I (wrapping) */                             \
   X(AddF)       /* r[A].D = r[B].D + r[C].D */                                \
   X(SubF)       /* r[A].D = r[B].D - r[C].D */                                \
@@ -164,7 +168,8 @@ union Slot {
   X(PtrDiff)    /* r[A].I = (r[B].P - r[C].P) / Imm */                        \
   X(PtrAddImm)  /* r[A].P = r[B].P + Imm (field offsets) */                    \
   X(TrapIfNull) /* if (!r[A].P) trap[Imm] */                                  \
-  X(TrapIfZero) /* if (!r[A].I) trap[Imm] (for-loop zero step) */             \
+  X(TrapIfZero) /* if (!r[A].I) trap[Imm] (div/mod guard, for-loop step) */   \
+  X(TrapIfShiftGE) /* if (r[A].U >= B) trap[Imm] (B = type bit width) */      \
   X(ForCond)    /* r[A].U = r[Imm].I > 0 ? r[B].I < r[C].I                    \
                                          : r[B].I > r[C].I */                 \
   X(Jmp)        /* ip = Imm */                                                \

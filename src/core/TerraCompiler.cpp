@@ -63,22 +63,15 @@ TerraCompiler::TerraCompiler(TerraContext &Ctx, Interp &I, BackendKind Backend,
 
 bool TerraCompiler::analyzeComponent(
     const std::vector<TerraFunction *> &Component) {
-  bool OK = true;
-  for (TerraFunction *Fn : Component) {
-    if (Fn->AnalysisDone || Fn->HostClosure || Fn->IsExtern || !Fn->Body)
-      continue;
-    Fn->AnalysisDone = true;
-    analysis::AnalyzeOptions Opts;
-    Opts.Lints = AnalyzeLints;
-    Opts.Werror = AnalyzeWerror;
-    analysis::AnalysisReport R =
-        analysis::analyzeAndReport(Ctx.diags(), Fn, Opts);
-    if (R.Failed) {
-      Fn->State = TerraFunction::SK_Error;
-      OK = false;
-    }
-  }
-  return OK;
+  analysis::AnalyzeOptions Opts;
+  Opts.Lints = AnalyzeLints;
+  Opts.Werror = AnalyzeWerror;
+  // The component is the transitive callee closure of the entry point, so
+  // the interprocedural pass sees every summary it can use. Failing
+  // functions are flipped to SK_Error inside.
+  analysis::AnalysisReport R =
+      analysis::analyzeComponent(Ctx.diags(), Component, Opts);
+  return !R.Failed;
 }
 
 TerraCompiler::~TerraCompiler() = default;

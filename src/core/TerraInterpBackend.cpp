@@ -508,6 +508,17 @@ bool TEval::binScalar(BinOpKind Op, PrimType::PrimKind PK, const void *L,
       return fail(Loc, "integer modulo by zero");
     PutInt(IsSigned ? A % B : static_cast<int64_t>(UA % UB));
     return true;
+  case BinOpKind::Shl:
+  case BinOpKind::Shr: {
+    uint64_t Width = ResTy ? ResTy->size() * 8 : 64;
+    if (UB >= Width)
+      return fail(Loc, "shift amount out of range");
+    if (Op == BinOpKind::Shl)
+      PutInt(static_cast<int64_t>(UA << UB));
+    else
+      PutInt(IsSigned ? A >> B : static_cast<int64_t>(UA >> UB));
+    return true;
+  }
   case BinOpKind::Lt:
     PutBool(IsSigned ? A < B : UA < UB);
     return true;

@@ -1,6 +1,7 @@
 #include "core/TerraPasses.h"
 
 #include "analysis/CFG.h"
+#include "analysis/Interval.h"
 #include "core/TerraType.h"
 
 #include <cmath>
@@ -552,9 +553,78 @@ private:
 
 } // namespace
 
+namespace {
+
+/// Replaces branch conditions the interval analysis proved constant
+/// (TerraFunction::RangeFacts) with boolean literals, so the constant
+/// folder prunes the dead branch like any other staging residue. Must run
+/// before the Folder: the fact table is keyed on the pre-fold nodes. Only
+/// pure conditions are entered into ConstCond, so dropping the evaluation
+/// cannot change observable behavior on any tier.
+class FactCondFolder {
+public:
+  FactCondFolder(TerraContext &Ctx, const analysis::FactTable &Facts)
+      : Ctx(Ctx), Facts(Facts) {}
+
+  void visitStmt(TerraStmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case TerraNode::NK_Block: {
+      auto *B = cast<BlockStmt>(S);
+      for (unsigned I = 0; I != B->NumStmts; ++I)
+        visitStmt(B->Stmts[I]);
+      return;
+    }
+    case TerraNode::NK_If: {
+      auto *I = cast<IfStmt>(S);
+      for (unsigned K = 0; K != I->NumClauses; ++K) {
+        rewrite(I->Conds[K]);
+        visitStmt(I->Blocks[K]);
+      }
+      visitStmt(I->ElseBlock);
+      return;
+    }
+    case TerraNode::NK_While: {
+      auto *W = cast<WhileStmt>(S);
+      rewrite(W->Cond);
+      visitStmt(W->Body);
+      return;
+    }
+    case TerraNode::NK_ForNum:
+      visitStmt(cast<ForNumStmt>(S)->Body);
+      return;
+    default:
+      return;
+    }
+  }
+
+private:
+  void rewrite(TerraExpr *&Cond) {
+    auto It = Facts.ConstCond.find(Cond);
+    if (It == Facts.ConstCond.end())
+      return;
+    auto *L = Ctx.make<LitExpr>(Cond->loc());
+    L->LK = LitExpr::LK_Bool;
+    L->BoolVal = It->second;
+    L->LitTy = Ctx.types().boolType();
+    L->Ty = L->LitTy;
+    Cond = L;
+  }
+
+  TerraContext &Ctx;
+  const analysis::FactTable &Facts;
+};
+
+} // namespace
+
 void terracpp::runMidendPasses(TerraContext &Ctx, TerraFunction *F) {
   if (!F->Body)
     return;
+  if (F->RangeFacts && !F->RangeFacts->ConstCond.empty()) {
+    FactCondFolder FC(Ctx, *F->RangeFacts);
+    FC.visitStmt(F->Body);
+  }
   Folder Fo(Ctx);
   Fo.foldBlock(F->Body);
 }

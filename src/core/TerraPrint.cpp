@@ -26,6 +26,10 @@ const char *binOpSpelling(BinOpKind Op) {
     return "/";
   case BinOpKind::Mod:
     return "%";
+  case BinOpKind::Shl:
+    return "<<";
+  case BinOpKind::Shr:
+    return ">>";
   case BinOpKind::Lt:
     return "<";
   case BinOpKind::Le:

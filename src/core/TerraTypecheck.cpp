@@ -570,6 +570,19 @@ Type *CheckState::checkExpr(TerraExpr *&E) {
       B->Ty = P;
       return B->Ty;
     }
+    case BinOpKind::Shl:
+    case BinOpKind::Shr: {
+      Type *P = promote(L, R);
+      if (!P || !P->isIntegral()) {
+        fail(E->loc(), "shift requires integral operands (got " + L->str() +
+                           " and " + R->str() + ")");
+        return nullptr;
+      }
+      if (!convert(B->LHS, P) || !convert(B->RHS, P))
+        return nullptr;
+      B->Ty = P;
+      return B->Ty;
+    }
     case BinOpKind::Lt:
     case BinOpKind::Le:
     case BinOpKind::Gt:

@@ -355,17 +355,24 @@ next_insn:
   VM_NEXT;
   VM_CASE(MulI) : R[pc->A].U = R[pc->B].U * R[pc->C].U;
   VM_NEXT;
-  VM_CASE(DivI) : if (R[pc->C].I == 0) VM_TRAP(pc->Imm);
-  R[pc->A].I = R[pc->B].I / R[pc->C].I;
+  // Division is unguarded: the compiler emits a TrapIfZero on the divisor
+  // register first, unless interval analysis proved the divisor nonzero.
+  VM_CASE(DivI) : R[pc->A].I = R[pc->B].I / R[pc->C].I;
   VM_NEXT;
-  VM_CASE(ModI) : if (R[pc->C].I == 0) VM_TRAP(pc->Imm);
-  R[pc->A].I = R[pc->B].I % R[pc->C].I;
+  VM_CASE(ModI) : R[pc->A].I = R[pc->B].I % R[pc->C].I;
   VM_NEXT;
-  VM_CASE(DivU) : if (R[pc->C].U == 0) VM_TRAP(pc->Imm);
-  R[pc->A].U = R[pc->B].U / R[pc->C].U;
+  VM_CASE(DivU) : R[pc->A].U = R[pc->B].U / R[pc->C].U;
   VM_NEXT;
-  VM_CASE(ModU) : if (R[pc->C].U == 0) VM_TRAP(pc->Imm);
-  R[pc->A].U = R[pc->B].U % R[pc->C].U;
+  VM_CASE(ModU) : R[pc->A].U = R[pc->B].U % R[pc->C].U;
+  VM_NEXT;
+  // Shifts mask the amount to the slot width: amounts >= the static type's
+  // width trap via the preceding TrapIfShiftGE, so the mask only shields the
+  // host from UB, it never changes a defined result.
+  VM_CASE(ShlI) : R[pc->A].U = R[pc->B].U << (R[pc->C].U & 63);
+  VM_NEXT;
+  VM_CASE(ShrI) : R[pc->A].I = R[pc->B].I >> (R[pc->C].U & 63);
+  VM_NEXT;
+  VM_CASE(ShrU) : R[pc->A].U = R[pc->B].U >> (R[pc->C].U & 63);
   VM_NEXT;
   VM_CASE(NegI) : R[pc->A].U = 0 - R[pc->B].U;
   VM_NEXT;
@@ -567,6 +574,8 @@ next_insn:
   VM_CASE(TrapIfNull) : if (!R[pc->A].P) VM_TRAP(pc->Imm);
   VM_NEXT;
   VM_CASE(TrapIfZero) : if (R[pc->A].I == 0) VM_TRAP(pc->Imm);
+  VM_NEXT;
+  VM_CASE(TrapIfShiftGE) : if (R[pc->A].U >= pc->B) VM_TRAP(pc->Imm);
   VM_NEXT;
   VM_CASE(ForCond) : R[pc->A].U = R[pc->Imm].I > 0
                                       ? R[pc->B].I < R[pc->C].I

@@ -46,6 +46,11 @@ template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
   return Val ? dyn_cast<To>(Val) : nullptr;
 }
 
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
 } // namespace terracpp
 
 #endif // TERRACPP_SUPPORT_CASTING_H

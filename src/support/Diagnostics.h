@@ -45,6 +45,10 @@ public:
   void error(const char *Code, SourceLoc Loc, std::string Message);
   void warning(const char *Code, SourceLoc Loc, std::string Message);
 
+  /// The source manager used for rendering, when one was attached (the
+  /// analysis suppression-comment lookup reads source lines through it).
+  const SourceManager *sourceManager() const { return SM; }
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   unsigned warningCount() const { return NumWarnings; }

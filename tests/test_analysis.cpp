@@ -1,16 +1,21 @@
 //===- test_analysis.cpp - terracheck CFG/dataflow analysis ---------------===//
 //
-// Seeded-bug coverage for the four terracheck checkers (TA001 definite-init,
-// TA002 missing-return, TA003 use/double-free, TA004 leak-on-all-paths),
-// the escape-analysis suppressions that keep them quiet on real code, the
-// DiagnosticEngine dedup/cap machinery they report through, and a
-// no-false-positive sweep over the shipped example scripts.
+// Seeded-bug coverage for the terracheck checkers (TA001 definite-init,
+// TA002 missing-return, TA003 use/double-free, TA004 leak-on-all-paths,
+// and the interval-analysis lints TA005 out-of-bounds index, TA006
+// division by zero, TA007 out-of-range shift, TA008 dead branch — the
+// last four fed by interprocedural return-range summaries), the
+// escape-analysis suppressions that keep them quiet on real code,
+// `terracheck: disable=` suppression comments, the DiagnosticEngine
+// dedup/cap machinery findings report through, and a no-false-positive
+// sweep over the shipped example scripts.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Engine.h"
 #include "orion/OrionHosted.h"
 #include "support/Diagnostics.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -328,6 +333,211 @@ TEST(Analysis, WerrorPromotesLintsToErrors) {
                             /*Werror=*/true);
   EXPECT_GT(N, 0u);
   EXPECT_TRUE(E.diags().hasErrors()) << E.errors();
+}
+
+//===----------------------------------------------------------------------===//
+// TA005: provably out-of-bounds array index (interval analysis)
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA005ConstantIndexPastTheEnd) {
+  expectFinding("terra f(): int\n"
+                "  var a: int[4]\n"
+                "  for i = 0, 4 do a[i] = i end\n"
+                "  return a[7]\n"
+                "end",
+                "TA005", "array index is always out of bounds");
+}
+
+TEST(Analysis, TA005LoopRangeEntirelyPastTheEnd) {
+  expectFinding("terra f(): int\n"
+                "  var a: int[4]\n"
+                "  for i = 0, 4 do a[i] = i end\n"
+                "  var s = 0\n"
+                "  for i = 4, 8 do s = s + a[i] end\n"
+                "  return s\n"
+                "end",
+                "TA005", "index [4, 7], array length 4");
+}
+
+TEST(Analysis, TA005NegativeConstantIndex) {
+  expectFinding("terra f(): int\n"
+                "  var a: int[8]\n"
+                "  for i = 0, 8 do a[i] = i end\n"
+                "  var j = -3\n"
+                "  return a[j]\n"
+                "end",
+                "TA005", "out of bounds");
+}
+
+TEST(Analysis, TA005InterproceduralIndexFromCallee) {
+  // The offending index is only known through the callee's return-range
+  // summary: nine() yields [9, 9] into an int[4].
+  expectFinding("terra nine(): int return 9 end\n"
+                "terra f(): int\n"
+                "  var a: int[4]\n"
+                "  for i = 0, 4 do a[i] = i end\n"
+                "  return a[nine()]\n"
+                "end",
+                "TA005", "index [9, 9], array length 4");
+}
+
+TEST(Analysis, TA005InRangeLoopIndexIsQuiet) {
+  expectClean("terra f(): int\n"
+              "  var a: int[4]\n"
+              "  for i = 0, 4 do a[i] = i end\n"
+              "  var s = 0\n"
+              "  for i = 0, 4 do s = s + a[i] end\n"
+              "  return s\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// TA006: guaranteed division/modulo by zero
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA006DivisorIsLiterallyZero) {
+  expectFinding("terra f(x: int): int\n"
+                "  var d = 0\n"
+                "  return x / d\n"
+                "end",
+                "TA006", "division by zero");
+}
+
+TEST(Analysis, TA006ModuloByZeroOnEveryPath) {
+  expectFinding("terra f(c: bool): int\n"
+                "  var d = 0\n"
+                "  if c then d = 0 end\n"
+                "  return 7 % d\n"
+                "end",
+                "TA006", "modulo by zero");
+}
+
+TEST(Analysis, TA006InterproceduralZeroFromCallee) {
+  expectFinding("terra zero(): int return 0 end\n"
+                "terra f(x: int): int return x / zero() end\n",
+                "TA006", "the divisor is always 0");
+}
+
+TEST(Analysis, TA006GuardedDivisionIsQuiet) {
+  expectClean("terra f(x: int): int\n"
+              "  if x ~= 0 then return 100 / x end\n"
+              "  return 0\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// TA007: shift amount provably out of range
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA007ShiftAmountExceedsWidth) {
+  // x is 32-bit, so a shift by 40 can never be in [0, 31].
+  expectFinding("terra f(x: int): int return x << 40 end",
+                "TA007", "shift amount is always out of range");
+}
+
+TEST(Analysis, TA007NegativeShiftAmount) {
+  expectFinding("terra f(x: int64): int64\n"
+                "  var s = -70\n"
+                "  return x >> s\n"
+                "end",
+                "TA007", "for a 64-bit operand");
+}
+
+TEST(Analysis, TA007BoundedShiftIsQuiet) {
+  // x % 4 + 4 lies in [1, 7]: always a valid 32-bit shift amount.
+  expectClean("terra f(x: int): int return 1 << (x % 4 + 4) end");
+}
+
+//===----------------------------------------------------------------------===//
+// TA008: branch condition with a single possible outcome
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, TA008BranchAlwaysTrue) {
+  expectFinding("terra f(x: int): int\n"
+                "  var y = 5\n"
+                "  if y > 3 then return 1 end\n"
+                "  return x\n"
+                "end",
+                "TA008", "always true");
+}
+
+TEST(Analysis, TA008BranchAlwaysFalse) {
+  expectFinding("terra f(x: int): int\n"
+                "  var z = 0\n"
+                "  if z > 0 then return 1 end\n"
+                "  return x\n"
+                "end",
+                "TA008", "always false");
+}
+
+TEST(Analysis, TA008InterproceduralConstantFromCallee) {
+  expectFinding("terra five(): int return 5 end\n"
+                "terra f(x: int): int\n"
+                "  if five() > 3 then return 1 end\n"
+                "  return x\n"
+                "end",
+                "TA008", "always true");
+}
+
+TEST(Analysis, TA008TwoSidedBranchIsQuiet) {
+  expectClean("terra f(x: int): int\n"
+              "  if x > 4 then return 1 end\n"
+              "  if x < -4 then return 2 end\n"
+              "  return 0\n"
+              "end");
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression comments: `-- terracheck: disable=<codes>` on the preceding
+// line silences non-mandatory findings and bumps analysis.suppressed.
+//===----------------------------------------------------------------------===//
+
+uint64_t suppressedCount() {
+  return telemetry::Registry::global().counter("analysis.suppressed").value();
+}
+
+TEST(Analysis, SuppressionCommentSilencesFinding) {
+  uint64_t Before = suppressedCount();
+  expectClean("terra f(): int\n"
+              "  var x: int\n"
+              "  -- terracheck: disable=TA001\n"
+              "  return x\n"
+              "end");
+  EXPECT_EQ(suppressedCount(), Before + 1);
+}
+
+TEST(Analysis, SuppressionAcceptsCodeListAndAll) {
+  expectClean("terra f(): int\n"
+              "  var x: int\n"
+              "  -- terracheck: disable=TA005,TA001\n"
+              "  return x\n"
+              "end");
+  expectClean("terra g(): int\n"
+              "  var x: int\n"
+              "  -- terracheck: disable=all\n"
+              "  return x\n"
+              "end");
+}
+
+TEST(Analysis, SuppressionWrongCodeDoesNotSilence) {
+  expectFinding("terra f(): int\n"
+                "  var x: int\n"
+                "  -- terracheck: disable=TA003\n"
+                "  return x\n"
+                "end",
+                "TA001", "used before any assignment");
+}
+
+TEST(Analysis, SuppressionCannotSilenceMandatoryError) {
+  // TA002 (missing return) is a mandatory error; no comment disables it.
+  Engine E;
+  unsigned N = analyzeChunk(E, "-- terracheck: disable=all\n"
+                               "terra f(): int\n"
+                               "  -- terracheck: disable=all\n"
+                               "end");
+  EXPECT_GT(N, 0u);
+  EXPECT_TRUE(E.diags().hasErrors()) << E.errors();
+  EXPECT_NE(E.errors().find("[TA002]"), std::string::npos) << E.errors();
 }
 
 //===----------------------------------------------------------------------===//

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -469,6 +470,64 @@ TEST(EnvParse, BoolAcceptsCommonSpellingsRejectsGarbage) {
   ScopedEnv V3("TERRACPP_TEST_BOOL3", "maybe");
   EXPECT_TRUE(envcfg::parseBool("TERRACPP_TEST_BOOL3", true));
   EXPECT_FALSE(envcfg::parseBool("TERRACPP_TEST_BOOL3", false));
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization feedback: guards elided by interval analysis never reach the
+// baseline emitter's output.
+//===----------------------------------------------------------------------===//
+
+/// Number of `test rax,rax; jz rel32` sequences (48 85 C0 0F 84) in the
+/// baseline code emitted for `f` — the exact byte pattern of a TrapIfZero
+/// guard. \p Src must define terra `f`; f(Arg) must equal Want.
+size_t zeroGuardCount(const std::string &Src, double Arg, double Want) {
+  Engine E(BackendKind::Interp);
+  E.compiler().setAnalyzeLints(true);
+  EXPECT_TRUE(E.run(Src)) << E.errors();
+  EXPECT_EQ(callF(E, Arg), Want);
+  TerraFunction *F = E.terraFunction("f");
+  EXPECT_NE(F, nullptr);
+  std::vector<uint8_t> Bytes;
+  EXPECT_TRUE(BaselineJIT::emitBytesForTest(F, Bytes));
+  static const uint8_t Pat[] = {0x48, 0x85, 0xC0, 0x0F, 0x84};
+  size_t N = 0;
+  for (size_t I = 0; I + sizeof(Pat) <= Bytes.size(); ++I)
+    if (std::equal(Pat, Pat + sizeof(Pat), Bytes.begin() + I))
+      ++N;
+  return N;
+}
+
+TEST(Baseline, ElidedDivGuardIsAbsentFromEmittedBytes) {
+  if (!BaselineJIT::supported())
+    GTEST_SKIP() << "baseline JIT not supported on this architecture";
+  // Unproven divisor: exactly one zero guard in the emitted code. Proven
+  // divisor (x % 9 + 11 is in [3, 19]): the guard bytes do not exist —
+  // straight-line division with no test/jz pair anywhere.
+  EXPECT_EQ(zeroGuardCount("terra f(x: int): int return 1000 / x end", 8, 125),
+            1u);
+  EXPECT_EQ(zeroGuardCount("terra f(x: int): int\n"
+                           "  var d = x % 9 + 11\n"
+                           "  return 1000 / d\n"
+                           "end",
+                           8, 52),
+            0u);
+}
+
+TEST(Baseline, ShiftGuardTrapsInBaselineCode) {
+  if (!BaselineJIT::supported())
+    GTEST_SKIP() << "baseline JIT not supported on this architecture";
+  // An unproven shift keeps its TrapIfShiftGE, and the baseline's trap
+  // path reports the same diagnostic as the VM's.
+  ScopedUnsetEnv NoTier("TERRACPP_JIT_TIER");
+  ScopedEnv On("TERRACPP_JIT_BASELINE", "1");
+  Engine E(BackendKind::Interp);
+  ASSERT_TRUE(E.run("terra f(n: int): int return 1 << n end")) << E.errors();
+  EXPECT_EQ(callF(E, 6), 64);
+  EXPECT_GE(baselineFunctions(E), 1u);
+  std::vector<Value> R;
+  EXPECT_FALSE(E.call(E.global("f"), {Value::number(99)}, R));
+  EXPECT_NE(E.errors().find("shift amount out of range"), std::string::npos)
+      << E.errors();
 }
 
 TEST(EnvParse, BaselineKnobSurvivesGarbage) {

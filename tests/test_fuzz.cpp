@@ -190,4 +190,130 @@ TEST_P(FuzzDiffTest, BackendsAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDiffTest,
                          ::testing::Range<uint64_t>(1, 33));
 
+//===----------------------------------------------------------------------===//
+// Integer programs with constant-range divisors and shift amounts. The
+// interval analysis proves most divisors nonzero / shift amounts in range
+// and elides the corresponding trap guards, so this battery checks that
+// guard elimination never changes a result: all four engines must stay
+// bit-identical on division/modulo/shift-heavy integer code.
+//===----------------------------------------------------------------------===//
+
+class IntProgramGen {
+public:
+  explicit IntProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    std::ostringstream OS;
+    OS << "terra f(x: int64): int64\n";
+    OS << "  var b0: int64 = x\n"
+       << "  var b1: int64 = x * 3 + 7\n"
+       << "  var b2: int64 = 1000 - x\n"
+       << "  var b3: int64 = 12345\n";
+    int NumStmts = 4 + R.range(8);
+    for (int I = 0; I != NumStmts; ++I)
+      OS << stmt(1);
+    // Damp once more so the checked result is far from 2^53.
+    OS << "  return (b0 + b1 * 3 + b2 - b3) % 100003\n";
+    OS << "end\n";
+    return OS.str();
+  }
+
+private:
+  std::string var() { return "b" + std::to_string(R.range(4)); }
+
+  /// Every statement re-damps its target var with `% 100003`, so operands
+  /// stay small enough that int64 arithmetic can never overflow (UB in the
+  /// C backend would make disagreement ambiguous).
+  std::string stmt(int Indent) {
+    std::string Pad(Indent * 2, ' ');
+    std::string V = var(), A = var(), B = var();
+    switch (R.range(6)) {
+    case 0:
+      return Pad + V + " = (" + A + " + " + B + " * " +
+             std::to_string(1 + R.range(9)) + ") % 100003\n";
+    case 1: {
+      // Divisor with a proven-nonzero constant range: A % k is in
+      // [-(k-1), k-1], so + (k + m) keeps it positive. The analysis elides
+      // the TrapIfZero for this site.
+      int K = 2 + R.range(29);
+      int M = 1 + R.range(50);
+      return Pad + V + " = " + A + " / (" + B + " % " + std::to_string(K) +
+             " + " + std::to_string(K + M) + ")\n";
+    }
+    case 2: {
+      // Same shape for modulo.
+      int K = 2 + R.range(13);
+      return Pad + V + " = " + A + " % (" + B + " % " + std::to_string(K) +
+             " + " + std::to_string(K + 1) + ")\n";
+    }
+    case 3: {
+      // Shift amount in [K+1 - K, ...] = proven within [1, K+7] ⊂ [0, 63];
+      // the shifted value is damped first so the result stays bounded.
+      int K = 1 + R.range(7);
+      return Pad + V + " = (" + A + " % 65536) << (" + B + " % " +
+             std::to_string(K) + " + " + std::to_string(K) + ")\n";
+    }
+    case 4: {
+      int K = 1 + R.range(15);
+      return Pad + V + " = " + A + " >> (" + B + " % " + std::to_string(K) +
+             " + " + std::to_string(K) + ")\n";
+    }
+    default: {
+      // An unproven divisor (plain variable): the guard stays, and the
+      // branch keeps the divisor nonzero at runtime on every engine.
+      std::string S = Pad + "if " + A + " ~= 0 then\n";
+      S += Pad + "  " + V + " = ((" + B + " * 5 - 11) / " + A +
+           ") % 100003\n";
+      S += Pad + "end\n";
+      return S;
+    }
+    }
+  }
+
+  Rng R;
+};
+
+class IntFuzzDiffTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntFuzzDiffTest, BackendsAgreeOnGuardElidedCode) {
+  bool Native = Engine::defaultBackend() == BackendKind::Native;
+  uint64_t Seed = GetParam();
+  IntProgramGen G(Seed);
+  std::string Src = G.generate();
+
+  double Results[NumEngines] = {0};
+  bool Have[NumEngines] = {false};
+  for (int I = 0; I != NumEngines; ++I) {
+    const EngineConfig &C = Engines[I];
+    if (C.Backend == BackendKind::Native && !Native)
+      continue;
+    ScopedEnv Force("TERRACPP_INTERP", C.InterpMode ? C.InterpMode : "");
+    ScopedEnv Base("TERRACPP_JIT_BASELINE", C.Baseline ? "1" : "0");
+    Engine E(C.Backend);
+    E.compiler().setAnalyzeLints(true); // Feed RangeFacts to the backends.
+    ASSERT_TRUE(E.run(Src, "intfuzz")) << "seed " << Seed << "\n"
+                                       << Src << "\n"
+                                       << E.errors();
+    std::vector<Value> R;
+    ASSERT_TRUE(E.call(E.global("f"), {Value::number(271828)}, R))
+        << "seed " << Seed << " engine " << C.Name << "\n"
+        << Src << "\n"
+        << E.errors();
+    ASSERT_TRUE(R[0].isNumber());
+    Results[I] = R[0].asNumber();
+    Have[I] = true;
+  }
+  ASSERT_TRUE(Have[1] && Have[2] && Have[3]);
+  EXPECT_EQ(Results[2], Results[3])
+      << "vm vs tree, seed " << Seed << "\n" << Src;
+  EXPECT_EQ(Results[1], Results[2])
+      << "baseline vs vm, seed " << Seed << "\n" << Src;
+  if (Have[0])
+    EXPECT_EQ(Results[0], Results[2])
+        << "native vs vm, seed " << Seed << "\n" << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntFuzzDiffTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
 } // namespace

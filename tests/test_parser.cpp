@@ -73,6 +73,16 @@ TEST(Parser, TerraConstructs) {
   EXPECT_TRUE(parses("terra f(): {} var v = T { 1, x = 2 } end"));
 }
 
+TEST(Parser, ShiftOperators) {
+  EXPECT_TRUE(parses("terra f(x: int): int return x << 2 end"));
+  EXPECT_TRUE(parses("terra f(x: int): int return x >> 2 end"));
+  // Shifts bind looser than +/-/* and tighter than comparisons.
+  EXPECT_TRUE(parses("terra f(x: int): int return 1 << x + 1 end"));
+  EXPECT_TRUE(parses("terra f(x: int): bool return x << 1 < 8 end"));
+  EXPECT_TRUE(parses("terra f(x: int): int return x << 1 << 2 end"));
+  EXPECT_FALSE(parses("terra f(x: int): int return x << end"));
+}
+
 TEST(Parser, EscapePositions) {
   EXPECT_TRUE(parses("terra f(): int return [e] end"));
   EXPECT_TRUE(parses("terra f(): int\n  [stmts]\n  return 0\nend"));

@@ -86,6 +86,31 @@ TEST(Typecheck, UnsignedArithmetic) {
                    1.0);
 }
 
+TEST(Typecheck, ShiftOperators) {
+  // Precedence: shifts bind looser than additive/multiplicative ops.
+  EXPECT_DOUBLE_EQ(compileAndCall("terra f(): int return 1 << 2 + 3 end"), 32);
+  EXPECT_DOUBLE_EQ(compileAndCall("terra f(): int return 1 + 2 << 1 end"), 6);
+  EXPECT_DOUBLE_EQ(compileAndCall("terra f(): int return 2 << 1 * 3 end"), 16);
+  // >> is arithmetic on signed, logical on unsigned operands.
+  EXPECT_DOUBLE_EQ(compileAndCall("terra f(): int return -16 >> 2 end"), -4);
+  EXPECT_DOUBLE_EQ(
+      compileAndCall("terra f(): uint32 return [uint32](4096) >> 5 end"), 128);
+  // The result keeps the promoted operand type: uint8 << uint8 wraps.
+  EXPECT_DOUBLE_EQ(
+      compileAndCall("terra f(): int return [uint8](129) << [uint8](1) end"),
+      2);
+  EXPECT_DOUBLE_EQ(
+      compileAndCall("terra f(): int64 return [int64](1) << 40 end"),
+      1099511627776.0);
+}
+
+TEST(Typecheck, ShiftRequiresIntegralOperands) {
+  expectTypeError("terra f(): double return 1.5 << 2 end",
+                  "shift requires integral operands");
+  expectTypeError("terra f(): int return 4 >> 0.5 end",
+                  "shift requires integral operands");
+}
+
 TEST(Typecheck, ExplicitCastsAllowLossy) {
   EXPECT_DOUBLE_EQ(compileAndCall("terra f(): int return int(3.9) end"), 3);
   EXPECT_DOUBLE_EQ(compileAndCall("terra f(): int\n"

@@ -127,6 +127,104 @@ TEST(VM, TrapsMatchTreeWalker) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Optimization feedback: interval analysis elides trap guards the bytecode
+// compiler would otherwise emit before integer division and shifts.
+//===----------------------------------------------------------------------===//
+
+/// Compiles `f` from \p Src with lints on (so RangeFacts attach before
+/// bytecode emission), checks f(Arg) == Want, and returns the disassembly.
+std::string compileAndDisassemble(const std::string &Src, double Arg,
+                                  double Want) {
+  Engine E(BackendKind::Interp);
+  E.compiler().setAnalyzeLints(true);
+  EXPECT_TRUE(E.run(Src)) << E.errors();
+  EXPECT_EQ(callF(E, Arg), Want);
+  TerraFunction *F = E.terraFunction("f");
+  EXPECT_NE(F, nullptr);
+  if (!F || !F->Bytecode) {
+    EXPECT_NE(F ? F->Bytecode.get() : nullptr, nullptr);
+    return "";
+  }
+  return bytecode::disassemble(*F->Bytecode);
+}
+
+TEST(VM, AnalysisElidesProvenDivGuard) {
+  // Inside `x > 4` the divisor is in [5, INT32_MAX]: provably nonzero, so
+  // the TrapIfZero guard never reaches the bytecode (and hence never
+  // reaches the baseline JIT, which emits from this bytecode).
+  std::string Dis = compileAndDisassemble("terra f(x: int): int\n"
+                                          "  if x > 4 then return 1000 / x end\n"
+                                          "  return 0\n"
+                                          "end",
+                                          8, 125);
+  EXPECT_EQ(Dis.find("TrapIfZero"), std::string::npos) << Dis;
+}
+
+TEST(VM, UnprovenDivKeepsGuardAndStillTraps) {
+  Engine E(BackendKind::Interp);
+  E.compiler().setAnalyzeLints(true);
+  ASSERT_TRUE(E.run("terra f(x: int): int return 1000 / x end"))
+      << E.errors();
+  EXPECT_EQ(callF(E, 8), 125);
+  TerraFunction *F = E.terraFunction("f");
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(F->Bytecode, nullptr);
+  std::string Dis = bytecode::disassemble(*F->Bytecode);
+  EXPECT_NE(Dis.find("TrapIfZero"), std::string::npos) << Dis;
+  std::vector<Value> R;
+  EXPECT_FALSE(E.call(E.global("f"), {Value::number(0)}, R));
+  EXPECT_NE(E.errors().find("division by zero"), std::string::npos)
+      << E.errors();
+}
+
+TEST(VM, AnalysisElidesProvenShiftGuard) {
+  // x % 4 + 4 is in [1, 7]: always a legal 32-bit shift amount, so no
+  // TrapIfShiftGE; the constant modulus also needs no TrapIfZero.
+  std::string Dis =
+      compileAndDisassemble("terra f(x: int): int return 1 << (x % 4 + 4) end",
+                            3, 128);
+  EXPECT_EQ(Dis.find("TrapIfShiftGE"), std::string::npos) << Dis;
+  EXPECT_EQ(Dis.find("TrapIfZero"), std::string::npos) << Dis;
+}
+
+TEST(VM, UnprovenShiftKeepsGuardAndStillTraps) {
+  Engine E(BackendKind::Interp);
+  E.compiler().setAnalyzeLints(true);
+  ASSERT_TRUE(E.run("terra f(x: int): int return 1 << x end")) << E.errors();
+  EXPECT_EQ(callF(E, 5), 32);
+  TerraFunction *F = E.terraFunction("f");
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(F->Bytecode, nullptr);
+  std::string Dis = bytecode::disassemble(*F->Bytecode);
+  EXPECT_NE(Dis.find("TrapIfShiftGE"), std::string::npos) << Dis;
+  std::vector<Value> R;
+  EXPECT_FALSE(E.call(E.global("f"), {Value::number(40)}, R));
+  EXPECT_NE(E.errors().find("shift amount out of range"), std::string::npos)
+      << E.errors();
+}
+
+TEST(VM, AnalysisFoldsProvenDeadBranch) {
+  // TA008 proves `y > 3` always true; the midend folds the condition, so
+  // the compiled body is straight-line (no conditional jump) yet computes
+  // the same result.
+  Engine E(BackendKind::Interp);
+  E.compiler().setAnalyzeLints(true);
+  ASSERT_TRUE(E.run("terra f(x: int): int\n"
+                    "  var y = 5\n"
+                    "  if y > 3 then return 100 end\n"
+                    "  return x\n"
+                    "end"))
+      << E.errors();
+  EXPECT_EQ(callF(E, 7), 100);
+  EXPECT_NE(E.errors().find("[TA008]"), std::string::npos) << E.errors();
+  TerraFunction *F = E.terraFunction("f");
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(F->Bytecode, nullptr);
+  std::string Dis = bytecode::disassemble(*F->Bytecode);
+  EXPECT_EQ(Dis.find("JmpIfFalse"), std::string::npos) << Dis;
+}
+
 /// The differential battery: every program runs under the VM and under the
 /// forced tree-walker; results must agree exactly.
 struct Program {
@@ -186,6 +284,16 @@ const Program Parity[] = {
      "  return s\n"
      "end",
      20},
+    {"shift_mix",
+     "terra f(n: int): int64\n"
+     "  var acc: int64 = 0\n"
+     "  for i = 0, n do\n"
+     "    acc = acc + (1 << i) + ([int64](1) << (i + 20))\n"
+     "    acc = acc - (-256 >> i) + ([uint32](4096) >> i)\n"
+     "  end\n"
+     "  return acc\n"
+     "end",
+     12},
 };
 
 class VMParityTest : public ::testing::TestWithParam<size_t> {};

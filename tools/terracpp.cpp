@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "core/CBackend.h"
 #include "core/Engine.h"
 #include "core/TerraPasses.h"
@@ -54,9 +55,12 @@ void usage() {
           "                     the background (TERRACPP_JIT_TIER)\n"
           "  --dump-fn NAME     pretty-print terra function NAME\n"
           "  --emit-c NAME      print generated C for NAME\n"
-          "  --analyze          run the terracheck lints (TA001..TA004) over\n"
+          "  --analyze          run the terracheck lints (TA001..TA008) over\n"
           "                     every terra function after the script runs\n"
           "  --analyze-werror   treat analysis findings as errors (exit 1)\n"
+          "  --analyze-json=OUT write findings as machine-readable JSON\n"
+          "                     (code, message, file, line, col, function,\n"
+          "                     ranges) for editor/CI consumption\n"
           "  --trace=OUT.json   record a Chrome trace of every compile phase\n"
           "                     (also via the TERRACPP_TRACE env variable)\n"
           "  --time-report      print a per-phase latency summary on exit\n"
@@ -233,6 +237,41 @@ void printTimeReport(Engine &E) {
   Jit.forEachHistogram(Rest);
 }
 
+/// --analyze-json=OUT: the structured findings behind the stderr render,
+/// one object per non-suppressed finding. The same codes/messages/locations
+/// the DiagnosticEngine prints, plus the containing function and (for the
+/// interval lints) the offending value range.
+bool writeAnalyzeJson(Engine &E, const analysis::AnalysisReport &Report,
+                      const std::string &Path) {
+  json::Value Arr = json::Value::array();
+  for (const analysis::ReportedFinding &F : Report.Findings) {
+    json::Value O = json::Value::object();
+    O.set("code", json::Value::string(F.Code));
+    O.set("message", json::Value::string(F.Message));
+    O.set("file", json::Value::string(
+                      F.Loc.isValid()
+                          ? E.sourceManager().bufferName(F.Loc.BufferId)
+                          : std::string()));
+    O.set("line", json::Value::number(F.Loc.Line));
+    O.set("col", json::Value::number(F.Loc.Column));
+    O.set("function", json::Value::string(F.Function));
+    O.set("ranges", json::Value::string(F.Ranges));
+    Arr.push(std::move(O));
+  }
+  json::Value Out = json::Value::object();
+  Out.set("version", json::Value::number(1));
+  Out.set("count", json::Value::number(Report.NumFindings));
+  Out.set("findings", std::move(Arr));
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS) {
+    fprintf(stderr, "terracpp: cannot write analysis report to %s\n",
+            Path.c_str());
+    return false;
+  }
+  OS << Out.dump() << "\n";
+  return static_cast<bool>(OS);
+}
+
 /// --profile=OUT.json: the same per-function profile document terrad's
 /// "profile" op serves, written locally. Tier counters only exist under
 /// tiered execution (--tier=auto / 0); otherwise components is empty.
@@ -263,6 +302,7 @@ int main(int Argc, char **Argv) {
   std::string TracePath, ProfilePath;
   bool RemoteStats = false, RemoteShutdown = false, TimeReport = false;
   bool Analyze = false, AnalyzeWerror = false;
+  std::string AnalyzeJsonPath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -293,6 +333,9 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--analyze-werror") {
       Analyze = true;
       AnalyzeWerror = true;
+    } else if (Arg.rfind("--analyze-json=", 0) == 0) {
+      Analyze = true;
+      AnalyzeJsonPath = Arg.substr(strlen("--analyze-json="));
     } else if (Arg == "--dump-fn" && I + 1 < Argc) {
       DumpFn = Argv[++I];
     } else if (Arg == "--emit-c" && I + 1 < Argc) {
@@ -350,10 +393,14 @@ int main(int Argc, char **Argv) {
   if (Analyze) {
     // Sweep every terra function the script defined, including ones the
     // script never called (the pipeline only analyzes what it compiles).
-    unsigned Findings = E.analyzeAll();
+    analysis::AnalysisReport Report;
+    unsigned Findings = E.analyzeAll(&Report);
     fprintf(stderr, "%s", E.errors().c_str());
     fprintf(stderr, "terracheck: %u finding%s\n", Findings,
             Findings == 1 ? "" : "s");
+    if (!AnalyzeJsonPath.empty() &&
+        !writeAnalyzeJson(E, Report, AnalyzeJsonPath))
+      return 1;
     if (E.diags().hasErrors() || (AnalyzeWerror && Findings != 0))
       return 1;
   } else if (E.diags().warningCount() != 0) {
